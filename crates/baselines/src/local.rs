@@ -1,0 +1,174 @@
+//! Local-only training: the no-communication lower bound.
+//!
+//! The paper motivates federated learning with the alternative of
+//! "multiple, sub-optimal, local models" (§1). This baseline quantifies
+//! that alternative: every client trains its own model from scratch on
+//! its local data only, with the same per-round budget as the federated
+//! runs, and never exchanges anything.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dagfl_datasets::FederatedDataset;
+use dagfl_nn::{Evaluation, Model, NnError, SgdConfig};
+
+use crate::ModelFactory;
+
+/// Per-client local training without any communication.
+pub struct LocalOnly {
+    dataset: FederatedDataset,
+    models: Vec<Box<dyn Model>>,
+    rng: StdRng,
+    rounds_run: usize,
+    learning_rate: f32,
+    local_batches: usize,
+    batch_size: usize,
+}
+
+impl LocalOnly {
+    /// Creates one fresh model per client.
+    pub fn new(
+        dataset: FederatedDataset,
+        factory: ModelFactory,
+        learning_rate: f32,
+        local_batches: usize,
+        batch_size: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let models = (0..dataset.num_clients())
+            .map(|_| factory(&mut rng))
+            .collect();
+        Self {
+            dataset,
+            models,
+            rng,
+            rounds_run: 0,
+            learning_rate,
+            local_batches,
+            batch_size,
+        }
+    }
+
+    /// Rounds of local training completed.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Trains every client for one round's batch budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn run_round(&mut self) -> Result<(), NnError> {
+        let opt = SgdConfig::new(self.learning_rate);
+        for (model, data) in self.models.iter_mut().zip(self.dataset.clients()) {
+            for (x, y) in data.train_batches(self.batch_size, self.local_batches, &mut self.rng)
+            {
+                model.train_batch(&x, &y, &opt)?;
+            }
+        }
+        self.rounds_run += 1;
+        Ok(())
+    }
+
+    /// Runs `rounds` rounds of local training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn run(&mut self, rounds: usize) -> Result<(), NnError> {
+        for _ in 0..rounds {
+            self.run_round()?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates every client's own model on its own test data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn evaluate_all(&self) -> Result<Vec<(u32, Evaluation)>, NnError> {
+        let mut out = Vec::with_capacity(self.models.len());
+        for (idx, (model, data)) in self.models.iter().zip(self.dataset.clients()).enumerate() {
+            let eval = model.evaluate(data.test_x(), data.test_y())?;
+            out.push((idx as u32, eval));
+        }
+        Ok(out)
+    }
+
+    /// Mean own-test accuracy over all clients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors.
+    pub fn mean_accuracy(&self) -> Result<f32, NnError> {
+        let evals = self.evaluate_all()?;
+        if evals.is_empty() {
+            return Ok(0.0);
+        }
+        Ok(evals.iter().map(|(_, e)| e.accuracy).sum::<f32>() / evals.len() as f32)
+    }
+}
+
+impl std::fmt::Debug for LocalOnly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalOnly")
+            .field("clients", &self.models.len())
+            .field("rounds_run", &self.rounds_run)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagfl_datasets::{fmnist_clustered, FmnistConfig};
+    use dagfl_nn::{Dense, Relu, Sequential};
+    use std::sync::Arc;
+
+    fn setup() -> LocalOnly {
+        let dataset = fmnist_clustered(&FmnistConfig {
+            num_clients: 4,
+            samples_per_client: 60,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let factory: ModelFactory = Arc::new(move |rng: &mut StdRng| {
+            Box::new(Sequential::new(vec![
+                Box::new(Dense::new(rng, features, 16)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(rng, 16, 10)),
+            ])) as Box<dyn Model>
+        });
+        LocalOnly::new(dataset, factory, 0.1, 5, 10, 7)
+    }
+
+    #[test]
+    fn local_training_improves_own_accuracy() {
+        let mut local = setup();
+        let before = local.mean_accuracy().unwrap();
+        local.run(10).unwrap();
+        let after = local.mean_accuracy().unwrap();
+        assert!(after > before + 0.2, "no local progress: {before} -> {after}");
+        assert_eq!(local.rounds_run(), 10);
+    }
+
+    #[test]
+    fn evaluate_all_covers_every_client() {
+        let local = setup();
+        assert_eq!(local.evaluate_all().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn models_are_independent() {
+        let mut local = setup();
+        local.run(3).unwrap();
+        // Clients hold different data; their models must differ.
+        let evals = local.evaluate_all().unwrap();
+        let first = evals[0].1.accuracy;
+        assert!(evals.iter().any(|(_, e)| (e.accuracy - first).abs() > 1e-6)
+            || local.models.len() == 1);
+    }
+}

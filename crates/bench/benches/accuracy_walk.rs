@@ -1,0 +1,94 @@
+//! The accuracy-biased walk with real model evaluations — the dominant
+//! cost of the Specializing DAG (§5.3.5) — with cold and warm caches.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dagfl_bench::fmnist_model_factory;
+use dagfl_core::{AccuracyBias, ModelPayload, Normalization};
+use dagfl_datasets::{fmnist_clustered, FmnistConfig};
+use dagfl_tangle::{RandomWalker, Tangle};
+
+/// A model tangle with `n` transactions whose payloads are perturbed
+/// copies of a base model.
+fn model_tangle(n: usize, params: &[f32], seed: u64) -> Tangle<ModelPayload> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tangle = Tangle::new(ModelPayload::new(params.to_vec()));
+    let mut ids = vec![tangle.genesis()];
+    for _ in 1..n {
+        let perturbed: Vec<f32> = params
+            .iter()
+            .map(|&p| p + rng.gen_range(-0.05..0.05))
+            .collect();
+        let recent = ids.len().saturating_sub(8);
+        let p1 = ids[rng.gen_range(recent..ids.len())];
+        let p2 = ids[rng.gen_range(0..ids.len())];
+        let id = tangle
+            .attach(ModelPayload::new(perturbed), &[p1, p2])
+            .expect("parents exist");
+        ids.push(id);
+    }
+    tangle
+}
+
+fn bench_accuracy_walk(c: &mut Criterion) {
+    let dataset = fmnist_clustered(&FmnistConfig {
+        num_clients: 3,
+        samples_per_client: 60,
+        ..FmnistConfig::default()
+    });
+    let client = &dataset.clients()[0];
+    let factory = fmnist_model_factory(dataset.feature_len(), 10);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = factory(&mut rng);
+    let params = model.parameters();
+
+    let mut group = c.benchmark_group("accuracy_walk");
+    group.sample_size(10);
+    for n in [50usize, 200] {
+        let tangle = model_tangle(n, &params, 1);
+        group.bench_with_input(BenchmarkId::new("cold_cache", n), &tangle, |b, tangle| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                // A fresh cache per iteration: every candidate evaluation
+                // is a real forward pass.
+                let mut cache = HashMap::new();
+                let mut bias = AccuracyBias::new(
+                    model.as_mut(),
+                    client.test_x(),
+                    client.test_y(),
+                    &mut cache,
+                    10.0,
+                    Normalization::Simple,
+                );
+                RandomWalker::new()
+                    .walk(tangle, tangle.genesis(), &mut bias, &mut rng)
+                    .expect("walk succeeds")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("warm_cache", n), &tangle, |b, tangle| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut cache = HashMap::new();
+            b.iter(|| {
+                let mut bias = AccuracyBias::new(
+                    model.as_mut(),
+                    client.test_x(),
+                    client.test_y(),
+                    &mut cache,
+                    10.0,
+                    Normalization::Simple,
+                );
+                RandomWalker::new()
+                    .walk(tangle, tangle.genesis(), &mut bias, &mut rng)
+                    .expect("walk succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy_walk);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Community-detection benchmarks: the Figure 5 analysis kernel
+//! (Louvain + modularity on the derived client graph).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dagfl_graphs::{louvain, misclassification_fraction, modularity, Graph};
+
+/// A planted-partition client graph: `clusters` groups of `per_cluster`
+/// nodes with dense intra- and sparse inter-cluster edges — the structure
+/// the Specializing DAG produces in `G_clients`.
+fn planted_graph(clusters: usize, per_cluster: usize, seed: u64) -> (Graph, Vec<usize>) {
+    let n = clusters * per_cluster;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = Graph::new(n);
+    let truth: Vec<usize> = (0..n).map(|i| i / per_cluster).collect();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let p = if truth[a] == truth[b] { 0.6 } else { 0.05 };
+            if rng.gen::<f64>() < p {
+                graph.add_edge(a, b, rng.gen_range(1.0..5.0));
+            }
+        }
+    }
+    (graph, truth)
+}
+
+fn bench_louvain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("louvain");
+    group.sample_size(20);
+    for (clusters, per_cluster) in [(3usize, 10usize), (10, 10), (20, 5)] {
+        let (graph, _) = planted_graph(clusters, per_cluster, 1);
+        let id = format!("{clusters}clusters_x{per_cluster}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &graph, |b, graph| {
+            b.iter(|| louvain(graph, &mut StdRng::seed_from_u64(7)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_modularity(c: &mut Criterion) {
+    let (graph, truth) = planted_graph(10, 10, 1);
+    c.bench_function("modularity_100_nodes", |b| {
+        b.iter(|| modularity(&graph, &truth));
+    });
+}
+
+fn bench_full_specialization_metrics(c: &mut Criterion) {
+    // The complete Figure 5 computation: Louvain, modularity and
+    // misclassification on one graph.
+    let (graph, truth) = planted_graph(3, 33, 1);
+    c.bench_function("specialization_metrics_99_clients", |b| {
+        b.iter(|| {
+            let partition = louvain(&graph, &mut StdRng::seed_from_u64(7));
+            let q = modularity(&graph, &partition);
+            let mis = misclassification_fraction(&partition, &truth);
+            (q, mis)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_louvain,
+    bench_modularity,
+    bench_full_specialization_metrics
+);
+criterion_main!(benches);

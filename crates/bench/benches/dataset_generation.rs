@@ -1,0 +1,58 @@
+//! Dataset-generation throughput: the synthetic substitutes must be cheap
+//! enough that experiments are dominated by learning, not data synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dagfl_datasets::{
+    cifar100_like, fedprox_synthetic, fmnist_clustered, poets, Cifar100Config, FedProxConfig,
+    FmnistConfig, PoetsConfig,
+};
+
+fn bench_fmnist(c: &mut Criterion) {
+    let cfg = FmnistConfig {
+        num_clients: 15,
+        samples_per_client: 60,
+        ..FmnistConfig::default()
+    };
+    c.bench_function("generate_fmnist_15_clients", |b| {
+        b.iter(|| fmnist_clustered(&cfg));
+    });
+}
+
+fn bench_poets(c: &mut Criterion) {
+    let cfg = PoetsConfig {
+        clients_per_language: 6,
+        samples_per_client: 80,
+        ..PoetsConfig::default()
+    };
+    c.bench_function("generate_poets_12_clients", |b| {
+        b.iter(|| poets(&cfg));
+    });
+}
+
+fn bench_cifar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_cifar");
+    group.sample_size(10);
+    let cfg = Cifar100Config {
+        num_clients: 20,
+        samples_per_client: 40,
+        ..Cifar100Config::default()
+    };
+    group.bench_function("20_clients_pam", |b| {
+        b.iter(|| cifar100_like(&cfg));
+    });
+    group.finish();
+}
+
+fn bench_fedprox(c: &mut Criterion) {
+    let cfg = FedProxConfig {
+        num_clients: 30,
+        ..FedProxConfig::default()
+    };
+    c.bench_function("generate_fedprox_30_clients", |b| {
+        b.iter(|| fedprox_synthetic(&cfg));
+    });
+}
+
+criterion_group!(benches, bench_fmnist, bench_poets, bench_cifar, bench_fedprox);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Neural-network kernel benchmarks: the per-round building blocks
+//! (training step, evaluation, model averaging).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dagfl_bench::{fmnist_model_factory, poets_model_factory};
+use dagfl_nn::{average_parameters, SgdConfig};
+use dagfl_tensor::Matrix;
+
+fn bench_train_batch(c: &mut Criterion) {
+    let factory = fmnist_model_factory(196, 10);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = factory(&mut rng);
+    let x = Matrix::from_fn(10, 196, |r, c| ((r * 196 + c) % 11) as f32 * 0.1);
+    let y: Vec<usize> = (0..10).map(|i| i % 10).collect();
+    let opt = SgdConfig::new(0.05);
+    c.bench_function("mlp_train_batch_10x196", |b| {
+        b.iter(|| model.train_batch(&x, &y, &opt).expect("train"));
+    });
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let factory = fmnist_model_factory(196, 10);
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = factory(&mut rng);
+    let x = Matrix::from_fn(50, 196, |r, c| ((r * 196 + c) % 11) as f32 * 0.1);
+    let y: Vec<usize> = (0..50).map(|i| i % 10).collect();
+    c.bench_function("mlp_evaluate_50x196", |b| {
+        b.iter(|| model.evaluate(&x, &y).expect("evaluate"));
+    });
+}
+
+fn bench_char_rnn_train(c: &mut Criterion) {
+    let factory = poets_model_factory();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = factory(&mut rng);
+    let x = Matrix::from_fn(10, 12, |r, t| ((r + t) % 32) as f32);
+    let y: Vec<usize> = (0..10).map(|i| i % 32).collect();
+    let opt = SgdConfig::new(0.5);
+    c.bench_function("gru_train_batch_10x12", |b| {
+        b.iter(|| model.train_batch(&x, &y, &opt).expect("train"));
+    });
+}
+
+fn bench_average_parameters(c: &mut Criterion) {
+    let factory = fmnist_model_factory(196, 10);
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = factory(&mut rng).parameters();
+    let b_params = factory(&mut rng).parameters();
+    c.bench_function("average_two_models_13k_params", |bench| {
+        bench.iter(|| average_parameters(&[&a, &b_params]));
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::from_fn(64, 196, |r, col| ((r + col) % 7) as f32 * 0.3);
+    let b = Matrix::from_fn(196, 64, |r, col| ((r * col) % 5) as f32 * 0.2);
+    c.bench_function("matmul_64x196x64", |bench| {
+        bench.iter(|| a.matmul(&b).expect("matmul"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_train_batch,
+    bench_evaluate,
+    bench_char_rnn_train,
+    bench_average_parameters,
+    bench_matmul
+);
+criterion_main!(benches);

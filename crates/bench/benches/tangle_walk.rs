@@ -1,0 +1,93 @@
+//! Random-walk engine micro-benchmarks (the Figure 15 kernel, without
+//! model evaluation): how walk cost scales with tangle size and bias.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dagfl_tangle::{CumulativeWeightBias, RandomWalker, Tangle, UniformBias};
+
+/// Builds a tangle of `n` transactions with two random parents each,
+/// mimicking DAG growth under concurrent publication.
+fn random_tangle(n: usize, seed: u64) -> Tangle<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tangle = Tangle::new(0);
+    let mut ids = vec![tangle.genesis()];
+    for i in 1..n {
+        // Bias towards recent transactions, like real tip selection does.
+        let recent = ids.len().saturating_sub(16);
+        let p1 = ids[rng.gen_range(recent..ids.len())];
+        let p2 = ids[rng.gen_range(0..ids.len())];
+        let id = tangle.attach(i as u32, &[p1, p2]).expect("parents exist");
+        ids.push(id);
+    }
+    tangle
+}
+
+fn bench_uniform_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniform_walk");
+    group.sample_size(20);
+    for n in [100usize, 500, 2000] {
+        let tangle = random_tangle(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tangle, |b, tangle| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let walker = RandomWalker::new();
+            b.iter(|| {
+                walker
+                    .walk(tangle, tangle.genesis(), &mut UniformBias, &mut rng)
+                    .expect("walk succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cumulative_weight_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cumulative_weight_walk");
+    group.sample_size(20);
+    for n in [100usize, 500, 2000] {
+        let tangle = random_tangle(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tangle, |b, tangle| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let walker = RandomWalker::new();
+            // Reuse the bias across iterations so the cumulative-weight
+            // cache amortises, as it does inside one walk burst.
+            let mut bias = CumulativeWeightBias::new(0.5);
+            b.iter(|| {
+                walker
+                    .walk(tangle, tangle.genesis(), &mut bias, &mut rng)
+                    .expect("walk succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cumulative_weights(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cumulative_weights");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let tangle = random_tangle(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tangle, |b, tangle| {
+            b.iter(|| tangle.cumulative_weights());
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth_sampling(c: &mut Criterion) {
+    let tangle = random_tangle(2000, 1);
+    c.bench_function("sample_walk_start_depth_15_25", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| tangle.sample_walk_start(15, 25, &mut rng));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_uniform_walk,
+    bench_cumulative_weight_walk,
+    bench_cumulative_weights,
+    bench_depth_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 12: flipped predictions of class-3/8 samples under label-flip
+//! poisoning, for p ∈ {0.0, 0.2, 0.3} with the accuracy tip selector and
+//! p = 0.2 with the random tip selector.
+//!
+//! Paper shape: p = 0.2 stays within the p = 0.0 variance; p = 0.3 is
+//! noticeable but below 30 % mispredictions; the random selector with
+//! p = 0.2 suffers *more* mispredictions than the accuracy selector with
+//! p = 0.3.
+
+use dagfl_bench::output::{emit, f, int};
+use dagfl_bench::poisoning_suite::run_suite;
+use dagfl_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let results = run_suite(scale);
+    let mut rows = Vec::new();
+    for result in &results {
+        for m in &result.measurements {
+            rows.push(vec![
+                result.label.clone(),
+                result.selector_name.into(),
+                int(m.round),
+                f(m.flipped_fraction * 100.0),
+            ]);
+        }
+    }
+    emit(
+        "fig12_poisoning_flipped",
+        &["scenario", "selector", "round", "flipped_predictions_pct"],
+        &rows,
+    );
+}

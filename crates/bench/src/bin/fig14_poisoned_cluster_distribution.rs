@@ -1,0 +1,28 @@
+//! Figure 14: the distribution of poisoned clients over the Louvain
+//! communities inferred from the final client graph, for p = 0.3.
+//!
+//! Paper shape: most poisoned clients end up in communities where the
+//! majority of members are also poisoned — the attack is contained, but
+//! hard for the affected clients to detect.
+
+use dagfl_bench::output::{emit, int};
+use dagfl_bench::poisoning_suite::run_scenario;
+use dagfl_bench::Scale;
+use dagfl_core::TipSelector;
+
+fn main() {
+    let scale = Scale::from_env();
+    let result = run_scenario(scale, 0.3, TipSelector::default(), "accuracy");
+    let rows: Vec<Vec<String>> = result
+        .distribution
+        .iter()
+        .map(|&(community, benign, poisoned)| {
+            vec![int(community), int(benign), int(poisoned)]
+        })
+        .collect();
+    emit(
+        "fig14_poisoned_cluster_distribution",
+        &["community", "benign", "poisoned"],
+        &rows,
+    );
+}

@@ -1,0 +1,71 @@
+//! Runs the complete experiment suite — every table and figure — and
+//! writes all CSVs into the results directory.
+//!
+//! ```sh
+//! cargo run --release -p dagfl-bench --bin run_all            # quick scale
+//! DAGFL_FULL=1 cargo run --release -p dagfl-bench --bin run_all  # paper scale
+//! ```
+
+use std::process::Command;
+use std::time::Instant;
+
+/// The experiment binaries in execution order.
+const EXPERIMENTS: &[&str] = &[
+    "table1_hyperparams",
+    "table2_pureness",
+    "fig05_alpha_cluster_metrics",
+    "fig06_alpha_accuracy",
+    "fig07_dynamic_normalization",
+    "fig08_relaxed_clusters",
+    "fig09_fedavg_comparison",
+    "fig10_11_fedprox_comparison",
+    "fig12_poisoning_flipped",
+    "fig13_poisoned_approvals",
+    "fig14_poisoned_cluster_distribution",
+    "fig15_walk_scalability",
+    "ablation_design_choices",
+    "ablation_garbage_attack",
+    "specialization_matrix",
+    "fig04_dag_dot",
+    "async_vs_rounds",
+    "communication_cost",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("binary directory");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let path = bin_dir.join(name);
+        println!("=== running {name} ===");
+        let started = Instant::now();
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo when the sibling binary has not been
+            // built (e.g. `cargo run --bin run_all` without `--bins`).
+            Command::new("cargo")
+                .args(["run", "--release", "-p", "dagfl-bench", "--bin", name])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {
+                println!("=== {name} finished in {:.1?} ===\n", started.elapsed());
+            }
+            Ok(s) => {
+                eprintln!("=== {name} FAILED with {s} ===\n");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("=== {name} could not start: {e} ===\n");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("failed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Table 1: the fixed training hyperparameters per dataset.
+//!
+//! This binary prints the hyperparameter table encoded in
+//! [`dagfl_core::Hyperparameters`] — the same values the simulation
+//! configs are built from, so the table can never drift from the code.
+
+use dagfl_bench::output::emit;
+use dagfl_core::Hyperparameters;
+
+fn main() {
+    let columns = [
+        ("FMNIST-clustered", Hyperparameters::fmnist()),
+        ("Poets", Hyperparameters::poets()),
+        ("CIFAR-100", Hyperparameters::cifar()),
+    ];
+    let rows: Vec<Vec<String>> = columns
+        .iter()
+        .map(|(name, h)| {
+            vec![
+                name.to_string(),
+                h.rounds.to_string(),
+                h.clients_per_round.to_string(),
+                h.local_epochs.to_string(),
+                h.local_batches.to_string(),
+                h.batch_size.to_string(),
+                format!("SGD({})", h.learning_rate),
+            ]
+        })
+        .collect();
+    emit(
+        "table1_hyperparams",
+        &[
+            "dataset",
+            "training_rounds",
+            "clients_per_round",
+            "local_epochs",
+            "local_batches",
+            "batch_size",
+            "optimizer",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,59 @@
+//! Table 2: approval pureness in the DAG after training, per dataset.
+//!
+//! Paper reference values (100 rounds, α = 10): FMNIST-clustered 1.0
+//! (base 0.33), Poets 0.95 (base 0.5), CIFAR-100 0.51 (base 0.05).
+
+use dagfl_bench::experiments::{
+    cifar_dataset, cifar_spec, fmnist_dataset, fmnist_spec, poets_dataset, poets_spec, run_dag,
+};
+use dagfl_bench::output::{emit, f, int};
+use dagfl_bench::{cifar_model_factory, fmnist_model_factory, poets_model_factory, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rows = Vec::new();
+
+    // FMNIST-clustered: 3 clusters.
+    let dataset = fmnist_dataset(scale, 0.0, 42);
+    let features = dataset.feature_len();
+    let clusters = dataset.clusters().len();
+    let base = dataset.base_pureness();
+    let sim = run_dag(fmnist_spec(scale), dataset, fmnist_model_factory(features, 10));
+    rows.push(vec![
+        "FMNIST-clustered".into(),
+        int(clusters),
+        f(base),
+        f(sim.approval_pureness()),
+    ]);
+
+    // Poets: 2 clusters.
+    let dataset = poets_dataset(scale, 42);
+    let clusters = dataset.clusters().len();
+    let base = dataset.base_pureness();
+    let sim = run_dag(poets_spec(scale), dataset, poets_model_factory());
+    rows.push(vec![
+        "Poets".into(),
+        int(clusters),
+        f(base),
+        f(sim.approval_pureness()),
+    ]);
+
+    // CIFAR-100-like: up to 20 superclass clusters.
+    let dataset = cifar_dataset(scale, 42);
+    let features = dataset.feature_len();
+    let clusters = dataset.clusters().len();
+    let base = dataset.base_pureness();
+    let sim = run_dag(cifar_spec(scale), dataset, cifar_model_factory(features));
+    rows.push(vec![
+        "CIFAR-100".into(),
+        int(clusters),
+        f(base),
+        f(sim.approval_pureness()),
+    ]);
+
+    emit(
+        "table2_pureness",
+        &["dataset", "clusters", "base_pureness", "pureness"],
+        &rows,
+    );
+}

@@ -1,0 +1,125 @@
+//! Shared harness for the paper-reproduction experiments.
+//!
+//! Every table and figure of the evaluation section has a dedicated binary
+//! in `src/bin/` (see DESIGN.md §5 for the index); this library provides
+//! the pieces they share: experiment scales, model factories, dataset
+//! builders and result output.
+//!
+//! # Scales
+//!
+//! Experiments run at *quick* scale by default (minutes on a laptop,
+//! preserving the qualitative shape of every result) and at the paper's
+//! *full* scale when the environment variable `DAGFL_FULL=1` is set.
+//!
+//! # Output
+//!
+//! Each binary prints its series as a readable table and writes a CSV into
+//! `results/` (override with `DAGFL_RESULTS`).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod output;
+pub mod poisoning_suite;
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+use dagfl_core::ModelFactory;
+use dagfl_datasets::{POETS_VOCAB};
+use dagfl_nn::{CharRnn, Dense, Model, Relu, Sequential};
+
+/// Experiment scale: quick (default) or the paper's full scale
+/// (`DAGFL_FULL=1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down runs preserving the qualitative result shapes.
+    Quick,
+    /// The paper's configuration (Table 1).
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the `DAGFL_FULL` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("DAGFL_FULL") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Picks `quick` or `full` depending on the scale.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The MLP used for the FMNIST experiments (the pixel-level stand-in for
+/// the paper's LEAF CNN; see DESIGN.md §3).
+pub fn fmnist_model_factory(features: usize, classes: usize) -> ModelFactory {
+    Arc::new(move |rng: &mut StdRng| {
+        Box::new(Sequential::new(vec![
+            Box::new(Dense::new(rng, features, 64)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(rng, 64, classes)),
+        ])) as Box<dyn Model>
+    })
+}
+
+/// The next-character GRU used for the Poets experiments.
+pub fn poets_model_factory() -> ModelFactory {
+    Arc::new(move |rng: &mut StdRng| {
+        Box::new(CharRnn::new(rng, POETS_VOCAB.len(), 8, 32)) as Box<dyn Model>
+    })
+}
+
+/// The MLP used for the CIFAR-100-like experiments.
+pub fn cifar_model_factory(features: usize) -> ModelFactory {
+    Arc::new(move |rng: &mut StdRng| {
+        Box::new(Sequential::new(vec![
+            Box::new(Dense::new(rng, features, 128)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(rng, 128, 100)),
+        ])) as Box<dyn Model>
+    })
+}
+
+/// The logistic-regression model of the FedProx synthetic benchmark.
+pub fn fedprox_model_factory() -> ModelFactory {
+    Arc::new(move |rng: &mut StdRng| {
+        Box::new(Sequential::new(vec![Box::new(Dense::new(rng, 60, 10))])) as Box<dyn Model>
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scale_pick_selects_correctly() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn factories_build_consistent_architectures() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = fmnist_model_factory(196, 10);
+        let a = f(&mut rng);
+        let b = f(&mut rng);
+        assert_eq!(a.num_parameters(), b.num_parameters());
+        assert_eq!(a.num_parameters(), 196 * 64 + 64 + 64 * 10 + 10);
+        let p = poets_model_factory()(&mut rng);
+        assert!(p.num_parameters() > 0);
+        let c = cifar_model_factory(32)(&mut rng);
+        assert_eq!(c.num_parameters(), 32 * 128 + 128 + 128 * 100 + 100);
+        let l = fedprox_model_factory()(&mut rng);
+        assert_eq!(l.num_parameters(), 60 * 10 + 10);
+    }
+}

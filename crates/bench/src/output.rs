@@ -1,0 +1,61 @@
+//! Result output: CSVs under the results directory plus stdout tables.
+
+use std::path::PathBuf;
+
+use dagfl_core::csv::{to_csv_string, write_csv};
+
+/// The results directory (`DAGFL_RESULTS`, default `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("DAGFL_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Writes a result series as `results/<name>.csv` and echoes it to stdout.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries should fail loudly) or if a
+/// row's width differs from the header's.
+pub fn emit(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(format!("{name}.csv"));
+    write_csv(&path, header, rows).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("--- {name} (written to {}) ---", path.display());
+    print!("{}", to_csv_string(header, rows));
+    println!();
+}
+
+/// Formats a float column value.
+pub fn f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats an `f32` column value.
+pub fn f32c(v: f32) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats an integer column value.
+pub fn int(v: usize) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatters_are_stable() {
+        assert_eq!(f(0.123456), "0.1235");
+        assert_eq!(f32c(1.0), "1.0000");
+        assert_eq!(int(42), "42");
+    }
+
+    #[test]
+    fn results_dir_honours_env() {
+        // Note: avoid mutating the process environment in tests; just
+        // check the default.
+        let dir = results_dir();
+        assert!(dir.ends_with("results") || dir.is_absolute() || dir.components().count() >= 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! The shared poisoning experiment suite behind Figures 12–14.
+//!
+//! All three figures come from the same four runs (p ∈ {0.0, 0.2, 0.3}
+//! with the accuracy tip selector, plus p = 0.2 with the random selector),
+//! so the suite runs them once and each binary extracts its slice.
+
+use dagfl_core::{
+    DagConfig, PoisonRoundMetrics, PoisoningConfig, PoisoningScenario, TipSelector,
+};
+
+use crate::experiments::fmnist_author_dataset;
+use crate::{fmnist_model_factory, Scale};
+
+/// The result of one poisoning scenario run.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// Human-readable scenario label (e.g. `p=0.2`).
+    pub label: String,
+    /// Fraction of poisoned clients.
+    pub fraction: f64,
+    /// Tip selector used.
+    pub selector_name: &'static str,
+    /// Per-measurement metrics over the attack phase.
+    pub measurements: Vec<PoisonRoundMetrics>,
+    /// Final `(community, benign, poisoned)` distribution (Figure 14).
+    pub distribution: Vec<(usize, usize, usize)>,
+}
+
+/// Runs the paper's four poisoning scenarios at the given scale.
+///
+/// # Panics
+///
+/// Panics on simulation errors.
+pub fn run_suite(scale: Scale) -> Vec<ScenarioResult> {
+    let scenarios: [(f64, TipSelector, &'static str); 4] = [
+        (0.0, TipSelector::default(), "accuracy"),
+        (0.2, TipSelector::default(), "accuracy"),
+        (0.2, TipSelector::Random, "random"),
+        (0.3, TipSelector::default(), "accuracy"),
+    ];
+    scenarios
+        .into_iter()
+        .map(|(fraction, selector, selector_name)| {
+            run_scenario(scale, fraction, selector, selector_name)
+        })
+        .collect()
+}
+
+/// Runs one poisoning scenario.
+///
+/// # Panics
+///
+/// Panics on simulation errors.
+pub fn run_scenario(
+    scale: Scale,
+    fraction: f64,
+    selector: TipSelector,
+    selector_name: &'static str,
+) -> ScenarioResult {
+    let num_clients = scale.pick(12, 40);
+    let dataset = fmnist_author_dataset(scale, num_clients, 42);
+    let features = dataset.feature_len();
+    let config = PoisoningConfig {
+        dag: DagConfig {
+            clients_per_round: scale.pick(4, 10),
+            local_batches: scale.pick(5, 10),
+            ..DagConfig::default()
+        }
+        .with_tip_selector(selector),
+        clean_rounds: scale.pick(20, 100),
+        attack_rounds: scale.pick(20, 100),
+        poison_fraction: fraction,
+        class_a: 3,
+        class_b: 8,
+        measure_every: scale.pick(4, 10),
+    };
+    let mut scenario =
+        PoisoningScenario::new(config, dataset, fmnist_model_factory(features, 10));
+    let measurements = scenario.run().expect("poisoning scenario failed");
+    let distribution = scenario.poisoned_cluster_distribution();
+    let label = if selector_name == "random" {
+        format!("p={fraction} (random tip selector)")
+    } else {
+        format!("p={fraction}")
+    };
+    ScenarioResult {
+        label,
+        fraction,
+        selector_name,
+        measurements,
+        distribution,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_scenario_produces_measurements() {
+        let result = run_scenario(Scale::Quick, 0.2, TipSelector::default(), "accuracy");
+        assert!(!result.measurements.is_empty());
+        assert_eq!(result.label, "p=0.2");
+        let clients: usize = result.distribution.iter().map(|(_, b, p)| b + p).sum();
+        assert_eq!(clients, 12);
+    }
+}

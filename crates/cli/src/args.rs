@@ -1,0 +1,287 @@
+//! A small, dependency-free `--key value` argument parser.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// The experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Specializing-DAG round simulation.
+    Dag,
+    /// Centralized federated averaging.
+    FedAvg,
+    /// FedProx (FedAvg + proximal term).
+    FedProx,
+    /// Local-only training (no communication).
+    Local,
+    /// Event-driven asynchronous DAG simulation.
+    Async,
+    /// Print usage.
+    Help,
+}
+
+impl Command {
+    fn parse(word: &str) -> Option<Self> {
+        match word {
+            "dag" => Some(Command::Dag),
+            "fedavg" => Some(Command::FedAvg),
+            "fedprox" => Some(Command::FedProx),
+            "local" => Some(Command::Local),
+            "async" => Some(Command::Async),
+            "help" | "--help" | "-h" => Some(Command::Help),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from command-line parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No subcommand given.
+    MissingCommand,
+    /// The subcommand is not recognised.
+    UnknownCommand(String),
+    /// A flag is missing its value.
+    MissingValue(String),
+    /// A flag appeared that does not start with `--`.
+    UnexpectedToken(String),
+    /// A value could not be parsed as the expected type.
+    InvalidValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingCommand => write!(f, "missing subcommand (try `dagfl help`)"),
+            ParseError::UnknownCommand(c) => write!(f, "unknown subcommand `{c}`"),
+            ParseError::MissingValue(flag) => write!(f, "flag `{flag}` is missing its value"),
+            ParseError::UnexpectedToken(t) => write!(f, "unexpected token `{t}`"),
+            ParseError::InvalidValue { flag, value } => {
+                write!(f, "invalid value `{value}` for flag `{flag}`")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// A parsed command line: the subcommand plus `--key value` options.
+#[derive(Debug, Clone)]
+pub struct ParsedArgs {
+    command: Command,
+    options: HashMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses the argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] for malformed input.
+    pub fn parse<I, S>(args: I) -> Result<Self, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut iter = args.into_iter();
+        let command_word = iter.next().ok_or(ParseError::MissingCommand)?;
+        let command = Command::parse(command_word.as_ref())
+            .ok_or_else(|| ParseError::UnknownCommand(command_word.as_ref().to_string()))?;
+        let mut options = HashMap::new();
+        let mut pending: Option<String> = None;
+        for token in iter {
+            let token = token.as_ref();
+            match pending.take() {
+                Some(flag) => {
+                    options.insert(flag, token.to_string());
+                }
+                None => {
+                    if let Some(flag) = token.strip_prefix("--") {
+                        pending = Some(flag.to_string());
+                    } else {
+                        return Err(ParseError::UnexpectedToken(token.to_string()));
+                    }
+                }
+            }
+        }
+        if let Some(flag) = pending {
+            return Err(ParseError::MissingValue(format!("--{flag}")));
+        }
+        Ok(Self { command, options })
+    }
+
+    /// The subcommand.
+    pub fn command(&self) -> Command {
+        self.command
+    }
+
+    /// Raw string option, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.options.get(flag).map(String::as_str)
+    }
+
+    /// String option with default.
+    pub fn get_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
+        self.get(flag).unwrap_or(default)
+    }
+
+    /// Typed option with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::InvalidValue`] when present but unparsable.
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+    ) -> Result<T, ParseError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ParseError::InvalidValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+            }),
+        }
+    }
+
+    /// The flags provided (sorted, for error reporting).
+    pub fn flags(&self) -> Vec<&str> {
+        let mut flags: Vec<&str> = self.options.keys().map(String::as_str).collect();
+        flags.sort_unstable();
+        flags
+    }
+}
+
+/// The usage text for `dagfl help`.
+pub const USAGE: &str = "\
+dagfl — DAG-based decentralized federated learning
+
+USAGE:
+    dagfl <COMMAND> [--flag value]...
+
+COMMANDS:
+    dag       Specializing-DAG simulation (the paper's algorithm)
+    fedavg    centralized federated averaging baseline
+    fedprox   FedProx baseline (use --mu, --stragglers)
+    local     local-only training (no communication)
+    async     event-driven asynchronous DAG simulation
+    help      print this message
+
+COMMON FLAGS (defaults in parentheses):
+    --dataset           fmnist | fmnist-relaxed | fmnist-author | poets |
+                        cifar | fedprox-synthetic   (fmnist)
+    --clients           number of clients           (dataset default)
+    --samples           samples per client          (dataset default)
+    --rounds            training rounds             (30)
+    --clients-per-round active clients per round    (6)
+    --batches           local batches per epoch     (10)
+    --epochs            local epochs                (1)
+    --batch-size        mini-batch size             (10)
+    --lr                SGD learning rate           (0.05)
+    --seed              master seed                 (42)
+
+DAG FLAGS:
+    --alpha             walk randomness parameter   (10)
+    --normalization     simple | dynamic            (simple)
+    --selector          accuracy | random | cumulative (accuracy)
+    --stop-margin       accuracy-cliff guard margin (off)
+
+FEDPROX FLAGS:
+    --mu                proximal strength           (0.1)
+    --stragglers        straggler fraction          (0.0)
+
+ASYNC FLAGS:
+    --activations       client activations          (200)
+    --delay             visibility delay            (2.0)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_flags() {
+        let args = ParsedArgs::parse(["dag", "--rounds", "10", "--alpha", "5"]).unwrap();
+        assert_eq!(args.command(), Command::Dag);
+        assert_eq!(args.get("rounds"), Some("10"));
+        assert_eq!(args.get_parsed_or("alpha", 0.0f32).unwrap(), 5.0);
+        assert_eq!(args.flags(), vec!["alpha", "rounds"]);
+    }
+
+    #[test]
+    fn defaults_apply_when_flag_absent() {
+        let args = ParsedArgs::parse(["fedavg"]).unwrap();
+        assert_eq!(args.command(), Command::FedAvg);
+        assert_eq!(args.get_parsed_or("rounds", 30usize).unwrap(), 30);
+        assert_eq!(args.get_or("dataset", "fmnist"), "fmnist");
+    }
+
+    #[test]
+    fn all_commands_parse() {
+        for (word, cmd) in [
+            ("dag", Command::Dag),
+            ("fedavg", Command::FedAvg),
+            ("fedprox", Command::FedProx),
+            ("local", Command::Local),
+            ("async", Command::Async),
+            ("help", Command::Help),
+            ("--help", Command::Help),
+        ] {
+            assert_eq!(ParsedArgs::parse([word]).unwrap().command(), cmd);
+        }
+    }
+
+    #[test]
+    fn missing_command_errors() {
+        assert_eq!(
+            ParsedArgs::parse(Vec::<String>::new()).unwrap_err(),
+            ParseError::MissingCommand
+        );
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(matches!(
+            ParsedArgs::parse(["frobnicate"]).unwrap_err(),
+            ParseError::UnknownCommand(_)
+        ));
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        assert!(matches!(
+            ParsedArgs::parse(["dag", "--rounds"]).unwrap_err(),
+            ParseError::MissingValue(_)
+        ));
+    }
+
+    #[test]
+    fn bare_token_errors() {
+        assert!(matches!(
+            ParsedArgs::parse(["dag", "ten"]).unwrap_err(),
+            ParseError::UnexpectedToken(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_typed_value_errors() {
+        let args = ParsedArgs::parse(["dag", "--rounds", "many"]).unwrap();
+        assert!(matches!(
+            args.get_parsed_or("rounds", 1usize).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        for cmd in ["dag", "fedavg", "fedprox", "local", "async"] {
+            assert!(USAGE.contains(cmd), "usage missing {cmd}");
+        }
+    }
+}

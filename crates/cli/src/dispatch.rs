@@ -1,0 +1,429 @@
+//! Builds datasets/models from parsed arguments and runs the experiment.
+
+use std::error::Error;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+use dagfl_baselines::{FedConfig, FederatedServer, LocalOnly};
+use dagfl_core::{
+    AsyncConfig, AsyncSimulation, DagConfig, ModelFactory, Normalization, Simulation,
+    TipSelector,
+};
+use dagfl_datasets::{
+    cifar100_like, fedprox_synthetic, fmnist_by_author, fmnist_clustered, poets, Cifar100Config,
+    FedProxConfig, FederatedDataset, FmnistConfig, PoetsConfig, POETS_VOCAB,
+};
+use dagfl_nn::{CharRnn, Dense, Model, Relu, Sequential};
+
+use crate::args::{Command, ParseError, ParsedArgs, USAGE};
+
+/// The selectable datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Strictly clustered synthetic digits (3 clusters).
+    Fmnist,
+    /// Relaxed clusters (18 % foreign data).
+    FmnistRelaxed,
+    /// By-author split (all classes per client).
+    FmnistAuthor,
+    /// Two-language next-character prediction.
+    Poets,
+    /// 100-class/20-supercluster hierarchy with Pachinko allocation.
+    Cifar,
+    /// The FedProx synthetic(0.5, 0.5) benchmark.
+    FedProxSynthetic,
+}
+
+impl DatasetKind {
+    /// Parses the `--dataset` value.
+    pub fn parse(word: &str) -> Option<Self> {
+        match word {
+            "fmnist" => Some(Self::Fmnist),
+            "fmnist-relaxed" => Some(Self::FmnistRelaxed),
+            "fmnist-author" => Some(Self::FmnistAuthor),
+            "poets" => Some(Self::Poets),
+            "cifar" => Some(Self::Cifar),
+            "fedprox-synthetic" => Some(Self::FedProxSynthetic),
+            _ => None,
+        }
+    }
+}
+
+/// Dataset + matching model factory for a CLI invocation.
+fn build_task(
+    kind: DatasetKind,
+    args: &ParsedArgs,
+) -> Result<(FederatedDataset, ModelFactory), ParseError> {
+    let seed: u64 = args.get_parsed_or("seed", 42)?;
+    let clients: usize = args.get_parsed_or("clients", 0)?; // 0 = default
+    let samples: usize = args.get_parsed_or("samples", 0)?;
+    let dataset = match kind {
+        DatasetKind::Fmnist | DatasetKind::FmnistRelaxed => fmnist_clustered(&FmnistConfig {
+            num_clients: if clients == 0 { 15 } else { clients },
+            samples_per_client: if samples == 0 { 60 } else { samples },
+            relaxation: if kind == DatasetKind::FmnistRelaxed {
+                0.18
+            } else {
+                0.0
+            },
+            seed,
+            ..FmnistConfig::default()
+        }),
+        DatasetKind::FmnistAuthor => fmnist_by_author(&FmnistConfig {
+            num_clients: if clients == 0 { 12 } else { clients },
+            samples_per_client: if samples == 0 { 80 } else { samples },
+            seed,
+            ..FmnistConfig::default()
+        }),
+        DatasetKind::Poets => poets(&PoetsConfig {
+            clients_per_language: if clients == 0 { 6 } else { clients.div_ceil(2) },
+            samples_per_client: if samples == 0 { 400 } else { samples },
+            seq_len: 12,
+            seed,
+        }),
+        DatasetKind::Cifar => cifar100_like(&Cifar100Config {
+            num_clients: if clients == 0 { 30 } else { clients },
+            samples_per_client: if samples == 0 { 60 } else { samples },
+            seed,
+            ..Cifar100Config::default()
+        }),
+        DatasetKind::FedProxSynthetic => fedprox_synthetic(&FedProxConfig {
+            num_clients: if clients == 0 { 30 } else { clients },
+            seed,
+            ..FedProxConfig::default()
+        }),
+    };
+    let features = dataset.feature_len();
+    let classes = dataset.num_classes();
+    let factory: ModelFactory = match kind {
+        DatasetKind::Poets => {
+            Arc::new(move |rng: &mut StdRng| {
+                Box::new(CharRnn::new(rng, POETS_VOCAB.len(), 8, 32)) as Box<dyn Model>
+            })
+        }
+        DatasetKind::FedProxSynthetic => Arc::new(move |rng: &mut StdRng| {
+            Box::new(Sequential::new(vec![Box::new(Dense::new(
+                rng, features, classes,
+            ))])) as Box<dyn Model>
+        }),
+        _ => Arc::new(move |rng: &mut StdRng| {
+            Box::new(Sequential::new(vec![
+                Box::new(Dense::new(rng, features, 64)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(rng, 64, classes)),
+            ])) as Box<dyn Model>
+        }),
+    };
+    Ok((dataset, factory))
+}
+
+fn dag_config(args: &ParsedArgs, num_clients: usize) -> Result<DagConfig, ParseError> {
+    let alpha: f32 = args.get_parsed_or("alpha", 10.0)?;
+    let normalization = match args.get_or("normalization", "simple") {
+        "dynamic" => Normalization::Dynamic,
+        _ => Normalization::Simple,
+    };
+    let selector = match args.get_or("selector", "accuracy") {
+        "random" => TipSelector::Random,
+        "cumulative" => TipSelector::CumulativeWeight { alpha },
+        _ => TipSelector::Accuracy {
+            alpha,
+            normalization,
+        },
+    };
+    let stop_margin: f32 = args.get_parsed_or("stop-margin", 0.0)?;
+    Ok(DagConfig {
+        rounds: args.get_parsed_or("rounds", 30)?,
+        clients_per_round: args
+            .get_parsed_or("clients-per-round", 6.min(num_clients))?,
+        local_epochs: args.get_parsed_or("epochs", 1)?,
+        local_batches: args.get_parsed_or("batches", 10)?,
+        batch_size: args.get_parsed_or("batch-size", 10)?,
+        learning_rate: args.get_parsed_or("lr", 0.05)?,
+        tip_selector: selector,
+        walk_stop_margin: (stop_margin > 0.0).then_some(stop_margin),
+        seed: args.get_parsed_or("seed", 42)?,
+        ..DagConfig::default()
+    })
+}
+
+fn fed_config(args: &ParsedArgs, num_clients: usize, mu: f32) -> Result<FedConfig, ParseError> {
+    Ok(FedConfig {
+        rounds: args.get_parsed_or("rounds", 30)?,
+        clients_per_round: args
+            .get_parsed_or("clients-per-round", 6.min(num_clients))?,
+        local_epochs: args.get_parsed_or("epochs", 1)?,
+        local_batches: args.get_parsed_or("batches", 10)?,
+        batch_size: args.get_parsed_or("batch-size", 10)?,
+        learning_rate: args.get_parsed_or("lr", 0.05)?,
+        proximal_mu: mu,
+        straggler_fraction: args.get_parsed_or("stragglers", 0.0)?,
+        drop_stragglers: mu == 0.0,
+        seed: args.get_parsed_or("seed", 42)?,
+        ..FedConfig::default()
+    })
+}
+
+/// Runs the parsed command, printing a per-round CSV to stdout.
+///
+/// # Errors
+///
+/// Returns an error for invalid arguments or failed training.
+pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    if args.command() == Command::Help {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let dataset_word = args.get_or("dataset", "fmnist").to_string();
+    let kind = DatasetKind::parse(&dataset_word).ok_or_else(|| {
+        Box::new(ParseError::InvalidValue {
+            flag: "dataset".into(),
+            value: dataset_word,
+        }) as Box<dyn Error>
+    })?;
+    let (dataset, factory) = build_task(kind, args)?;
+    let n = dataset.num_clients();
+    eprintln!(
+        "# dataset={} clients={} classes={} base_pureness={:.3}",
+        dataset.name(),
+        n,
+        dataset.num_classes(),
+        dataset.base_pureness()
+    );
+    match args.command() {
+        Command::Dag => {
+            let config = dag_config(args, n)?;
+            let mut sim = Simulation::new(config, dataset, factory);
+            println!("round,published,mean_accuracy,mean_loss,tangle_size");
+            for _ in 0..config.rounds {
+                let m = sim.run_round()?;
+                println!(
+                    "{},{},{:.4},{:.4},{}",
+                    m.round + 1,
+                    m.published,
+                    m.mean_accuracy(),
+                    m.mean_loss(),
+                    sim.tangle().len()
+                );
+            }
+            let spec = sim.specialization_metrics();
+            eprintln!(
+                "# pureness={:.3} modularity={:.3} partitions={} misclassification={:.3}",
+                spec.approval_pureness, spec.modularity, spec.partitions, spec.misclassification
+            );
+        }
+        Command::FedAvg | Command::FedProx => {
+            let mu = if args.command() == Command::FedProx {
+                args.get_parsed_or("mu", 0.1)?
+            } else {
+                0.0
+            };
+            let config = fed_config(args, n, mu)?;
+            let mut server = FederatedServer::new(config, dataset, factory);
+            println!("round,mean_accuracy,mean_loss,stragglers");
+            for _ in 0..config.rounds {
+                let m = server.run_round()?;
+                println!(
+                    "{},{:.4},{:.4},{}",
+                    m.round + 1,
+                    m.mean_accuracy(),
+                    m.mean_loss(),
+                    m.stragglers
+                );
+            }
+        }
+        Command::Local => {
+            let rounds: usize = args.get_parsed_or("rounds", 30)?;
+            let mut local = LocalOnly::new(
+                dataset,
+                factory,
+                args.get_parsed_or("lr", 0.05)?,
+                args.get_parsed_or("batches", 10)?,
+                args.get_parsed_or("batch-size", 10)?,
+                args.get_parsed_or("seed", 42)?,
+            );
+            println!("round,mean_accuracy");
+            for round in 0..rounds {
+                local.run_round()?;
+                println!("{},{:.4}", round + 1, local.mean_accuracy()?);
+            }
+        }
+        Command::Async => {
+            let config = AsyncConfig {
+                dag: dag_config(args, n)?,
+                total_activations: args.get_parsed_or("activations", 200)?,
+                mean_interarrival: args.get_parsed_or("interarrival", 1.0)?,
+                visibility_delay: args.get_parsed_or("delay", 2.0)?,
+            };
+            let mut sim = AsyncSimulation::new(config, dataset, factory);
+            println!("activation,time,client,accuracy,published");
+            for i in 0..config.total_activations {
+                let r = sim.step()?;
+                println!(
+                    "{},{:.2},{},{:.4},{}",
+                    i + 1,
+                    r.time,
+                    r.client,
+                    r.accuracy,
+                    r.published
+                );
+            }
+            eprintln!(
+                "# pureness={:.3} transactions={} in_flight={}",
+                sim.approval_pureness(),
+                sim.tangle().len(),
+                sim.in_flight()
+            );
+        }
+        Command::Help => unreachable!("handled above"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_kinds_parse() {
+        assert_eq!(DatasetKind::parse("fmnist"), Some(DatasetKind::Fmnist));
+        assert_eq!(DatasetKind::parse("poets"), Some(DatasetKind::Poets));
+        assert_eq!(
+            DatasetKind::parse("fedprox-synthetic"),
+            Some(DatasetKind::FedProxSynthetic)
+        );
+        assert_eq!(DatasetKind::parse("unknown"), None);
+    }
+
+    #[test]
+    fn build_task_produces_matching_model() {
+        let args = ParsedArgs::parse(["dag", "--clients", "6", "--samples", "30"]).unwrap();
+        let (dataset, factory) = build_task(DatasetKind::Fmnist, &args).unwrap();
+        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let model = factory(&mut rng);
+        // The model accepts the dataset's feature width.
+        let eval = model
+            .evaluate(
+                dataset.clients()[0].test_x(),
+                dataset.clients()[0].test_y(),
+            )
+            .unwrap();
+        assert!(eval.total > 0);
+    }
+
+    #[test]
+    fn dag_config_respects_flags() {
+        let args = ParsedArgs::parse([
+            "dag",
+            "--rounds",
+            "7",
+            "--alpha",
+            "3",
+            "--normalization",
+            "dynamic",
+            "--stop-margin",
+            "0.2",
+        ])
+        .unwrap();
+        let cfg = dag_config(&args, 20).unwrap();
+        assert_eq!(cfg.rounds, 7);
+        assert_eq!(cfg.walk_stop_margin, Some(0.2));
+        match cfg.tip_selector {
+            TipSelector::Accuracy {
+                alpha,
+                normalization,
+            } => {
+                assert_eq!(alpha, 3.0);
+                assert_eq!(normalization, Normalization::Dynamic);
+            }
+            other => panic!("unexpected selector {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selector_flag_switches_strategy() {
+        let args = ParsedArgs::parse(["dag", "--selector", "random"]).unwrap();
+        assert_eq!(dag_config(&args, 10).unwrap().tip_selector, TipSelector::Random);
+        let args = ParsedArgs::parse(["dag", "--selector", "cumulative", "--alpha", "2"]).unwrap();
+        assert_eq!(
+            dag_config(&args, 10).unwrap().tip_selector,
+            TipSelector::CumulativeWeight { alpha: 2.0 }
+        );
+    }
+
+    #[test]
+    fn fed_config_wires_stragglers() {
+        let args = ParsedArgs::parse(["fedprox", "--stragglers", "0.5"]).unwrap();
+        let cfg = fed_config(&args, 10, 0.1).unwrap();
+        assert_eq!(cfg.straggler_fraction, 0.5);
+        assert!(!cfg.drop_stragglers, "fedprox keeps stragglers");
+        let cfg = fed_config(&args, 10, 0.0).unwrap();
+        assert!(cfg.drop_stragglers, "fedavg drops stragglers");
+    }
+
+    #[test]
+    fn run_command_help_succeeds() {
+        let args = ParsedArgs::parse(["help"]).unwrap();
+        run_command(&args).unwrap();
+    }
+
+    #[test]
+    fn run_command_tiny_dag_succeeds() {
+        let args = ParsedArgs::parse([
+            "dag",
+            "--clients",
+            "4",
+            "--samples",
+            "30",
+            "--rounds",
+            "2",
+            "--clients-per-round",
+            "2",
+            "--batches",
+            "2",
+        ])
+        .unwrap();
+        run_command(&args).unwrap();
+    }
+
+    #[test]
+    fn run_command_rejects_bad_dataset() {
+        let args = ParsedArgs::parse(["dag", "--dataset", "imagenet"]).unwrap();
+        assert!(run_command(&args).is_err());
+    }
+
+    #[test]
+    fn run_command_tiny_local_succeeds() {
+        let args = ParsedArgs::parse([
+            "local",
+            "--clients",
+            "3",
+            "--samples",
+            "30",
+            "--rounds",
+            "2",
+            "--batches",
+            "2",
+        ])
+        .unwrap();
+        run_command(&args).unwrap();
+    }
+
+    #[test]
+    fn run_command_tiny_async_succeeds() {
+        let args = ParsedArgs::parse([
+            "async",
+            "--clients",
+            "4",
+            "--samples",
+            "30",
+            "--activations",
+            "5",
+            "--batches",
+            "2",
+        ])
+        .unwrap();
+        run_command(&args).unwrap();
+    }
+}

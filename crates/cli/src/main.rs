@@ -1,0 +1,20 @@
+//! The `dagfl` command-line tool: run Specializing-DAG and baseline
+//! experiments from the shell. See `dagfl help`.
+
+use dagfl_cli::{run_command, ParsedArgs};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match ParsedArgs::parse(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try `dagfl help`");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run_command(&parsed) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

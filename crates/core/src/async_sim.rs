@@ -1,0 +1,399 @@
+//! Event-driven asynchronous simulation.
+//!
+//! The Specializing DAG needs no rounds: "in a distributed implementation,
+//! each client continuously runs the training process as often as its
+//! resources permit, independent from all other clients. We only introduce
+//! the concept of rounds to be able to compare" (§5.3.3). This simulator
+//! drops the rounds: client activations arrive as a Poisson-style process
+//! on a logical clock, each activation works against the tangle *as
+//! currently visible to that client*, and published transactions only
+//! become visible to others after a configurable propagation delay —
+//! modelling the eventual broadcast of a real peer-to-peer network.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dagfl_datasets::FederatedDataset;
+use dagfl_graphs::Graph;
+use dagfl_tangle::{Tangle, TxId};
+
+use crate::{CoreError, DagClient, DagConfig, ModelFactory, ModelPayload, ModelTangle};
+
+/// Configuration of an asynchronous simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncConfig {
+    /// Hyperparameters, tip selection and seed (the `rounds`,
+    /// `clients_per_round` and `parallel` fields are ignored).
+    pub dag: DagConfig,
+    /// Total client activations to simulate.
+    pub total_activations: usize,
+    /// Mean logical time between consecutive activations (exponential
+    /// inter-arrival).
+    pub mean_interarrival: f64,
+    /// Logical delay until a published transaction becomes visible to
+    /// other clients (0.0 = instantaneous broadcast).
+    pub visibility_delay: f64,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        Self {
+            dag: DagConfig::default(),
+            total_activations: 1000,
+            mean_interarrival: 1.0,
+            visibility_delay: 2.0,
+        }
+    }
+}
+
+/// One completed client activation.
+#[derive(Debug, Clone)]
+pub struct ActivationRecord {
+    /// Logical time of the activation.
+    pub time: f64,
+    /// The activated client.
+    pub client: u32,
+    /// Post-training accuracy on the client's local test data.
+    pub accuracy: f32,
+    /// Whether the activation published a transaction.
+    pub published: bool,
+}
+
+/// A transaction that has been published but is still propagating.
+#[derive(Debug)]
+struct InFlight {
+    visible_at: f64,
+    params: Vec<f32>,
+    parents: (TxId, TxId),
+    issuer: u32,
+}
+
+/// The asynchronous, event-driven counterpart of
+/// [`Simulation`](crate::Simulation).
+pub struct AsyncSimulation {
+    config: AsyncConfig,
+    dataset: FederatedDataset,
+    tangle: ModelTangle,
+    clients: Vec<DagClient>,
+    in_flight: Vec<InFlight>,
+    clock: f64,
+    activations: usize,
+    rng: StdRng,
+    history: Vec<ActivationRecord>,
+}
+
+impl AsyncSimulation {
+    /// Creates an asynchronous simulation (genesis model from `factory`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has no clients or `mean_interarrival` is not
+    /// positive.
+    pub fn new(config: AsyncConfig, dataset: FederatedDataset, factory: ModelFactory) -> Self {
+        assert!(dataset.num_clients() > 0, "dataset has no clients");
+        assert!(
+            config.mean_interarrival > 0.0 && config.mean_interarrival.is_finite(),
+            "mean inter-arrival time must be positive"
+        );
+        assert!(
+            config.visibility_delay >= 0.0 && config.visibility_delay.is_finite(),
+            "visibility delay must be non-negative"
+        );
+        let mut rng = StdRng::seed_from_u64(config.dag.seed ^ 0xA57C);
+        let genesis_model = factory(&mut rng);
+        let tangle = Tangle::new(ModelPayload::new(genesis_model.parameters()));
+        let clients = (0..dataset.num_clients() as u32)
+            .map(|id| {
+                DagClient::new(id, factory(&mut rng), config.dag.seed.wrapping_add(id as u64))
+            })
+            .collect();
+        Self {
+            config,
+            dataset,
+            tangle,
+            clients,
+            in_flight: Vec::new(),
+            clock: 0.0,
+            activations: 0,
+            rng,
+            history: Vec::new(),
+        }
+    }
+
+    /// The logical clock.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Activations processed so far.
+    pub fn activations(&self) -> usize {
+        self.activations
+    }
+
+    /// The visible tangle (excluding in-flight transactions).
+    pub fn tangle(&self) -> &ModelTangle {
+        &self.tangle
+    }
+
+    /// Transactions currently propagating (published, not yet visible).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The activation log.
+    pub fn history(&self) -> &[ActivationRecord] {
+        &self.history
+    }
+
+    /// The dataset being trained on.
+    pub fn dataset(&self) -> &FederatedDataset {
+        &self.dataset
+    }
+
+    /// Samples an exponential inter-arrival time (inverse transform).
+    fn sample_interarrival(&mut self) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() * self.config.mean_interarrival
+    }
+
+    /// Attaches every in-flight transaction whose propagation finished.
+    fn deliver_due(&mut self) -> Result<(), CoreError> {
+        // Deliver in visible_at order for determinism.
+        self.in_flight
+            .sort_by(|a, b| a.visible_at.partial_cmp(&b.visible_at).expect("finite times"));
+        let mut remaining = Vec::new();
+        for tx in self.in_flight.drain(..) {
+            if tx.visible_at <= self.clock {
+                self.tangle.attach_with_meta(
+                    ModelPayload::new(tx.params),
+                    &[tx.parents.0, tx.parents.1],
+                    Some(tx.issuer),
+                    // Record the delivery time (coarsened) in the round
+                    // field for later analysis.
+                    tx.visible_at as u32,
+                )?;
+            } else {
+                remaining.push(tx);
+            }
+        }
+        self.in_flight = remaining;
+        Ok(())
+    }
+
+    /// Processes one activation: advance the clock, deliver due
+    /// transactions, let a uniformly chosen client train and (maybe)
+    /// publish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/tangle errors.
+    pub fn step(&mut self) -> Result<ActivationRecord, CoreError> {
+        self.clock += self.sample_interarrival();
+        self.deliver_due()?;
+        let idx = self.rng.gen_range(0..self.dataset.num_clients());
+        let data = &self.dataset.clients()[idx];
+        let client = &mut self.clients[idx];
+        let outcome = client.train_round(&self.tangle, data, &self.config.dag)?;
+        let published = outcome.published.is_some();
+        if let Some(params) = outcome.published {
+            self.in_flight.push(InFlight {
+                visible_at: self.clock + self.config.visibility_delay,
+                params,
+                parents: outcome.parents,
+                issuer: outcome.client,
+            });
+        }
+        let record = ActivationRecord {
+            time: self.clock,
+            client: outcome.client,
+            accuracy: outcome.trained.accuracy,
+            published,
+        };
+        self.history.push(record.clone());
+        self.activations += 1;
+        Ok(record)
+    }
+
+    /// Runs until `total_activations` activations have been processed,
+    /// then flushes the remaining in-flight transactions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/tangle errors.
+    pub fn run(&mut self) -> Result<(), CoreError> {
+        while self.activations < self.config.total_activations {
+            self.step()?;
+        }
+        // Let the network quiesce: advance the clock past every pending
+        // delivery.
+        self.clock += self.config.visibility_delay;
+        self.deliver_due()?;
+        Ok(())
+    }
+
+    /// The derived client graph of the visible tangle (§4.3).
+    pub fn client_graph(&self) -> Graph {
+        crate::client_graph_of(&self.tangle, self.dataset.num_clients())
+    }
+
+    /// Approval pureness of the visible tangle (Table 2).
+    pub fn approval_pureness(&self) -> f64 {
+        crate::approval_pureness_of(&self.tangle, &self.dataset.cluster_labels())
+    }
+
+    /// Mean accuracy over the last `n` activations.
+    pub fn recent_accuracy(&self, n: usize) -> f32 {
+        let take = n.min(self.history.len());
+        if take == 0 {
+            return 0.0;
+        }
+        self.history[self.history.len() - take..]
+            .iter()
+            .map(|r| r.accuracy)
+            .sum::<f32>()
+            / take as f32
+    }
+}
+
+impl std::fmt::Debug for AsyncSimulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncSimulation")
+            .field("clock", &self.clock)
+            .field("activations", &self.activations)
+            .field("transactions", &self.tangle.len())
+            .field("in_flight", &self.in_flight.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagfl_datasets::{fmnist_clustered, FmnistConfig};
+    use dagfl_nn::{Dense, Model, Relu, Sequential};
+    use std::sync::Arc;
+
+    fn setup(total: usize, visibility_delay: f64) -> AsyncSimulation {
+        let dataset = fmnist_clustered(&FmnistConfig {
+            num_clients: 6,
+            samples_per_client: 50,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let factory: ModelFactory = Arc::new(move |rng: &mut StdRng| {
+            Box::new(Sequential::new(vec![
+                Box::new(Dense::new(rng, features, 16)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(rng, 16, 10)),
+            ])) as Box<dyn Model>
+        });
+        AsyncSimulation::new(
+            AsyncConfig {
+                dag: DagConfig {
+                    local_batches: 3,
+                    ..DagConfig::default()
+                },
+                total_activations: total,
+                mean_interarrival: 1.0,
+                visibility_delay,
+            },
+            dataset,
+            factory,
+        )
+    }
+
+    #[test]
+    fn activations_advance_clock_and_tangle() {
+        let mut sim = setup(30, 2.0);
+        sim.run().unwrap();
+        assert_eq!(sim.activations(), 30);
+        assert!(sim.clock() > 0.0);
+        assert!(sim.tangle().len() > 1, "nothing was published");
+        assert_eq!(sim.history().len(), 30);
+        assert_eq!(sim.in_flight(), 0, "run() must flush in-flight txs");
+    }
+
+    #[test]
+    fn visibility_delay_creates_wider_frontiers() {
+        let mut instant = setup(60, 0.0);
+        instant.run().unwrap();
+        let mut delayed = setup(60, 10.0);
+        delayed.run().unwrap();
+        // With a large propagation delay, concurrent publications cannot
+        // see each other and attach to older parents, widening the DAG.
+        let instant_tips = instant.tangle().stats().tips;
+        let delayed_tips = delayed.tangle().stats().tips;
+        assert!(
+            delayed_tips >= instant_tips,
+            "delay should widen the frontier: {instant_tips} vs {delayed_tips}"
+        );
+    }
+
+    #[test]
+    fn accuracy_improves_over_activations() {
+        let mut sim = setup(80, 1.0);
+        sim.run().unwrap();
+        let early: f32 = sim.history()[..10].iter().map(|r| r.accuracy).sum::<f32>() / 10.0;
+        let late = sim.recent_accuracy(10);
+        assert!(
+            late > early,
+            "no progress under asynchrony: {early} -> {late}"
+        );
+    }
+
+    #[test]
+    fn specialization_emerges_without_rounds() {
+        let mut sim = setup(80, 1.0);
+        sim.run().unwrap();
+        let pureness = sim.approval_pureness();
+        let base = sim.dataset().base_pureness();
+        assert!(
+            pureness > base,
+            "pureness {pureness} not above base {base}"
+        );
+        assert!(sim.client_graph().total_weight() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = setup(25, 2.0);
+        a.run().unwrap();
+        let mut b = setup(25, 2.0);
+        b.run().unwrap();
+        assert_eq!(a.tangle().len(), b.tangle().len());
+        assert_eq!(a.clock(), b.clock());
+        let acc_a: Vec<f32> = a.history().iter().map(|r| r.accuracy).collect();
+        let acc_b: Vec<f32> = b.history().iter().map(|r| r.accuracy).collect();
+        assert_eq!(acc_a, acc_b);
+    }
+
+    #[test]
+    fn recent_accuracy_handles_short_history() {
+        let sim = setup(10, 1.0);
+        assert_eq!(sim.recent_accuracy(5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inter-arrival")]
+    fn zero_interarrival_panics() {
+        let dataset = fmnist_clustered(&FmnistConfig {
+            num_clients: 3,
+            samples_per_client: 30,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let factory: ModelFactory = Arc::new(move |rng: &mut StdRng| {
+            Box::new(Sequential::new(vec![Box::new(Dense::new(
+                rng, features, 10,
+            ))])) as Box<dyn Model>
+        });
+        AsyncSimulation::new(
+            AsyncConfig {
+                mean_interarrival: 0.0,
+                ..AsyncConfig::default()
+            },
+            dataset,
+            factory,
+        );
+    }
+}

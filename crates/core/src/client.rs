@@ -1,0 +1,426 @@
+//! A participating client: the four-step loop of Figure 1.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dagfl_datasets::ClientDataset;
+use dagfl_nn::{average_parameters, Evaluation, Model, SgdConfig};
+use dagfl_tangle::{CumulativeWeightBias, RandomWalker, TxId, UniformBias};
+use dagfl_tensor::Matrix;
+
+use crate::{AccuracyBias, CoreError, DagConfig, ModelTangle, PublishGate, TipSelector};
+
+/// Result of one client's participation in a round.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// The client that trained.
+    pub client: u32,
+    /// The two tips selected by the biased random walks.
+    pub parents: (TxId, TxId),
+    /// Performance of the averaged parent model (the client's current
+    /// consensus reference) on local test data, before training.
+    pub reference: Evaluation,
+    /// Performance of the locally trained model on local test data.
+    pub trained: Evaluation,
+    /// The trained parameters if the publish rule fired (training improved
+    /// the model), to be attached to the tangle.
+    pub published: Option<Vec<f32>>,
+    /// Wall-clock time of tip selection (both walks, including candidate
+    /// evaluation) — the quantity of Figure 15.
+    pub walk_duration: Duration,
+    /// Total walk steps over both walks.
+    pub walk_steps: usize,
+    /// Total candidate models whose transition weight was computed.
+    pub candidates_evaluated: usize,
+}
+
+/// The client-side state of the Specializing DAG: a scratch model, the
+/// per-transaction accuracy cache and the client's private RNG.
+pub struct DagClient {
+    id: u32,
+    rng: StdRng,
+    model: Box<dyn Model>,
+    cache: HashMap<TxId, f32>,
+}
+
+impl DagClient {
+    /// Creates a client with a freshly initialised scratch model.
+    pub fn new(id: u32, model: Box<dyn Model>, seed: u64) -> Self {
+        Self {
+            id,
+            rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            model,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The client's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Number of cached transaction evaluations.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Invalidates all cached evaluations. Must be called when the client's
+    /// local data changes (e.g. after a poisoning attack flips labels).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Runs one biased random walk and returns `(tip, steps, evaluations)`.
+    fn walk_once(
+        &mut self,
+        tangle: &ModelTangle,
+        data: &ClientDataset,
+        cfg: &DagConfig,
+    ) -> Result<(TxId, usize, usize), CoreError> {
+        let start = tangle.sample_walk_start(cfg.walk_depth.0, cfg.walk_depth.1, &mut self.rng);
+        let walker = RandomWalker::new();
+        match cfg.tip_selector {
+            TipSelector::Accuracy {
+                alpha,
+                normalization,
+            } => {
+                let mut bias = AccuracyBias::new(
+                    self.model.as_mut(),
+                    data.test_x(),
+                    data.test_y(),
+                    &mut self.cache,
+                    alpha,
+                    normalization,
+                );
+                if let Some(margin) = cfg.walk_stop_margin {
+                    bias = bias.with_stop_margin(margin);
+                }
+                let result = walker.walk(tangle, start, &mut bias, &mut self.rng)?;
+                Ok((result.tip, result.steps, result.candidates_evaluated))
+            }
+            TipSelector::Random => {
+                let result = walker.walk(tangle, start, &mut UniformBias, &mut self.rng)?;
+                Ok((result.tip, result.steps, 0))
+            }
+            TipSelector::CumulativeWeight { alpha } => {
+                let mut bias = CumulativeWeightBias::new(alpha);
+                let result = walker.walk(tangle, start, &mut bias, &mut self.rng)?;
+                Ok((result.tip, result.steps, 0))
+            }
+        }
+    }
+
+    /// Selects the two parent tips via two independent walks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tangle errors (cannot happen for well-formed tangles).
+    pub fn select_tips(
+        &mut self,
+        tangle: &ModelTangle,
+        data: &ClientDataset,
+        cfg: &DagConfig,
+    ) -> Result<((TxId, TxId), usize, usize), CoreError> {
+        let (tip1, steps1, eval1) = self.walk_once(tangle, data, cfg)?;
+        let (tip2, steps2, eval2) = self.walk_once(tangle, data, cfg)?;
+        Ok(((tip1, tip2), steps1 + steps2, eval1 + eval2))
+    }
+
+    /// Computes the client's current reference (consensus) model: the
+    /// average of the two walk-selected tips (§4.1). Returns the parameters
+    /// and the tips.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tangle errors.
+    pub fn reference_model(
+        &mut self,
+        tangle: &ModelTangle,
+        data: &ClientDataset,
+        cfg: &DagConfig,
+    ) -> Result<(Vec<f32>, (TxId, TxId)), CoreError> {
+        let ((tip1, tip2), _, _) = self.select_tips(tangle, data, cfg)?;
+        let p1 = tangle.get(tip1)?.payload().share();
+        let p2 = tangle.get(tip2)?.payload().share();
+        Ok((average_parameters(&[&p1, &p2]), (tip1, tip2)))
+    }
+
+    /// Evaluates an arbitrary parameter vector on the given data using the
+    /// client's scratch model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameter count or data shape mismatches.
+    pub fn evaluate_with(
+        &mut self,
+        params: &[f32],
+        x: &Matrix,
+        y: &[usize],
+    ) -> Result<Evaluation, CoreError> {
+        self.model.set_parameters(params)?;
+        Ok(self.model.evaluate(x, y)?)
+    }
+
+    /// Predicts classes for `x` using an arbitrary parameter vector loaded
+    /// into the client's scratch model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameter count or data shape mismatches.
+    pub fn predict_with(&mut self, params: &[f32], x: &Matrix) -> Result<Vec<usize>, CoreError> {
+        self.model.set_parameters(params)?;
+        Ok(self.model.predict(x)?)
+    }
+
+    /// Runs the full four-step loop of Figure 1 against a tangle snapshot:
+    /// biased walks → average → local training → publish decision.
+    ///
+    /// The returned [`TrainOutcome::published`] parameters must be attached
+    /// to the tangle by the caller; splitting selection/training (reads)
+    /// from publication (writes) lets all active clients of a round work on
+    /// the same snapshot, like the paper's discrete-round simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model architecture does not match the
+    /// tangle's payloads or the dataset shape.
+    pub fn train_round(
+        &mut self,
+        tangle: &ModelTangle,
+        data: &ClientDataset,
+        cfg: &DagConfig,
+    ) -> Result<TrainOutcome, CoreError> {
+        // Step 1: biased random walks select two tips.
+        let walk_started = Instant::now();
+        let ((tip1, tip2), walk_steps, candidates_evaluated) =
+            self.select_tips(tangle, data, cfg)?;
+        let walk_duration = walk_started.elapsed();
+        // Step 2: average the two models. The default publish gate
+        // compares against the *best* approved parent (the client's
+        // current consensus view): this keeps a client from publishing a
+        // model that only improved relative to a bad average — e.g. one
+        // contaminated by a random-weight attacker (§4.4).
+        let p1 = tangle.get(tip1)?.payload().share();
+        let p2 = tangle.get(tip2)?.payload().share();
+        let mut consensus_accuracy = 0.0f32;
+        if cfg.publish_gate == PublishGate::BestParent {
+            for (tip, params) in [(tip1, &p1), (tip2, &p2)] {
+                let acc = match self.cache.get(&tip) {
+                    Some(&cached) => cached,
+                    None => {
+                        self.model.set_parameters(params)?;
+                        let acc = self.model.evaluate(data.test_x(), data.test_y())?.accuracy;
+                        self.cache.insert(tip, acc);
+                        acc
+                    }
+                };
+                consensus_accuracy = consensus_accuracy.max(acc);
+            }
+        }
+        let averaged = average_parameters(&[&p1, &p2]);
+        self.model.set_parameters(&averaged)?;
+        let reference = self.model.evaluate(data.test_x(), data.test_y())?;
+        // Step 3: train on local data (fixed batch budget, Table 1);
+        // optionally with frozen leading layers (partial-layer
+        // personalisation).
+        let mut opt = SgdConfig::new(cfg.learning_rate);
+        if cfg.frozen_prefix > 0 {
+            opt = opt.with_frozen_prefix(cfg.frozen_prefix);
+        }
+        for _ in 0..cfg.local_epochs {
+            for (x, y) in data.train_batches(cfg.batch_size, cfg.local_batches, &mut self.rng) {
+                self.model.train_batch(&x, &y, &opt)?;
+            }
+        }
+        let trained = self.model.evaluate(data.test_x(), data.test_y())?;
+        // Step 4: publish only if training improved on the consensus,
+        // with ties broken by loss against the averaged reference so that
+        // early chance-level rounds can still make progress.
+        let improved = match cfg.publish_gate {
+            PublishGate::BestParent => {
+                let gate = consensus_accuracy.max(reference.accuracy);
+                trained.accuracy > gate
+                    || (trained.accuracy == gate && trained.loss < reference.loss)
+            }
+            PublishGate::AveragedReference => {
+                trained.accuracy > reference.accuracy
+                    || (trained.accuracy == reference.accuracy
+                        && trained.loss < reference.loss)
+            }
+            PublishGate::Always => true,
+        };
+        let published = improved.then(|| self.model.parameters());
+        Ok(TrainOutcome {
+            client: self.id,
+            parents: (tip1, tip2),
+            reference,
+            trained,
+            published,
+            walk_duration,
+            walk_steps,
+            candidates_evaluated,
+        })
+    }
+}
+
+impl std::fmt::Debug for DagClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DagClient")
+            .field("id", &self.id)
+            .field("cached_evaluations", &self.cache.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelPayload;
+    use dagfl_datasets::{fmnist_clustered, FmnistConfig};
+    use dagfl_nn::{Dense, Relu, Sequential};
+    use dagfl_tangle::Tangle;
+
+    fn small_dataset() -> dagfl_datasets::FederatedDataset {
+        fmnist_clustered(&FmnistConfig {
+            num_clients: 3,
+            samples_per_client: 60,
+            ..FmnistConfig::default()
+        })
+    }
+
+    fn make_model(seed: u64, features: usize) -> Box<dyn Model> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Box::new(Sequential::new(vec![
+            Box::new(Dense::new(&mut rng, features, 16)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(&mut rng, 16, 10)),
+        ]))
+    }
+
+    fn config() -> DagConfig {
+        DagConfig {
+            rounds: 1,
+            clients_per_round: 1,
+            local_batches: 5,
+            ..DagConfig::default()
+        }
+    }
+
+    #[test]
+    fn train_round_from_genesis_publishes_improvement() {
+        let ds = small_dataset();
+        let features = ds.feature_len();
+        let model = make_model(0, features);
+        let genesis = ModelPayload::new(model.parameters());
+        let tangle: ModelTangle = Tangle::new(genesis);
+        let mut client = DagClient::new(0, model, 7);
+        let outcome = client
+            .train_round(&tangle, &ds.clients()[0], &config())
+            .unwrap();
+        assert_eq!(outcome.client, 0);
+        // Both walks start and end at the genesis.
+        assert_eq!(outcome.parents.0, tangle.genesis());
+        assert_eq!(outcome.parents.1, tangle.genesis());
+        // Training from random init on separable data must improve.
+        assert!(outcome.published.is_some(), "expected publication");
+        assert!(outcome.trained.accuracy >= outcome.reference.accuracy);
+    }
+
+    #[test]
+    fn caches_accumulate_and_clear() {
+        let ds = small_dataset();
+        let features = ds.feature_len();
+        let model = make_model(0, features);
+        let genesis_params = model.parameters();
+        let mut tangle: ModelTangle = Tangle::new(ModelPayload::new(genesis_params.clone()));
+        let g = tangle.genesis();
+        // Two tips for the walk to evaluate.
+        tangle
+            .attach(ModelPayload::new(genesis_params.clone()), &[g])
+            .unwrap();
+        tangle
+            .attach(ModelPayload::new(genesis_params), &[g])
+            .unwrap();
+        let mut client = DagClient::new(1, model, 7);
+        client
+            .train_round(&tangle, &ds.clients()[1], &config())
+            .unwrap();
+        assert!(client.cache_len() >= 2, "walk should have cached evaluations");
+        client.clear_cache();
+        assert_eq!(client.cache_len(), 0);
+    }
+
+    #[test]
+    fn random_selector_evaluates_no_models() {
+        let ds = small_dataset();
+        let features = ds.feature_len();
+        let model = make_model(0, features);
+        let genesis_params = model.parameters();
+        let mut tangle: ModelTangle = Tangle::new(ModelPayload::new(genesis_params.clone()));
+        let g = tangle.genesis();
+        tangle
+            .attach(ModelPayload::new(genesis_params), &[g])
+            .unwrap();
+        let mut client = DagClient::new(2, model, 7);
+        let cfg = config().with_tip_selector(TipSelector::Random);
+        let outcome = client.train_round(&tangle, &ds.clients()[2], &cfg).unwrap();
+        // The walk itself evaluates nothing with the random selector; only
+        // the publish gate inspects the (at most two) selected parents.
+        assert_eq!(outcome.candidates_evaluated, 0);
+        assert!(client.cache_len() <= 2);
+    }
+
+    #[test]
+    fn reference_model_averages_tips() {
+        let ds = small_dataset();
+        let features = ds.feature_len();
+        let model = make_model(0, features);
+        let n = model.num_parameters();
+        let mut tangle: ModelTangle = Tangle::new(ModelPayload::new(vec![0.0; n]));
+        let g = tangle.genesis();
+        // A single tip with all-ones: reference = average(tip, tip) = ones
+        // (both walks must end at the unique tip).
+        tangle.attach(ModelPayload::new(vec![1.0; n]), &[g]).unwrap();
+        let mut client = DagClient::new(0, model, 7);
+        let (params, (t1, t2)) = client
+            .reference_model(&tangle, &ds.clients()[0], &config())
+            .unwrap();
+        assert_eq!(t1, t2);
+        assert!(params.iter().all(|&p| (p - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn walk_duration_is_measured() {
+        let ds = small_dataset();
+        let features = ds.feature_len();
+        let model = make_model(0, features);
+        let genesis = ModelPayload::new(model.parameters());
+        let tangle: ModelTangle = Tangle::new(genesis);
+        let mut client = DagClient::new(0, model, 7);
+        let outcome = client
+            .train_round(&tangle, &ds.clients()[0], &config())
+            .unwrap();
+        // Positive but far below a second for a genesis-only tangle.
+        assert!(outcome.walk_duration < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = small_dataset();
+        let features = ds.feature_len();
+        let run = |seed: u64| {
+            let model = make_model(0, features);
+            let genesis = ModelPayload::new(model.parameters());
+            let tangle: ModelTangle = Tangle::new(genesis);
+            let mut client = DagClient::new(0, model, seed);
+            client
+                .train_round(&tangle, &ds.clients()[0], &config())
+                .unwrap()
+                .published
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,274 @@
+//! Simulation configuration, including the paper's Table 1 hyperparameters.
+
+/// How candidate accuracies are normalised inside the biased walk (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Normalization {
+    /// Eq. 1: `normalized = accuracy − max(accuracies)`.
+    #[default]
+    Simple,
+    /// Eq. 3: `normalized* = (accuracy − max) / (max − min)` — scales the
+    /// bias to the current accuracy spread, improving specialization when
+    /// accuracy differences are small.
+    Dynamic,
+}
+
+/// The tip-selection strategy a client uses during the random walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TipSelector {
+    /// The paper's accuracy-aware bias: weights are
+    /// `exp(alpha * normalized_accuracy_on_local_test_data)`.
+    Accuracy {
+        /// Randomness/determinism trade-off (Figure 5/6: 10 is a good
+        /// balance for FMNIST-clustered).
+        alpha: f32,
+        /// Accuracy normalization variant.
+        normalization: Normalization,
+    },
+    /// Unbiased uniform choice (the paper's "random tip selector"
+    /// baseline).
+    Random,
+    /// Classic IOTA MCMC over cumulative weights (Figure 3 mechanics);
+    /// included as an ablation.
+    CumulativeWeight {
+        /// Randomness/determinism trade-off on cumulative weights.
+        alpha: f32,
+    },
+}
+
+impl Default for TipSelector {
+    fn default() -> Self {
+        TipSelector::Accuracy {
+            alpha: 10.0,
+            normalization: Normalization::Simple,
+        }
+    }
+}
+
+/// The condition under which a trained model is published (§4.1: "clients
+/// only publish their model update if the training resulted in a model
+/// that performs better on the test data than the current consensus
+/// model").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PublishGate {
+    /// Publish if the trained model beats the *average* of the parents —
+    /// the model training started from ("if the training improved the
+    /// model", Figure 1). The paper's rule and the default.
+    #[default]
+    AveragedReference,
+    /// Publish if the trained model beats the *best* of the two approved
+    /// parents — a stricter reading of "the current consensus model" that
+    /// refuses to publish models which only improved relative to a bad
+    /// (e.g. attacker-contaminated) average. Recommended together with
+    /// [`DagConfig::walk_stop_margin`] when random-weight flooding is a
+    /// concern.
+    BestParent,
+    /// Always publish (ablation; degrades poisoning robustness and floods
+    /// the DAG with sideways updates).
+    Always,
+}
+
+/// Local-training hyperparameters (one row of the paper's Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hyperparameters {
+    /// Training rounds.
+    pub rounds: usize,
+    /// Clients sampled per round.
+    pub clients_per_round: usize,
+    /// Local epochs over the fixed batch budget.
+    pub local_epochs: usize,
+    /// Mini-batches per local epoch (fixed to equalise work per client).
+    pub local_batches: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+}
+
+impl Hyperparameters {
+    /// Table 1, FMNIST-clustered column: 100 rounds, 10 clients/round,
+    /// 1 epoch × 10 batches × 10 samples, SGD(0.05).
+    pub fn fmnist() -> Self {
+        Self {
+            rounds: 100,
+            clients_per_round: 10,
+            local_epochs: 1,
+            local_batches: 10,
+            batch_size: 10,
+            learning_rate: 0.05,
+        }
+    }
+
+    /// Table 1, Poets column: 100 rounds, 10 clients/round,
+    /// 1 epoch × 35 batches × 10 samples, SGD(0.8).
+    pub fn poets() -> Self {
+        Self {
+            rounds: 100,
+            clients_per_round: 10,
+            local_epochs: 1,
+            local_batches: 35,
+            batch_size: 10,
+            learning_rate: 0.8,
+        }
+    }
+
+    /// Table 1, CIFAR-100 column: 100 rounds, 10 clients/round,
+    /// 5 epochs × 45 batches × 10 samples, SGD(0.01).
+    pub fn cifar() -> Self {
+        Self {
+            rounds: 100,
+            clients_per_round: 10,
+            local_epochs: 5,
+            local_batches: 45,
+            batch_size: 10,
+            learning_rate: 0.01,
+        }
+    }
+}
+
+/// Full configuration of a Specializing-DAG simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagConfig {
+    /// Training rounds to simulate.
+    pub rounds: usize,
+    /// Clients sampled uniformly (without replacement) each round.
+    pub clients_per_round: usize,
+    /// Local epochs per selected client.
+    pub local_epochs: usize,
+    /// Mini-batches per local epoch.
+    pub local_batches: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Tip-selection strategy.
+    pub tip_selector: TipSelector,
+    /// Walk-start depth band from the tips (Popov proposes 15–25).
+    pub walk_depth: (u32, u32),
+    /// Accuracy-cliff guard for the biased walk: when set, a walk refuses
+    /// to step towards approvers that *all* score at least this margin
+    /// below the current transaction, approving the current transaction
+    /// instead. `None` (default) is the paper's pure tip selection; a
+    /// margin around 0.2–0.3 hardens the walk against random-weight
+    /// flooding (§4.4). Only affects the accuracy selector.
+    pub walk_stop_margin: Option<f32>,
+    /// When a trained model qualifies for publication.
+    pub publish_gate: PublishGate,
+    /// Freeze the first `n` model parameters during local training —
+    /// partial-layer personalisation, the paper's future-work direction
+    /// (§6). `0` trains everything.
+    pub frozen_prefix: usize,
+    /// Probability that a client's publication is lost before reaching
+    /// the network (failure injection; `0.0` = reliable network).
+    pub publication_dropout: f32,
+    /// Master seed for all randomness.
+    pub seed: u64,
+    /// Whether active clients run concurrently on scoped threads.
+    pub parallel: bool,
+}
+
+impl Default for DagConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 100,
+            clients_per_round: 10,
+            local_epochs: 1,
+            local_batches: 10,
+            batch_size: 10,
+            learning_rate: 0.05,
+            tip_selector: TipSelector::default(),
+            walk_depth: (15, 25),
+            walk_stop_margin: None,
+            publish_gate: PublishGate::default(),
+            frozen_prefix: 0,
+            publication_dropout: 0.0,
+            seed: 42,
+            parallel: true,
+        }
+    }
+}
+
+impl DagConfig {
+    /// Builds a config from a Table 1 hyperparameter row, keeping the
+    /// remaining fields at their defaults.
+    pub fn from_hyperparameters(h: Hyperparameters) -> Self {
+        Self {
+            rounds: h.rounds,
+            clients_per_round: h.clients_per_round,
+            local_epochs: h.local_epochs,
+            local_batches: h.local_batches,
+            batch_size: h.batch_size,
+            learning_rate: h.learning_rate,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the tip selector (builder style).
+    pub fn with_tip_selector(mut self, selector: TipSelector) -> Self {
+        self.tip_selector = selector;
+        self
+    }
+
+    /// Sets the master seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_fmnist_row() {
+        let cfg = DagConfig::default();
+        let h = Hyperparameters::fmnist();
+        assert_eq!(cfg.rounds, h.rounds);
+        assert_eq!(cfg.clients_per_round, h.clients_per_round);
+        assert_eq!(cfg.local_batches, h.local_batches);
+        assert_eq!(cfg.batch_size, h.batch_size);
+        assert_eq!(cfg.learning_rate, h.learning_rate);
+        assert_eq!(cfg.walk_depth, (15, 25));
+    }
+
+    #[test]
+    fn table1_rows_are_faithful() {
+        let poets = Hyperparameters::poets();
+        assert_eq!(poets.local_batches, 35);
+        assert_eq!(poets.learning_rate, 0.8);
+        let cifar = Hyperparameters::cifar();
+        assert_eq!(cifar.local_epochs, 5);
+        assert_eq!(cifar.local_batches, 45);
+        assert_eq!(cifar.learning_rate, 0.01);
+    }
+
+    #[test]
+    fn from_hyperparameters_copies_all_fields() {
+        let cfg = DagConfig::from_hyperparameters(Hyperparameters::cifar());
+        assert_eq!(cfg.local_epochs, 5);
+        assert_eq!(cfg.learning_rate, 0.01);
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let cfg = DagConfig::default()
+            .with_seed(7)
+            .with_tip_selector(TipSelector::Random);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.tip_selector, TipSelector::Random);
+    }
+
+    #[test]
+    fn default_selector_is_accuracy_alpha_10() {
+        match TipSelector::default() {
+            TipSelector::Accuracy {
+                alpha,
+                normalization,
+            } => {
+                assert_eq!(alpha, 10.0);
+                assert_eq!(normalization, Normalization::Simple);
+            }
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+}

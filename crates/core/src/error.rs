@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+use dagfl_nn::NnError;
+use dagfl_tangle::TangleError;
+
+/// Errors produced by the Specializing-DAG simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A model operation failed.
+    Nn(NnError),
+    /// A tangle operation failed.
+    Tangle(TangleError),
+    /// The configuration is inconsistent with the dataset.
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nn(e) => write!(f, "model error: {e}"),
+            CoreError::Tangle(e) => write!(f, "tangle error: {e}"),
+            CoreError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Nn(e) => Some(e),
+            CoreError::Tangle(e) => Some(e),
+            CoreError::Config(_) => None,
+        }
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<TangleError> for CoreError {
+    fn from(e: TangleError) -> Self {
+        CoreError::Tangle(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: CoreError = NnError::ParameterCount {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(Error::source(&e).is_some());
+        let e: CoreError = TangleError::MissingParents.into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&CoreError::Config("bad".into())).is_none());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::Config("clients_per_round exceeds clients".into());
+        assert!(e.to_string().contains("clients_per_round"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

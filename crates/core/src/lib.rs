@@ -1,0 +1,87 @@
+//! The **Specializing DAG** — implicit model specialization through
+//! DAG-based decentralized federated learning.
+//!
+//! This crate implements the paper's core contribution on top of the
+//! workspace substrates ([`dagfl-tangle`] for the ledger, [`dagfl-nn`] for
+//! models, [`dagfl-datasets`] for federated data, [`dagfl-graphs`] for the
+//! specialization metrics):
+//!
+//! 1. **Accuracy-aware tip selection** ([`AccuracyBias`]): a biased random
+//!    walk through the DAG whose per-step transition weights are
+//!    `exp(alpha * normalized_accuracy)` of each candidate model on the
+//!    client's local test data, with the paper's simple (Eq. 1–2) and
+//!    dynamic (Eq. 3) normalizations.
+//! 2. **The client loop** ([`DagClient`]): select two tips, average their
+//!    models, train on local data, publish if the model improved.
+//! 3. **The round simulator** ([`Simulation`]): discrete rounds with a
+//!    configurable number of concurrently active clients (the paper's
+//!    simulation methodology, §5.3), per-round metrics, the derived client
+//!    graph `G_clients` and the specialization metrics of §4.3.
+//! 4. **Poisoning scenarios** ([`PoisoningScenario`]): flipped-label
+//!    attacks with clean warm-up, mid-run dataset manipulation and the
+//!    misprediction / approved-poison metrics of §5.3.4.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dagfl_core::{DagConfig, Simulation};
+//! use dagfl_datasets::{fmnist_clustered, FmnistConfig};
+//! use dagfl_nn::{Dense, Model, Relu, Sequential};
+//!
+//! # fn main() -> Result<(), dagfl_core::CoreError> {
+//! let dataset = fmnist_clustered(&FmnistConfig {
+//!     num_clients: 6,
+//!     samples_per_client: 30,
+//!     ..FmnistConfig::default()
+//! });
+//! let config = DagConfig {
+//!     rounds: 2,
+//!     clients_per_round: 3,
+//!     local_batches: 2,
+//!     ..DagConfig::default()
+//! };
+//! let features = dataset.feature_len();
+//! let mut sim = Simulation::new(config, dataset, std::sync::Arc::new(move |rng| {
+//!     Box::new(Sequential::new(vec![
+//!         Box::new(Dense::new(rng, features, 16)),
+//!         Box::new(Relu::new()),
+//!         Box::new(Dense::new(rng, 16, 10)),
+//!     ])) as Box<dyn Model>
+//! }));
+//! let metrics = sim.run()?;
+//! assert_eq!(metrics.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`dagfl-tangle`]: ../dagfl_tangle/index.html
+//! [`dagfl-nn`]: ../dagfl_nn/index.html
+//! [`dagfl-datasets`]: ../dagfl_datasets/index.html
+//! [`dagfl-graphs`]: ../dagfl_graphs/index.html
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod analysis;
+mod async_sim;
+mod attackers;
+mod client;
+mod config;
+pub mod csv;
+mod error;
+mod metrics;
+mod payload;
+mod poisoning;
+mod simulation;
+mod tip_selection;
+
+pub use async_sim::{ActivationRecord, AsyncConfig, AsyncSimulation};
+pub use attackers::{GarbageAttackConfig, GarbageAttackScenario, GarbageRoundMetrics};
+pub use client::{DagClient, TrainOutcome};
+pub use config::{DagConfig, Hyperparameters, Normalization, PublishGate, TipSelector};
+pub use error::CoreError;
+pub use metrics::{approval_pureness_of, client_graph_of, RoundMetrics, SpecializationMetrics};
+pub use payload::{ModelFactory, ModelPayload, ModelTangle, SharedModelTangle};
+pub use poisoning::{mean_accuracy_series, PoisonRoundMetrics, PoisoningConfig, PoisoningScenario};
+pub use simulation::{ReferenceEvaluation, Simulation};
+pub use tip_selection::AccuracyBias;

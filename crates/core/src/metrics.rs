@@ -1,0 +1,160 @@
+//! Per-round and specialization metrics.
+
+use std::time::Duration;
+
+use dagfl_graphs::Graph;
+
+use crate::ModelTangle;
+
+/// Builds the derived client graph `G_clients` (§4.3) from a tangle: the
+/// edge weight between two clients is the number of direct approvals
+/// between their transactions, in either direction. Genesis approvals and
+/// self-approvals are skipped.
+pub fn client_graph_of(tangle: &ModelTangle, num_clients: usize) -> Graph {
+    let mut graph = Graph::new(num_clients);
+    for tx in tangle.iter() {
+        let Some(a) = tx.issuer() else { continue };
+        for &parent in tx.parents() {
+            let Ok(parent_tx) = tangle.get(parent) else {
+                continue;
+            };
+            let Some(b) = parent_tx.issuer() else {
+                continue;
+            };
+            if a != b {
+                graph.add_edge(a as usize, b as usize, 1.0);
+            }
+        }
+    }
+    graph
+}
+
+/// The approval pureness (Table 2) of a tangle: the fraction of approval
+/// edges whose endpoints were published by clients of the same
+/// ground-truth cluster. Returns 1.0 when no qualifying approvals exist.
+pub fn approval_pureness_of(tangle: &ModelTangle, clusters: &[usize]) -> f64 {
+    let mut total = 0usize;
+    let mut pure = 0usize;
+    for tx in tangle.iter() {
+        let Some(a) = tx.issuer() else { continue };
+        for &parent in tx.parents() {
+            let Ok(parent_tx) = tangle.get(parent) else {
+                continue;
+            };
+            let Some(b) = parent_tx.issuer() else {
+                continue;
+            };
+            total += 1;
+            if clusters[a as usize] == clusters[b as usize] {
+                pure += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        pure as f64 / total as f64
+    }
+}
+
+/// Aggregated metrics of one simulation round.
+#[derive(Debug, Clone)]
+pub struct RoundMetrics {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Ids of the clients active in this round.
+    pub active_clients: Vec<u32>,
+    /// How many of them published a transaction.
+    pub published: usize,
+    /// Post-training accuracy of each active client on its local test data
+    /// (the quantity plotted in Figures 6–10).
+    pub accuracies: Vec<f32>,
+    /// Post-training loss of each active client.
+    pub losses: Vec<f32>,
+    /// Reference (averaged-parents) accuracy of each active client before
+    /// training.
+    pub reference_accuracies: Vec<f32>,
+    /// Mean wall-clock duration of tip selection per active client
+    /// (Figure 15).
+    pub mean_walk_duration: Duration,
+    /// Total candidate evaluations across all active clients' walks.
+    pub candidates_evaluated: usize,
+    /// Total walk steps across all active clients.
+    pub walk_steps: usize,
+}
+
+impl RoundMetrics {
+    /// Mean post-training accuracy over the active clients.
+    pub fn mean_accuracy(&self) -> f32 {
+        mean(&self.accuracies)
+    }
+
+    /// Mean post-training loss over the active clients.
+    pub fn mean_loss(&self) -> f32 {
+        mean(&self.losses)
+    }
+
+    /// Mean reference accuracy over the active clients.
+    pub fn mean_reference_accuracy(&self) -> f32 {
+        mean(&self.reference_accuracies)
+    }
+}
+
+fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f32>() / values.len() as f32
+}
+
+/// The §4.3 specialization metrics of the derived client graph.
+#[derive(Debug, Clone)]
+pub struct SpecializationMetrics {
+    /// Newman modularity of the Louvain partition of `G_clients`.
+    pub modularity: f64,
+    /// Number of Louvain partitions (Figure 5b).
+    pub partitions: usize,
+    /// Misclassification fraction against the ground-truth clusters
+    /// (Figure 5c).
+    pub misclassification: f64,
+    /// Approval pureness: fraction of approvals that stay within one
+    /// ground-truth cluster (Table 2).
+    pub approval_pureness: f64,
+    /// The Louvain community label per client (for Figure 14-style
+    /// analyses).
+    pub partition: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(accs: Vec<f32>, losses: Vec<f32>) -> RoundMetrics {
+        RoundMetrics {
+            round: 0,
+            active_clients: vec![],
+            published: 0,
+            accuracies: accs,
+            losses,
+            reference_accuracies: vec![],
+            mean_walk_duration: Duration::ZERO,
+            candidates_evaluated: 0,
+            walk_steps: 0,
+        }
+    }
+
+    #[test]
+    fn means_are_computed() {
+        let m = metrics(vec![0.5, 1.0], vec![2.0, 4.0]);
+        assert!((m.mean_accuracy() - 0.75).abs() < 1e-6);
+        assert!((m.mean_loss() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_means_are_zero() {
+        let m = metrics(vec![], vec![]);
+        assert_eq!(m.mean_accuracy(), 0.0);
+        assert_eq!(m.mean_loss(), 0.0);
+        assert_eq!(m.mean_reference_accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,440 @@
+//! The discrete-round simulation of the Specializing DAG (§5.3).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use dagfl_datasets::FederatedDataset;
+use dagfl_graphs::{louvain, misclassification_fraction, modularity, partition_count, Graph};
+use dagfl_nn::Evaluation;
+use dagfl_tangle::TxId;
+
+use crate::{
+    CoreError, DagClient, DagConfig, ModelFactory, ModelPayload, RoundMetrics,
+    SharedModelTangle, SpecializationMetrics, TrainOutcome,
+};
+
+/// A client's reference evaluation: `(client id, evaluation, selected tips)`.
+pub type ReferenceEvaluation = (u32, Evaluation, (TxId, TxId));
+
+/// A Specializing-DAG training simulation over a federated dataset.
+///
+/// Each round samples `clients_per_round` clients; every active client runs
+/// the Figure 1 loop against the round-start snapshot of the tangle
+/// (concurrently when [`DagConfig::parallel`] is set), and all resulting
+/// publications are attached at the end of the round. The paper introduces
+/// the same round structure purely to compare against centralized
+/// approaches (§5.3.3) — the algorithm itself is asynchronous.
+pub struct Simulation {
+    pub(crate) config: DagConfig,
+    pub(crate) dataset: FederatedDataset,
+    pub(crate) tangle: SharedModelTangle,
+    pub(crate) clients: Vec<DagClient>,
+    pub(crate) rng: StdRng,
+    pub(crate) history: Vec<RoundMetrics>,
+    pub(crate) round: usize,
+}
+
+impl Simulation {
+    /// Creates a simulation: the genesis transaction carries a freshly
+    /// initialised model, and every client receives its own scratch model
+    /// from `factory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients_per_round` is zero or exceeds the dataset's
+    /// client count.
+    pub fn new(config: DagConfig, dataset: FederatedDataset, factory: ModelFactory) -> Self {
+        assert!(
+            config.clients_per_round > 0
+                && config.clients_per_round <= dataset.num_clients(),
+            "clients_per_round ({}) must be in 1..={}",
+            config.clients_per_round,
+            dataset.num_clients()
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let genesis_model = factory(&mut rng);
+        let tangle = SharedModelTangle::new(ModelPayload::new(genesis_model.parameters()));
+        let clients = (0..dataset.num_clients() as u32)
+            .map(|id| DagClient::new(id, factory(&mut rng), config.seed.wrapping_add(id as u64)))
+            .collect();
+        Self {
+            config,
+            dataset,
+            tangle,
+            clients,
+            rng,
+            history: Vec::new(),
+            round: 0,
+        }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &DagConfig {
+        &self.config
+    }
+
+    /// The federated dataset being trained on.
+    pub fn dataset(&self) -> &FederatedDataset {
+        &self.dataset
+    }
+
+    /// The shared tangle of model updates.
+    pub fn tangle(&self) -> &SharedModelTangle {
+        &self.tangle
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Metrics of all completed rounds.
+    pub fn history(&self) -> &[RoundMetrics] {
+        &self.history
+    }
+
+    /// Invalidates every client's evaluation cache (required after
+    /// mutating the dataset, e.g. a poisoning attack).
+    pub fn clear_caches(&mut self) {
+        for client in &mut self.clients {
+            client.clear_cache();
+        }
+    }
+
+    /// Runs a single round and returns its metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/tangle errors (e.g. architecture mismatches).
+    pub fn run_round(&mut self) -> Result<RoundMetrics, CoreError> {
+        // Sample active clients without replacement, ascending for
+        // deterministic processing order.
+        let mut ids: Vec<usize> = (0..self.dataset.num_clients()).collect();
+        ids.shuffle(&mut self.rng);
+        let mut active: Vec<usize> = ids.into_iter().take(self.config.clients_per_round).collect();
+        active.sort_unstable();
+
+        let outcomes = self.run_active_clients(&active)?;
+
+        // Publication phase: attach all improvements to the shared tangle.
+        // With failure injection enabled, some publications are lost on
+        // the (simulated) network.
+        let mut published = 0;
+        {
+            let mut tangle = self.tangle.write();
+            for outcome in &outcomes {
+                if let Some(params) = &outcome.published {
+                    if self.config.publication_dropout > 0.0
+                        && self.rng.gen::<f32>() < self.config.publication_dropout
+                    {
+                        continue;
+                    }
+                    let parents = [outcome.parents.0, outcome.parents.1];
+                    tangle.attach_with_meta(
+                        ModelPayload::new(params.clone()),
+                        &parents,
+                        Some(outcome.client),
+                        self.round as u32,
+                    )?;
+                    published += 1;
+                }
+            }
+        }
+
+        let total_walk: Duration = outcomes.iter().map(|o| o.walk_duration).sum();
+        let metrics = RoundMetrics {
+            round: self.round,
+            active_clients: outcomes.iter().map(|o| o.client).collect(),
+            published,
+            accuracies: outcomes.iter().map(|o| o.trained.accuracy).collect(),
+            losses: outcomes.iter().map(|o| o.trained.loss).collect(),
+            reference_accuracies: outcomes.iter().map(|o| o.reference.accuracy).collect(),
+            mean_walk_duration: total_walk
+                .checked_div(outcomes.len().max(1) as u32)
+                .unwrap_or(Duration::ZERO),
+            candidates_evaluated: outcomes.iter().map(|o| o.candidates_evaluated).sum(),
+            walk_steps: outcomes.iter().map(|o| o.walk_steps).sum(),
+        };
+        self.history.push(metrics.clone());
+        self.round += 1;
+        Ok(metrics)
+    }
+
+    /// Runs the Figure 1 loop for all active clients against the current
+    /// tangle snapshot, in parallel if configured.
+    fn run_active_clients(&mut self, active: &[usize]) -> Result<Vec<TrainOutcome>, CoreError> {
+        let config = self.config;
+        let dataset = &self.dataset;
+        let tangle = &self.tangle;
+        // Collect disjoint &mut borrows of the active clients.
+        let mut remaining: &mut [DagClient] = &mut self.clients;
+        let mut taken = 0usize;
+        let mut client_refs: Vec<&mut DagClient> = Vec::with_capacity(active.len());
+        for &idx in active {
+            let offset = idx - taken;
+            let (_, rest) = remaining.split_at_mut(offset);
+            let (client, rest) = rest.split_first_mut().expect("index in range");
+            client_refs.push(client);
+            remaining = rest;
+            taken = idx + 1;
+        }
+        if config.parallel && active.len() > 1 {
+            let results = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = client_refs
+                    .into_iter()
+                    .zip(active)
+                    .map(|(client, &idx)| {
+                        let data = &dataset.clients()[idx];
+                        scope.spawn(move |_| {
+                            let guard = tangle.read();
+                            client.train_round(&guard, data, &config)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread panicked"))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .expect("crossbeam scope panicked");
+            results
+        } else {
+            let guard = tangle.read();
+            client_refs
+                .into_iter()
+                .zip(active)
+                .map(|(client, &idx)| {
+                    client.train_round(&guard, &dataset.clients()[idx], &config)
+                })
+                .collect()
+        }
+    }
+
+    /// Runs rounds until `config.rounds` have completed; returns the
+    /// metrics of the newly run rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Simulation::run_round`].
+    pub fn run(&mut self) -> Result<Vec<RoundMetrics>, CoreError> {
+        let mut out = Vec::new();
+        while self.round < self.config.rounds {
+            out.push(self.run_round()?);
+        }
+        Ok(out)
+    }
+
+    /// Builds the derived client graph `G_clients` (§4.3): the edge weight
+    /// between two clients is the number of direct approvals between their
+    /// transactions, in either direction. Genesis approvals and
+    /// self-approvals are skipped.
+    pub fn client_graph(&self) -> Graph {
+        crate::client_graph_of(&self.tangle.read(), self.dataset.num_clients())
+    }
+
+    /// The approval pureness (Table 2): the fraction of approval edges
+    /// whose endpoints were published by clients of the same ground-truth
+    /// cluster.
+    ///
+    /// Returns 1.0 when no qualifying approvals exist yet.
+    pub fn approval_pureness(&self) -> f64 {
+        crate::approval_pureness_of(&self.tangle.read(), &self.dataset.cluster_labels())
+    }
+
+    /// Computes the §4.3 specialization metrics of the current tangle.
+    pub fn specialization_metrics(&self) -> SpecializationMetrics {
+        let graph = self.client_graph();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xC0FF_EE00 ^ self.round as u64);
+        let partition = louvain(&graph, &mut rng);
+        SpecializationMetrics {
+            modularity: modularity(&graph, &partition),
+            partitions: partition_count(&partition),
+            misclassification: misclassification_fraction(
+                &partition,
+                &self.dataset.cluster_labels(),
+            ),
+            approval_pureness: self.approval_pureness(),
+            partition,
+        }
+    }
+
+    /// Evaluates every client's walk-selected reference model on its local
+    /// test data; returns `(client, evaluation, reference tips)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/tangle errors.
+    pub fn reference_evaluations(&mut self) -> Result<Vec<ReferenceEvaluation>, CoreError> {
+        let config = self.config;
+        let tangle = self.tangle.clone();
+        let mut out = Vec::with_capacity(self.clients.len());
+        for (idx, client) in self.clients.iter_mut().enumerate() {
+            let data = &self.dataset.clients()[idx];
+            let guard = tangle.read();
+            let (params, tips) = client.reference_model(&guard, data, &config)?;
+            drop(guard);
+            let eval = client.evaluate_with(&params, data.test_x(), data.test_y())?;
+            out.push((client.id(), eval, tips));
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("round", &self.round)
+            .field("clients", &self.clients.len())
+            .field("transactions", &self.tangle.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagfl_datasets::{fmnist_clustered, FmnistConfig};
+    use dagfl_nn::{Dense, Model, Relu, Sequential};
+    use std::sync::Arc;
+
+    fn factory(features: usize) -> ModelFactory {
+        Arc::new(move |rng: &mut StdRng| {
+            Box::new(Sequential::new(vec![
+                Box::new(Dense::new(rng, features, 16)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(rng, 16, 10)),
+            ])) as Box<dyn Model>
+        })
+    }
+
+    fn small_sim(rounds: usize, parallel: bool) -> Simulation {
+        let dataset = fmnist_clustered(&FmnistConfig {
+            num_clients: 6,
+            samples_per_client: 40,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let config = DagConfig {
+            rounds,
+            clients_per_round: 3,
+            local_batches: 3,
+            parallel,
+            ..DagConfig::default()
+        };
+        Simulation::new(config, dataset, factory(features))
+    }
+
+    #[test]
+    fn rounds_grow_the_tangle() {
+        let mut sim = small_sim(3, false);
+        assert_eq!(sim.tangle().len(), 1);
+        sim.run().unwrap();
+        assert_eq!(sim.round(), 3);
+        assert!(sim.tangle().len() > 1, "no transactions were published");
+        assert_eq!(sim.history().len(), 3);
+    }
+
+    #[test]
+    fn parallel_and_sequential_both_work() {
+        let mut seq = small_sim(2, false);
+        let mut par = small_sim(2, true);
+        seq.run().unwrap();
+        par.run().unwrap();
+        // Both publish transactions; exact equality is not required since
+        // thread scheduling does not affect outcomes, but publication
+        // ordering within a round is normalised, so the counts match.
+        assert_eq!(seq.tangle().len(), par.tangle().len());
+    }
+
+    #[test]
+    fn metrics_reflect_active_clients() {
+        let mut sim = small_sim(1, false);
+        let m = sim.run_round().unwrap();
+        assert_eq!(m.active_clients.len(), 3);
+        assert_eq!(m.accuracies.len(), 3);
+        assert_eq!(m.losses.len(), 3);
+        assert!(m.published <= 3);
+    }
+
+    #[test]
+    fn client_graph_counts_approvals() {
+        let mut sim = small_sim(5, false);
+        sim.run().unwrap();
+        let graph = sim.client_graph();
+        assert_eq!(graph.num_nodes(), 6);
+        // After a few rounds some inter-client approvals must exist.
+        assert!(graph.total_weight() > 0.0);
+    }
+
+    #[test]
+    fn approval_pureness_is_a_fraction() {
+        let mut sim = small_sim(5, false);
+        assert_eq!(sim.approval_pureness(), 1.0, "empty tangle is pure");
+        sim.run().unwrap();
+        let p = sim.approval_pureness();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn specialization_metrics_are_consistent() {
+        let mut sim = small_sim(6, false);
+        sim.run().unwrap();
+        let m = sim.specialization_metrics();
+        assert!((-0.5..=1.0).contains(&m.modularity));
+        assert!(m.partitions >= 1);
+        assert!((0.0..=1.0).contains(&m.misclassification));
+        assert_eq!(m.partition.len(), 6);
+    }
+
+    #[test]
+    fn reference_evaluations_cover_all_clients() {
+        let mut sim = small_sim(2, false);
+        sim.run().unwrap();
+        let evals = sim.reference_evaluations().unwrap();
+        assert_eq!(evals.len(), 6);
+        for (client, eval, _) in evals {
+            assert!(client < 6);
+            assert!((0.0..=1.0).contains(&eval.accuracy));
+        }
+    }
+
+    #[test]
+    fn determinism_for_fixed_seed() {
+        let mut a = small_sim(3, false);
+        let mut b = small_sim(3, false);
+        a.run().unwrap();
+        b.run().unwrap();
+        assert_eq!(a.tangle().len(), b.tangle().len());
+        let acc_a: Vec<f32> = a.history().iter().map(|m| m.mean_accuracy()).collect();
+        let acc_b: Vec<f32> = b.history().iter().map(|m| m.mean_accuracy()).collect();
+        assert_eq!(acc_a, acc_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "clients_per_round")]
+    fn oversized_round_panics() {
+        let dataset = fmnist_clustered(&FmnistConfig {
+            num_clients: 3,
+            samples_per_client: 40,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let config = DagConfig {
+            clients_per_round: 10,
+            ..DagConfig::default()
+        };
+        Simulation::new(config, dataset, factory(features));
+    }
+
+    #[test]
+    fn run_is_idempotent_after_completion() {
+        let mut sim = small_sim(2, false);
+        sim.run().unwrap();
+        let more = sim.run().unwrap();
+        assert!(more.is_empty());
+        assert_eq!(sim.round(), 2);
+    }
+}

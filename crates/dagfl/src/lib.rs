@@ -1,0 +1,81 @@
+//! **dagfl** — implicit model specialization through DAG-based
+//! decentralized federated learning.
+//!
+//! This umbrella crate re-exports the whole workspace behind one
+//! dependency, mirroring the system described in Beilharz, Pfitzner,
+//! Schmid et al., *"Implicit Model Specialization through DAG-based
+//! Decentralized Federated Learning"* (Middleware '21):
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`tensor`] | dense `f32` matrix math |
+//! | [`nn`] | layers, GRU, SGD (+ FedProx proximal term), parameter averaging |
+//! | [`datasets`] | synthetic federated datasets + poisoning transforms |
+//! | [`tangle`] | the DAG ledger substrate and random-walk engine |
+//! | [`graphs`] | modularity, Louvain and the specialization metrics |
+//! | [`dag`] | the Specializing DAG itself: biased tip selection, simulation, poisoning scenarios |
+//! | [`baselines`] | FedAvg and FedProx |
+//!
+//! The most common entry points are re-exported at the crate root.
+//!
+//! # Example
+//!
+//! ```
+//! use dagfl::{DagConfig, Simulation};
+//! use dagfl::datasets::{fmnist_clustered, FmnistConfig};
+//! use dagfl::nn::{Dense, Model, Relu, Sequential};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), dagfl::dag::CoreError> {
+//! let dataset = fmnist_clustered(&FmnistConfig {
+//!     num_clients: 6,
+//!     samples_per_client: 30,
+//!     ..FmnistConfig::default()
+//! });
+//! let features = dataset.feature_len();
+//! let config = DagConfig {
+//!     rounds: 2,
+//!     clients_per_round: 3,
+//!     local_batches: 2,
+//!     ..DagConfig::default()
+//! };
+//! let mut sim = Simulation::new(config, dataset, Arc::new(move |rng| {
+//!     Box::new(Sequential::new(vec![
+//!         Box::new(Dense::new(rng, features, 16)),
+//!         Box::new(Relu::new()),
+//!         Box::new(Dense::new(rng, 16, 10)),
+//!     ])) as Box<dyn Model>
+//! }));
+//! sim.run()?;
+//! println!("pureness: {:.2}", sim.approval_pureness());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use dagfl_baselines as baselines;
+pub use dagfl_core as dag;
+pub use dagfl_datasets as datasets;
+pub use dagfl_graphs as graphs;
+pub use dagfl_nn as nn;
+pub use dagfl_tangle as tangle;
+pub use dagfl_tensor as tensor;
+
+pub use dagfl_baselines::{FedConfig, FederatedServer};
+pub use dagfl_core::{
+    AsyncConfig, AsyncSimulation, DagConfig, Hyperparameters, Normalization, PoisoningConfig,
+    PoisoningScenario, PublishGate, Simulation, TipSelector,
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_reachable() {
+        let _ = crate::DagConfig::default();
+        let _ = crate::FedConfig::default();
+        let _ = crate::TipSelector::default();
+        let _ = crate::Normalization::default();
+    }
+}

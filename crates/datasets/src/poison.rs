@@ -1,0 +1,205 @@
+//! The flipped-label poisoning attack (§4.4, §5.3.4).
+//!
+//! The threat model (adopted from Schmid et al.): an attacker manipulates
+//! the *dataset* of some clients — e.g. by installing forged sensing
+//! hardware — swapping the labels of two classes in both the training and
+//! the test partition. The affected clients keep participating normally
+//! and cannot tell their data is forged.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::FederatedDataset;
+
+/// Which clients were poisoned and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonReport {
+    /// Ids of the clients whose labels were flipped.
+    pub poisoned_clients: Vec<u32>,
+    /// First flipped class (the paper uses 3).
+    pub class_a: usize,
+    /// Second flipped class (the paper uses 8).
+    pub class_b: usize,
+}
+
+impl PoisonReport {
+    /// Whether the given client is poisoned.
+    pub fn is_poisoned(&self, client: u32) -> bool {
+        self.poisoned_clients.contains(&client)
+    }
+}
+
+/// Flips labels `class_a` ↔ `class_b` for a random `fraction` of clients
+/// (in both train and test data) and returns which clients were affected.
+///
+/// `fraction` is the paper's parameter `p`; the number of poisoned clients
+/// is `round(p * num_clients)`.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]` or the classes are equal or out
+/// of range.
+pub fn flip_labels<R: Rng>(
+    dataset: &mut FederatedDataset,
+    class_a: usize,
+    class_b: usize,
+    fraction: f64,
+    rng: &mut R,
+) -> PoisonReport {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "poison fraction must be in [0, 1], got {fraction}"
+    );
+    assert_ne!(class_a, class_b, "flip classes must differ");
+    assert!(
+        class_a < dataset.num_classes() && class_b < dataset.num_classes(),
+        "flip classes out of range"
+    );
+    let mut ids: Vec<u32> = (0..dataset.num_clients() as u32).collect();
+    ids.shuffle(rng);
+    let count = (fraction * dataset.num_clients() as f64).round() as usize;
+    let mut poisoned: Vec<u32> = ids.into_iter().take(count).collect();
+    poisoned.sort_unstable();
+    flip_labels_for_clients(dataset, class_a, class_b, &poisoned);
+    PoisonReport {
+        poisoned_clients: poisoned,
+        class_a,
+        class_b,
+    }
+}
+
+/// Flips labels `class_a` ↔ `class_b` for exactly the given clients.
+///
+/// # Panics
+///
+/// Panics if a client id is out of range.
+pub fn flip_labels_for_clients(
+    dataset: &mut FederatedDataset,
+    class_a: usize,
+    class_b: usize,
+    clients: &[u32],
+) {
+    for &id in clients {
+        let client = dataset
+            .clients_mut()
+            .get_mut(id as usize)
+            .unwrap_or_else(|| panic!("client {id} out of range"));
+        let (train, test) = client.labels_mut();
+        for label in train.iter_mut().chain(test.iter_mut()) {
+            if *label == class_a {
+                *label = class_b;
+            } else if *label == class_b {
+                *label = class_a;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fmnist_by_author, FmnistConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> FederatedDataset {
+        fmnist_by_author(&FmnistConfig {
+            num_clients: 10,
+            samples_per_client: 100,
+            ..FmnistConfig::default()
+        })
+    }
+
+    #[test]
+    fn fraction_selects_expected_count() {
+        let mut ds = dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = flip_labels(&mut ds, 3, 8, 0.3, &mut rng);
+        assert_eq!(report.poisoned_clients.len(), 3);
+        assert_eq!(report.class_a, 3);
+        assert_eq!(report.class_b, 8);
+    }
+
+    #[test]
+    fn zero_fraction_poisons_nobody() {
+        let mut ds = dataset();
+        let before: Vec<Vec<usize>> = ds.clients().iter().map(|c| c.train_y().to_vec()).collect();
+        let report = flip_labels(&mut ds, 3, 8, 0.0, &mut StdRng::seed_from_u64(0));
+        assert!(report.poisoned_clients.is_empty());
+        for (client, labels) in ds.clients().iter().zip(&before) {
+            assert_eq!(client.train_y(), labels.as_slice());
+        }
+    }
+
+    #[test]
+    fn flip_swaps_exactly_the_two_classes() {
+        let mut ds = dataset();
+        let before = ds.clients()[0].train_y().to_vec();
+        flip_labels_for_clients(&mut ds, 3, 8, &[0]);
+        let after = ds.clients()[0].train_y();
+        for (b, a) in before.iter().zip(after) {
+            match *b {
+                3 => assert_eq!(*a, 8),
+                8 => assert_eq!(*a, 3),
+                other => assert_eq!(*a, other),
+            }
+        }
+    }
+
+    #[test]
+    fn flip_affects_test_labels_too() {
+        let mut ds = dataset();
+        let before = ds.clients()[2].test_y().to_vec();
+        flip_labels_for_clients(&mut ds, 3, 8, &[2]);
+        let after = ds.clients()[2].test_y();
+        let flipped = before
+            .iter()
+            .zip(after)
+            .filter(|(b, a)| b != a)
+            .count();
+        let expected = before.iter().filter(|&&l| l == 3 || l == 8).count();
+        assert_eq!(flipped, expected);
+    }
+
+    #[test]
+    fn unpoisoned_clients_are_untouched() {
+        let mut ds = dataset();
+        let before = ds.clients()[5].train_y().to_vec();
+        flip_labels_for_clients(&mut ds, 3, 8, &[0, 1]);
+        assert_eq!(ds.clients()[5].train_y(), before.as_slice());
+    }
+
+    #[test]
+    fn double_flip_restores_labels() {
+        let mut ds = dataset();
+        let before = ds.clients()[1].train_y().to_vec();
+        flip_labels_for_clients(&mut ds, 3, 8, &[1]);
+        flip_labels_for_clients(&mut ds, 3, 8, &[1]);
+        assert_eq!(ds.clients()[1].train_y(), before.as_slice());
+    }
+
+    #[test]
+    fn is_poisoned_lookup() {
+        let report = PoisonReport {
+            poisoned_clients: vec![1, 4],
+            class_a: 3,
+            class_b: 8,
+        };
+        assert!(report.is_poisoned(4));
+        assert!(!report.is_poisoned(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn equal_classes_panic() {
+        let mut ds = dataset();
+        flip_labels(&mut ds, 3, 3, 0.1, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_class_panics() {
+        let mut ds = dataset();
+        flip_labels(&mut ds, 3, 99, 0.1, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,293 @@
+//! Partition-quality metrics: modularity, component and label helpers.
+
+use std::collections::HashMap;
+
+use crate::Graph;
+
+/// Newman–Girvan modularity of a partition, in `[-1/2, 1]`.
+///
+/// Uses the community form `Q = Σ_C [Σ_in(C)/(2m) − (Σ_tot(C)/(2m))²]`,
+/// where `Σ_in(C)` counts intra-community adjacency in both directions
+/// (self-loops twice), `Σ_tot(C)` is the summed weighted degree and `m` the
+/// total edge weight.
+///
+/// Returns `0.0` for an edgeless graph (no structure to measure).
+///
+/// # Panics
+///
+/// Panics if `partition.len() != graph.num_nodes()`.
+pub fn modularity(graph: &Graph, partition: &[usize]) -> f64 {
+    assert_eq!(
+        partition.len(),
+        graph.num_nodes(),
+        "partition must label every node"
+    );
+    let m = graph.total_weight();
+    if m <= 0.0 {
+        return 0.0;
+    }
+    let two_m = 2.0 * m;
+    let mut internal: HashMap<usize, f64> = HashMap::new();
+    let mut total: HashMap<usize, f64> = HashMap::new();
+    for node in 0..graph.num_nodes() {
+        let c = partition[node];
+        *total.entry(c).or_insert(0.0) += graph.degree(node);
+        *internal.entry(c).or_insert(0.0) += 2.0 * graph.loop_weight(node);
+        for (neighbor, w) in graph.neighbors(node) {
+            if partition[neighbor] == c {
+                // Each intra edge is visited from both endpoints, which
+                // yields the required double counting.
+                *internal.entry(c).or_insert(0.0) += w;
+            }
+        }
+    }
+    let mut q = 0.0;
+    for (c, &tot) in &total {
+        let inn = internal.get(c).copied().unwrap_or(0.0);
+        q += inn / two_m - (tot / two_m) * (tot / two_m);
+    }
+    q
+}
+
+/// Number of distinct labels in a partition.
+pub fn partition_count(partition: &[usize]) -> usize {
+    let mut labels: Vec<usize> = partition.to_vec();
+    labels.sort_unstable();
+    labels.dedup();
+    labels.len()
+}
+
+/// Renumbers partition labels to the dense range `0..k`, preserving the
+/// order of first appearance.
+pub fn compact_labels(partition: &[usize]) -> Vec<usize> {
+    let mut mapping = HashMap::new();
+    let mut next = 0;
+    partition
+        .iter()
+        .map(|&label| {
+            *mapping.entry(label).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect()
+}
+
+/// Connected components of the graph; returns a dense component label per
+/// node (isolated nodes form their own components).
+pub fn connected_components(graph: &Graph) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut labels = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        labels[start] = next;
+        while let Some(node) = stack.pop() {
+            for (neighbor, _) in graph.neighbors(node) {
+                if labels[neighbor] == usize::MAX {
+                    labels[neighbor] = next;
+                    stack.push(neighbor);
+                }
+            }
+        }
+        next += 1;
+    }
+    labels
+}
+
+/// For each partition group, the ground-truth label held by the relative
+/// majority of its members (ties resolve to the smallest label for
+/// determinism). Returns a map from partition label to majority truth
+/// label.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn majority_labels(partition: &[usize], truth: &[usize]) -> HashMap<usize, usize> {
+    assert_eq!(partition.len(), truth.len(), "label slices differ in length");
+    let mut counts: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    for (&p, &t) in partition.iter().zip(truth) {
+        *counts.entry(p).or_default().entry(t).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(p, label_counts)| {
+            let majority = label_counts
+                .into_iter()
+                .max_by_key(|&(label, count)| (count, std::cmp::Reverse(label)))
+                .map(|(label, _)| label)
+                .expect("group is non-empty");
+            (p, majority)
+        })
+        .collect()
+}
+
+/// The paper's misclassification fraction (§4.3): the fraction of clients
+/// that ended up in a partition whose relative majority belongs to a
+/// different ground-truth cluster.
+///
+/// Returns `0.0` for empty input.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn misclassification_fraction(partition: &[usize], truth: &[usize]) -> f64 {
+    if partition.is_empty() {
+        return 0.0;
+    }
+    let majorities = majority_labels(partition, truth);
+    let misclassified = partition
+        .iter()
+        .zip(truth)
+        .filter(|&(p, t)| majorities[p] != *t)
+        .count();
+    misclassified as f64 / partition.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint triangles.
+    fn two_triangles() -> Graph {
+        let mut g = Graph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(a, b, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn modularity_of_perfect_split_is_half() {
+        // Two disconnected communities of equal weight: Q = 1/2.
+        let g = two_triangles();
+        let q = modularity(&g, &[0, 0, 0, 1, 1, 1]);
+        assert!((q - 0.5).abs() < 1e-9, "expected 0.5, got {q}");
+    }
+
+    #[test]
+    fn modularity_of_single_community_is_zero() {
+        let g = two_triangles();
+        let q = modularity(&g, &[0; 6]);
+        assert!(q.abs() < 1e-9);
+    }
+
+    #[test]
+    fn modularity_of_singletons_is_negative() {
+        let g = two_triangles();
+        let q = modularity(&g, &[0, 1, 2, 3, 4, 5]);
+        assert!(q < 0.0);
+    }
+
+    #[test]
+    fn modularity_bounds_hold() {
+        let g = two_triangles();
+        for partition in [
+            vec![0, 0, 0, 1, 1, 1],
+            vec![0, 1, 0, 1, 0, 1],
+            vec![0, 0, 1, 1, 2, 2],
+        ] {
+            let q = modularity(&g, &partition);
+            assert!((-0.5..=1.0).contains(&q), "q = {q} out of bounds");
+        }
+    }
+
+    #[test]
+    fn modularity_of_edgeless_graph_is_zero() {
+        let g = Graph::new(3);
+        assert_eq!(modularity(&g, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn modularity_with_self_loop_matches_hand_computation() {
+        // One edge (0,1,w=1) and a self-loop at 2 (w=1): m = 2.
+        // Partition all separate: k = [1, 1, 2].
+        // Q = (0/4 - (1/4)^2) * 2 + (2/4 - (2/4)^2) = -2/16 + 1/4 = 0.125.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 2, 1.0);
+        let q = modularity(&g, &[0, 1, 2]);
+        assert!((q - 0.125).abs() < 1e-9, "got {q}");
+    }
+
+    #[test]
+    #[should_panic(expected = "every node")]
+    fn modularity_rejects_short_partition() {
+        let g = two_triangles();
+        modularity(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn partition_count_counts_distinct() {
+        assert_eq!(partition_count(&[3, 3, 7, 1]), 3);
+        assert_eq!(partition_count(&[]), 0);
+    }
+
+    #[test]
+    fn compact_labels_preserves_structure() {
+        let compact = compact_labels(&[9, 4, 9, 2]);
+        assert_eq!(compact, vec![0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn connected_components_of_two_triangles() {
+        let g = two_triangles();
+        let comps = connected_components(&g);
+        assert_eq!(comps[0], comps[1]);
+        assert_eq!(comps[0], comps[2]);
+        assert_eq!(comps[3], comps[4]);
+        assert_ne!(comps[0], comps[3]);
+        assert_eq!(partition_count(&comps), 2);
+    }
+
+    #[test]
+    fn isolated_nodes_are_own_components() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let comps = connected_components(&g);
+        assert_eq!(comps[0], comps[1]);
+        assert_ne!(comps[0], comps[2]);
+    }
+
+    #[test]
+    fn majority_labels_finds_relative_majority() {
+        let partition = [0, 0, 0, 1, 1];
+        let truth = [7, 7, 8, 9, 9];
+        let majorities = majority_labels(&partition, &truth);
+        assert_eq!(majorities[&0], 7);
+        assert_eq!(majorities[&1], 9);
+    }
+
+    #[test]
+    fn misclassification_fraction_perfect_partition() {
+        let partition = [0, 0, 1, 1];
+        let truth = [5, 5, 6, 6];
+        assert_eq!(misclassification_fraction(&partition, &truth), 0.0);
+    }
+
+    #[test]
+    fn misclassification_fraction_counts_minority_members() {
+        // Group 0 = {A, A, B}: B is misclassified. Group 1 = {B}: fine.
+        let partition = [0, 0, 0, 1];
+        let truth = [0, 0, 1, 1];
+        assert!((misclassification_fraction(&partition, &truth) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misclassification_fraction_empty_is_zero() {
+        assert_eq!(misclassification_fraction(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn misclassification_merged_clusters_penalised() {
+        // All clients in one partition but two ground-truth clusters of
+        // unequal size: the minority cluster is fully misclassified.
+        let partition = [0, 0, 0, 0, 0];
+        let truth = [1, 1, 1, 2, 2];
+        assert!((misclassification_fraction(&partition, &truth) - 0.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for graph metrics.
+
+use dagfl_graphs::{
+    compact_labels, connected_components, louvain, misclassification_fraction, modularity,
+    partition_count, Graph,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arbitrary_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, 0.1f64..5.0), 0..max_edges).prop_map(
+            move |edges| {
+                let mut g = Graph::new(n);
+                for (a, b, w) in edges {
+                    g.add_edge(a, b, w);
+                }
+                g
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn modularity_within_bounds(g in arbitrary_graph(12, 30), seed in any::<u64>()) {
+        let labels = louvain(&g, &mut StdRng::seed_from_u64(seed));
+        let q = modularity(&g, &labels);
+        prop_assert!((-0.5 - 1e-9..=1.0 + 1e-9).contains(&q), "q = {q}");
+    }
+
+    #[test]
+    fn louvain_beats_or_matches_singletons(g in arbitrary_graph(12, 30), seed in any::<u64>()) {
+        let singletons: Vec<usize> = (0..g.num_nodes()).collect();
+        let labels = louvain(&g, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(modularity(&g, &labels) >= modularity(&g, &singletons) - 1e-9);
+    }
+
+    #[test]
+    fn louvain_labels_are_dense(g in arbitrary_graph(12, 30), seed in any::<u64>()) {
+        let labels = louvain(&g, &mut StdRng::seed_from_u64(seed));
+        let k = partition_count(&labels);
+        prop_assert!(labels.iter().all(|&l| l < k));
+    }
+
+    #[test]
+    fn louvain_never_splits_connected_components_apart(
+        g in arbitrary_graph(10, 20),
+        seed in any::<u64>(),
+    ) {
+        // Every Louvain community must live inside one connected component:
+        // nodes without any connection cannot gain modularity together.
+        let comps = connected_components(&g);
+        let labels = louvain(&g, &mut StdRng::seed_from_u64(seed));
+        for i in 0..g.num_nodes() {
+            for j in 0..g.num_nodes() {
+                if labels[i] == labels[j] {
+                    prop_assert_eq!(comps[i], comps[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compact_labels_is_idempotent(labels in proptest::collection::vec(0usize..20, 0..40)) {
+        let once = compact_labels(&labels);
+        let twice = compact_labels(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn compact_preserves_equality_structure(labels in proptest::collection::vec(0usize..20, 1..40)) {
+        let compact = compact_labels(&labels);
+        for i in 0..labels.len() {
+            for j in 0..labels.len() {
+                prop_assert_eq!(labels[i] == labels[j], compact[i] == compact[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn misclassification_in_unit_range(
+        labels in proptest::collection::vec(0usize..5, 1..30),
+        truth in proptest::collection::vec(0usize..5, 1..30),
+    ) {
+        let n = labels.len().min(truth.len());
+        let frac = misclassification_fraction(&labels[..n], &truth[..n]);
+        prop_assert!((0.0..=1.0).contains(&frac));
+    }
+
+    #[test]
+    fn perfect_partition_has_zero_misclassification(
+        truth in proptest::collection::vec(0usize..5, 1..30),
+    ) {
+        // Using the truth itself as partition: majority of every group is
+        // its own label.
+        prop_assert_eq!(misclassification_fraction(&truth, &truth), 0.0);
+    }
+
+    #[test]
+    fn components_count_decreases_with_added_edges(g in arbitrary_graph(10, 15)) {
+        let before = partition_count(&connected_components(&g));
+        let mut g2 = g.clone();
+        g2.add_edge(0, g.num_nodes() - 1, 1.0);
+        let after = partition_count(&connected_components(&g2));
+        prop_assert!(after <= before);
+    }
+}

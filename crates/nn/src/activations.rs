@@ -1,0 +1,216 @@
+//! Element-wise activation layers.
+
+use dagfl_tensor::Matrix;
+
+use crate::{Layer, NnError};
+
+/// Rectified linear unit: `y = max(0, x)`.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    cached_input: Option<Matrix>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+
+    fn forward(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
+        self.cached_input = Some(input.clone());
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn forward_inference(&self, input: &Matrix) -> Result<Matrix, NnError> {
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        Ok(grad_output.hadamard(&mask)?)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    cached_output: Option<Matrix>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+
+    fn forward(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
+        let out = input.map(f32::tanh);
+        self.cached_output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn forward_inference(&self, input: &Matrix) -> Result<Matrix, NnError> {
+        Ok(input.map(f32::tanh))
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("backward called before forward");
+        let deriv = out.map(|y| 1.0 - y * y);
+        Ok(grad_output.hadamard(&deriv)?)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Logistic sigmoid activation.
+#[derive(Debug, Clone, Default)]
+pub struct Sigmoid {
+    cached_output: Option<Matrix>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Numerically stable logistic function.
+pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Layer for Sigmoid {
+    fn name(&self) -> &'static str {
+        "Sigmoid"
+    }
+
+    fn forward(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
+        let out = input.map(sigmoid_scalar);
+        self.cached_output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn forward_inference(&self, input: &Matrix) -> Result<Matrix, NnError> {
+        Ok(input.map(sigmoid_scalar))
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("backward called before forward");
+        let deriv = out.map(|y| y * (1.0 - y));
+        Ok(grad_output.hadamard(&deriv)?)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]).unwrap();
+        let y = relu.forward(&x).unwrap();
+        assert_eq!(y.row(0), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks_negatives() {
+        let mut relu = Relu::new();
+        let x = Matrix::from_rows(&[&[-1.0, 0.5]]).unwrap();
+        relu.forward(&x).unwrap();
+        let g = Matrix::from_rows(&[&[3.0, 3.0]]).unwrap();
+        let gi = relu.backward(&g).unwrap();
+        assert_eq!(gi.row(0), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        let mut t = Tanh::new();
+        let x = Matrix::from_rows(&[&[0.0, 1.0, -1.0]]).unwrap();
+        let y = t.forward(&x).unwrap();
+        assert!((y[(0, 0)] - 0.0).abs() < 1e-6);
+        assert!((y[(0, 1)] - 1f32.tanh()).abs() < 1e-6);
+        assert!((y[(0, 2)] + 1f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_at_zero_is_one() {
+        let mut t = Tanh::new();
+        let x = Matrix::zeros(1, 1);
+        t.forward(&x).unwrap();
+        let g = Matrix::filled(1, 1, 2.0);
+        let gi = t.backward(&g).unwrap();
+        assert!((gi[(0, 0)] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        let mut s = Sigmoid::new();
+        let x = Matrix::from_rows(&[&[0.0, 100.0, -100.0]]).unwrap();
+        let y = s.forward(&x).unwrap();
+        assert!((y[(0, 0)] - 0.5).abs() < 1e-6);
+        assert!((y[(0, 1)] - 1.0).abs() < 1e-6);
+        assert!(y[(0, 2)].abs() < 1e-6);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn sigmoid_gradient_peak_at_zero() {
+        let mut s = Sigmoid::new();
+        s.forward(&Matrix::zeros(1, 1)).unwrap();
+        let gi = s.backward(&Matrix::filled(1, 1, 1.0)).unwrap();
+        assert!((gi[(0, 0)] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activations_have_no_parameters() {
+        assert_eq!(Relu::new().num_parameters(), 0);
+        assert_eq!(Tanh::new().num_parameters(), 0);
+        assert_eq!(Sigmoid::new().num_parameters(), 0);
+    }
+
+    #[test]
+    fn sigmoid_scalar_stable_for_extremes() {
+        assert!(sigmoid_scalar(1000.0).is_finite());
+        assert!(sigmoid_scalar(-1000.0).is_finite());
+        assert!((sigmoid_scalar(0.0) - 0.5).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,199 @@
+//! Fully connected layer.
+
+use dagfl_tensor::{he_uniform, Matrix};
+use rand::Rng;
+
+use crate::{Layer, NnError};
+
+/// A fully connected (affine) layer: `y = x W + b`.
+///
+/// Weights are stored as `in_features x out_features` so the forward pass is
+/// a single row-major matrix product; initialisation is He-uniform, matching
+/// the ReLU stacks used by the paper's CNN/MLP models.
+#[derive(Clone)]
+pub struct Dense {
+    weight: Matrix,
+    bias: Matrix,
+    grad_weight: Matrix,
+    grad_bias: Matrix,
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-uniform weights and zero bias.
+    pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        Self {
+            weight: he_uniform(rng, in_features, out_features),
+            bias: Matrix::zeros(1, out_features),
+            grad_weight: Matrix::zeros(in_features, out_features),
+            grad_bias: Matrix::zeros(1, out_features),
+            cached_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// The weight matrix (`in_features x out_features`).
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// The bias row vector (`1 x out_features`).
+    pub fn bias(&self) -> &Matrix {
+        &self.bias
+    }
+
+    fn affine(&self, input: &Matrix) -> Result<Matrix, NnError> {
+        let mut out = input.matmul(&self.weight)?;
+        out.add_row_broadcast(self.bias.as_slice())?;
+        Ok(out)
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+
+    fn forward(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
+        let out = self.affine(input)?;
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn forward_inference(&self, input: &Matrix) -> Result<Matrix, NnError> {
+        self.affine(input)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // dW = x^T g ; db = column sums of g ; dx = g W^T
+        self.grad_weight = input.transpose_matmul(grad_output)?;
+        self.grad_bias =
+            Matrix::from_vec(1, grad_output.cols(), grad_output.column_sums())
+                .expect("column_sums length matches cols");
+        let grad_input = grad_output.matmul_transpose(&self.weight)?;
+        Ok(grad_input)
+    }
+
+    fn visit_parameters(&self, visitor: &mut dyn FnMut(&Matrix)) {
+        visitor(&self.weight);
+        visitor(&self.bias);
+    }
+
+    fn apply_update(&mut self, update: &mut dyn FnMut(&mut Matrix, &Matrix)) {
+        update(&mut self.weight, &self.grad_weight);
+        update(&mut self.bias, &self.grad_bias);
+    }
+
+    fn load_parameters(&mut self, source: &mut dyn FnMut(&mut Matrix)) {
+        source(&mut self.weight);
+        source(&mut self.bias);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+impl std::fmt::Debug for Dense {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dense")
+            .field("in_features", &self.in_features())
+            .field("out_features", &self.out_features())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_applies_affine_map() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Dense::new(&mut rng, 2, 2);
+        // Overwrite with known weights.
+        let mut idx = 0;
+        let vals = [[1.0f32, 2.0], [3.0, 4.0]];
+        layer.load_parameters(&mut |m| {
+            if idx == 0 {
+                for r in 0..2 {
+                    for c in 0..2 {
+                        m[(r, c)] = vals[r][c];
+                    }
+                }
+            } else {
+                m[(0, 0)] = 10.0;
+                m[(0, 1)] = 20.0;
+            }
+            idx += 1;
+        });
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.row(0), &[14.0, 26.0]);
+    }
+
+    #[test]
+    fn forward_and_inference_agree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(&mut rng, 5, 3);
+        let x = Matrix::from_fn(4, 5, |r, c| (r * 5 + c) as f32 * 0.1);
+        let train = layer.forward(&x).unwrap();
+        let infer = layer.forward_inference(&x).unwrap();
+        assert_eq!(train, infer);
+    }
+
+    #[test]
+    fn backward_shapes_are_correct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Dense::new(&mut rng, 5, 3);
+        let x = Matrix::from_fn(4, 5, |_, _| 1.0);
+        layer.forward(&x).unwrap();
+        let grad = Matrix::from_fn(4, 3, |_, _| 1.0);
+        let grad_input = layer.backward(&grad).unwrap();
+        assert_eq!(grad_input.shape(), (4, 5));
+        layer.apply_update(&mut |p, g| assert_eq!(p.shape(), g.shape()));
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Dense::new(&mut rng, 2, 2);
+        let x = Matrix::zeros(3, 2);
+        layer.forward(&x).unwrap();
+        let grad = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        layer.backward(&grad).unwrap();
+        let mut seen = Vec::new();
+        layer.apply_update(&mut |_, g| seen.push(g.clone()));
+        // Second parameter is the bias.
+        assert_eq!(seen[1].row(0), &[9.0, 12.0]);
+    }
+
+    #[test]
+    fn num_parameters_counts_weight_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Dense::new(&mut rng, 7, 3);
+        assert_eq!(layer.num_parameters(), 7 * 3 + 3);
+    }
+
+    #[test]
+    fn rejects_wrong_input_width() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Dense::new(&mut rng, 7, 3);
+        assert!(layer.forward(&Matrix::zeros(1, 6)).is_err());
+    }
+}

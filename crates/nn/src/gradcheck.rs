@@ -1,0 +1,201 @@
+//! Numerical gradient checking for [`Model`] implementations.
+//!
+//! Every differentiable component in this crate is validated by comparing
+//! its analytic gradient against central finite differences. The helpers
+//! here are public so downstream crates adding custom models can reuse the
+//! same machinery.
+
+use dagfl_tensor::Matrix;
+
+use crate::{Model, NnError};
+
+/// Computes the numerical gradient of `model`'s loss on `(x, y)` by central
+/// differences with step `eps`.
+///
+/// This is O(#parameters) forward passes — use tiny models only.
+///
+/// # Errors
+///
+/// Propagates any model evaluation error.
+pub fn numerical_gradient(
+    model: &mut dyn Model,
+    x: &Matrix,
+    y: &[usize],
+    eps: f32,
+) -> Result<Vec<f32>, NnError> {
+    let base = model.parameters();
+    let mut grad = vec![0.0f32; base.len()];
+    let mut probe = base.clone();
+    for i in 0..base.len() {
+        probe[i] = base[i] + eps;
+        model.set_parameters(&probe)?;
+        let plus = model.evaluate(x, y)?.loss;
+        probe[i] = base[i] - eps;
+        model.set_parameters(&probe)?;
+        let minus = model.evaluate(x, y)?.loss;
+        probe[i] = base[i];
+        grad[i] = (plus - minus) / (2.0 * eps);
+    }
+    model.set_parameters(&base)?;
+    Ok(grad)
+}
+
+/// The maximum relative error between two gradient vectors, using the
+/// standard `|a - b| / max(|a|, |b|, floor)` metric.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn max_relative_error(analytic: &[f32], numeric: &[f32], floor: f32) -> f32 {
+    assert_eq!(analytic.len(), numeric.len(), "gradient lengths differ");
+    analytic
+        .iter()
+        .zip(numeric)
+        .map(|(&a, &n)| (a - n).abs() / a.abs().max(n.abs()).max(floor))
+        .fold(0.0, f32::max)
+}
+
+/// Asserts that a model's analytic gradient matches finite differences on
+/// the given batch.
+///
+/// # Panics
+///
+/// Panics if the relative error exceeds `tolerance` or evaluation fails.
+pub fn assert_gradients_match(
+    model: &mut dyn Model,
+    x: &Matrix,
+    y: &[usize],
+    eps: f32,
+    tolerance: f32,
+) {
+    let (_, analytic) = model
+        .loss_and_gradient(x, y)
+        .expect("analytic gradient failed");
+    let numeric = numerical_gradient(model, x, y, eps).expect("numeric gradient failed");
+    let err = max_relative_error(&analytic, &numeric, 1e-2);
+    assert!(
+        err < tolerance,
+        "gradient mismatch: max relative error {err} exceeds tolerance {tolerance}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CharRnn, Conv2d, Dense, ImageShape, MaxPool2d, Relu, Sequential, Sigmoid, Tanh};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn batch(features: usize, classes: usize) -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_fn(4, features, |r, c| {
+            ((r * features + c) % 7) as f32 * 0.31 - 1.0
+        });
+        let y = (0..4).map(|r| r % classes).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn dense_gradients_match_numeric() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Sequential::new(vec![Box::new(Dense::new(&mut rng, 3, 4))]);
+        let (x, y) = batch(3, 4);
+        assert_gradients_match(&mut model, &x, &y, 1e-2, 0.05);
+    }
+
+    #[test]
+    fn mlp_relu_gradients_match_numeric() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = Sequential::new(vec![
+            Box::new(Dense::new(&mut rng, 4, 6)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(&mut rng, 6, 3)),
+        ]);
+        let (x, y) = batch(4, 3);
+        assert_gradients_match(&mut model, &x, &y, 1e-2, 0.08);
+    }
+
+    #[test]
+    fn mlp_tanh_gradients_match_numeric() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = Sequential::new(vec![
+            Box::new(Dense::new(&mut rng, 4, 5)),
+            Box::new(Tanh::new()),
+            Box::new(Dense::new(&mut rng, 5, 3)),
+        ]);
+        let (x, y) = batch(4, 3);
+        assert_gradients_match(&mut model, &x, &y, 1e-2, 0.08);
+    }
+
+    #[test]
+    fn mlp_sigmoid_gradients_match_numeric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = Sequential::new(vec![
+            Box::new(Dense::new(&mut rng, 4, 5)),
+            Box::new(Sigmoid::new()),
+            Box::new(Dense::new(&mut rng, 5, 2)),
+        ]);
+        let (x, y) = batch(4, 2);
+        assert_gradients_match(&mut model, &x, &y, 1e-2, 0.08);
+    }
+
+    #[test]
+    fn conv_gradients_match_numeric() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let shape = ImageShape::new(1, 4, 4);
+        let conv = Conv2d::new(&mut rng, shape, 2, 3, 1, 1);
+        let flat = conv.out_shape().len();
+        let mut model = Sequential::new(vec![
+            Box::new(conv),
+            Box::new(Dense::new(&mut rng, flat, 2)),
+        ]);
+        let (x, y) = batch(16, 2);
+        assert_gradients_match(&mut model, &x, &y, 1e-2, 0.08);
+    }
+
+    #[test]
+    fn conv_pool_gradients_match_numeric() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let shape = ImageShape::new(1, 4, 4);
+        let conv = Conv2d::new(&mut rng, shape, 2, 3, 1, 1);
+        let pool = MaxPool2d::new(conv.out_shape(), 2, 2);
+        let flat = pool.out_shape().len();
+        let mut model = Sequential::new(vec![
+            Box::new(conv),
+            Box::new(Relu::new()),
+            Box::new(pool),
+            Box::new(Dense::new(&mut rng, flat, 2)),
+        ]);
+        // Tie-free input: identical pixel values inside a pooling window
+        // make the argmax non-differentiable and break finite differences.
+        let mut state = 0x9e3779b9u32;
+        let x = Matrix::from_fn(4, 16, |_, _| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+        });
+        let y = vec![0, 1, 0, 1];
+        // Max-pool argmax switches make numeric gradients noisier.
+        assert_gradients_match(&mut model, &x, &y, 1e-3, 0.15);
+    }
+
+    #[test]
+    fn char_rnn_gradients_match_numeric() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut model = CharRnn::new(&mut rng, 5, 3, 4);
+        let x = Matrix::from_fn(3, 4, |r, t| ((r + 2 * t) % 5) as f32);
+        let y = vec![0, 2, 4];
+        assert_gradients_match(&mut model, &x, &y, 1e-2, 0.1);
+    }
+
+    #[test]
+    fn max_relative_error_zero_for_identical() {
+        let g = vec![1.0, -2.0, 0.0];
+        assert_eq!(max_relative_error(&g, &g, 1e-3), 0.0);
+    }
+
+    #[test]
+    fn max_relative_error_detects_mismatch() {
+        let a = vec![1.0];
+        let b = vec![2.0];
+        assert!(max_relative_error(&a, &b, 1e-3) > 0.4);
+    }
+}

@@ -1,0 +1,77 @@
+//! A minimal, self-contained neural-network library for federated-learning
+//! simulation.
+//!
+//! The paper's prototype runs TensorFlow models from the LEAF benchmark; this
+//! crate provides an equivalent substrate implemented from scratch on top of
+//! [`dagfl-tensor`]:
+//!
+//! * a [`Layer`] trait with [`Dense`], [`Relu`]/[`Tanh`]/[`Sigmoid`]
+//!   activations, [`Conv2d`] and [`MaxPool2d`] (the LEAF CNN building
+//!   blocks),
+//! * [`Sequential`] feed-forward models and a [`CharRnn`]
+//!   (Embedding → GRU → Dense) next-character model with full
+//!   backpropagation through time,
+//! * the object-safe [`Model`] trait that every federated-learning algorithm
+//!   in the workspace programs against: flat parameter vectors (for model
+//!   averaging on the DAG), mini-batch SGD training (with the FedProx
+//!   proximal term), and evaluation,
+//! * parameter-vector helpers ([`average_parameters`]) and a dependency-free
+//!   binary codec ([`encode_parameters`]/[`decode_parameters`]) for
+//!   snapshotting model weights.
+//!
+//! All gradients are verified against numerical differentiation in the test
+//! suite (see [`gradcheck`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dagfl_nn::{Dense, Model, Relu, Sequential, SgdConfig};
+//! use dagfl_tensor::Matrix;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), dagfl_nn::NnError> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut model = Sequential::new(vec![
+//!     Box::new(Dense::new(&mut rng, 4, 16)),
+//!     Box::new(Relu::new()),
+//!     Box::new(Dense::new(&mut rng, 16, 3)),
+//! ]);
+//! let x = Matrix::from_fn(8, 4, |r, c| ((r + c) % 3) as f32);
+//! let y = vec![0, 1, 2, 0, 1, 2, 0, 1];
+//! let loss = model.train_batch(&x, &y, &SgdConfig::new(0.1))?;
+//! assert!(loss.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`dagfl-tensor`]: ../dagfl_tensor/index.html
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod activations;
+mod conv;
+mod dense;
+mod dropout;
+mod embedding;
+mod error;
+pub mod gradcheck;
+mod model;
+mod optimizer;
+mod params;
+mod rnn;
+mod sequential;
+
+pub use activations::{Relu, Sigmoid, Tanh};
+pub use conv::{Conv2d, ImageShape, MaxPool2d};
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use error::NnError;
+pub use model::{Evaluation, Model};
+pub use optimizer::SgdConfig;
+pub use params::{
+    average_parameters, decode_parameters, encode_parameters, weighted_average_parameters,
+};
+pub use rnn::{CharRnn, GruCell};
+pub use sequential::{Layer, Sequential};

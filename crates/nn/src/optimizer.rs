@@ -1,0 +1,243 @@
+//! SGD configuration, including the FedProx proximal term.
+
+use std::sync::Arc;
+
+/// Configuration for a single mini-batch SGD step.
+///
+/// The plain update is `w ← w − lr · ∇L(w)`. When a proximal term is
+/// configured (FedProx, Li et al.), the effective gradient becomes
+/// `∇L(w) + μ · (w − w_ref)`, pulling local training towards the global
+/// reference model `w_ref`.
+///
+/// # Example
+///
+/// ```
+/// use dagfl_nn::SgdConfig;
+/// use std::sync::Arc;
+///
+/// let plain = SgdConfig::new(0.05);
+/// let global = Arc::new(vec![0.0_f32; 10]);
+/// let prox = SgdConfig::new(0.05).with_proximal(0.1, global);
+/// assert!(plain.proximal().is_none());
+/// assert!(prox.proximal().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SgdConfig {
+    learning_rate: f32,
+    proximal: Option<Proximal>,
+    frozen_prefix: usize,
+    weight_decay: f32,
+}
+
+/// The FedProx proximal term: strength `mu` and the reference parameters.
+#[derive(Debug, Clone)]
+pub struct Proximal {
+    mu: f32,
+    reference: Arc<Vec<f32>>,
+}
+
+impl Proximal {
+    /// The proximal strength μ.
+    pub fn mu(&self) -> f32 {
+        self.mu
+    }
+
+    /// The reference (global) parameter vector the update is pulled towards.
+    pub fn reference(&self) -> &[f32] {
+        &self.reference
+    }
+}
+
+impl SgdConfig {
+    /// Creates a plain SGD configuration with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not finite and positive.
+    pub fn new(learning_rate: f32) -> Self {
+        assert!(
+            learning_rate.is_finite() && learning_rate > 0.0,
+            "learning rate must be finite and positive, got {learning_rate}"
+        );
+        Self {
+            learning_rate,
+            proximal: None,
+            frozen_prefix: 0,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Adds L2 weight decay: the effective gradient gains `decay * w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is negative or not finite.
+    pub fn with_weight_decay(mut self, decay: f32) -> Self {
+        assert!(
+            decay.is_finite() && decay >= 0.0,
+            "weight decay must be finite and non-negative, got {decay}"
+        );
+        self.weight_decay = decay;
+        self
+    }
+
+    /// The L2 weight-decay coefficient.
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+
+    /// Adds a FedProx proximal term pulling towards `reference` with
+    /// strength `mu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is negative or not finite.
+    pub fn with_proximal(mut self, mu: f32, reference: Arc<Vec<f32>>) -> Self {
+        assert!(
+            mu.is_finite() && mu >= 0.0,
+            "proximal mu must be finite and non-negative, got {mu}"
+        );
+        self.proximal = Some(Proximal { mu, reference });
+        self
+    }
+
+    /// Freezes the first `n` parameters (in flat-vector order): their
+    /// gradients are ignored during updates.
+    ///
+    /// This enables the partial-layer personalisation the paper names as
+    /// future work (§6): early (shared) layers can be pinned while later
+    /// layers specialise. The flat parameter order of [`Sequential`] is
+    /// layer-by-layer, so freezing a prefix freezes whole leading layers.
+    ///
+    /// [`Sequential`]: crate::Sequential
+    pub fn with_frozen_prefix(mut self, n: usize) -> Self {
+        self.frozen_prefix = n;
+        self
+    }
+
+    /// Number of frozen leading parameters.
+    pub fn frozen_prefix(&self) -> usize {
+        self.frozen_prefix
+    }
+
+    /// Whether the parameter at flat index `offset` may be updated.
+    pub fn is_trainable(&self, offset: usize) -> bool {
+        offset >= self.frozen_prefix
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// The proximal term, if configured.
+    pub fn proximal(&self) -> Option<&Proximal> {
+        self.proximal.as_ref()
+    }
+
+    /// The effective gradient contribution of the proximal term for the
+    /// parameter at flat index `offset`, given its current value.
+    ///
+    /// Returns `0.0` when no proximal term is configured or the offset is
+    /// outside the reference vector (e.g. architectures diverged).
+    pub fn proximal_pull(&self, offset: usize, current: f32) -> f32 {
+        match &self.proximal {
+            Some(p) => p
+                .reference
+                .get(offset)
+                .map_or(0.0, |&r| p.mu * (current - r)),
+            None => 0.0,
+        }
+    }
+
+    /// The total regularisation gradient (proximal pull + weight decay)
+    /// for the parameter at flat index `offset`.
+    pub fn regularization_pull(&self, offset: usize, current: f32) -> f32 {
+        self.proximal_pull(offset, current) + self.weight_decay * current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_config_has_no_pull() {
+        let cfg = SgdConfig::new(0.1);
+        assert_eq!(cfg.proximal_pull(0, 5.0), 0.0);
+        assert_eq!(cfg.learning_rate(), 0.1);
+    }
+
+    #[test]
+    fn proximal_pull_is_mu_times_distance() {
+        let reference = Arc::new(vec![1.0, 2.0]);
+        let cfg = SgdConfig::new(0.1).with_proximal(0.5, reference);
+        assert!((cfg.proximal_pull(0, 3.0) - 1.0).abs() < 1e-6);
+        assert!((cfg.proximal_pull(1, 2.0) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn proximal_pull_out_of_range_is_zero() {
+        let cfg = SgdConfig::new(0.1).with_proximal(0.5, Arc::new(vec![1.0]));
+        assert_eq!(cfg.proximal_pull(10, 3.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn zero_learning_rate_panics() {
+        SgdConfig::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "proximal mu")]
+    fn negative_mu_panics() {
+        SgdConfig::new(0.1).with_proximal(-1.0, Arc::new(vec![]));
+    }
+
+    #[test]
+    fn weight_decay_adds_l2_pull() {
+        let cfg = SgdConfig::new(0.1).with_weight_decay(0.01);
+        assert!((cfg.regularization_pull(0, 2.0) - 0.02).abs() < 1e-8);
+        assert_eq!(cfg.weight_decay(), 0.01);
+    }
+
+    #[test]
+    fn regularization_combines_prox_and_decay() {
+        let cfg = SgdConfig::new(0.1)
+            .with_weight_decay(0.1)
+            .with_proximal(0.5, Arc::new(vec![1.0]));
+        // prox: 0.5 * (3 - 1) = 1.0; decay: 0.1 * 3 = 0.3.
+        assert!((cfg.regularization_pull(0, 3.0) - 1.3).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight decay")]
+    fn negative_weight_decay_panics() {
+        SgdConfig::new(0.1).with_weight_decay(-0.1);
+    }
+
+    #[test]
+    fn frozen_prefix_gates_trainability() {
+        let cfg = SgdConfig::new(0.1).with_frozen_prefix(5);
+        assert_eq!(cfg.frozen_prefix(), 5);
+        assert!(!cfg.is_trainable(0));
+        assert!(!cfg.is_trainable(4));
+        assert!(cfg.is_trainable(5));
+    }
+
+    #[test]
+    fn default_has_no_frozen_prefix() {
+        let cfg = SgdConfig::new(0.1);
+        assert_eq!(cfg.frozen_prefix(), 0);
+        assert!(cfg.is_trainable(0));
+    }
+
+    #[test]
+    fn proximal_accessors() {
+        let reference = Arc::new(vec![1.0, 2.0]);
+        let cfg = SgdConfig::new(0.1).with_proximal(0.25, reference);
+        let p = cfg.proximal().unwrap();
+        assert_eq!(p.mu(), 0.25);
+        assert_eq!(p.reference(), &[1.0, 2.0]);
+    }
+}

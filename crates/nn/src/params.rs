@@ -1,0 +1,221 @@
+//! Flat parameter-vector helpers: averaging (the heart of federated
+//! learning) and a dependency-free binary codec for snapshots.
+
+use crate::NnError;
+
+/// Element-wise mean of several parameter vectors.
+///
+/// This is the aggregation primitive of both FedAvg (over all client
+/// updates) and the Specializing DAG (over the two approved tip models).
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or the vectors have different lengths.
+///
+/// # Example
+///
+/// ```
+/// let a = vec![0.0, 2.0];
+/// let b = vec![2.0, 4.0];
+/// assert_eq!(dagfl_nn::average_parameters(&[&a, &b]), vec![1.0, 3.0]);
+/// ```
+pub fn average_parameters(vectors: &[&[f32]]) -> Vec<f32> {
+    assert!(!vectors.is_empty(), "cannot average zero parameter vectors");
+    let len = vectors[0].len();
+    let mut out = vec![0.0f32; len];
+    let scale = 1.0 / vectors.len() as f32;
+    for v in vectors {
+        assert_eq!(v.len(), len, "parameter vectors differ in length");
+        for (o, &x) in out.iter_mut().zip(*v) {
+            *o += x * scale;
+        }
+    }
+    out
+}
+
+/// Weighted element-wise mean of parameter vectors.
+///
+/// FedAvg weights client updates by their sample counts; weights are
+/// normalised internally.
+///
+/// # Panics
+///
+/// Panics if inputs are empty, lengths mismatch, or all weights are zero.
+pub fn weighted_average_parameters(vectors: &[&[f32]], weights: &[f32]) -> Vec<f32> {
+    assert!(!vectors.is_empty(), "cannot average zero parameter vectors");
+    assert_eq!(
+        vectors.len(),
+        weights.len(),
+        "one weight per parameter vector required"
+    );
+    let total: f32 = weights.iter().sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let len = vectors[0].len();
+    let mut out = vec![0.0f32; len];
+    for (v, &w) in vectors.iter().zip(weights) {
+        assert_eq!(v.len(), len, "parameter vectors differ in length");
+        let scale = w / total;
+        for (o, &x) in out.iter_mut().zip(*v) {
+            *o += x * scale;
+        }
+    }
+    out
+}
+
+const MAGIC: &[u8; 4] = b"DFLP";
+const VERSION: u8 = 1;
+
+/// Encodes a parameter vector into a self-describing little-endian binary
+/// blob (`DFLP` magic, version byte, length, payload).
+pub fn encode_parameters(params: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 8 + params.len() * 4);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    for p in params {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a blob produced by [`encode_parameters`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Codec`] for truncated data, a wrong magic number or an
+/// unsupported version.
+pub fn decode_parameters(bytes: &[u8]) -> Result<Vec<f32>, NnError> {
+    if bytes.len() < 13 {
+        return Err(NnError::Codec(format!(
+            "blob too short: {} bytes",
+            bytes.len()
+        )));
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(NnError::Codec("bad magic number".into()));
+    }
+    if bytes[4] != VERSION {
+        return Err(NnError::Codec(format!("unsupported version {}", bytes[4])));
+    }
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&bytes[5..13]);
+    let len = u64::from_le_bytes(len_bytes) as usize;
+    let payload = &bytes[13..];
+    if payload.len() != len * 4 {
+        return Err(NnError::Codec(format!(
+            "expected {} payload bytes, got {}",
+            len * 4,
+            payload.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(len);
+    for chunk in payload.chunks_exact(4) {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(chunk);
+        out.push(f32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_of_identical_vectors_is_identity() {
+        let v = vec![1.0, -2.0, 3.5];
+        let avg = average_parameters(&[&v, &v, &v]);
+        for (a, b) in avg.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn average_known_values() {
+        let a = vec![0.0, 10.0];
+        let b = vec![4.0, 20.0];
+        assert_eq!(average_parameters(&[&a, &b]), vec![2.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parameter vectors")]
+    fn average_empty_panics() {
+        average_parameters(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn average_mismatched_lengths_panics() {
+        let a = vec![1.0];
+        let b = vec![1.0, 2.0];
+        average_parameters(&[&a, &b]);
+    }
+
+    #[test]
+    fn weighted_average_reduces_to_plain_for_equal_weights() {
+        let a = vec![1.0, 3.0];
+        let b = vec![3.0, 5.0];
+        let plain = average_parameters(&[&a, &b]);
+        let weighted = weighted_average_parameters(&[&a, &b], &[2.0, 2.0]);
+        for (p, w) in plain.iter().zip(&weighted) {
+            assert!((p - w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weighted_average_respects_weights() {
+        let a = vec![0.0];
+        let b = vec![10.0];
+        let avg = weighted_average_parameters(&[&a, &b], &[3.0, 1.0]);
+        assert!((avg[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "all be zero")]
+    fn weighted_average_zero_weights_panics() {
+        let a = vec![0.0];
+        weighted_average_parameters(&[&a], &[0.0]);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let params = vec![0.0, -1.5, 3.25, f32::MIN_POSITIVE, 1e30];
+        let bytes = encode_parameters(&params);
+        assert_eq!(decode_parameters(&bytes).unwrap(), params);
+    }
+
+    #[test]
+    fn codec_roundtrip_empty() {
+        let bytes = encode_parameters(&[]);
+        assert_eq!(decode_parameters(&bytes).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn codec_rejects_short_blob() {
+        assert!(matches!(
+            decode_parameters(&[1, 2, 3]),
+            Err(NnError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn codec_rejects_bad_magic() {
+        let mut bytes = encode_parameters(&[1.0]);
+        bytes[0] = b'X';
+        assert!(matches!(decode_parameters(&bytes), Err(NnError::Codec(_))));
+    }
+
+    #[test]
+    fn codec_rejects_bad_version() {
+        let mut bytes = encode_parameters(&[1.0]);
+        bytes[4] = 99;
+        assert!(matches!(decode_parameters(&bytes), Err(NnError::Codec(_))));
+    }
+
+    #[test]
+    fn codec_rejects_truncated_payload() {
+        let mut bytes = encode_parameters(&[1.0, 2.0]);
+        bytes.truncate(bytes.len() - 2);
+        assert!(matches!(decode_parameters(&bytes), Err(NnError::Codec(_))));
+    }
+}

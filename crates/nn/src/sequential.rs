@@ -1,0 +1,499 @@
+//! The [`Layer`] trait and [`Sequential`] feed-forward models.
+
+use dagfl_tensor::{argmax, softmax_cross_entropy, softmax_in_place, Matrix};
+
+use crate::{Evaluation, Model, NnError, SgdConfig};
+
+/// A differentiable layer in a [`Sequential`] model.
+///
+/// Layers are stateful: [`Layer::forward`] caches whatever the subsequent
+/// [`Layer::backward`] call needs, while [`Layer::forward_inference`] runs
+/// without mutating the layer (used for evaluation and prediction).
+///
+/// Parameterised layers expose their parameters and gradients through
+/// [`Layer::visit_parameters`] / [`Layer::apply_update`]; stateless layers
+/// use the default no-op implementations.
+pub trait Layer: Send {
+    /// A short human-readable layer name (for debugging output).
+    fn name(&self) -> &'static str;
+
+    /// Training-mode forward pass; caches activations for the backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` has the wrong width for this layer.
+    fn forward(&mut self, input: &Matrix) -> Result<Matrix, NnError>;
+
+    /// Inference-mode forward pass; does not mutate the layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` has the wrong width for this layer.
+    fn forward_inference(&self, input: &Matrix) -> Result<Matrix, NnError>;
+
+    /// Backward pass: consumes the gradient w.r.t. this layer's output and
+    /// returns the gradient w.r.t. its input, storing parameter gradients
+    /// internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `grad_output` does not match the shape produced
+    /// by the preceding [`Layer::forward`] call.
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError>;
+
+    /// Calls `visitor` once per parameter matrix, in a stable order.
+    fn visit_parameters(&self, visitor: &mut dyn FnMut(&Matrix)) {
+        let _ = visitor;
+    }
+
+    /// Calls `update` once per `(parameter, gradient)` pair, in the same
+    /// stable order as [`Layer::visit_parameters`].
+    fn apply_update(&mut self, update: &mut dyn FnMut(&mut Matrix, &Matrix)) {
+        let _ = update;
+    }
+
+    /// Overwrites parameters by reading `source` once per parameter matrix.
+    fn load_parameters(&mut self, source: &mut dyn FnMut(&mut Matrix)) {
+        let _ = source;
+    }
+
+    /// Total number of scalar parameters in this layer.
+    fn num_parameters(&self) -> usize {
+        let mut n = 0;
+        self.visit_parameters(&mut |m| n += m.len());
+        n
+    }
+
+    /// Clones the layer into a new box.
+    fn boxed_clone(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// A feed-forward stack of [`Layer`]s trained with softmax cross-entropy.
+///
+/// The final layer must produce class logits; [`Sequential`] owns the fused
+/// softmax + cross-entropy loss so that layers never need to special-case
+/// the output activation.
+///
+/// # Example
+///
+/// ```
+/// use dagfl_nn::{Dense, Model, Relu, Sequential};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let model = Sequential::new(vec![
+///     Box::new(Dense::new(&mut rng, 8, 4)),
+///     Box::new(Relu::new()),
+///     Box::new(Dense::new(&mut rng, 4, 2)),
+/// ]);
+/// assert_eq!(model.num_parameters(), 8 * 4 + 4 + 4 * 2 + 2);
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a model from an ordered stack of layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!layers.is_empty(), "a Sequential model needs layers");
+        Self { layers }
+    }
+
+    /// The layers of the model, in order.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Runs the inference forward pass and returns the raw logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` has the wrong width for the first layer.
+    pub fn logits(&self, x: &Matrix) -> Result<Matrix, NnError> {
+        let mut activ = None;
+        for layer in &self.layers {
+            let input = activ.as_ref().unwrap_or(x);
+            activ = Some(layer.forward_inference(input)?);
+        }
+        Ok(activ.expect("at least one layer"))
+    }
+
+    /// Runs the inference forward pass and returns class probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` has the wrong width for the first layer.
+    pub fn probabilities(&self, x: &Matrix) -> Result<Matrix, NnError> {
+        let mut logits = self.logits(x)?;
+        softmax_in_place(&mut logits);
+        Ok(logits)
+    }
+
+    /// Training forward + backward, leaving gradients stored in the layers.
+    /// Returns the batch loss.
+    fn forward_backward(&mut self, x: &Matrix, y: &[usize]) -> Result<f32, NnError> {
+        if x.rows() != y.len() {
+            return Err(NnError::BatchMismatch {
+                inputs: x.rows(),
+                labels: y.len(),
+            });
+        }
+        let mut activ = None;
+        for layer in &mut self.layers {
+            let input = activ.as_ref().unwrap_or(x);
+            activ = Some(layer.forward(input)?);
+        }
+        let logits = activ.expect("at least one layer");
+        let classes = logits.cols();
+        if let Some(&bad) = y.iter().find(|&&label| label >= classes) {
+            return Err(NnError::LabelOutOfRange {
+                label: bad,
+                classes,
+            });
+        }
+        let (mut grad, loss) = softmax_cross_entropy(&logits, y);
+        // d(mean CE)/d(logits) = (p - onehot) / batch
+        let scale = 1.0 / y.len().max(1) as f32;
+        for (r, &label) in y.iter().enumerate() {
+            grad[(r, label)] -= 1.0;
+        }
+        grad.scale_assign(scale);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(loss)
+    }
+
+    /// Applies `w ← w − lr (g + prox)` across all layers, walking the flat
+    /// parameter offset for the proximal reference lookup.
+    fn apply_sgd(&mut self, opt: &SgdConfig) {
+        let lr = opt.learning_rate();
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            layer.apply_update(&mut |param, grad| {
+                debug_assert_eq!(param.shape(), grad.shape());
+                let p = param.as_mut_slice();
+                let g = grad.as_slice();
+                for (i, (w, &gv)) in p.iter_mut().zip(g).enumerate() {
+                    if !opt.is_trainable(offset + i) {
+                        continue;
+                    }
+                    let pull = opt.regularization_pull(offset + i, *w);
+                    *w -= lr * (gv + pull);
+                }
+                offset += g.len();
+            });
+        }
+    }
+
+    fn collect_gradients(&mut self) -> Vec<f32> {
+        let mut grads = Vec::with_capacity(self.num_parameters());
+        for layer in &mut self.layers {
+            layer.apply_update(&mut |_, grad| grads.extend_from_slice(grad.as_slice()));
+        }
+        grads
+    }
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Self {
+            layers: self.layers.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .field("num_parameters", &self.num_parameters())
+            .finish()
+    }
+}
+
+impl Model for Sequential {
+    fn num_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.num_parameters()).sum()
+    }
+
+    fn parameters(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        for layer in &self.layers {
+            layer.visit_parameters(&mut |m| out.extend_from_slice(m.as_slice()));
+        }
+        out
+    }
+
+    fn set_parameters(&mut self, params: &[f32]) -> Result<(), NnError> {
+        let expected = self.num_parameters();
+        if params.len() != expected {
+            return Err(NnError::ParameterCount {
+                expected,
+                actual: params.len(),
+            });
+        }
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            layer.load_parameters(&mut |m| {
+                let len = m.len();
+                m.as_mut_slice().copy_from_slice(&params[offset..offset + len]);
+                offset += len;
+            });
+        }
+        debug_assert_eq!(offset, expected);
+        Ok(())
+    }
+
+    fn train_batch(&mut self, x: &Matrix, y: &[usize], opt: &SgdConfig) -> Result<f32, NnError> {
+        let loss = self.forward_backward(x, y)?;
+        self.apply_sgd(opt);
+        Ok(loss)
+    }
+
+    fn loss_and_gradient(&mut self, x: &Matrix, y: &[usize]) -> Result<(f32, Vec<f32>), NnError> {
+        let loss = self.forward_backward(x, y)?;
+        Ok((loss, self.collect_gradients()))
+    }
+
+    fn evaluate(&self, x: &Matrix, y: &[usize]) -> Result<Evaluation, NnError> {
+        if x.rows() != y.len() {
+            return Err(NnError::BatchMismatch {
+                inputs: x.rows(),
+                labels: y.len(),
+            });
+        }
+        if y.is_empty() {
+            return Ok(Evaluation::default());
+        }
+        let logits = self.logits(x)?;
+        let (probs, loss) = softmax_cross_entropy(&logits, y);
+        let mut correct = 0;
+        for (r, &label) in y.iter().enumerate() {
+            if argmax(probs.row(r)) == label {
+                correct += 1;
+            }
+        }
+        Ok(Evaluation {
+            loss,
+            accuracy: correct as f32 / y.len() as f32,
+            correct,
+            total: y.len(),
+        })
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<usize>, NnError> {
+        let logits = self.logits(x)?;
+        Ok((0..logits.rows()).map(|r| argmax(logits.row(r))).collect())
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new(vec![
+            Box::new(Dense::new(&mut rng, 4, 8)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(&mut rng, 8, 3)),
+        ])
+    }
+
+    fn toy_batch() -> (Matrix, Vec<usize>) {
+        // Three separable clusters on the 4-dim simplex corners.
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.9, 0.1, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.9, 0.1, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[0.0, 0.1, 0.0, 0.9],
+        ])
+        .unwrap();
+        (x, vec![0, 0, 1, 1, 2, 2])
+    }
+
+    #[test]
+    fn parameter_roundtrip_preserves_model() {
+        let model = tiny_model(3);
+        let params = model.parameters();
+        assert_eq!(params.len(), model.num_parameters());
+        let mut clone = tiny_model(99);
+        clone.set_parameters(&params).unwrap();
+        assert_eq!(clone.parameters(), params);
+    }
+
+    #[test]
+    fn set_parameters_rejects_wrong_length() {
+        let mut model = tiny_model(3);
+        let err = model.set_parameters(&[0.0; 3]).unwrap_err();
+        assert!(matches!(err, NnError::ParameterCount { .. }));
+    }
+
+    #[test]
+    fn training_reduces_loss_on_separable_data() {
+        let mut model = tiny_model(7);
+        let (x, y) = toy_batch();
+        let initial = model.evaluate(&x, &y).unwrap().loss;
+        let opt = SgdConfig::new(0.5);
+        for _ in 0..200 {
+            model.train_batch(&x, &y, &opt).unwrap();
+        }
+        let final_eval = model.evaluate(&x, &y).unwrap();
+        assert!(
+            final_eval.loss < initial * 0.5,
+            "loss did not drop: {initial} -> {}",
+            final_eval.loss
+        );
+        assert!(final_eval.accuracy > 0.99);
+    }
+
+    #[test]
+    fn predictions_match_evaluation_accuracy() {
+        let mut model = tiny_model(7);
+        let (x, y) = toy_batch();
+        let opt = SgdConfig::new(0.5);
+        for _ in 0..100 {
+            model.train_batch(&x, &y, &opt).unwrap();
+        }
+        let eval = model.evaluate(&x, &y).unwrap();
+        let preds = model.predict(&x).unwrap();
+        let correct = preds.iter().zip(&y).filter(|(p, l)| p == l).count();
+        assert_eq!(correct, eval.correct);
+    }
+
+    #[test]
+    fn train_batch_rejects_label_out_of_range() {
+        let mut model = tiny_model(1);
+        let x = Matrix::zeros(1, 4);
+        let err = model
+            .train_batch(&x, &[5], &SgdConfig::new(0.1))
+            .unwrap_err();
+        assert!(matches!(err, NnError::LabelOutOfRange { .. }));
+    }
+
+    #[test]
+    fn train_batch_rejects_batch_mismatch() {
+        let mut model = tiny_model(1);
+        let x = Matrix::zeros(2, 4);
+        let err = model
+            .train_batch(&x, &[0], &SgdConfig::new(0.1))
+            .unwrap_err();
+        assert!(matches!(err, NnError::BatchMismatch { .. }));
+    }
+
+    #[test]
+    fn evaluate_empty_batch_is_default() {
+        let model = tiny_model(1);
+        let eval = model.evaluate(&Matrix::zeros(0, 4), &[]).unwrap();
+        assert_eq!(eval, Evaluation::default());
+    }
+
+    #[test]
+    fn proximal_term_pulls_towards_reference() {
+        use std::sync::Arc;
+        let (x, y) = toy_batch();
+        // Train two copies from the same start; the proximal one must stay
+        // closer to the frozen reference.
+        let base = tiny_model(11);
+        let reference = Arc::new(base.parameters());
+
+        let mut plain = base.clone();
+        let mut proxed = base.clone();
+        // Keep lr * mu < 1 so the proximal pull is a stable contraction.
+        let opt_plain = SgdConfig::new(0.5);
+        let opt_prox = SgdConfig::new(0.5).with_proximal(1.0, Arc::clone(&reference));
+        for _ in 0..50 {
+            plain.train_batch(&x, &y, &opt_plain).unwrap();
+            proxed.train_batch(&x, &y, &opt_prox).unwrap();
+        }
+        let dist = |m: &Sequential| -> f32 {
+            m.parameters()
+                .iter()
+                .zip(reference.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt()
+        };
+        assert!(
+            dist(&proxed) < dist(&plain),
+            "proximal model strayed further ({}) than plain ({})",
+            dist(&proxed),
+            dist(&plain)
+        );
+    }
+
+    #[test]
+    fn frozen_prefix_pins_leading_layer() {
+        let mut model = tiny_model(21);
+        let (x, y) = toy_batch();
+        // First Dense layer holds 4*8 + 8 = 40 parameters.
+        let frozen = 40;
+        let before = model.parameters();
+        let opt = SgdConfig::new(0.5).with_frozen_prefix(frozen);
+        for _ in 0..20 {
+            model.train_batch(&x, &y, &opt).unwrap();
+        }
+        let after = model.parameters();
+        assert_eq!(&before[..frozen], &after[..frozen], "frozen layer moved");
+        assert_ne!(&before[frozen..], &after[frozen..], "free layers stuck");
+    }
+
+    #[test]
+    fn fully_frozen_model_never_changes() {
+        let mut model = tiny_model(22);
+        let (x, y) = toy_batch();
+        let before = model.parameters();
+        let opt = SgdConfig::new(0.5).with_frozen_prefix(model.num_parameters());
+        model.train_batch(&x, &y, &opt).unwrap();
+        assert_eq!(model.parameters(), before);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = tiny_model(5);
+        let b = a.clone();
+        let (x, y) = toy_batch();
+        a.train_batch(&x, &y, &SgdConfig::new(0.5)).unwrap();
+        assert_ne!(a.parameters(), b.parameters());
+    }
+
+    #[test]
+    fn probabilities_rows_sum_to_one() {
+        let model = tiny_model(5);
+        let (x, _) = toy_batch();
+        let probs = model.probabilities(&x).unwrap();
+        for r in 0..probs.rows() {
+            let sum: f32 = probs.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn debug_lists_layer_names() {
+        let model = tiny_model(5);
+        let dbg = format!("{model:?}");
+        assert!(dbg.contains("Dense"));
+        assert!(dbg.contains("Relu"));
+    }
+}

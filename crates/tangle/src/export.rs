@@ -1,0 +1,189 @@
+//! DAG introspection: summary statistics and Graphviz export.
+
+use crate::{Tangle, Transaction, TxId};
+
+/// Structural summary of a tangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TangleStats {
+    /// Total transactions including the genesis.
+    pub transactions: usize,
+    /// Current tips (transactions without approvers).
+    pub tips: usize,
+    /// Total approval edges.
+    pub edges: usize,
+    /// Longest approval path from the genesis to any tip.
+    pub max_depth: u32,
+    /// Mean number of parents per non-genesis transaction.
+    pub mean_parents: f64,
+    /// Mean number of children (approvers) over non-tip transactions.
+    pub mean_children: f64,
+}
+
+impl<P> Tangle<P> {
+    /// Computes structural summary statistics.
+    pub fn stats(&self) -> TangleStats {
+        let transactions = self.len();
+        let tips = self.tips().len();
+        let mut edges = 0usize;
+        let mut non_genesis = 0usize;
+        for tx in self.iter() {
+            edges += tx.parents().len();
+            if !tx.is_genesis() {
+                non_genesis += 1;
+            }
+        }
+        let depths = self.depths_from_tips();
+        let max_depth = depths.iter().copied().max().unwrap_or(0);
+        let non_tips = transactions - tips;
+        TangleStats {
+            transactions,
+            tips,
+            edges,
+            max_depth,
+            mean_parents: if non_genesis == 0 {
+                0.0
+            } else {
+                edges as f64 / non_genesis as f64
+            },
+            mean_children: if non_tips == 0 {
+                0.0
+            } else {
+                edges as f64 / non_tips as f64
+            },
+        }
+    }
+
+    /// Renders the DAG in Graphviz DOT format (edges point from approver
+    /// to approved, i.e. backwards in time, as in the paper's figures).
+    ///
+    /// `style` receives every transaction and may return extra node
+    /// attributes (e.g. `fillcolor=...` to colour by cluster); return an
+    /// empty string for defaults. Tips are always drawn grey, matching
+    /// Figure 2.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dagfl_tangle::Tangle;
+    ///
+    /// # fn main() -> Result<(), dagfl_tangle::TangleError> {
+    /// let mut t = Tangle::new(());
+    /// let g = t.genesis();
+    /// t.attach((), &[g])?;
+    /// let dot = t.to_dot(|_| String::new());
+    /// assert!(dot.starts_with("digraph tangle"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot<F: Fn(&Transaction<P>) -> String>(&self, style: F) -> String {
+        let mut out = String::from("digraph tangle {\n  rankdir=RL;\n  node [shape=circle];\n");
+        for tx in self.iter() {
+            let id = tx.id();
+            let mut attrs = String::new();
+            if self.is_tip(id) {
+                attrs.push_str("style=filled fillcolor=lightgray ");
+            }
+            let extra = style(tx);
+            if !extra.is_empty() {
+                attrs.push_str(&extra);
+            }
+            let label = match tx.issuer() {
+                Some(issuer) => format!("label=\"{}\\nc{}\"", id, issuer),
+                None => format!("label=\"{id}\""),
+            };
+            out.push_str(&format!("  \"{id}\" [{label} {attrs}];\n"));
+        }
+        for (child, parent) in self.edges() {
+            out.push_str(&format!("  \"{child}\" -> \"{parent}\";\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Transactions published in the given round (by recorded metadata).
+    pub fn transactions_in_round(&self, round: u32) -> Vec<TxId> {
+        self.iter()
+            .filter(|tx| !tx.is_genesis() && tx.round() == round)
+            .map(Transaction::id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Tangle<()> {
+        let mut t = Tangle::new(());
+        let g = t.genesis();
+        let a = t.attach((), &[g]).unwrap();
+        let b = t.attach((), &[g]).unwrap();
+        t.attach((), &[a, b]).unwrap();
+        t
+    }
+
+    #[test]
+    fn stats_of_diamond() {
+        let s = diamond().stats();
+        assert_eq!(s.transactions, 4);
+        assert_eq!(s.tips, 1);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.max_depth, 2);
+        assert!((s.mean_parents - 4.0 / 3.0).abs() < 1e-9);
+        assert!((s.mean_children - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_of_singleton() {
+        let t = Tangle::new(());
+        let s = t.stats();
+        assert_eq!(s.transactions, 1);
+        assert_eq!(s.tips, 1);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.mean_parents, 0.0);
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let t = diamond();
+        let dot = t.to_dot(|_| String::new());
+        assert!(dot.contains("digraph tangle"));
+        for tx in t.iter() {
+            assert!(dot.contains(&format!("\"{}\"", tx.id())));
+        }
+        assert_eq!(dot.matches("->").count(), 4);
+    }
+
+    #[test]
+    fn dot_marks_tips_grey_and_applies_style() {
+        let t = diamond();
+        let dot = t.to_dot(|tx| {
+            if tx.is_genesis() {
+                "shape=box ".into()
+            } else {
+                String::new()
+            }
+        });
+        assert!(dot.contains("fillcolor=lightgray"));
+        assert!(dot.contains("shape=box"));
+    }
+
+    #[test]
+    fn dot_includes_issuer_labels() {
+        let mut t = Tangle::new(());
+        let g = t.genesis();
+        t.attach_with_meta((), &[g], Some(7), 3).unwrap();
+        let dot = t.to_dot(|_| String::new());
+        assert!(dot.contains("c7"));
+    }
+
+    #[test]
+    fn transactions_in_round_filters_by_metadata() {
+        let mut t = Tangle::new(());
+        let g = t.genesis();
+        let a = t.attach_with_meta((), &[g], Some(0), 1).unwrap();
+        let _b = t.attach_with_meta((), &[g], Some(1), 2).unwrap();
+        assert_eq!(t.transactions_in_round(1), vec![a]);
+        assert!(t.transactions_in_round(9).is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! A DAG ledger ("tangle") substrate for decentralized federated learning.
+//!
+//! The paper communicates model updates through a directed acyclic graph in
+//! the style of IOTA's tangle (Popov): every transaction approves (points
+//! to) one or more earlier transactions, *tips* are transactions without
+//! approvers yet, and new transactions choose which tips to approve via a
+//! random walk.
+//!
+//! This crate provides the ledger mechanics, generic over the transaction
+//! payload:
+//!
+//! * [`Tangle`] — append-only transaction store with approval edges, tip
+//!   tracking and past/future-cone queries,
+//! * [`SharedTangle`] — a cheap-to-clone, thread-safe handle used by the
+//!   concurrent round simulation,
+//! * cumulative weights and depth-from-tips ([`Tangle::cumulative_weights`],
+//!   [`Tangle::depths_from_tips`]) as used by classic tangle tip selection
+//!   and by Popov's walk-start sampling,
+//! * a pluggable random-walk engine ([`RandomWalker`], [`WalkBias`]) with
+//!   [`UniformBias`] (the paper's "random tip selector" baseline) and
+//!   [`CumulativeWeightBias`] (classic IOTA MCMC). The paper's
+//!   accuracy-aware bias lives in `dagfl-core`, where models can be
+//!   evaluated.
+//!
+//! # Example
+//!
+//! ```
+//! use dagfl_tangle::{RandomWalker, Tangle, UniformBias};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), dagfl_tangle::TangleError> {
+//! let mut tangle = Tangle::new("genesis");
+//! let genesis = tangle.genesis();
+//! let a = tangle.attach("a", &[genesis])?;
+//! let _b = tangle.attach("b", &[genesis, a])?;
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let walker = RandomWalker::new();
+//! let result = walker.walk(&tangle, genesis, &mut UniformBias, &mut rng)?;
+//! assert!(tangle.is_tip(result.tip));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+mod export;
+mod shared;
+mod tangle;
+mod transaction;
+mod walk;
+mod weights;
+
+pub use error::TangleError;
+pub use export::TangleStats;
+pub use shared::SharedTangle;
+pub use tangle::Tangle;
+pub use transaction::{Transaction, TxId};
+pub use walk::{weighted_choice, CumulativeWeightBias, RandomWalker, UniformBias, WalkBias, WalkResult};

@@ -1,0 +1,144 @@
+//! Thread-safe shared handle over a [`Tangle`].
+
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::{Tangle, TangleError, TxId};
+
+/// A cheap-to-clone, thread-safe handle to a [`Tangle`].
+///
+/// In the concurrent round simulation, many clients walk the tangle in
+/// parallel (read locks) and publish their trained models at the end of the
+/// round (short write locks) — mirroring how a real deployment's local view
+/// of the DAG is read-mostly.
+///
+/// # Example
+///
+/// ```
+/// use dagfl_tangle::SharedTangle;
+///
+/// # fn main() -> Result<(), dagfl_tangle::TangleError> {
+/// let shared = SharedTangle::new("genesis");
+/// let genesis = shared.read().genesis();
+/// let handle = shared.clone();
+/// let tx = handle.attach("update", &[genesis])?;
+/// assert_eq!(shared.read().tips(), vec![tx]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SharedTangle<P> {
+    inner: Arc<RwLock<Tangle<P>>>,
+}
+
+impl<P> Clone for SharedTangle<P> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<P> SharedTangle<P> {
+    /// Creates a shared tangle with the given genesis payload.
+    pub fn new(genesis_payload: P) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(Tangle::new(genesis_payload))),
+        }
+    }
+
+    /// Wraps an existing tangle.
+    pub fn from_tangle(tangle: Tangle<P>) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(tangle)),
+        }
+    }
+
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, Tangle<P>> {
+        self.inner.read()
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Tangle<P>> {
+        self.inner.write()
+    }
+
+    /// Convenience: attaches a transaction under a short-lived write lock.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Tangle::attach`].
+    pub fn attach(&self, payload: P, parents: &[TxId]) -> Result<TxId, TangleError> {
+        self.write().attach(payload, parents)
+    }
+
+    /// Convenience: attaches a transaction with issuer/round metadata.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Tangle::attach_with_meta`].
+    pub fn attach_with_meta(
+        &self,
+        payload: P,
+        parents: &[TxId],
+        issuer: Option<u32>,
+        round: u32,
+    ) -> Result<TxId, TangleError> {
+        self.write().attach_with_meta(payload, parents, issuer, round)
+    }
+
+    /// Convenience: current number of transactions.
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// Always `false`: a tangle contains at least the genesis.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let shared = SharedTangle::new(());
+        let genesis = shared.read().genesis();
+        let other = shared.clone();
+        other.attach((), &[genesis]).unwrap();
+        assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_attach_from_threads() {
+        let shared = SharedTangle::new(());
+        let genesis = shared.read().genesis();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let handle = shared.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        handle.attach((), &[genesis]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.len(), 1 + 8 * 50);
+        // All children recorded exactly once.
+        assert_eq!(shared.read().children(genesis).unwrap().len(), 400);
+    }
+
+    #[test]
+    fn from_tangle_preserves_contents() {
+        let mut t = Tangle::new(7u32);
+        let g = t.genesis();
+        t.attach(8, &[g]).unwrap();
+        let shared = SharedTangle::from_tangle(t);
+        assert_eq!(shared.len(), 2);
+        assert!(!shared.is_empty());
+    }
+}

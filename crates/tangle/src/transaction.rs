@@ -1,0 +1,114 @@
+use std::fmt;
+
+/// Identifier of a transaction within one [`Tangle`](crate::Tangle).
+///
+/// Ids are assigned sequentially at attach time; since parents must already
+/// exist when a transaction is attached, `a.0 < b.0` whenever `b` (directly
+/// or indirectly) approves `a`. The id therefore doubles as a topological
+/// index, which the weight/depth computations exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub(crate) u64);
+
+impl TxId {
+    /// The numeric index of this transaction (its insertion order).
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+/// A node of the DAG: a payload plus the approvals of earlier transactions.
+///
+/// In federated-learning use the payload carries model weights; the tangle
+/// itself is agnostic.
+#[derive(Debug, Clone)]
+pub struct Transaction<P> {
+    pub(crate) id: TxId,
+    pub(crate) parents: Vec<TxId>,
+    pub(crate) payload: P,
+    pub(crate) issuer: Option<u32>,
+    pub(crate) round: u32,
+}
+
+impl<P> Transaction<P> {
+    /// The transaction's id.
+    pub fn id(&self) -> TxId {
+        self.id
+    }
+
+    /// The transactions this one approves (empty only for the genesis).
+    pub fn parents(&self) -> &[TxId] {
+        &self.parents
+    }
+
+    /// The attached payload.
+    pub fn payload(&self) -> &P {
+        &self.payload
+    }
+
+    /// The publishing client, if recorded.
+    pub fn issuer(&self) -> Option<u32> {
+        self.issuer
+    }
+
+    /// The simulation round in which the transaction was published.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Whether this is the genesis transaction.
+    pub fn is_genesis(&self) -> bool {
+        self.parents.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txid_display_and_index() {
+        let id = TxId(42);
+        assert_eq!(id.to_string(), "tx42");
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn txid_orders_by_insertion() {
+        assert!(TxId(1) < TxId(2));
+    }
+
+    #[test]
+    fn transaction_accessors() {
+        let tx = Transaction {
+            id: TxId(3),
+            parents: vec![TxId(0), TxId(1)],
+            payload: "weights",
+            issuer: Some(7),
+            round: 12,
+        };
+        assert_eq!(tx.id(), TxId(3));
+        assert_eq!(tx.parents(), &[TxId(0), TxId(1)]);
+        assert_eq!(*tx.payload(), "weights");
+        assert_eq!(tx.issuer(), Some(7));
+        assert_eq!(tx.round(), 12);
+        assert!(!tx.is_genesis());
+    }
+
+    #[test]
+    fn genesis_has_no_parents() {
+        let tx: Transaction<()> = Transaction {
+            id: TxId(0),
+            parents: vec![],
+            payload: (),
+            issuer: None,
+            round: 0,
+        };
+        assert!(tx.is_genesis());
+    }
+}

@@ -1,0 +1,95 @@
+//! Vector distance/similarity helpers used by the model-divergence
+//! analyses.
+
+/// Euclidean (L2) distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Example
+///
+/// ```
+/// let d = dagfl_tensor::l2_distance(&[0.0, 0.0], &[3.0, 4.0]);
+/// assert!((d - 5.0).abs() < 1e-6);
+/// ```
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector lengths differ");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// L2 norm of a vector.
+pub fn l2_norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; `0.0` when either vector is all-zero.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector lengths differ");
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    (dot / (na * nb)).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_distance_of_identical_is_zero() {
+        let v = [1.0, -2.0, 3.0];
+        assert_eq!(l2_distance(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn l2_distance_is_symmetric() {
+        let a = [1.0, 2.0];
+        let b = [4.0, 6.0];
+        assert_eq!(l2_distance(&a, &b), l2_distance(&b, &a));
+        assert!((l2_distance(&a, &b) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_norm_known_value() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_one() {
+        assert!((cosine_similarity(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_zero() {
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_opposite_vectors_is_minus_one() {
+        assert!((cosine_similarity(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_with_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        l2_distance(&[1.0], &[1.0, 2.0]);
+    }
+}

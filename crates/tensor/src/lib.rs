@@ -1,0 +1,48 @@
+//! Dense `f32` matrix and vector math for the `dagfl` workspace.
+//!
+//! This crate is the numeric substrate beneath [`dagfl-nn`]: a small,
+//! dependency-free (besides [`rand`]) linear-algebra toolkit that provides
+//! exactly what a federated-learning simulator needs — row-major matrices,
+//! cache-friendly matrix multiplication, broadcasting helpers, common
+//! activation/normalisation kernels and reproducible random initialisation.
+//!
+//! The design goal is *predictable* rather than *maximal* performance: all
+//! operations are straightforward loops over contiguous slices so that the
+//! experiment harness built on top has stable timing behaviour (important
+//! for the scalability experiment, Figure 15 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use dagfl_tensor::Matrix;
+//!
+//! # fn main() -> Result<(), dagfl_tensor::ShapeError> {
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c, a);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`dagfl-nn`]: ../dagfl_nn/index.html
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod distance;
+mod error;
+mod init;
+mod matrix;
+mod ops;
+mod stats;
+
+pub use distance::{cosine_similarity, l2_distance, l2_norm};
+pub use error::ShapeError;
+pub use init::{he_normal, he_uniform, normal_init, uniform_init, xavier_normal, xavier_uniform};
+pub use matrix::Matrix;
+pub use ops::{
+    argmax, cross_entropy_from_probs, log_sum_exp, one_hot, softmax, softmax_cross_entropy,
+    softmax_in_place,
+};
+pub use stats::{max, mean, min, stddev, variance, Summary};

@@ -1,0 +1,675 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::ShapeError;
+
+/// A dense, row-major `f32` matrix.
+///
+/// `Matrix` is the workhorse of the workspace: model parameters, activations
+/// and datasets are all stored as matrices. A matrix with a single row doubles
+/// as a vector; helpers such as [`Matrix::row`] return plain slices so that
+/// callers can use ordinary iterator code.
+///
+/// # Example
+///
+/// ```
+/// use dagfl_tensor::Matrix;
+///
+/// # fn main() -> Result<(), dagfl_tensor::ShapeError> {
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix where every entry is `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_vec", (rows, cols), (data.len(), 1)));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equally sized rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the rows differ in length.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self, ShapeError> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(ShapeError::new("from_rows", (r, c), (1, row.len())));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
+    }
+
+    /// Creates a matrix whose entry `(r, c)` is `f(r, c)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The shape as a `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A view of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// A mutable view of the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over the rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns a new matrix keeping only the rows with the given indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let mut out = Self::zeros(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Matrix multiplication `self * other`.
+    ///
+    /// Uses the cache-friendly i-k-j loop ordering over contiguous row
+    /// slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new("matmul", self.shape(), other.shape()));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix multiplication with the transpose of `other`: `self * other^T`.
+    ///
+    /// This is the common backward-pass shape and avoids materialising the
+    /// transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != other.cols()`.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != other.cols {
+            return Err(ShapeError::new(
+                "matmul_transpose",
+                self.shape(),
+                other.shape(),
+            ));
+        }
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix multiplication of the transpose of `self` with `other`:
+    /// `self^T * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.rows() != other.rows()`.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.rows != other.rows {
+            return Err(ShapeError::new(
+                "transpose_matmul",
+                self.shape(),
+                other.shape(),
+            ));
+        }
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose of this matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition `self + other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction `self - other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise multiplication (Hadamard product).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn hadamard(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        self.zip_with(other, "hadamard", |a, b| a * b)
+    }
+
+    fn zip_with<F: Fn(f32, f32) -> f32>(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: F,
+    ) -> Result<Matrix, ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new(op, self.shape(), other.shape()));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// In-place element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Matrix) -> Result<(), ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new("add_assign", self.shape(), other.shape()));
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += scale * other` (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn add_scaled_assign(&mut self, other: &Matrix, scale: f32) -> Result<(), ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new(
+                "add_scaled_assign",
+                self.shape(),
+                other.shape(),
+            ));
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every entry by `scale` in place.
+    pub fn scale_assign(&mut self, scale: f32) {
+        for v in &mut self.data {
+            *v *= scale;
+        }
+    }
+
+    /// Returns a copy with every entry multiplied by `scale`.
+    pub fn scaled(&self, scale: f32) -> Matrix {
+        let mut out = self.clone();
+        out.scale_assign(scale);
+        out
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_in_place<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Adds `bias` (a length-`cols` slice) to every row in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) -> Result<(), ShapeError> {
+        if bias.len() != self.cols {
+            return Err(ShapeError::new(
+                "add_row_broadcast",
+                self.shape(),
+                (1, bias.len()),
+            ));
+        }
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sums over the rows, producing a length-`cols` vector.
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for row in self.rows_iter() {
+            for (s, &v) in sums.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// The sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// The Frobenius norm (`sqrt` of the sum of squared entries).
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Returns `true` if every entry is finite (no NaN/inf).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Maximum absolute difference to `other`; `None` if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Option<f32> {
+        if self.shape() != other.shape() {
+            return None;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(None, |acc, d| Some(acc.map_or(d, |m: f32| m.max(d))))
+            .or(Some(0.0))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        const MAX_ROWS: usize = 8;
+        for (i, row) in self.rows_iter().take(MAX_ROWS).enumerate() {
+            if row.len() <= 12 {
+                writeln!(f, "  row {i}: {row:?}")?;
+            } else {
+                writeln!(f, "  row {i}: {:?} ...", &row[..12])?;
+            }
+        }
+        if self.rows > MAX_ROWS {
+            writeln!(f, "  ... ({} more rows)", self.rows - MAX_ROWS)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_values() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_matmul_is_identity_map() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]).unwrap();
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let b = Matrix::from_fn(5, 4, |r, c| (r + c) as f32 * 0.5);
+        let fast = a.matmul_transpose(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        let b = Matrix::from_fn(4, 5, |r, c| (r + 2 * c) as f32 * 0.25);
+        let fast = a.transpose_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 31 + c * 7) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(2, 2, |r, c| (r * c) as f32 + 1.0);
+        let sum = a.add(&b).unwrap();
+        let back = sum.sub(&b).unwrap();
+        assert!(back.max_abs_diff(&a).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn hadamard_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let h = a.hadamard(&b).unwrap();
+        assert_eq!(h, Matrix::from_rows(&[&[5.0, 12.0], &[21.0, 32.0]]).unwrap());
+    }
+
+    #[test]
+    fn add_scaled_assign_is_axpy() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.add_scaled_assign(&b, 0.5).unwrap();
+        assert_eq!(a, Matrix::filled(2, 2, 2.0));
+    }
+
+    #[test]
+    fn row_broadcast_adds_bias_to_every_row() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_row_broadcast(&[1.0, -1.0]).unwrap();
+        for r in 0..3 {
+            assert_eq!(m.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn row_broadcast_rejects_wrong_length() {
+        let mut m = Matrix::zeros(3, 2);
+        assert!(m.add_row_broadcast(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn column_sums_known_values() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        assert_eq!(m.column_sums(), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn select_rows_picks_and_reorders() {
+        let m = Matrix::from_fn(4, 2, |r, _| r as f32);
+        let s = m.select_rows(&[3, 1]);
+        assert_eq!(s.row(0), &[3.0, 3.0]);
+        assert_eq!(s.row(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_validates_ragged_input() {
+        let a: &[f32] = &[1.0, 2.0];
+        let b: &[f32] = &[3.0];
+        assert!(Matrix::from_rows(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut m = Matrix::zeros(1, 2);
+        assert!(m.is_finite());
+        m[(0, 1)] = f32::NAN;
+        assert!(!m.is_finite());
+    }
+
+    #[test]
+    fn max_abs_diff_none_for_shape_mismatch() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(2, 1);
+        assert_eq!(a.max_abs_diff(&b), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Matrix::zeros(1, 1);
+        let _ = m[(1, 0)];
+    }
+
+    #[test]
+    fn scale_and_map_agree() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r + c) as f32);
+        assert_eq!(m.scaled(2.0), m.map(|v| v * 2.0));
+    }
+
+    #[test]
+    fn debug_output_is_never_empty() {
+        let m = Matrix::zeros(0, 0);
+        assert!(!format!("{m:?}").is_empty());
+    }
+}

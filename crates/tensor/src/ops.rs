@@ -1,0 +1,238 @@
+//! Numerically stable kernels shared by the neural-network layers.
+
+use crate::Matrix;
+
+/// Computes a numerically stable softmax over a single logit slice.
+///
+/// # Example
+///
+/// ```
+/// let p = dagfl_tensor::softmax(&[1.0, 1.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = logits.to_vec();
+    softmax_slice_in_place(&mut out);
+    out
+}
+
+/// Applies a numerically stable softmax to every row of `logits` in place.
+pub fn softmax_in_place(logits: &mut Matrix) {
+    let rows = logits.rows();
+    for r in 0..rows {
+        softmax_slice_in_place(logits.row_mut(r));
+    }
+}
+
+fn softmax_slice_in_place(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// `log(sum(exp(x)))` computed stably.
+pub fn log_sum_exp(values: &[f32]) -> f32 {
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f32 = values.iter().map(|&v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Index of the maximum entry of `values`; ties resolve to the first maximum.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn argmax(values: &[f32]) -> usize {
+    assert!(!values.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Builds a one-hot row matrix: `labels.len() x classes`.
+///
+/// # Panics
+///
+/// Panics if any label is `>= classes`.
+pub fn one_hot(labels: &[usize], classes: usize) -> Matrix {
+    let mut m = Matrix::zeros(labels.len(), classes);
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
+        m[(r, label)] = 1.0;
+    }
+    m
+}
+
+/// Mean cross-entropy `-log p[label]` given already-normalised probability
+/// rows.
+///
+/// Probabilities are clamped away from zero for numerical safety.
+///
+/// # Panics
+///
+/// Panics if `probs.rows() != labels.len()` or a label is out of range.
+pub fn cross_entropy_from_probs(probs: &Matrix, labels: &[usize]) -> f32 {
+    assert_eq!(
+        probs.rows(),
+        labels.len(),
+        "probability rows must match label count"
+    );
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (r, &label) in labels.iter().enumerate() {
+        let p = probs[(r, label)].max(1e-12);
+        total -= p.ln();
+    }
+    total / labels.len() as f32
+}
+
+/// Fused softmax + cross-entropy forward pass over logit rows.
+///
+/// Returns `(probabilities, mean_loss)`. The probabilities are exactly the
+/// values needed by the standard `p - y` backward pass of softmax
+/// cross-entropy.
+///
+/// # Panics
+///
+/// Panics if `logits.rows() != labels.len()` or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (Matrix, f32) {
+    assert_eq!(
+        logits.rows(),
+        labels.len(),
+        "logit rows must match label count"
+    );
+    let mut probs = logits.clone();
+    softmax_in_place(&mut probs);
+    let loss = cross_entropy_from_probs(&probs, labels);
+    (probs, loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[0.0, 1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let p = softmax(&[1000.0, -1000.0]);
+        assert!((p[0] - 1.0).abs() < 1e-6);
+        assert!(p[1].abs() < 1e-6);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_in_place_normalises_each_row() {
+        let mut m = Matrix::from_rows(&[&[0.0, 0.0], &[5.0, 5.0]]).unwrap();
+        softmax_in_place(&mut m);
+        for r in 0..2 {
+            assert!((m.row(r).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+            assert!((m[(r, 0)] - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_for_small_values() {
+        let v = [0.1f32, 0.2, 0.3];
+        let naive = v.iter().map(|x| x.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&v) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_sum_exp_stable_for_large_values() {
+        let v = [1000.0, 1000.0];
+        assert!((log_sum_exp(&v) - (1000.0 + 2f32.ln())).abs() < 1e-3);
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn argmax_empty_panics() {
+        argmax(&[]);
+    }
+
+    #[test]
+    fn one_hot_sets_exactly_one_entry_per_row() {
+        let m = one_hot(&[2, 0], 3);
+        assert_eq!(m.row(0), &[0.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_out_of_range_label() {
+        one_hot(&[3], 3);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_zero() {
+        let probs = one_hot(&[1], 3);
+        assert!(cross_entropy_from_probs(&probs, &[1]) < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let probs = Matrix::filled(1, 4, 0.25);
+        let loss = cross_entropy_from_probs(&probs, &[2]);
+        assert!((loss - 4f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_cross_entropy_matches_composition() {
+        let logits = Matrix::from_rows(&[&[0.5, -0.25, 1.5], &[2.0, 0.0, -1.0]]).unwrap();
+        let labels = [2, 0];
+        let (probs, loss) = softmax_cross_entropy(&logits, &labels);
+        let mut manual = logits.clone();
+        softmax_in_place(&mut manual);
+        assert!(probs.max_abs_diff(&manual).unwrap() < 1e-6);
+        assert!((loss - cross_entropy_from_probs(&manual, &labels)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_empty_batch_is_zero() {
+        let probs = Matrix::zeros(0, 3);
+        assert_eq!(cross_entropy_from_probs(&probs, &[]), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Small descriptive-statistics helpers used by the experiment harness.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f32>() / values.len() as f32
+}
+
+/// Population variance; `0.0` for slices shorter than two elements.
+pub fn variance(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mu = mean(values);
+    values.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / values.len() as f32
+}
+
+/// Population standard deviation.
+pub fn stddev(values: &[f32]) -> f32 {
+    variance(values).sqrt()
+}
+
+/// Minimum value; `f32::INFINITY` for an empty slice.
+pub fn min(values: &[f32]) -> f32 {
+    values.iter().copied().fold(f32::INFINITY, f32::min)
+}
+
+/// Maximum value; `f32::NEG_INFINITY` for an empty slice.
+pub fn max(values: &[f32]) -> f32 {
+    values.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// A five-number-style summary of a sample, used for the box-plot style
+/// comparisons of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub stddev: f32,
+    /// Minimum.
+    pub min: f32,
+    /// First quartile (linear interpolation).
+    pub q1: f32,
+    /// Median (linear interpolation).
+    pub median: f32,
+    /// Third quartile (linear interpolation).
+    pub q3: f32,
+    /// Maximum.
+    pub max: f32,
+}
+
+impl Summary {
+    /// Computes the summary of `values`.
+    ///
+    /// Returns the all-zero default for an empty slice.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let s = dagfl_tensor::Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+    /// assert_eq!(s.median, 2.5);
+    /// ```
+    pub fn of(values: &[f32]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        Self {
+            count: sorted.len(),
+            mean: mean(&sorted),
+            stddev: stddev(&sorted),
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            q3: quantile(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Linear-interpolation quantile of an already sorted slice.
+fn quantile(sorted: &[f32], q: f32) -> f32 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f32;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_known_value() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Population variance of [1, 3]: mean 2, ((1)^2+(1)^2)/2 = 1.
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stddev_is_sqrt_of_variance() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((stddev(&v) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_known_values() {
+        let v = [3.0, -1.0, 2.0];
+        assert_eq!(min(&v), -1.0);
+        assert_eq!(max(&v), 3.0);
+    }
+
+    #[test]
+    fn min_of_empty_is_infinity() {
+        assert_eq!(min(&[]), f32::INFINITY);
+        assert_eq!(max(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn summary_quartiles_even_count() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.median - 2.5).abs() < 1e-6);
+        assert!((s.q1 - 1.75).abs() < 1e-6);
+        assert!((s.q3 - 3.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.q1, 7.0);
+        assert_eq!(s.q3, 7.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn summary_empty_is_default() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+}

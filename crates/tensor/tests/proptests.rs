@@ -1,0 +1,126 @@
+//! Property-based tests for the tensor substrate.
+
+use dagfl_tensor::{argmax, log_sum_exp, one_hot, softmax, Matrix, Summary};
+use proptest::prelude::*;
+
+/// Strategy producing a matrix with bounded dimensions and finite entries.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized by construction"))
+    })
+}
+
+/// Two matrices with identical shape.
+fn matrix_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        let lhs = proptest::collection::vec(-100.0f32..100.0, r * c);
+        let rhs = proptest::collection::vec(-100.0f32..100.0, r * c);
+        (lhs, rhs).prop_map(move |(a, b)| {
+            (
+                Matrix::from_vec(r, c, a).expect("sized"),
+                Matrix::from_vec(r, c, b).expect("sized"),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy(8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn addition_commutes((a, b) in matrix_pair(8)) {
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.max_abs_diff(&ba).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn add_then_sub_is_identity((a, b) in matrix_pair(8)) {
+        let back = a.add(&b).unwrap().sub(&b).unwrap();
+        prop_assert!(back.max_abs_diff(&a).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn scaling_distributes_over_addition((a, b) in matrix_pair(6), s in -10.0f32..10.0) {
+        let lhs = a.add(&b).unwrap().scaled(s);
+        let rhs = a.scaled(s).add(&b.scaled(s)).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-2);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(m in matrix_strategy(8)) {
+        let i = Matrix::identity(m.cols());
+        let prod = m.matmul(&i).unwrap();
+        prop_assert!(prod.max_abs_diff(&m).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_transpose_agrees_with_naive(
+        (m, n) in (1usize..=6, 1usize..=6, 1usize..=6).prop_flat_map(|(r1, r2, c)| {
+            let lhs = proptest::collection::vec(-100.0f32..100.0, r1 * c);
+            let rhs = proptest::collection::vec(-100.0f32..100.0, r2 * c);
+            (lhs, rhs).prop_map(move |(a, b)| {
+                (
+                    Matrix::from_vec(r1, c, a).expect("sized"),
+                    Matrix::from_vec(r2, c, b).expect("sized"),
+                )
+            })
+        })
+    ) {
+        let fast = m.matmul_transpose(&n).unwrap();
+        let slow = m.matmul(&n.transpose()).unwrap();
+        prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-1);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(v in proptest::collection::vec(-50.0f32..50.0, 1..20)) {
+        let p = softmax(&v);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(v in proptest::collection::vec(-50.0f32..50.0, 1..20)) {
+        let p = softmax(&v);
+        prop_assert_eq!(argmax(&v), argmax(&p));
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(v in proptest::collection::vec(-50.0f32..50.0, 1..20)) {
+        let lse = log_sum_exp(&v);
+        let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(lse >= max - 1e-4);
+        prop_assert!(lse <= max + (v.len() as f32).ln() + 1e-4);
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one(labels in proptest::collection::vec(0usize..7, 1..20)) {
+        let m = one_hot(&labels, 7);
+        for (r, &label) in labels.iter().enumerate() {
+            let sum: f32 = m.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+            prop_assert_eq!(argmax(m.row(r)), label);
+        }
+    }
+
+    #[test]
+    fn summary_orders_quartiles(v in proptest::collection::vec(-100.0f32..100.0, 1..50)) {
+        let s = Summary::of(&v);
+        prop_assert!(s.min <= s.q1 + 1e-6);
+        prop_assert!(s.q1 <= s.median + 1e-6);
+        prop_assert!(s.median <= s.q3 + 1e-6);
+        prop_assert!(s.q3 <= s.max + 1e-6);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn column_sums_match_total(m in matrix_strategy(8)) {
+        let total: f32 = m.column_sums().iter().sum();
+        prop_assert!((total - m.sum()).abs() < 1e-2_f32.max(m.sum().abs() * 1e-4));
+    }
+}

@@ -1,0 +1,110 @@
+//! The paper's headline comparison (Figure 9, FMNIST-clustered column):
+//! Specializing DAG vs centralized FedAvg on strongly non-IID data.
+//!
+//! Three disjoint client clusters each hold a disjoint set of digit
+//! classes. FedAvg trains one global model that must generalise across all
+//! clusters; the DAG lets each cluster specialise implicitly. This example
+//! prints both learning curves plus the per-client accuracy spread — the
+//! paper's observation is faster progress and a tighter spread for the
+//! DAG.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example clustered_handwriting
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use dagfl::datasets::{fmnist_clustered, FmnistConfig};
+use dagfl::nn::{Dense, Model, Relu, Sequential};
+use dagfl::tensor::Summary;
+use dagfl::{DagConfig, FedConfig, FederatedServer, Simulation};
+
+const ROUNDS: usize = 30;
+const CLIENTS: usize = 15;
+const PER_ROUND: usize = 5;
+
+fn dataset() -> dagfl::datasets::FederatedDataset {
+    fmnist_clustered(&FmnistConfig {
+        num_clients: CLIENTS,
+        samples_per_client: 80,
+        ..FmnistConfig::default()
+    })
+}
+
+type Factory = Arc<dyn Fn(&mut rand::rngs::StdRng) -> Box<dyn Model> + Send + Sync>;
+
+fn factory(features: usize, classes: usize) -> Factory {
+    Arc::new(move |rng| {
+        Box::new(Sequential::new(vec![
+            Box::new(Dense::new(rng, features, 32)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(rng, 32, classes)),
+        ])) as Box<dyn Model>
+    })
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let ds = dataset();
+    let features = ds.feature_len();
+    let classes = ds.num_classes();
+
+    // --- Specializing DAG ---
+    let dag_config = DagConfig {
+        rounds: ROUNDS,
+        clients_per_round: PER_ROUND,
+        ..DagConfig::default()
+    };
+    let mut sim = Simulation::new(dag_config, ds.clone(), factory(features, classes));
+    sim.run()?;
+
+    // --- FedAvg ---
+    let fed_config = FedConfig {
+        rounds: ROUNDS,
+        clients_per_round: PER_ROUND,
+        ..FedConfig::default()
+    };
+    let mut server = FederatedServer::new(fed_config, ds, factory(features, classes));
+    server.run()?;
+
+    // Learning curves, grouped over 5 rounds like the paper's box plots.
+    println!("rounds      DAG accuracy    FedAvg accuracy");
+    for group in 0..(ROUNDS / 5) {
+        let range = group * 5..(group + 1) * 5;
+        let dag_accs: Vec<f32> = sim.history()[range.clone()]
+            .iter()
+            .flat_map(|m| m.accuracies.iter().copied())
+            .collect();
+        let fed_accs: Vec<f32> = server.history()[range.clone()]
+            .iter()
+            .flat_map(|m| m.accuracies.iter().copied())
+            .collect();
+        let d = Summary::of(&dag_accs);
+        let f = Summary::of(&fed_accs);
+        println!(
+            "{:>3}-{:<3}  {:.2} (sd {:.2})  {:.2} (sd {:.2})",
+            range.start + 1,
+            range.end,
+            d.mean,
+            d.stddev,
+            f.mean,
+            f.stddev
+        );
+    }
+
+    // Final spread over the last 5 rounds: the DAG's specialized models
+    // should show less variance across clients than FedAvg's single global
+    // model on this fully clustered data.
+    let spec = sim.specialization_metrics();
+    println!("\nDAG specialization:");
+    println!("  approval pureness {:.3} (random would be {:.3})",
+        spec.approval_pureness,
+        1.0 / 3.0
+    );
+    println!("  modularity {:.3}, {} partitions, misclassification {:.3}",
+        spec.modularity, spec.partitions, spec.misclassification
+    );
+    Ok(())
+}

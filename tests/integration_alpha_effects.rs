@@ -1,0 +1,120 @@
+//! The α trade-off (§4.2, Figures 5–7): higher α means more deterministic,
+//! specialization-friendly walks; lower α means more randomness and mixing
+//! across clusters.
+
+use std::sync::Arc;
+
+use dagfl::datasets::{fmnist_clustered, FmnistConfig};
+use dagfl::nn::{Dense, Model, Relu, Sequential};
+use dagfl::{DagConfig, Normalization, Simulation, TipSelector};
+
+fn run_with_selector(selector: TipSelector, seed: u64) -> Simulation {
+    let dataset = fmnist_clustered(&FmnistConfig {
+        num_clients: 12,
+        samples_per_client: 50,
+        seed,
+        ..FmnistConfig::default()
+    });
+    let features = dataset.feature_len();
+    let factory = Arc::new(move |rng: &mut rand::rngs::StdRng| {
+        Box::new(Sequential::new(vec![
+            Box::new(Dense::new(rng, features, 24)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(rng, 24, 10)),
+        ])) as Box<dyn Model>
+    });
+    let mut sim = Simulation::new(
+        DagConfig {
+            rounds: 12,
+            clients_per_round: 6,
+            local_batches: 5,
+            seed,
+            ..DagConfig::default()
+        }
+        .with_tip_selector(selector),
+        dataset,
+        factory,
+    );
+    sim.run().expect("simulation runs");
+    sim
+}
+
+fn alpha_selector(alpha: f32) -> TipSelector {
+    TipSelector::Accuracy {
+        alpha,
+        normalization: Normalization::Simple,
+    }
+}
+
+#[test]
+fn high_alpha_yields_purer_approvals_than_random() {
+    let high = run_with_selector(alpha_selector(100.0), 11);
+    let random = run_with_selector(TipSelector::Random, 11);
+    let high_p = high.approval_pureness();
+    let random_p = random.approval_pureness();
+    assert!(
+        high_p > random_p,
+        "alpha=100 pureness {high_p:.3} not above random {random_p:.3}"
+    );
+}
+
+#[test]
+fn high_alpha_beats_low_alpha_on_pureness() {
+    let high = run_with_selector(alpha_selector(100.0), 13);
+    let low = run_with_selector(alpha_selector(0.1), 13);
+    let high_p = high.approval_pureness();
+    let low_p = low.approval_pureness();
+    assert!(
+        high_p >= low_p,
+        "alpha=100 pureness {high_p:.3} below alpha=0.1 pureness {low_p:.3}"
+    );
+}
+
+#[test]
+fn random_selector_pureness_is_near_base() {
+    let random = run_with_selector(TipSelector::Random, 17);
+    let base = random.dataset().base_pureness();
+    let p = random.approval_pureness();
+    // Uniform approvals should hover around the base pureness; allow a
+    // wide band because small runs are noisy.
+    assert!(
+        (p - base).abs() < 0.35,
+        "random pureness {p:.3} implausibly far from base {base:.3}"
+    );
+}
+
+#[test]
+fn dynamic_normalization_specializes_at_low_alpha() {
+    // Figure 7: with alpha = 1 the dynamic normalization achieves a higher
+    // approval pureness than the simple normalization.
+    let simple = run_with_selector(
+        TipSelector::Accuracy {
+            alpha: 1.0,
+            normalization: Normalization::Simple,
+        },
+        19,
+    );
+    let dynamic = run_with_selector(
+        TipSelector::Accuracy {
+            alpha: 1.0,
+            normalization: Normalization::Dynamic,
+        },
+        19,
+    );
+    let simple_p = simple.approval_pureness();
+    let dynamic_p = dynamic.approval_pureness();
+    assert!(
+        dynamic_p + 0.1 >= simple_p,
+        "dynamic pureness {dynamic_p:.3} much below simple {simple_p:.3}"
+    );
+}
+
+#[test]
+fn cumulative_weight_ablation_runs() {
+    // The classic IOTA bias (no accuracy information) must run fine and
+    // produce near-random pureness.
+    let sim = run_with_selector(TipSelector::CumulativeWeight { alpha: 0.5 }, 23);
+    let p = sim.approval_pureness();
+    assert!((0.0..=1.0).contains(&p));
+    assert!(sim.tangle().len() > 1);
+}

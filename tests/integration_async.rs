@@ -1,0 +1,169 @@
+//! Workspace-level tests of the event-driven (round-free) simulation and
+//! the flooding-hardening features, exercised through the public API.
+
+use std::sync::Arc;
+
+use dagfl::dag::{AsyncConfig, AsyncSimulation, GarbageAttackConfig, GarbageAttackScenario};
+use dagfl::datasets::{fmnist_by_author, fmnist_clustered, FmnistConfig};
+use dagfl::nn::{Dense, Model, Relu, Sequential};
+use dagfl::{DagConfig, PublishGate, TipSelector};
+
+type Factory = Arc<dyn Fn(&mut rand::rngs::StdRng) -> Box<dyn Model> + Send + Sync>;
+
+fn factory(features: usize) -> Factory {
+    Arc::new(move |rng| {
+        Box::new(Sequential::new(vec![
+            Box::new(Dense::new(rng, features, 16)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(rng, 16, 10)),
+        ])) as Box<dyn Model>
+    })
+}
+
+#[test]
+fn async_simulation_learns_and_specializes() {
+    let dataset = fmnist_clustered(&FmnistConfig {
+        num_clients: 9,
+        samples_per_client: 50,
+        ..FmnistConfig::default()
+    });
+    let features = dataset.feature_len();
+    let base = dataset.base_pureness();
+    let mut sim = AsyncSimulation::new(
+        AsyncConfig {
+            dag: DagConfig {
+                local_batches: 4,
+                ..DagConfig::default()
+            },
+            total_activations: 70,
+            mean_interarrival: 1.0,
+            visibility_delay: 3.0,
+        },
+        dataset,
+        factory(features),
+    );
+    sim.run().expect("async run");
+    assert!(sim.recent_accuracy(10) > 0.4, "no learning progress");
+    assert!(
+        sim.approval_pureness() > base,
+        "no specialization: {} vs base {}",
+        sim.approval_pureness(),
+        base
+    );
+}
+
+#[test]
+fn zero_delay_collapses_to_a_chain() {
+    let dataset = fmnist_clustered(&FmnistConfig {
+        num_clients: 9,
+        samples_per_client: 50,
+        ..FmnistConfig::default()
+    });
+    let features = dataset.feature_len();
+    let mut sim = AsyncSimulation::new(
+        AsyncConfig {
+            dag: DagConfig {
+                local_batches: 4,
+                ..DagConfig::default()
+            },
+            total_activations: 50,
+            mean_interarrival: 1.0,
+            visibility_delay: 0.0,
+        },
+        dataset,
+        factory(features),
+    );
+    sim.run().expect("async run");
+    // Instantaneous visibility + serial activations: at most a couple of
+    // tips ever exist (the DAG degenerates towards a chain).
+    assert!(
+        sim.tangle().stats().tips <= 2,
+        "expected a near-chain, got {} tips",
+        sim.tangle().stats().tips
+    );
+}
+
+#[test]
+fn hardened_walk_survives_flooding_better_than_plain() {
+    let run = |hardened: bool| {
+        let dataset = fmnist_by_author(&FmnistConfig {
+            num_clients: 8,
+            samples_per_client: 60,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let mut scenario = GarbageAttackScenario::new(
+            GarbageAttackConfig {
+                dag: DagConfig {
+                    rounds: 16,
+                    clients_per_round: 5,
+                    local_batches: 4,
+                    walk_stop_margin: hardened.then_some(0.25),
+                    publish_gate: if hardened {
+                        PublishGate::BestParent
+                    } else {
+                        PublishGate::default()
+                    },
+                    ..DagConfig::default()
+                }
+                .with_tip_selector(TipSelector::default()),
+                clean_rounds: 8,
+                attacks_per_round: 1,
+                weight_scale: 1.0,
+            },
+            dataset,
+            factory(features),
+        );
+        scenario.run().expect("scenario runs");
+        let m = scenario.measure().expect("measurement");
+        let late = scenario
+            .simulation()
+            .history()
+            .iter()
+            .rev()
+            .take(4)
+            .map(|r| r.mean_accuracy())
+            .sum::<f32>()
+            / 4.0;
+        (late, m.garbage_in_cone)
+    };
+    let (hardened_acc, hardened_cone) = run(true);
+    let (plain_acc, plain_cone) = run(false);
+    assert!(
+        hardened_acc >= plain_acc,
+        "hardening should not hurt: {hardened_acc} vs {plain_acc}"
+    );
+    assert!(
+        hardened_cone <= plain_cone,
+        "hardening should reduce approved garbage: {hardened_cone} vs {plain_cone}"
+    );
+}
+
+#[test]
+fn publication_dropout_slows_but_does_not_break_training() {
+    let dataset = fmnist_clustered(&FmnistConfig {
+        num_clients: 8,
+        samples_per_client: 50,
+        ..FmnistConfig::default()
+    });
+    let features = dataset.feature_len();
+    let mut sim = dagfl::Simulation::new(
+        DagConfig {
+            rounds: 10,
+            clients_per_round: 4,
+            local_batches: 4,
+            publication_dropout: 0.5,
+            ..DagConfig::default()
+        },
+        dataset,
+        factory(features),
+    );
+    sim.run().expect("run with dropout");
+    let total_published: usize = sim.history().iter().map(|m| m.published).sum();
+    // Roughly half of the would-be publications are lost; training still
+    // makes progress on what survives.
+    assert!(total_published > 0, "everything was dropped");
+    assert!(sim.tangle().len() > 1);
+    let late = sim.history().last().unwrap().mean_accuracy();
+    assert!(late > 0.3, "training collapsed under dropout: {late}");
+}

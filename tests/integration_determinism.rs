@@ -1,0 +1,130 @@
+//! Reproducibility: every experiment in the workspace is deterministic for
+//! a fixed seed, and seeds actually matter.
+
+use std::sync::Arc;
+
+use dagfl::datasets::{fmnist_clustered, poets, FmnistConfig, PoetsConfig, POETS_VOCAB};
+use dagfl::nn::{CharRnn, Dense, Model, Relu, Sequential};
+use dagfl::{DagConfig, FedConfig, FederatedServer, Simulation};
+
+type Factory = Arc<dyn Fn(&mut rand::rngs::StdRng) -> Box<dyn Model> + Send + Sync>;
+
+fn mlp_factory(features: usize) -> Factory {
+    Arc::new(move |rng| {
+        Box::new(Sequential::new(vec![
+            Box::new(Dense::new(rng, features, 16)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(rng, 16, 10)),
+        ])) as Box<dyn Model>
+    })
+}
+
+fn dag_fingerprint(seed: u64, parallel: bool) -> (usize, Vec<f32>) {
+    let dataset = fmnist_clustered(&FmnistConfig {
+        num_clients: 8,
+        samples_per_client: 40,
+        ..FmnistConfig::default()
+    });
+    let features = dataset.feature_len();
+    let mut sim = Simulation::new(
+        DagConfig {
+            rounds: 5,
+            clients_per_round: 4,
+            local_batches: 3,
+            seed,
+            parallel,
+            ..DagConfig::default()
+        },
+        dataset,
+        mlp_factory(features),
+    );
+    sim.run().expect("simulation runs");
+    let accs = sim.history().iter().map(|m| m.mean_accuracy()).collect();
+    (sim.tangle().len(), accs)
+}
+
+#[test]
+fn dag_runs_are_reproducible() {
+    assert_eq!(dag_fingerprint(7, false), dag_fingerprint(7, false));
+}
+
+#[test]
+fn parallel_execution_matches_sequential() {
+    // Clients work on a per-round snapshot, so thread interleaving must
+    // not affect results.
+    assert_eq!(dag_fingerprint(7, true), dag_fingerprint(7, false));
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(dag_fingerprint(7, false).1, dag_fingerprint(8, false).1);
+}
+
+#[test]
+fn fedavg_runs_are_reproducible() {
+    let run = |seed: u64| {
+        let dataset = fmnist_clustered(&FmnistConfig {
+            num_clients: 8,
+            samples_per_client: 40,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let mut server = FederatedServer::new(
+            FedConfig {
+                rounds: 4,
+                clients_per_round: 4,
+                local_batches: 3,
+                seed,
+                ..FedConfig::default()
+            },
+            dataset,
+            mlp_factory(features),
+        );
+        server.run().expect("fedavg runs");
+        server.global_parameters().to_vec()
+    };
+    assert_eq!(run(3), run(3));
+    assert_ne!(run(3), run(4));
+}
+
+#[test]
+fn char_rnn_dag_is_reproducible() {
+    let run = || {
+        let dataset = poets(&PoetsConfig {
+            clients_per_language: 3,
+            samples_per_client: 40,
+            seq_len: 8,
+            seed: 5,
+        });
+        let factory = Arc::new(move |rng: &mut rand::rngs::StdRng| {
+            Box::new(CharRnn::new(rng, POETS_VOCAB.len(), 4, 12)) as Box<dyn Model>
+        });
+        let mut sim = Simulation::new(
+            DagConfig {
+                rounds: 3,
+                clients_per_round: 3,
+                local_batches: 3,
+                learning_rate: 0.5,
+                ..DagConfig::default()
+            },
+            dataset,
+            factory,
+        );
+        sim.run().expect("poets dag runs");
+        sim.history()
+            .iter()
+            .map(|m| m.mean_accuracy())
+            .collect::<Vec<f32>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn model_parameters_roundtrip_through_codec() {
+    use dagfl::nn::{decode_parameters, encode_parameters};
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    let model = mlp_factory(196)(&mut rng);
+    let params = model.parameters();
+    let decoded = decode_parameters(&encode_parameters(&params)).expect("decodes");
+    assert_eq!(params, decoded);
+}
