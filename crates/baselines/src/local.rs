@@ -63,8 +63,7 @@ impl LocalOnly {
     pub fn run_round(&mut self) -> Result<(), NnError> {
         let opt = SgdConfig::new(self.learning_rate);
         for (model, data) in self.models.iter_mut().zip(self.dataset.clients()) {
-            for (x, y) in data.train_batches(self.batch_size, self.local_batches, &mut self.rng)
-            {
+            for (x, y) in data.train_batches(self.batch_size, self.local_batches, &mut self.rng) {
                 model.train_batch(&x, &y, &opt)?;
             }
         }
@@ -151,7 +150,10 @@ mod tests {
         let before = local.mean_accuracy().unwrap();
         local.run(10).unwrap();
         let after = local.mean_accuracy().unwrap();
-        assert!(after > before + 0.2, "no local progress: {before} -> {after}");
+        assert!(
+            after > before + 0.2,
+            "no local progress: {before} -> {after}"
+        );
         assert_eq!(local.rounds_run(), 10);
     }
 
@@ -168,7 +170,8 @@ mod tests {
         // Clients hold different data; their models must differ.
         let evals = local.evaluate_all().unwrap();
         let first = evals[0].1.accuracy;
-        assert!(evals.iter().any(|(_, e)| (e.accuracy - first).abs() > 1e-6)
-            || local.models.len() == 1);
+        assert!(
+            evals.iter().any(|(_, e)| (e.accuracy - first).abs() > 1e-6) || local.models.len() == 1
+        );
     }
 }

@@ -130,8 +130,7 @@ impl FederatedServer {
     /// client count.
     pub fn new(config: FedConfig, dataset: FederatedDataset, factory: ModelFactory) -> Self {
         assert!(
-            config.clients_per_round > 0
-                && config.clients_per_round <= dataset.num_clients(),
+            config.clients_per_round > 0 && config.clients_per_round <= dataset.num_clients(),
             "clients_per_round ({}) must be in 1..={}",
             config.clients_per_round,
             dataset.num_clients()
@@ -184,8 +183,10 @@ impl FederatedServer {
         // Sample active clients without replacement.
         let mut ids: Vec<usize> = (0..self.dataset.num_clients()).collect();
         ids.shuffle(&mut self.rng);
-        let mut active: Vec<usize> =
-            ids.into_iter().take(self.config.clients_per_round).collect();
+        let mut active: Vec<usize> = ids
+            .into_iter()
+            .take(self.config.clients_per_round)
+            .collect();
         active.sort_unstable();
 
         let mut opt = SgdConfig::new(self.config.learning_rate);
@@ -367,8 +368,7 @@ mod tests {
             ..FedConfig::default()
         };
         let mut avg_server = FederatedServer::new(base, dataset.clone(), Arc::clone(&factory));
-        let mut prox_server =
-            FederatedServer::new(base.with_proximal_mu(1.0), dataset, factory);
+        let mut prox_server = FederatedServer::new(base.with_proximal_mu(1.0), dataset, factory);
         let start = avg_server.global_parameters().to_vec();
         assert_eq!(start, prox_server.global_parameters());
         avg_server.run_round().unwrap();
@@ -465,10 +465,7 @@ mod tests {
         );
         weighted.run_round().unwrap();
         unweighted.run_round().unwrap();
-        assert_ne!(
-            weighted.global_parameters(),
-            unweighted.global_parameters()
-        );
+        assert_ne!(weighted.global_parameters(), unweighted.global_parameters());
     }
 
     #[test]

@@ -21,7 +21,7 @@ fn model_tangle(n: usize, params: &[f32], seed: u64) -> Tangle<ModelPayload> {
     for _ in 1..n {
         let perturbed: Vec<f32> = params
             .iter()
-            .map(|&p| p + rng.gen_range(-0.05..0.05))
+            .map(|&p| p + rng.gen_range(-0.05f32..0.05))
             .collect();
         let recent = ids.len().saturating_sub(8);
         let p1 = ids[rng.gen_range(recent..ids.len())];

@@ -54,5 +54,11 @@ fn bench_fedprox(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fmnist, bench_poets, bench_cifar, bench_fedprox);
+criterion_group!(
+    benches,
+    bench_fmnist,
+    bench_poets,
+    bench_cifar,
+    bench_fedprox
+);
 criterion_main!(benches);

@@ -27,12 +27,7 @@ fn run(config: DagConfig, scale: Scale) -> (f32, f64, usize, usize) {
         .sum::<f32>()
         / 5.0;
     let published: usize = sim.history().iter().map(|m| m.published).sum();
-    (
-        late,
-        sim.approval_pureness(),
-        published,
-        sim.tangle().len(),
-    )
+    (late, sim.approval_pureness(), published, sim.tangle().len())
 }
 
 fn main() {
@@ -81,10 +76,13 @@ fn main() {
             ..base
         },
     );
-    record("walk_depth_15_25", DagConfig {
-        walk_depth: (15, 25),
-        ..base
-    });
+    record(
+        "walk_depth_15_25",
+        DagConfig {
+            walk_depth: (15, 25),
+            ..base
+        },
+    );
 
     // 3. Tip-selection strategy.
     record(
@@ -107,7 +105,13 @@ fn main() {
 
     emit(
         "ablation_design_choices",
-        &["variant", "late_accuracy", "pureness", "published", "transactions"],
+        &[
+            "variant",
+            "late_accuracy",
+            "pureness",
+            "published",
+            "transactions",
+        ],
         &rows,
     );
 }

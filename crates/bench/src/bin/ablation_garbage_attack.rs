@@ -10,9 +10,7 @@
 use dagfl_bench::experiments::fmnist_author_dataset;
 use dagfl_bench::output::{emit, f, f32c};
 use dagfl_bench::{fmnist_model_factory, Scale};
-use dagfl_core::{
-    DagConfig, GarbageAttackConfig, GarbageAttackScenario, PublishGate, TipSelector,
-};
+use dagfl_core::{DagConfig, GarbageAttackConfig, GarbageAttackScenario, PublishGate, TipSelector};
 
 fn main() {
     let scale = Scale::from_env();
@@ -26,7 +24,12 @@ fn main() {
             Some(0.25),
             PublishGate::BestParent,
         ),
-        ("accuracy", TipSelector::default(), None, PublishGate::default()),
+        (
+            "accuracy",
+            TipSelector::default(),
+            None,
+            PublishGate::default(),
+        ),
         ("random", TipSelector::Random, None, PublishGate::default()),
     ];
     for (name, selector, margin, gate) in arms {

@@ -34,9 +34,8 @@ fn main() {
     let mut dag_upload = 0u64;
     for m in sim.history() {
         // Each evaluated candidate and both selected parents are fetched.
-        dag_download +=
-            (m.candidates_evaluated as u64 + 2 * m.active_clients.len() as u64)
-                * bytes_per_model as u64;
+        dag_download += (m.candidates_evaluated as u64 + 2 * m.active_clients.len() as u64)
+            * bytes_per_model as u64;
         dag_upload += m.published as u64 * bytes_per_model as u64;
     }
 

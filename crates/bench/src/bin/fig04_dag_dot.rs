@@ -37,10 +37,7 @@ fn main() {
     let dot = tangle.to_dot(|tx| match tx.issuer() {
         Some(issuer) => {
             let cluster = clusters[issuer as usize];
-            format!(
-                "style=filled fillcolor={} ",
-                COLORS[cluster % COLORS.len()]
-            )
+            format!("style=filled fillcolor={} ", COLORS[cluster % COLORS.len()])
         }
         None => "shape=doublecircle ".to_string(),
     });
@@ -48,7 +45,8 @@ fn main() {
     fs::create_dir_all(results_dir()).expect("results dir");
     fs::write(&path, &dot).expect("write dot file");
     let stats = tangle.stats();
-    println!("wrote {} ({} transactions, {} tips, depth {})",
+    println!(
+        "wrote {} ({} transactions, {} tips, depth {})",
         path.display(),
         stats.transactions,
         stats.tips,

@@ -41,7 +41,13 @@ fn main() {
     }
     emit(
         "fig05_alpha_cluster_metrics",
-        &["alpha", "round", "modularity", "partitions", "misclassification"],
+        &[
+            "alpha",
+            "round",
+            "modularity",
+            "partitions",
+            "misclassification",
+        ],
         &rows,
     );
 }

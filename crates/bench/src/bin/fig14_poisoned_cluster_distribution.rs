@@ -16,9 +16,7 @@ fn main() {
     let rows: Vec<Vec<String>> = result
         .distribution
         .iter()
-        .map(|&(community, benign, poisoned)| {
-            vec![int(community), int(benign), int(poisoned)]
-        })
+        .map(|&(community, benign, poisoned)| vec![int(community), int(benign), int(poisoned)])
         .collect();
     emit(
         "fig14_poisoned_cluster_distribution",

@@ -18,7 +18,11 @@ fn main() {
     let features = dataset.feature_len();
     let clusters = dataset.clusters().len();
     let base = dataset.base_pureness();
-    let sim = run_dag(fmnist_spec(scale), dataset, fmnist_model_factory(features, 10));
+    let sim = run_dag(
+        fmnist_spec(scale),
+        dataset,
+        fmnist_model_factory(features, 10),
+    );
     rows.push(vec![
         "FMNIST-clustered".into(),
         int(clusters),

@@ -327,12 +327,8 @@ mod tests {
             ..FmnistConfig::default()
         });
         let features = dataset.feature_len();
-        let (_, tracked) = run_dag_tracking_specialization(
-            spec,
-            dataset,
-            fmnist_model_factory(features, 10),
-            2,
-        );
+        let (_, tracked) =
+            run_dag_tracking_specialization(spec, dataset, fmnist_model_factory(features, 10), 2);
         assert_eq!(tracked.len(), 2);
         assert_eq!(tracked[0].0, 2);
         assert_eq!(tracked[1].0, 4);

@@ -28,7 +28,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 
 use dagfl_core::ModelFactory;
-use dagfl_datasets::{POETS_VOCAB};
+use dagfl_datasets::POETS_VOCAB;
 use dagfl_nn::{CharRnn, Dense, Model, Relu, Sequential};
 
 /// Experiment scale: quick (default) or the paper's full scale

@@ -4,9 +4,7 @@
 //! with the accuracy tip selector, plus p = 0.2 with the random selector),
 //! so the suite runs them once and each binary extracts its slice.
 
-use dagfl_core::{
-    DagConfig, PoisonRoundMetrics, PoisoningConfig, PoisoningScenario, TipSelector,
-};
+use dagfl_core::{DagConfig, PoisonRoundMetrics, PoisoningConfig, PoisoningScenario, TipSelector};
 
 use crate::experiments::fmnist_author_dataset;
 use crate::{fmnist_model_factory, Scale};
@@ -74,8 +72,7 @@ pub fn run_scenario(
         class_b: 8,
         measure_every: scale.pick(4, 10),
     };
-    let mut scenario =
-        PoisoningScenario::new(config, dataset, fmnist_model_factory(features, 10));
+    let mut scenario = PoisoningScenario::new(config, dataset, fmnist_model_factory(features, 10));
     let measurements = scenario.run().expect("poisoning scenario failed");
     let distribution = scenario.poisoned_cluster_distribution();
     let label = if selector_name == "random" {

@@ -7,8 +7,7 @@ use rand::rngs::StdRng;
 
 use dagfl_baselines::{FedConfig, FederatedServer, LocalOnly};
 use dagfl_core::{
-    AsyncConfig, AsyncSimulation, DagConfig, ModelFactory, Normalization, Simulation,
-    TipSelector,
+    AsyncConfig, AsyncSimulation, DagConfig, ModelFactory, Normalization, Simulation, TipSelector,
 };
 use dagfl_datasets::{
     cifar100_like, fedprox_synthetic, fmnist_by_author, fmnist_clustered, poets, Cifar100Config,
@@ -97,11 +96,9 @@ fn build_task(
     let features = dataset.feature_len();
     let classes = dataset.num_classes();
     let factory: ModelFactory = match kind {
-        DatasetKind::Poets => {
-            Arc::new(move |rng: &mut StdRng| {
-                Box::new(CharRnn::new(rng, POETS_VOCAB.len(), 8, 32)) as Box<dyn Model>
-            })
-        }
+        DatasetKind::Poets => Arc::new(move |rng: &mut StdRng| {
+            Box::new(CharRnn::new(rng, POETS_VOCAB.len(), 8, 32)) as Box<dyn Model>
+        }),
         DatasetKind::FedProxSynthetic => Arc::new(move |rng: &mut StdRng| {
             Box::new(Sequential::new(vec![Box::new(Dense::new(
                 rng, features, classes,
@@ -135,8 +132,7 @@ fn dag_config(args: &ParsedArgs, num_clients: usize) -> Result<DagConfig, ParseE
     let stop_margin: f32 = args.get_parsed_or("stop-margin", 0.0)?;
     Ok(DagConfig {
         rounds: args.get_parsed_or("rounds", 30)?,
-        clients_per_round: args
-            .get_parsed_or("clients-per-round", 6.min(num_clients))?,
+        clients_per_round: args.get_parsed_or("clients-per-round", 6.min(num_clients))?,
         local_epochs: args.get_parsed_or("epochs", 1)?,
         local_batches: args.get_parsed_or("batches", 10)?,
         batch_size: args.get_parsed_or("batch-size", 10)?,
@@ -151,8 +147,7 @@ fn dag_config(args: &ParsedArgs, num_clients: usize) -> Result<DagConfig, ParseE
 fn fed_config(args: &ParsedArgs, num_clients: usize, mu: f32) -> Result<FedConfig, ParseError> {
     Ok(FedConfig {
         rounds: args.get_parsed_or("rounds", 30)?,
-        clients_per_round: args
-            .get_parsed_or("clients-per-round", 6.min(num_clients))?,
+        clients_per_round: args.get_parsed_or("clients-per-round", 6.min(num_clients))?,
         local_epochs: args.get_parsed_or("epochs", 1)?,
         local_batches: args.get_parsed_or("batches", 10)?,
         batch_size: args.get_parsed_or("batch-size", 10)?,
@@ -304,10 +299,7 @@ mod tests {
         let model = factory(&mut rng);
         // The model accepts the dataset's feature width.
         let eval = model
-            .evaluate(
-                dataset.clients()[0].test_x(),
-                dataset.clients()[0].test_y(),
-            )
+            .evaluate(dataset.clients()[0].test_x(), dataset.clients()[0].test_y())
             .unwrap();
         assert!(eval.total > 0);
     }
@@ -344,7 +336,10 @@ mod tests {
     #[test]
     fn selector_flag_switches_strategy() {
         let args = ParsedArgs::parse(["dag", "--selector", "random"]).unwrap();
-        assert_eq!(dag_config(&args, 10).unwrap().tip_selector, TipSelector::Random);
+        assert_eq!(
+            dag_config(&args, 10).unwrap().tip_selector,
+            TipSelector::Random
+        );
         let args = ParsedArgs::parse(["dag", "--selector", "cumulative", "--alpha", "2"]).unwrap();
         assert_eq!(
             dag_config(&args, 10).unwrap().tip_selector,

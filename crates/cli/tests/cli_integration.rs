@@ -1,0 +1,62 @@
+//! Integration tests of the CLI entry points: parsing and dispatch must
+//! handle help and malformed invocations gracefully (no panics).
+
+use dagfl_cli::{run_command, Command, ParseError, ParsedArgs};
+
+#[test]
+fn help_flag_parses_and_runs() {
+    for invocation in [vec!["--help"], vec!["-h"], vec!["help"]] {
+        let args = ParsedArgs::parse(invocation.clone()).expect("help parses");
+        assert_eq!(args.command(), Command::Help);
+        run_command(&args).unwrap_or_else(|e| panic!("help failed for {invocation:?}: {e}"));
+    }
+}
+
+#[test]
+fn unknown_subcommand_is_a_parse_error_not_a_panic() {
+    let err = ParsedArgs::parse(["frobnicate"]).expect_err("unknown subcommand must fail");
+    assert_eq!(err, ParseError::UnknownCommand("frobnicate".into()));
+    // The error formats into a user-facing message naming the culprit.
+    assert!(err.to_string().contains("frobnicate"));
+}
+
+#[test]
+fn missing_subcommand_is_reported() {
+    let err = ParsedArgs::parse(Vec::<String>::new()).expect_err("empty args must fail");
+    assert_eq!(err, ParseError::MissingCommand);
+}
+
+#[test]
+fn unknown_dataset_is_an_error_not_a_panic() {
+    let args = ParsedArgs::parse(["dag", "--dataset", "no-such-dataset"]).expect("parses");
+    let err = run_command(&args).expect_err("unknown dataset must fail");
+    assert!(err.to_string().contains("no-such-dataset"));
+}
+
+#[test]
+fn malformed_flag_value_is_an_error_not_a_panic() {
+    let args = ParsedArgs::parse(["dag", "--rounds", "many"]).expect("parses");
+    let err = run_command(&args).expect_err("non-numeric rounds must fail");
+    assert!(err.to_string().contains("many"));
+}
+
+#[test]
+fn tiny_dag_run_succeeds_end_to_end() {
+    // A minimal real dispatch: 1 round on a tiny dataset, exercising the
+    // whole dataset -> model -> simulation path behind `run_command`.
+    let args = ParsedArgs::parse([
+        "dag",
+        "--rounds",
+        "1",
+        "--clients",
+        "4",
+        "--samples",
+        "12",
+        "--clients-per-round",
+        "2",
+        "--batches",
+        "1",
+    ])
+    .expect("parses");
+    run_command(&args).expect("tiny dag run succeeds");
+}

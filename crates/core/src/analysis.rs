@@ -150,8 +150,7 @@ pub fn cluster_specialization(sim: &mut Simulation) -> Result<ClusterSpecializat
     for (a_idx, &a) in clusters.iter().enumerate() {
         for (b_idx, &b) in clusters.iter().enumerate() {
             let pool = &pools[&b];
-            let eval =
-                sim.clients[0].evaluate_with(&mean_params[&a], &pool.x, &pool.y)?;
+            let eval = sim.clients[0].evaluate_with(&mean_params[&a], &pool.x, &pool.y)?;
             accuracy[a_idx][b_idx] = eval.accuracy;
             divergence[a_idx][b_idx] = l2_distance(&mean_params[&a], &mean_params[&b]);
         }

@@ -104,7 +104,11 @@ impl AsyncSimulation {
         let tangle = Tangle::new(ModelPayload::new(genesis_model.parameters()));
         let clients = (0..dataset.num_clients() as u32)
             .map(|id| {
-                DagClient::new(id, factory(&mut rng), config.dag.seed.wrapping_add(id as u64))
+                DagClient::new(
+                    id,
+                    factory(&mut rng),
+                    config.dag.seed.wrapping_add(id as u64),
+                )
             })
             .collect();
         Self {
@@ -159,8 +163,11 @@ impl AsyncSimulation {
     /// Attaches every in-flight transaction whose propagation finished.
     fn deliver_due(&mut self) -> Result<(), CoreError> {
         // Deliver in visible_at order for determinism.
-        self.in_flight
-            .sort_by(|a, b| a.visible_at.partial_cmp(&b.visible_at).expect("finite times"));
+        self.in_flight.sort_by(|a, b| {
+            a.visible_at
+                .partial_cmp(&b.visible_at)
+                .expect("finite times")
+        });
         let mut remaining = Vec::new();
         for tx in self.in_flight.drain(..) {
             if tx.visible_at <= self.clock {
@@ -347,10 +354,7 @@ mod tests {
         sim.run().unwrap();
         let pureness = sim.approval_pureness();
         let base = sim.dataset().base_pureness();
-        assert!(
-            pureness > base,
-            "pureness {pureness} not above base {base}"
-        );
+        assert!(pureness > base, "pureness {pureness} not above base {base}");
         assert!(sim.client_graph().total_weight() > 0.0);
     }
 

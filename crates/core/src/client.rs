@@ -247,8 +247,7 @@ impl DagClient {
             }
             PublishGate::AveragedReference => {
                 trained.accuracy > reference.accuracy
-                    || (trained.accuracy == reference.accuracy
-                        && trained.loss < reference.loss)
+                    || (trained.accuracy == reference.accuracy && trained.loss < reference.loss)
             }
             PublishGate::Always => true,
         };
@@ -348,7 +347,10 @@ mod tests {
         client
             .train_round(&tangle, &ds.clients()[1], &config())
             .unwrap();
-        assert!(client.cache_len() >= 2, "walk should have cached evaluations");
+        assert!(
+            client.cache_len() >= 2,
+            "walk should have cached evaluations"
+        );
         client.clear_cache();
         assert_eq!(client.cache_len(), 0);
     }
@@ -383,7 +385,9 @@ mod tests {
         let g = tangle.genesis();
         // A single tip with all-ones: reference = average(tip, tip) = ones
         // (both walks must end at the unique tip).
-        tangle.attach(ModelPayload::new(vec![1.0; n]), &[g]).unwrap();
+        tangle
+            .attach(ModelPayload::new(vec![1.0; n]), &[g])
+            .unwrap();
         let mut client = DagClient::new(0, model, 7);
         let (params, (t1, t2)) = client
             .reference_model(&tangle, &ds.clients()[0], &config())

@@ -87,7 +87,9 @@ mod tests {
     fn model_tangle_stores_payloads() {
         let mut tangle: ModelTangle = Tangle::new(ModelPayload::new(vec![0.0; 4]));
         let g = tangle.genesis();
-        let id = tangle.attach(ModelPayload::new(vec![1.0; 4]), &[g]).unwrap();
+        let id = tangle
+            .attach(ModelPayload::new(vec![1.0; 4]), &[g])
+            .unwrap();
         assert_eq!(tangle.get(id).unwrap().payload().params(), &[1.0; 4]);
     }
 }

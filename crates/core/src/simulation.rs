@@ -12,8 +12,8 @@ use dagfl_nn::Evaluation;
 use dagfl_tangle::TxId;
 
 use crate::{
-    CoreError, DagClient, DagConfig, ModelFactory, ModelPayload, RoundMetrics,
-    SharedModelTangle, SpecializationMetrics, TrainOutcome,
+    CoreError, DagClient, DagConfig, ModelFactory, ModelPayload, RoundMetrics, SharedModelTangle,
+    SpecializationMetrics, TrainOutcome,
 };
 
 /// A client's reference evaluation: `(client id, evaluation, selected tips)`.
@@ -48,8 +48,7 @@ impl Simulation {
     /// client count.
     pub fn new(config: DagConfig, dataset: FederatedDataset, factory: ModelFactory) -> Self {
         assert!(
-            config.clients_per_round > 0
-                && config.clients_per_round <= dataset.num_clients(),
+            config.clients_per_round > 0 && config.clients_per_round <= dataset.num_clients(),
             "clients_per_round ({}) must be in 1..={}",
             config.clients_per_round,
             dataset.num_clients()
@@ -114,7 +113,10 @@ impl Simulation {
         // deterministic processing order.
         let mut ids: Vec<usize> = (0..self.dataset.num_clients()).collect();
         ids.shuffle(&mut self.rng);
-        let mut active: Vec<usize> = ids.into_iter().take(self.config.clients_per_round).collect();
+        let mut active: Vec<usize> = ids
+            .into_iter()
+            .take(self.config.clients_per_round)
+            .collect();
         active.sort_unstable();
 
         let outcomes = self.run_active_clients(&active)?;
@@ -182,13 +184,13 @@ impl Simulation {
             taken = idx + 1;
         }
         if config.parallel && active.len() > 1 {
-            let results = crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = client_refs
                     .into_iter()
                     .zip(active)
                     .map(|(client, &idx)| {
                         let data = &dataset.clients()[idx];
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let guard = tangle.read();
                             client.train_round(&guard, data, &config)
                         })
@@ -199,16 +201,12 @@ impl Simulation {
                     .map(|h| h.join().expect("client thread panicked"))
                     .collect::<Result<Vec<_>, _>>()
             })
-            .expect("crossbeam scope panicked");
-            results
         } else {
             let guard = tangle.read();
             client_refs
                 .into_iter()
                 .zip(active)
-                .map(|(client, &idx)| {
-                    client.train_round(&guard, &dataset.clients()[idx], &config)
-                })
+                .map(|(client, &idx)| client.train_round(&guard, &dataset.clients()[idx], &config))
                 .collect()
         }
     }

@@ -179,13 +179,7 @@ mod tests {
     /// untrained "bad" model.
     fn toy_setup() -> ToySetup {
         let mut rng = StdRng::seed_from_u64(0);
-        let x = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.9, 0.1],
-            &[0.0, 1.0],
-            &[0.1, 0.9],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.9, 0.1], &[0.0, 1.0], &[0.1, 0.9]]).unwrap();
         let y = vec![0, 0, 1, 1];
         let mut good = Sequential::new(vec![Box::new(Dense::new(&mut rng, 2, 2))]);
         let opt = SgdConfig::new(0.5);
@@ -249,9 +243,7 @@ mod tests {
         let mut tangle: Tangle<ModelPayload> =
             Tangle::new(ModelPayload::new(vec![0.0; good_params.len()]));
         let g = tangle.genesis();
-        let good_tip = tangle
-            .attach(ModelPayload::new(good_params), &[g])
-            .unwrap();
+        let good_tip = tangle.attach(ModelPayload::new(good_params), &[g]).unwrap();
         let _bad_tip = tangle.attach(ModelPayload::new(bad_params), &[g]).unwrap();
         let mut cache = HashMap::new();
         let mut rng = StdRng::seed_from_u64(3);
@@ -265,7 +257,9 @@ mod tests {
                 50.0,
                 Normalization::Simple,
             );
-            let r = RandomWalker::new().walk(&tangle, g, &mut bias, &mut rng).unwrap();
+            let r = RandomWalker::new()
+                .walk(&tangle, g, &mut bias, &mut rng)
+                .unwrap();
             if r.tip == good_tip {
                 good_count += 1;
             }
@@ -295,7 +289,9 @@ mod tests {
             10.0,
             Normalization::Simple,
         );
-        RandomWalker::new().walk(&tangle, g, &mut bias, &mut rng).unwrap();
+        RandomWalker::new()
+            .walk(&tangle, g, &mut bias, &mut rng)
+            .unwrap();
         assert_eq!(bias.evaluations(), 2);
         let _ = bias;
         // Second walk: everything cached.
@@ -307,7 +303,9 @@ mod tests {
             10.0,
             Normalization::Simple,
         );
-        RandomWalker::new().walk(&tangle, g, &mut bias, &mut rng).unwrap();
+        RandomWalker::new()
+            .walk(&tangle, g, &mut bias, &mut rng)
+            .unwrap();
         assert_eq!(bias.evaluations(), 0);
     }
 
@@ -318,7 +316,9 @@ mod tests {
             Tangle::new(ModelPayload::new(vec![0.0; good_params.len()]));
         let g = tangle.genesis();
         // A payload with the wrong parameter count.
-        let weird = tangle.attach(ModelPayload::new(vec![1.0; 3]), &[g]).unwrap();
+        let weird = tangle
+            .attach(ModelPayload::new(vec![1.0; 3]), &[g])
+            .unwrap();
         let mut cache = HashMap::new();
         let mut bias = AccuracyBias::new(
             scratch.as_mut(),

@@ -133,7 +133,11 @@ impl ClientDataset {
         rng: &mut R,
     ) -> Vec<(Matrix, Vec<usize>)> {
         assert!(batch_size > 0, "batch size must be positive");
-        assert!(self.num_train() > 0, "client {} has no training data", self.id);
+        assert!(
+            self.num_train() > 0,
+            "client {} has no training data",
+            self.id
+        );
         let mut order: Vec<usize> = (0..self.num_train()).collect();
         order.shuffle(rng);
         let mut cursor = 0;

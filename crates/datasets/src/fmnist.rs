@@ -78,7 +78,8 @@ fn class_prototype(class: usize, seed: u64) -> Vec<f32> {
 
 /// The un-normalised smoothed random pattern for a class.
 fn raw_prototype(class: usize, seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(class as u64 + 1)));
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(class as u64 + 1)));
     let mut img: Vec<f32> = (0..IMAGE_LEN)
         .map(|_| sample_normal(&mut rng, 0.0, 1.0) as f32)
         .collect();
@@ -152,8 +153,7 @@ impl ClientStyle {
                 } else {
                     0.0
                 };
-                let noisy =
-                    base * self.brightness + sample_normal(rng, 0.0, noise as f64) as f32;
+                let noisy = base * self.brightness + sample_normal(rng, 0.0, noise as f64) as f32;
                 out[y * IMAGE_SIDE + x] = noisy.clamp(-1.0, 2.0);
             }
         }

@@ -16,25 +16,70 @@ use crate::{ClientDataset, FederatedDataset};
 /// The shared character vocabulary: `a`–`z`, space, full stop and the four
 /// German specials.
 pub const POETS_VOCAB: [char; 32] = [
-    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
-    's', 't', 'u', 'v', 'w', 'x', 'y', 'z', ' ', '.', 'ä', 'ö', 'ü', 'ß',
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', ' ', '.', 'ä', 'ö', 'ü', 'ß',
 ];
 
 /// Common English function words (language cluster 0).
 const ENGLISH_WORDS: &[&str] = &[
-    "the", "and", "to", "of", "that", "is", "was", "he", "for", "it", "with", "as", "his",
-    "on", "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "they", "which",
-    "one", "you", "were", "her", "all", "she", "there", "would", "their", "will", "when",
-    "who", "him", "been", "has", "more", "if", "no", "out", "so", "what", "up", "said", "its",
+    "the", "and", "to", "of", "that", "is", "was", "he", "for", "it", "with", "as", "his", "on",
+    "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "they", "which", "one",
+    "you", "were", "her", "all", "she", "there", "would", "their", "will", "when", "who", "him",
+    "been", "has", "more", "if", "no", "out", "so", "what", "up", "said", "its",
 ];
 
 /// Common German function words (language cluster 1), rich in umlauts.
 const GERMAN_WORDS: &[&str] = &[
-    "der", "die", "und", "das", "ist", "nicht", "ich", "ein", "zu", "es", "sie", "mit",
-    "sich", "auf", "für", "wir", "über", "können", "müssen", "schön", "größe", "wäre",
-    "hätte", "würde", "dass", "aber", "auch", "nach", "bei", "aus", "wenn", "nur", "noch",
-    "schon", "mehr", "sehr", "vom", "zum", "dieser", "weiß", "heißt", "natürlich", "früh",
-    "später", "gegenüber", "möchte", "dafür", "darüber", "zurück", "grün",
+    "der",
+    "die",
+    "und",
+    "das",
+    "ist",
+    "nicht",
+    "ich",
+    "ein",
+    "zu",
+    "es",
+    "sie",
+    "mit",
+    "sich",
+    "auf",
+    "für",
+    "wir",
+    "über",
+    "können",
+    "müssen",
+    "schön",
+    "größe",
+    "wäre",
+    "hätte",
+    "würde",
+    "dass",
+    "aber",
+    "auch",
+    "nach",
+    "bei",
+    "aus",
+    "wenn",
+    "nur",
+    "noch",
+    "schon",
+    "mehr",
+    "sehr",
+    "vom",
+    "zum",
+    "dieser",
+    "weiß",
+    "heißt",
+    "natürlich",
+    "früh",
+    "später",
+    "gegenüber",
+    "möchte",
+    "dafür",
+    "darüber",
+    "zurück",
+    "grün",
 ];
 
 /// Configuration for the synthetic Poets generator.
@@ -97,7 +142,10 @@ fn token_stream<R: Rng>(words: &[&str], len: usize, rng: &mut R) -> Vec<usize> {
 ///
 /// Panics if any configuration field is zero or `samples_per_client < 10`.
 pub fn poets(cfg: &PoetsConfig) -> FederatedDataset {
-    assert!(cfg.clients_per_language > 0, "need clients in each language");
+    assert!(
+        cfg.clients_per_language > 0,
+        "need clients in each language"
+    );
     assert!(cfg.samples_per_client >= 10, "too few samples per client");
     assert!(cfg.seq_len > 0, "sequence length must be positive");
     let mut rng = StdRng::seed_from_u64(cfg.seed);

@@ -152,11 +152,7 @@ mod tests {
         let before = ds.clients()[2].test_y().to_vec();
         flip_labels_for_clients(&mut ds, 3, 8, &[2]);
         let after = ds.clients()[2].test_y();
-        let flipped = before
-            .iter()
-            .zip(after)
-            .filter(|(b, a)| b != a)
-            .count();
+        let flipped = before.iter().zip(after).filter(|(b, a)| b != a).count();
         let expected = before.iter().filter(|&&l| l == 3 || l == 8).count();
         assert_eq!(flipped, expected);
     }

@@ -68,10 +68,12 @@ mod tests {
     #[test]
     fn normal_moments_plausible() {
         let mut rng = StdRng::seed_from_u64(0);
-        let samples: Vec<f64> = (0..20_000).map(|_| sample_normal(&mut rng, 2.0, 3.0)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_normal(&mut rng, 2.0, 3.0))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
         assert!((var - 9.0).abs() < 0.5, "var {var}");
     }
@@ -91,16 +93,20 @@ mod tests {
     #[test]
     fn small_alpha_concentrates_mass() {
         // With alpha << 1 most draws put nearly all mass on one category.
+        // For Dirichlet(0.05) over 5 categories the true P(max > 0.9) is
+        // ~0.65, so demand a 55% rate over 400 draws: far above anything a
+        // diffuse distribution produces, yet ~4 sigma below the mean —
+        // robust to the exact RNG stream.
         let mut rng = StdRng::seed_from_u64(2);
         let mut peaked = 0;
-        for _ in 0..100 {
+        for _ in 0..400 {
             let p = sample_dirichlet(&mut rng, 0.05, 5);
             let max = p.iter().cloned().fold(0.0, f64::max);
             if max > 0.9 {
                 peaked += 1;
             }
         }
-        assert!(peaked > 60, "only {peaked}/100 draws were peaked");
+        assert!(peaked > 220, "only {peaked}/400 draws were peaked");
     }
 
     #[test]

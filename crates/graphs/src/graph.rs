@@ -46,7 +46,10 @@ impl Graph {
     /// Panics if a node is out of range or `weight` is negative/non-finite.
     pub fn add_edge(&mut self, a: usize, b: usize, weight: f64) {
         let n = self.num_nodes();
-        assert!(a < n && b < n, "node out of range: ({a}, {b}) with {n} nodes");
+        assert!(
+            a < n && b < n,
+            "node out of range: ({a}, {b}) with {n} nodes"
+        );
         assert!(
             weight.is_finite() && weight >= 0.0,
             "edge weight must be finite and non-negative, got {weight}"
@@ -186,10 +189,7 @@ mod tests {
         g.add_edge(2, 1, 1.0);
         g.add_edge(0, 3, 2.0);
         g.add_edge(1, 1, 0.5);
-        assert_eq!(
-            g.edges(),
-            vec![(0, 3, 2.0), (1, 1, 0.5), (1, 2, 1.0)]
-        );
+        assert_eq!(g.edges(), vec![(0, 3, 2.0), (1, 1, 0.5), (1, 2, 1.0)]);
     }
 
     #[test]

@@ -42,6 +42,6 @@ mod metrics;
 pub use graph::Graph;
 pub use louvain::louvain;
 pub use metrics::{
-    compact_labels, connected_components, majority_labels, misclassification_fraction,
-    modularity, partition_count,
+    compact_labels, connected_components, majority_labels, misclassification_fraction, modularity,
+    partition_count,
 };

@@ -108,7 +108,11 @@ pub fn connected_components(graph: &Graph) -> Vec<usize> {
 ///
 /// Panics if the slices differ in length.
 pub fn majority_labels(partition: &[usize], truth: &[usize]) -> HashMap<usize, usize> {
-    assert_eq!(partition.len(), truth.len(), "label slices differ in length");
+    assert_eq!(
+        partition.len(),
+        truth.len(),
+        "label slices differ in length"
+    );
     let mut counts: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
     for (&p, &t) in partition.iter().zip(truth) {
         *counts.entry(p).or_default().entry(t).or_insert(0) += 1;

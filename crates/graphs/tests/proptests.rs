@@ -10,15 +10,13 @@ use rand::SeedableRng;
 
 fn arbitrary_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
     (2..=max_nodes).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, 0.1f64..5.0), 0..max_edges).prop_map(
-            move |edges| {
-                let mut g = Graph::new(n);
-                for (a, b, w) in edges {
-                    g.add_edge(a, b, w);
-                }
-                g
-            },
-        )
+        proptest::collection::vec((0..n, 0..n, 0.1f64..5.0), 0..max_edges).prop_map(move |edges| {
+            let mut g = Graph::new(n);
+            for (a, b, w) in edges {
+                g.add_edge(a, b, w);
+            }
+            g
+        })
     })
 }
 

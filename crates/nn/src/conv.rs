@@ -83,7 +83,10 @@ impl Conv2d {
         stride: usize,
         padding: usize,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         assert!(
             in_shape.height + 2 * padding >= kernel && in_shape.width + 2 * padding >= kernel,
             "kernel larger than padded input"

@@ -80,9 +80,8 @@ impl Layer for Dense {
             .expect("backward called before forward");
         // dW = x^T g ; db = column sums of g ; dx = g W^T
         self.grad_weight = input.transpose_matmul(grad_output)?;
-        self.grad_bias =
-            Matrix::from_vec(1, grad_output.cols(), grad_output.column_sums())
-                .expect("column_sums length matches cols");
+        self.grad_bias = Matrix::from_vec(1, grad_output.cols(), grad_output.column_sums())
+            .expect("column_sums length matches cols");
         let grad_input = grad_output.matmul_transpose(&self.weight)?;
         Ok(grad_input)
     }

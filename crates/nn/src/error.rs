@@ -41,10 +41,9 @@ impl fmt::Display for NnError {
                 f,
                 "parameter vector length mismatch: expected {expected}, got {actual}"
             ),
-            NnError::BatchMismatch { inputs, labels } => write!(
-                f,
-                "batch mismatch: {inputs} input rows but {labels} labels"
-            ),
+            NnError::BatchMismatch { inputs, labels } => {
+                write!(f, "batch mismatch: {inputs} input rows but {labels} labels")
+            }
             NnError::LabelOutOfRange { label, classes } => {
                 write!(f, "label {label} out of range for {classes} classes")
             }

@@ -111,7 +111,9 @@ mod tests {
             Box::new(Dense::new(&mut rng, 6, 3)),
         ]);
         let (x, y) = batch(4, 3);
-        assert_gradients_match(&mut model, &x, &y, 1e-2, 0.08);
+        // A small step keeps the finite differences away from the ReLU
+        // kink (a pre-activation within eps of zero breaks the estimate).
+        assert_gradients_match(&mut model, &x, &y, 1e-3, 0.08);
     }
 
     #[test]

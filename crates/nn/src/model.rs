@@ -28,8 +28,7 @@ impl Evaluation {
             return Evaluation::default();
         }
         let correct = self.correct + other.correct;
-        let loss = (self.loss * self.total as f32 + other.loss * other.total as f32)
-            / total as f32;
+        let loss = (self.loss * self.total as f32 + other.loss * other.total as f32) / total as f32;
         Evaluation {
             loss,
             accuracy: correct as f32 / total as f32,

@@ -117,8 +117,12 @@ impl GruCell {
         x: &Matrix,
         h_prev: &Matrix,
     ) -> Result<(Matrix, GruStepCache), NnError> {
-        let z = self.gate(x, h_prev, &self.wz, &self.uz, &self.bz)?.map(sigmoid_scalar);
-        let r = self.gate(x, h_prev, &self.wr, &self.ur, &self.br)?.map(sigmoid_scalar);
+        let z = self
+            .gate(x, h_prev, &self.wz, &self.uz, &self.bz)?
+            .map(sigmoid_scalar);
+        let r = self
+            .gate(x, h_prev, &self.wr, &self.ur, &self.br)?
+            .map(sigmoid_scalar);
         let s = r.hadamard(h_prev)?;
         let mut hc_pre = x.matmul(&self.wh)?;
         hc_pre.add_assign(&s.matmul(&self.uh)?)?;
@@ -426,8 +430,8 @@ impl CharRnn {
         grad_logits.scale_assign(scale);
         // Output layer gradients.
         self.grad_out_w = h.transpose_matmul(&grad_logits)?;
-        self.grad_out_b = Matrix::from_vec(1, self.vocab, grad_logits.column_sums())
-            .expect("column sums sized");
+        self.grad_out_b =
+            Matrix::from_vec(1, self.vocab, grad_logits.column_sums()).expect("column sums sized");
         // BPTT.
         let mut dh = grad_logits.matmul_transpose(&self.out_w)?;
         for (t, cache) in caches.iter().enumerate().rev() {
@@ -484,7 +488,8 @@ impl Model for CharRnn {
         let mut offset = 0;
         let mut load = |m: &mut Matrix| {
             let len = m.len();
-            m.as_mut_slice().copy_from_slice(&params[offset..offset + len]);
+            m.as_mut_slice()
+                .copy_from_slice(&params[offset..offset + len]);
             offset += len;
         };
         load(&mut self.embedding);

@@ -248,7 +248,8 @@ impl Model for Sequential {
         for layer in &mut self.layers {
             layer.load_parameters(&mut |m| {
                 let len = m.len();
-                m.as_mut_slice().copy_from_slice(&params[offset..offset + len]);
+                m.as_mut_slice()
+                    .copy_from_slice(&params[offset..offset + len]);
                 offset += len;
             });
         }

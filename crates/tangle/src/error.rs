@@ -22,7 +22,9 @@ impl fmt::Display for TangleError {
         match self {
             TangleError::UnknownParent(id) => write!(f, "unknown parent transaction {id}"),
             TangleError::UnknownTransaction(id) => write!(f, "unknown transaction {id}"),
-            TangleError::MissingParents => write!(f, "transaction must approve at least one parent"),
+            TangleError::MissingParents => {
+                write!(f, "transaction must approve at least one parent")
+            }
             TangleError::InvalidWalkStart(id) => {
                 write!(f, "random walk start {id} is not in the tangle")
             }

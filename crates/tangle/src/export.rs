@@ -143,6 +143,32 @@ mod tests {
         assert_eq!(s.mean_parents, 0.0);
     }
 
+    /// Regression: a genesis-only tangle has `non_genesis == 0` and
+    /// `non_tips == 0`; both means must be exactly 0.0 (finite), never
+    /// NaN from a 0/0 division.
+    #[test]
+    fn stats_of_genesis_only_tangle_are_finite() {
+        let s = Tangle::new(()).stats();
+        assert_eq!(s.mean_parents, 0.0);
+        assert_eq!(s.mean_children, 0.0);
+        assert!(s.mean_parents.is_finite() && s.mean_children.is_finite());
+        assert_eq!(s.max_depth, 0);
+    }
+
+    /// Regression companion: once a single child exists, both denominators
+    /// become non-zero and the means are exact.
+    #[test]
+    fn stats_of_single_edge_tangle() {
+        let mut t = Tangle::new(());
+        let g = t.genesis();
+        t.attach((), &[g]).unwrap();
+        let s = t.stats();
+        assert_eq!(s.transactions, 2);
+        assert_eq!(s.tips, 1);
+        assert_eq!(s.mean_parents, 1.0);
+        assert_eq!(s.mean_children, 1.0);
+    }
+
     #[test]
     fn dot_contains_all_nodes_and_edges() {
         let t = diamond();

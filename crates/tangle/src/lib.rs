@@ -57,4 +57,6 @@ pub use export::TangleStats;
 pub use shared::SharedTangle;
 pub use tangle::Tangle;
 pub use transaction::{Transaction, TxId};
-pub use walk::{weighted_choice, CumulativeWeightBias, RandomWalker, UniformBias, WalkBias, WalkResult};
+pub use walk::{
+    weighted_choice, CumulativeWeightBias, RandomWalker, UniformBias, WalkBias, WalkResult,
+};

@@ -86,7 +86,8 @@ impl<P> SharedTangle<P> {
         issuer: Option<u32>,
         round: u32,
     ) -> Result<TxId, TangleError> {
-        self.write().attach_with_meta(payload, parents, issuer, round)
+        self.write()
+            .attach_with_meta(payload, parents, issuer, round)
     }
 
     /// Convenience: current number of transactions.

@@ -300,7 +300,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut bias = CumulativeWeightBias::new(100.0);
         for _ in 0..20 {
-            let r = RandomWalker::new().walk(&t, g, &mut bias, &mut rng).unwrap();
+            let r = RandomWalker::new()
+                .walk(&t, g, &mut bias, &mut rng)
+                .unwrap();
             // The heavy chain's tip is the last attached transaction.
             assert_eq!(r.tip, prev);
         }

@@ -148,7 +148,12 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -158,7 +163,12 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -580,7 +590,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let h = a.hadamard(&b).unwrap();
-        assert_eq!(h, Matrix::from_rows(&[&[5.0, 12.0], &[21.0, 32.0]]).unwrap());
+        assert_eq!(
+            h,
+            Matrix::from_rows(&[&[5.0, 12.0], &[21.0, 32.0]]).unwrap()
+        );
     }
 
     #[test]

@@ -99,11 +99,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     // model on this fully clustered data.
     let spec = sim.specialization_metrics();
     println!("\nDAG specialization:");
-    println!("  approval pureness {:.3} (random would be {:.3})",
+    println!(
+        "  approval pureness {:.3} (random would be {:.3})",
         spec.approval_pureness,
         1.0 / 3.0
     );
-    println!("  modularity {:.3}, {} partitions, misclassification {:.3}",
+    println!(
+        "  modularity {:.3}, {} partitions, misclassification {:.3}",
         spec.modularity, spec.partitions, spec.misclassification
     );
     Ok(())

@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             .map(|(_, eval, _)| eval.accuracy)
             .collect();
         let mean: f32 = accs.iter().sum::<f32>() / accs.len().max(1) as f32;
-        println!("{name}: mean reference accuracy {mean:.3} over {} clients", accs.len());
+        println!(
+            "{name}: mean reference accuracy {mean:.3} over {} clients",
+            accs.len()
+        );
     }
     println!("final approval pureness: {:.3}", sim.approval_pureness());
     Ok(())

@@ -1,0 +1,204 @@
+//! Offline stand-in for the parts of the `criterion` API the workspace's
+//! benches use. It measures wall-clock time over a handful of iterations and
+//! prints a compact mean/min report — no warm-up modelling, outlier analysis
+//! or HTML output. Under `--test` (as `cargo test --benches` passes) each
+//! benchmark body runs exactly once, so bench targets double as smoke tests.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iterations: u32,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.samples.clear();
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("bench {name}: no samples");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "bench {name}: mean {mean:?} / min {min:?} over {} iteration(s)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Top-level benchmark driver (a stub of `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` / libtest pass `--test`; `cargo bench`
+        // passes `--bench`. In test mode run each body once, quickly.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    fn iterations(&self, sample_size: u32) -> u32 {
+        if self.test_mode {
+            1
+        } else {
+            sample_size
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.iterations(10),
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&id.id);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u32;
+        self
+    }
+
+    /// Benchmarks a function within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.criterion.iterations(self.sample_size),
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Benchmarks a function parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.criterion.iterations(self.sample_size),
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Ends the group (a no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for the parts of the `proptest` API the workspace uses.
+//!
+//! Cases are generated from a fixed seed (override with `PROPTEST_SEED`, set
+//! the case count with `PROPTEST_CASES`), so every `proptest!` block in the
+//! workspace is fully deterministic in CI. There is no shrinking: a failing
+//! case reports its index and the seed so it can be replayed exactly.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Strategy};
+
+/// Defines property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let runner = $crate::test_runner::TestRunner::new($cfg);
+                runner.run(|__proptest_rng| {
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                    )+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { ::std::assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { ::std::assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { ::std::assert_ne!($($tokens)*) };
+}

@@ -1,0 +1,98 @@
+//! Deterministic case runner.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Default base seed; chosen once so CI runs are reproducible.
+const DEFAULT_SEED: u64 = 0xDA6F_1001;
+/// Default number of cases per property (smaller than upstream's 256: the
+/// workspace properties run whole simulations, and determinism — not volume
+/// — is what tier-1 needs).
+const DEFAULT_CASES: u32 = 32;
+
+/// Configuration for a property-test run.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        Self { cases }
+    }
+}
+
+/// Executes a property over deterministically seeded cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner; the base seed comes from `PROPTEST_SEED` if set.
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        Self { config, seed }
+    }
+
+    /// Runs `property` once per case with a per-case deterministic RNG.
+    /// On failure, reports the case index and seed for exact replay, then
+    /// re-raises the panic.
+    pub fn run<F: FnMut(&mut TestRng)>(&self, mut property: F) {
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::seed_from_u64(case_seed(self.seed, case));
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
+                eprintln!(
+                    "proptest(shim): case {case}/{} failed; replay with \
+                     PROPTEST_SEED={} (base seed), case index {case}",
+                    self.config.cases, self.seed
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// Mixes the base seed and case index into an independent per-case seed.
+fn case_seed(base: u64, case: u32) -> u64 {
+    let mut z = base ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_distinct_and_deterministic() {
+        let a: Vec<u64> = (0..16).map(|c| case_seed(1, c)).collect();
+        let b: Vec<u64> = (0..16).map(|c| case_seed(1, c)).collect();
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len());
+    }
+}
