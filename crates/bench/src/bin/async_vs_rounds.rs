@@ -10,7 +10,7 @@
 use dagfl_bench::experiments::{fmnist_dataset, fmnist_spec, run_dag};
 use dagfl_bench::output::{emit, f, f32c, int};
 use dagfl_bench::{fmnist_model_factory, Scale};
-use dagfl_core::{AsyncConfig, AsyncSimulation};
+use dagfl_core::{AsyncConfig, AsyncSimulation, DelayModel};
 
 fn main() {
     let scale = Scale::from_env();
@@ -48,7 +48,8 @@ fn main() {
                 dag: spec.dag_config(),
                 total_activations: activations,
                 mean_interarrival: 1.0,
-                visibility_delay: delay,
+                delay: DelayModel::constant(delay),
+                ..AsyncConfig::default()
             },
             dataset,
             fmnist_model_factory(features, 10),

@@ -28,6 +28,7 @@ const EXPERIMENTS: &[&str] = &[
     "specialization_matrix",
     "fig04_dag_dot",
     "async_vs_rounds",
+    "mode_comparison",
     "communication_cost",
 ];
 

@@ -197,8 +197,17 @@ FEDPROX FLAGS:
     --stragglers        straggler fraction          (0.0)
 
 ASYNC FLAGS:
-    --activations       client activations          (200)
-    --delay             visibility delay            (2.0)
+    --activations       total client activations              (200)
+    --interarrival      mean activation gap of one client     (1.0)
+    --delay-model       constant | jitter | cohorts           (constant)
+    --delay             base (fast-link) propagation delay    (2.0)
+    --jitter            uniform jitter band width             (0.0)
+    --slow-fraction     slow-cohort fraction, network+compute (0.3)
+    --slow-delay        slow-link base delay (cohorts model)  (8.0)
+    --slowdown          compute slowdown of the slow cohort   (1.0 = uniform;
+                        with cohorts delays the same clients are network-slow)
+    --train-time        logical training duration             (0.0)
+    --stale-policy      publish | reselect | discard          (publish)
 ";
 
 #[cfg(test)]

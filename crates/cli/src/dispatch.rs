@@ -7,7 +7,8 @@ use rand::rngs::StdRng;
 
 use dagfl_baselines::{FedConfig, FederatedServer, LocalOnly};
 use dagfl_core::{
-    AsyncConfig, AsyncSimulation, DagConfig, ModelFactory, Normalization, Simulation, TipSelector,
+    AsyncConfig, AsyncSimulation, ComputeProfile, DagConfig, DelayModel, ModelFactory,
+    Normalization, Simulation, StaleTipPolicy, TipSelector,
 };
 use dagfl_datasets::{
     cifar100_like, fedprox_synthetic, fmnist_by_author, fmnist_clustered, poets, Cifar100Config,
@@ -144,6 +145,97 @@ fn dag_config(args: &ParsedArgs, num_clients: usize) -> Result<DagConfig, ParseE
     })
 }
 
+/// Rejects a flag value that would later fail the simulator's
+/// constructor asserts, so bad values surface as CLI errors rather
+/// than panics.
+fn reject_invalid(flag: &str, value: f64, ok: bool) -> Result<f64, ParseError> {
+    if ok && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ParseError::InvalidValue {
+            flag: flag.into(),
+            value: value.to_string(),
+        })
+    }
+}
+
+/// Builds the asynchronous-mode configuration from `--delay-model`,
+/// `--stale-policy` and friends.
+fn async_config(args: &ParsedArgs, num_clients: usize) -> Result<AsyncConfig, ParseError> {
+    let base: f64 = args.get_parsed_or("delay", 2.0)?;
+    let base = reject_invalid("delay", base, base >= 0.0)?;
+    let jitter: f64 = args.get_parsed_or("jitter", 0.0)?;
+    let jitter = reject_invalid("jitter", jitter, jitter >= 0.0)?;
+    let slow_fraction: f64 = args.get_parsed_or("slow-fraction", 0.3)?;
+    let slow_fraction = reject_invalid(
+        "slow-fraction",
+        slow_fraction,
+        (0.0..=1.0).contains(&slow_fraction),
+    )?;
+    let model_word = args.get_or("delay-model", "constant");
+    let delay = match model_word {
+        "constant" => DelayModel::Constant { delay: base },
+        "jitter" => DelayModel::UniformJitter { base, jitter },
+        "cohorts" => {
+            let slow: f64 = args.get_parsed_or("slow-delay", 8.0)?;
+            let slow = reject_invalid("slow-delay", slow, slow >= 0.0)?;
+            DelayModel::Cohorts {
+                slow_fraction,
+                fast: base,
+                slow,
+                jitter,
+            }
+        }
+        other => {
+            return Err(ParseError::InvalidValue {
+                flag: "delay-model".into(),
+                value: other.into(),
+            })
+        }
+    };
+    let slowdown: f64 = args.get_parsed_or("slowdown", 1.0)?;
+    let slowdown = reject_invalid("slowdown", slowdown, slowdown >= 1.0)?;
+    let compute = if slowdown > 1.0 {
+        if model_word == "cohorts" {
+            // One shared straggler cohort: slow links and slow compute
+            // hit the same clients.
+            ComputeProfile::MatchNetworkCohort { slowdown }
+        } else {
+            ComputeProfile::TwoSpeed {
+                slow_fraction,
+                slowdown,
+            }
+        }
+    } else {
+        ComputeProfile::Uniform
+    };
+    let stale_policy = match args.get_or("stale-policy", "publish") {
+        "publish" => StaleTipPolicy::PublishAnyway,
+        "reselect" => StaleTipPolicy::Reselect,
+        "discard" => StaleTipPolicy::Discard,
+        other => {
+            return Err(ParseError::InvalidValue {
+                flag: "stale-policy".into(),
+                value: other.into(),
+            })
+        }
+    };
+    let mean_interarrival: f64 = args.get_parsed_or("interarrival", 1.0)?;
+    let mean_interarrival =
+        reject_invalid("interarrival", mean_interarrival, mean_interarrival > 0.0)?;
+    let train_time: f64 = args.get_parsed_or("train-time", 0.0)?;
+    let train_time = reject_invalid("train-time", train_time, train_time >= 0.0)?;
+    Ok(AsyncConfig {
+        dag: dag_config(args, num_clients)?,
+        total_activations: args.get_parsed_or("activations", 200)?,
+        mean_interarrival,
+        delay,
+        compute,
+        train_time,
+        stale_policy,
+    })
+}
+
 fn fed_config(args: &ParsedArgs, num_clients: usize, mu: f32) -> Result<FedConfig, ParseError> {
     Ok(FedConfig {
         rounds: args.get_parsed_or("rounds", 30)?,
@@ -245,30 +337,49 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             }
         }
         Command::Async => {
-            let config = AsyncConfig {
-                dag: dag_config(args, n)?,
-                total_activations: args.get_parsed_or("activations", 200)?,
-                mean_interarrival: args.get_parsed_or("interarrival", 1.0)?,
-                visibility_delay: args.get_parsed_or("delay", 2.0)?,
-            };
+            let config = async_config(args, n)?;
             let mut sim = AsyncSimulation::new(config, dataset, factory);
-            println!("activation,time,client,accuracy,published");
+            println!("activation,started,completed,client,accuracy,published,stale_parents");
             for i in 0..config.total_activations {
                 let r = sim.step()?;
                 println!(
-                    "{},{:.2},{},{:.4},{}",
+                    "{},{:.2},{:.2},{},{:.4},{},{}",
                     i + 1,
-                    r.time,
+                    r.started,
+                    r.completed,
                     r.client,
                     r.accuracy,
-                    r.published
+                    r.published,
+                    r.stale_parents
                 );
             }
+            let m = sim.metrics();
             eprintln!(
-                "# pureness={:.3} transactions={} in_flight={}",
-                sim.approval_pureness(),
-                sim.tangle().len(),
-                sim.in_flight()
+                "# activations={} elapsed={:.2} rate={:.3}/t publish_fraction={:.3}",
+                m.activations,
+                m.elapsed,
+                m.activation_rate(),
+                m.publish_fraction()
+            );
+            eprintln!(
+                "# publish_latency mean={:.3} max={:.3} stale_fraction={:.3} \
+                 staleness=[{},{},{}] discarded={} reselected={}",
+                m.mean_publish_latency,
+                m.max_publish_latency,
+                m.stale_fraction(),
+                m.staleness_histogram[0],
+                m.staleness_histogram[1],
+                m.staleness_histogram[2],
+                m.discarded_stale,
+                m.reselections
+            );
+            eprintln!(
+                "# confirmation_depth={:.2} transactions={} tips={} pending={} pureness={:.3}",
+                m.mean_confirmation_depth,
+                m.transactions,
+                m.tips,
+                sim.pending_deliveries(),
+                sim.approval_pureness()
             );
         }
         Command::Help => unreachable!("handled above"),
@@ -420,5 +531,107 @@ mod tests {
         ])
         .unwrap();
         run_command(&args).unwrap();
+    }
+
+    #[test]
+    fn async_config_builds_cohort_delay_and_policy() {
+        let args = ParsedArgs::parse([
+            "async",
+            "--delay-model",
+            "cohorts",
+            "--delay",
+            "1.5",
+            "--slow-delay",
+            "12",
+            "--slow-fraction",
+            "0.4",
+            "--jitter",
+            "0.5",
+            "--slowdown",
+            "4",
+            "--train-time",
+            "0.8",
+            "--stale-policy",
+            "reselect",
+        ])
+        .unwrap();
+        let cfg = async_config(&args, 10).unwrap();
+        assert_eq!(
+            cfg.delay,
+            DelayModel::Cohorts {
+                slow_fraction: 0.4,
+                fast: 1.5,
+                slow: 12.0,
+                jitter: 0.5,
+            }
+        );
+        // Under the cohorts delay model the compute slowdown applies to
+        // the same (network-slow) clients.
+        assert_eq!(
+            cfg.compute,
+            ComputeProfile::MatchNetworkCohort { slowdown: 4.0 }
+        );
+        assert_eq!(cfg.stale_policy, StaleTipPolicy::Reselect);
+        assert_eq!(cfg.train_time, 0.8);
+    }
+
+    #[test]
+    fn async_config_uses_independent_cohort_without_cohort_delays() {
+        let args =
+            ParsedArgs::parse(["async", "--slowdown", "3", "--slow-fraction", "0.2"]).unwrap();
+        let cfg = async_config(&args, 10).unwrap();
+        assert_eq!(
+            cfg.compute,
+            ComputeProfile::TwoSpeed {
+                slow_fraction: 0.2,
+                slowdown: 3.0,
+            }
+        );
+    }
+
+    #[test]
+    fn async_config_rejects_out_of_range_values_instead_of_panicking() {
+        for flags in [
+            vec!["async", "--delay", "-1"],
+            vec!["async", "--jitter", "-0.5"],
+            vec!["async", "--slow-fraction", "1.5"],
+            vec!["async", "--slowdown", "0.5"],
+            vec!["async", "--interarrival", "0"],
+            vec!["async", "--train-time", "-2"],
+            vec!["async", "--delay-model", "cohorts", "--slow-delay", "-3"],
+        ] {
+            let args = ParsedArgs::parse(flags.clone()).unwrap();
+            assert!(
+                matches!(
+                    async_config(&args, 10),
+                    Err(ParseError::InvalidValue { .. })
+                ),
+                "expected InvalidValue for {flags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn async_config_defaults_to_constant_delay_uniform_compute() {
+        let args = ParsedArgs::parse(["async"]).unwrap();
+        let cfg = async_config(&args, 10).unwrap();
+        assert_eq!(cfg.delay, DelayModel::Constant { delay: 2.0 });
+        assert_eq!(cfg.compute, ComputeProfile::Uniform);
+        assert_eq!(cfg.stale_policy, StaleTipPolicy::PublishAnyway);
+        assert_eq!(cfg.total_activations, 200);
+    }
+
+    #[test]
+    fn async_config_rejects_unknown_words() {
+        let args = ParsedArgs::parse(["async", "--delay-model", "warp"]).unwrap();
+        assert!(matches!(
+            async_config(&args, 10).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
+        let args = ParsedArgs::parse(["async", "--stale-policy", "retry"]).unwrap();
+        assert!(matches!(
+            async_config(&args, 10).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
     }
 }

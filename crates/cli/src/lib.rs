@@ -21,5 +21,5 @@
 pub mod args;
 pub mod dispatch;
 
-pub use args::{Command, ParseError, ParsedArgs};
+pub use args::{Command, ParseError, ParsedArgs, USAGE};
 pub use dispatch::{run_command, DatasetKind};

@@ -41,6 +41,62 @@ fn malformed_flag_value_is_an_error_not_a_panic() {
 }
 
 #[test]
+fn help_documents_the_async_mode() {
+    use dagfl_cli::USAGE;
+    for needle in [
+        "async",
+        "--delay-model",
+        "--stale-policy",
+        "--train-time",
+        "--slowdown",
+    ] {
+        assert!(USAGE.contains(needle), "usage missing {needle}");
+    }
+}
+
+#[test]
+fn tiny_async_run_succeeds_end_to_end() {
+    // The asynchronous mode end-to-end: heterogeneous cohorts, jitter,
+    // non-zero training time and a stale-tip policy, driven entirely
+    // through CLI flags.
+    let args = ParsedArgs::parse([
+        "async",
+        "--clients",
+        "4",
+        "--samples",
+        "12",
+        "--activations",
+        "6",
+        "--batches",
+        "1",
+        "--delay-model",
+        "cohorts",
+        "--delay",
+        "0.5",
+        "--slow-delay",
+        "4",
+        "--jitter",
+        "0.3",
+        "--slowdown",
+        "2",
+        "--train-time",
+        "0.4",
+        "--stale-policy",
+        "reselect",
+    ])
+    .expect("parses");
+    assert_eq!(args.command(), Command::Async);
+    run_command(&args).expect("tiny async run succeeds");
+}
+
+#[test]
+fn async_rejects_bad_policy_value() {
+    let args = ParsedArgs::parse(["async", "--stale-policy", "bogus"]).expect("parses");
+    let err = run_command(&args).expect_err("unknown policy must fail");
+    assert!(err.to_string().contains("bogus"));
+}
+
+#[test]
 fn tiny_dag_run_succeeds_end_to_end() {
     // A minimal real dispatch: 1 round on a tiny dataset, exercising the
     // whole dataset -> model -> simulation path behind `run_command`.

@@ -1,25 +1,78 @@
-//! Event-driven asynchronous simulation.
+//! The asynchronous execution mode: an event-driven simulation of the
+//! Specializing DAG over a heterogeneous peer-to-peer network.
 //!
-//! The Specializing DAG needs no rounds: "in a distributed implementation,
-//! each client continuously runs the training process as often as its
-//! resources permit, independent from all other clients. We only introduce
-//! the concept of rounds to be able to compare" (§5.3.3). This simulator
-//! drops the rounds: client activations arrive as a Poisson-style process
-//! on a logical clock, each activation works against the tangle *as
-//! currently visible to that client*, and published transactions only
-//! become visible to others after a configurable propagation delay —
-//! modelling the eventual broadcast of a real peer-to-peer network.
+//! The paper is explicit that rounds are a measurement fiction: "in a
+//! distributed implementation, each client continuously runs the training
+//! process as often as its resources permit, independent from all other
+//! clients. We only introduce the concept of rounds to be able to compare"
+//! (§5.3.3). This simulator drops the rounds entirely and models what the
+//! round simulator abstracts away:
+//!
+//! * **Per-client replicas.** Every client maintains its own copy of the
+//!   tangle, exactly like a node in a real gossip network. A publication
+//!   reaches each peer individually, after a per-link delay drawn from the
+//!   configured [`DelayModel`]; out-of-order arrivals wait in a
+//!   solidification buffer until their parents are known. Model payloads
+//!   are `Arc`-shared, so replicas cost edges, not weights.
+//! * **Poisson activations with compute heterogeneity.** Each client
+//!   activates on its own exponential clock whose rate is scaled by its
+//!   [`ComputeProfile`] speed factor, and training occupies
+//!   `train_time / speed` logical time during which the client's view
+//!   keeps receiving deliveries.
+//! * **Stale-tip handling.** Because training takes time, a selected tip
+//!   may have been superseded (approved by somebody else) by the time the
+//!   client is ready to publish. The [`StaleTipPolicy`] decides whether to
+//!   publish anyway, re-select and re-validate, or discard.
+//! * **Throughput metrics.** [`AsyncMetrics`] records activation rate,
+//!   publish latency, tip-staleness counts and confirmation depth — the
+//!   quantities that distinguish deployable designs beyond accuracy.
+//!
+//! The simulation is a deterministic discrete-event loop: a single seeded
+//! RNG drives all sampling, and events are totally ordered by
+//! `(time, sequence number)`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dagfl_datasets::FederatedDataset;
 use dagfl_graphs::Graph;
+use dagfl_nn::average_parameters;
 use dagfl_tangle::{Tangle, TxId};
 
-use crate::{CoreError, DagClient, DagConfig, ModelFactory, ModelPayload, ModelTangle};
+use crate::{
+    ComputeProfile, CoreError, DagClient, DagConfig, DelayModel, ModelFactory, ModelPayload,
+    ModelTangle, StaleTipPolicy, TrainOutcome,
+};
 
 /// Configuration of an asynchronous simulation.
+///
+/// # Example
+///
+/// ```
+/// use dagfl_core::{AsyncConfig, ComputeProfile, DelayModel, StaleTipPolicy};
+///
+/// let config = AsyncConfig {
+///     total_activations: 500,
+///     mean_interarrival: 1.0,
+///     delay: DelayModel::Cohorts {
+///         slow_fraction: 0.3,
+///         fast: 1.0,
+///         slow: 8.0,
+///         jitter: 1.0,
+///     },
+///     compute: ComputeProfile::TwoSpeed {
+///         slow_fraction: 0.3,
+///         slowdown: 4.0,
+///     },
+///     train_time: 0.5,
+///     stale_policy: StaleTipPolicy::Reselect,
+///     ..AsyncConfig::default()
+/// };
+/// assert_eq!(config.total_activations, 500);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct AsyncConfig {
     /// Hyperparameters, tip selection and seed (the `rounds`,
@@ -27,12 +80,20 @@ pub struct AsyncConfig {
     pub dag: DagConfig,
     /// Total client activations to simulate.
     pub total_activations: usize,
-    /// Mean logical time between consecutive activations (exponential
-    /// inter-arrival).
+    /// Mean logical time between consecutive activations *of one
+    /// speed-1.0 client*; a client with speed `s` activates with mean
+    /// inter-arrival `mean_interarrival / s`.
     pub mean_interarrival: f64,
-    /// Logical delay until a published transaction becomes visible to
-    /// other clients (0.0 = instantaneous broadcast).
-    pub visibility_delay: f64,
+    /// Per-link propagation delay of published transactions.
+    pub delay: DelayModel,
+    /// Per-client compute-speed factors.
+    pub compute: ComputeProfile,
+    /// Logical duration of one local-training pass at speed 1.0
+    /// (`0.0` = instantaneous training, the historical behaviour; tips
+    /// can only go stale when this is positive).
+    pub train_time: f64,
+    /// What to do when a selected tip was superseded during training.
+    pub stale_policy: StaleTipPolicy,
 }
 
 impl Default for AsyncConfig {
@@ -41,7 +102,10 @@ impl Default for AsyncConfig {
             dag: DagConfig::default(),
             total_activations: 1000,
             mean_interarrival: 1.0,
-            visibility_delay: 2.0,
+            delay: DelayModel::default(),
+            compute: ComputeProfile::default(),
+            train_time: 0.0,
+            stale_policy: StaleTipPolicy::default(),
         }
     }
 }
@@ -49,35 +113,289 @@ impl Default for AsyncConfig {
 /// One completed client activation.
 #[derive(Debug, Clone)]
 pub struct ActivationRecord {
-    /// Logical time of the activation.
-    pub time: f64,
+    /// Logical time at which the client started (tip selection).
+    pub started: f64,
+    /// Logical time at which training finished and the publish decision
+    /// was taken.
+    pub completed: f64,
     /// The activated client.
     pub client: u32,
     /// Post-training accuracy on the client's local test data.
     pub accuracy: f32,
     /// Whether the activation published a transaction.
     pub published: bool,
+    /// How many of the originally selected parents (0–2) had been
+    /// superseded by the time training finished.
+    pub stale_parents: usize,
+    /// Whether the stale policy re-selected fresh parents and the
+    /// publication was attached to them (re-validation succeeded).
+    pub reselected: bool,
 }
 
-/// A transaction that has been published but is still propagating.
+/// Throughput and staleness metrics of an asynchronous run — the
+/// deployment-facing counterpart of the accuracy curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncMetrics {
+    /// Completed activations.
+    pub activations: usize,
+    /// Transactions published (excluding the genesis).
+    pub publications: usize,
+    /// Publications dropped by [`StaleTipPolicy::Discard`].
+    pub discarded_stale: usize,
+    /// Publications that went through a [`StaleTipPolicy::Reselect`]
+    /// re-walk (whether or not they survived re-validation).
+    pub reselections: usize,
+    /// Final logical clock.
+    pub elapsed: f64,
+    /// Mean per-link delivery delay over all publications (logical
+    /// time from publish to visibility at a peer).
+    pub mean_publish_latency: f64,
+    /// Largest sampled per-link delivery delay.
+    pub max_publish_latency: f64,
+    /// Publications by number of stale parents *approved* (index 0, 1,
+    /// 2): a successful re-selection attaches to fresh tips and counts
+    /// in bucket 0 regardless of how stale the original selection was.
+    pub staleness_histogram: [usize; 3],
+    /// Mean depth-from-tips over the global tangle — how deeply the
+    /// average transaction is buried (its degree of confirmation).
+    pub mean_confirmation_depth: f64,
+    /// Tips of the global tangle at measurement time.
+    pub tips: usize,
+    /// Transactions in the global tangle, including the genesis.
+    pub transactions: usize,
+}
+
+impl AsyncMetrics {
+    /// Completed activations per unit of logical time.
+    pub fn activation_rate(&self) -> f64 {
+        if self.elapsed > 0.0 {
+            self.activations as f64 / self.elapsed
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of activations that resulted in a publication.
+    pub fn publish_fraction(&self) -> f64 {
+        if self.activations > 0 {
+            self.publications as f64 / self.activations as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of publications that approved at least one stale
+    /// (already superseded) parent.
+    pub fn stale_fraction(&self) -> f64 {
+        let stale: usize = self.staleness_histogram[1] + self.staleness_histogram[2];
+        let total: usize = self.staleness_histogram.iter().sum();
+        if total > 0 {
+            stale as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A not-yet-delivered transaction on its way to one replica.
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    at: f64,
+    global: TxId,
+}
+
+/// One client's view of the network: its own tangle replica plus the
+/// id maps linking it to the simulator's global (omniscient) tangle.
+struct Replica {
+    tangle: ModelTangle,
+    /// Global id → id in this replica.
+    to_local: HashMap<TxId, TxId>,
+    /// Replica id (by index) → global id.
+    to_global: Vec<TxId>,
+    /// Scheduled deliveries (including arrivals waiting for parents).
+    inbox: Vec<Arrival>,
+}
+
+impl Replica {
+    fn new(genesis: ModelPayload) -> Self {
+        let tangle = Tangle::new(genesis);
+        let g = tangle.genesis();
+        let mut to_local = HashMap::new();
+        to_local.insert(g, g);
+        Self {
+            tangle,
+            to_local,
+            to_global: vec![g],
+            inbox: Vec::new(),
+        }
+    }
+
+    /// Attaches a transaction from the global tangle to this replica,
+    /// translating parent ids. The caller guarantees all parents are
+    /// present.
+    fn attach(&mut self, global: &ModelTangle, id: TxId) {
+        let tx = global.get(id).expect("global transaction exists");
+        let parents: Vec<TxId> = tx
+            .parents()
+            .iter()
+            .map(|p| *self.to_local.get(p).expect("parent present"))
+            .collect();
+        let local = self
+            .tangle
+            .attach_with_meta(tx.payload().clone(), &parents, tx.issuer(), tx.round())
+            .expect("replica attach cannot fail");
+        self.to_local.insert(id, local);
+        debug_assert_eq!(local.index() as usize, self.to_global.len());
+        self.to_global.push(id);
+    }
+
+    /// Delivers every due arrival whose parents are already known;
+    /// arrivals that are due but not yet solid stay queued and are
+    /// retried on the next drain.
+    fn drain(&mut self, now: f64, global: &ModelTangle) {
+        let mut due: Vec<Arrival> = Vec::new();
+        self.inbox.retain(|a| {
+            if a.at <= now {
+                due.push(*a);
+                false
+            } else {
+                true
+            }
+        });
+        if due.is_empty() {
+            return;
+        }
+        // Deterministic delivery order: by arrival time, then global id.
+        due.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.global.cmp(&b.global)));
+        loop {
+            let mut progressed = false;
+            due.retain(|a| {
+                let solid = global
+                    .get(a.global)
+                    .expect("global transaction exists")
+                    .parents()
+                    .iter()
+                    .all(|p| self.to_local.contains_key(p));
+                if solid {
+                    self.attach(global, a.global);
+                    progressed = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if !progressed {
+                break;
+            }
+        }
+        // Not yet solid: wait for the parents to arrive.
+        self.inbox.extend(due);
+    }
+
+    /// How many inbox entries would *not* attach on a drain at `now`:
+    /// future arrivals plus due arrivals that are not yet solid (their
+    /// parents are neither attached nor deliverable).
+    fn undelivered(&self, now: f64, global: &ModelTangle) -> usize {
+        use std::collections::HashSet;
+        let future = self.inbox.iter().filter(|a| a.at > now).count();
+        let mut known: HashSet<TxId> = self.to_local.keys().copied().collect();
+        let mut due: Vec<TxId> = self
+            .inbox
+            .iter()
+            .filter(|a| a.at <= now)
+            .map(|a| a.global)
+            .collect();
+        loop {
+            let before = due.len();
+            due.retain(|&id| {
+                let solid = global
+                    .get(id)
+                    .expect("global transaction exists")
+                    .parents()
+                    .iter()
+                    .all(|p| known.contains(p));
+                if solid {
+                    known.insert(id);
+                }
+                !solid
+            });
+            if due.len() == before {
+                break;
+            }
+        }
+        future + due.len()
+    }
+}
+
+/// A discrete event: a client starting an activation or finishing one.
 #[derive(Debug)]
-struct InFlight {
-    visible_at: f64,
-    params: Vec<f32>,
-    parents: (TxId, TxId),
-    issuer: u32,
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// Select tips and train against the client's current view.
+    Activate(usize),
+    /// Training done: staleness check, publish decision, reschedule.
+    Finish(usize),
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq && self.time.total_cmp(&other.time).is_eq()
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// An activation whose training is still in progress.
+struct PendingActivation {
+    started: f64,
+    outcome: TrainOutcome,
 }
 
 /// The asynchronous, event-driven counterpart of
 /// [`Simulation`](crate::Simulation).
+///
+/// The simulator keeps one omniscient *global* tangle — every
+/// publication is attached there immediately, for analysis — plus one
+/// replica per client holding exactly the transactions that client has
+/// received so far. Clients always select tips and train against their
+/// own replica.
 pub struct AsyncSimulation {
     config: AsyncConfig,
     dataset: FederatedDataset,
-    tangle: ModelTangle,
+    global: ModelTangle,
     clients: Vec<DagClient>,
-    in_flight: Vec<InFlight>,
+    replicas: Vec<Replica>,
+    speeds: Vec<f64>,
+    slow_cohort: Vec<bool>,
+    pending: Vec<Option<PendingActivation>>,
+    events: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
     clock: f64,
     activations: usize,
+    publications: usize,
+    discarded_stale: usize,
+    reselections: usize,
+    latency_sum: f64,
+    latency_count: usize,
+    latency_max: f64,
+    staleness_histogram: [usize; 3],
     rng: StdRng,
     history: Vec<ActivationRecord>,
 }
@@ -87,8 +405,9 @@ impl AsyncSimulation {
     ///
     /// # Panics
     ///
-    /// Panics if the dataset has no clients or `mean_interarrival` is not
-    /// positive.
+    /// Panics if the dataset has no clients, `mean_interarrival` is not
+    /// positive, `train_time` is negative, or a delay/compute parameter
+    /// is invalid.
     pub fn new(config: AsyncConfig, dataset: FederatedDataset, factory: ModelFactory) -> Self {
         assert!(dataset.num_clients() > 0, "dataset has no clients");
         assert!(
@@ -96,13 +415,16 @@ impl AsyncSimulation {
             "mean inter-arrival time must be positive"
         );
         assert!(
-            config.visibility_delay >= 0.0 && config.visibility_delay.is_finite(),
-            "visibility delay must be non-negative"
+            config.train_time >= 0.0 && config.train_time.is_finite(),
+            "train_time must be non-negative"
         );
+        config.delay.validate();
+        config.compute.validate();
         let mut rng = StdRng::seed_from_u64(config.dag.seed ^ 0xA57C);
         let genesis_model = factory(&mut rng);
-        let tangle = Tangle::new(ModelPayload::new(genesis_model.parameters()));
-        let clients = (0..dataset.num_clients() as u32)
+        let genesis = ModelPayload::new(genesis_model.parameters());
+        let n = dataset.num_clients();
+        let clients = (0..n as u32)
             .map(|id| {
                 DagClient::new(
                     id,
@@ -111,37 +433,87 @@ impl AsyncSimulation {
                 )
             })
             .collect();
-        Self {
+        let replicas = (0..n).map(|_| Replica::new(genesis.clone())).collect();
+        let slow_cohort = config.delay.assign_cohorts(n, &mut rng);
+        let speeds = config.compute.speeds(&slow_cohort, &mut rng);
+        let mut sim = Self {
             config,
             dataset,
-            tangle,
+            global: Tangle::new(genesis),
             clients,
-            in_flight: Vec::new(),
+            replicas,
+            speeds,
+            slow_cohort,
+            pending: (0..n).map(|_| None).collect(),
+            events: BinaryHeap::new(),
+            next_seq: 0,
             clock: 0.0,
             activations: 0,
+            publications: 0,
+            discarded_stale: 0,
+            reselections: 0,
+            latency_sum: 0.0,
+            latency_count: 0,
+            latency_max: 0.0,
+            staleness_histogram: [0; 3],
             rng,
             history: Vec::new(),
+        };
+        // Every client's first activation arrives on its own Poisson clock.
+        for idx in 0..n {
+            let gap = sim.sample_interarrival(idx);
+            sim.schedule(gap, EventKind::Activate(idx));
         }
+        sim
     }
 
-    /// The logical clock.
+    /// The logical clock (time of the last processed event).
     pub fn clock(&self) -> f64 {
         self.clock
     }
 
-    /// Activations processed so far.
+    /// Completed activations so far.
     pub fn activations(&self) -> usize {
         self.activations
     }
 
-    /// The visible tangle (excluding in-flight transactions).
+    /// The omniscient global tangle containing every publication.
     pub fn tangle(&self) -> &ModelTangle {
-        &self.tangle
+        &self.global
     }
 
-    /// Transactions currently propagating (published, not yet visible).
-    pub fn in_flight(&self) -> usize {
-        self.in_flight.len()
+    /// One client's current replica of the tangle (its network view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn replica(&self, client: usize) -> &ModelTangle {
+        &self.replicas[client].tangle
+    }
+
+    /// Deliveries that have not reached their destination replica yet:
+    /// arrivals scheduled beyond the current clock, plus due arrivals
+    /// still waiting in the solidification buffer for a parent.
+    /// (Arrivals that are due and solid but unobserved — the receiver
+    /// has not activated since — do not count; they are delivered,
+    /// merely unread.)
+    pub fn pending_deliveries(&self) -> usize {
+        self.replicas
+            .iter()
+            .map(|r| r.undelivered(self.clock, &self.global))
+            .sum()
+    }
+
+    /// The per-client compute-speed factors sampled at construction.
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// The per-client network slow-cohort flags sampled at
+    /// construction (`true` = slow links; all `false` unless the delay
+    /// model is [`DelayModel::Cohorts`]).
+    pub fn slow_clients(&self) -> &[bool] {
+        &self.slow_cohort
     }
 
     /// The activation log.
@@ -154,75 +526,214 @@ impl AsyncSimulation {
         &self.dataset
     }
 
-    /// Samples an exponential inter-arrival time (inverse transform).
-    fn sample_interarrival(&mut self) -> f64 {
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        -u.ln() * self.config.mean_interarrival
+    /// The simulation configuration.
+    pub fn config(&self) -> &AsyncConfig {
+        &self.config
     }
 
-    /// Attaches every in-flight transaction whose propagation finished.
-    fn deliver_due(&mut self) -> Result<(), CoreError> {
-        // Deliver in visible_at order for determinism.
-        self.in_flight.sort_by(|a, b| {
-            a.visible_at
-                .partial_cmp(&b.visible_at)
-                .expect("finite times")
-        });
-        let mut remaining = Vec::new();
-        for tx in self.in_flight.drain(..) {
-            if tx.visible_at <= self.clock {
-                self.tangle.attach_with_meta(
-                    ModelPayload::new(tx.params),
-                    &[tx.parents.0, tx.parents.1],
-                    Some(tx.issuer),
-                    // Record the delivery time (coarsened) in the round
-                    // field for later analysis.
-                    tx.visible_at as u32,
-                )?;
+    /// A snapshot of the throughput/staleness metrics (confirmation
+    /// depth and tip counts are computed from the global tangle).
+    pub fn metrics(&self) -> AsyncMetrics {
+        let depths = self.global.depths_from_tips();
+        let mean_depth = if depths.is_empty() {
+            0.0
+        } else {
+            depths.iter().map(|&d| d as f64).sum::<f64>() / depths.len() as f64
+        };
+        let stats = self.global.stats();
+        AsyncMetrics {
+            activations: self.activations,
+            publications: self.publications,
+            discarded_stale: self.discarded_stale,
+            reselections: self.reselections,
+            elapsed: self.clock,
+            mean_publish_latency: if self.latency_count > 0 {
+                self.latency_sum / self.latency_count as f64
             } else {
-                remaining.push(tx);
-            }
+                0.0
+            },
+            max_publish_latency: self.latency_max,
+            staleness_histogram: self.staleness_histogram,
+            mean_confirmation_depth: mean_depth,
+            tips: stats.tips,
+            transactions: stats.transactions,
         }
-        self.in_flight = remaining;
+    }
+
+    fn schedule(&mut self, at: f64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(Event {
+            time: at,
+            seq,
+            kind,
+        }));
+    }
+
+    /// Samples the next exponential activation gap of one client
+    /// (inverse transform, rate scaled by the client's speed).
+    fn sample_interarrival(&mut self, client: usize) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() * self.config.mean_interarrival / self.speeds[client]
+    }
+
+    /// Starts an activation: drain the client's inbox, select tips and
+    /// train against the replica, then schedule the finish event.
+    fn process_activate(&mut self, idx: usize, now: f64) -> Result<(), CoreError> {
+        self.replicas[idx].drain(now, &self.global);
+        let data = &self.dataset.clients()[idx];
+        let outcome =
+            self.clients[idx].train_round(&self.replicas[idx].tangle, data, &self.config.dag)?;
+        let duration = self.config.train_time / self.speeds[idx];
+        self.pending[idx] = Some(PendingActivation {
+            started: now,
+            outcome,
+        });
+        self.schedule(now + duration, EventKind::Finish(idx));
         Ok(())
     }
 
-    /// Processes one activation: advance the clock, deliver due
-    /// transactions, let a uniformly chosen client train and (maybe)
-    /// publish.
+    /// Completes an activation: staleness check against the updated
+    /// view, publish decision per the stale policy, metrics, and the
+    /// next activation of this client.
+    fn process_finish(&mut self, idx: usize, now: f64) -> Result<ActivationRecord, CoreError> {
+        let PendingActivation { started, outcome } =
+            self.pending[idx].take().expect("finish without activation");
+        self.replicas[idx].drain(now, &self.global);
+        let (tip1, tip2) = outcome.parents;
+        let mut stale_parents = [tip1, tip2]
+            .iter()
+            .filter(|&&t| !self.replicas[idx].tangle.is_tip(t))
+            .count();
+        if tip1 == tip2 && stale_parents > 0 {
+            stale_parents = 1;
+        }
+        let mut parents = (tip1, tip2);
+        let mut publish = outcome.published.clone();
+        let mut reselected = false;
+        if stale_parents > 0 && publish.is_some() {
+            match self.config.stale_policy {
+                StaleTipPolicy::PublishAnyway => {}
+                StaleTipPolicy::Discard => {
+                    publish = None;
+                    self.discarded_stale += 1;
+                }
+                StaleTipPolicy::Reselect => {
+                    self.reselections += 1;
+                    let data = &self.dataset.clients()[idx];
+                    let replica = &self.replicas[idx].tangle;
+                    let (fresh, _, _) =
+                        self.clients[idx].select_tips(replica, data, &self.config.dag)?;
+                    let p1 = replica.get(fresh.0)?.payload().share();
+                    let p2 = replica.get(fresh.1)?.payload().share();
+                    let reference = average_parameters(&[&p1, &p2]);
+                    let eval = self.clients[idx].evaluate_with(
+                        &reference,
+                        data.test_x(),
+                        data.test_y(),
+                    )?;
+                    // Re-validation: only publish if the trained model
+                    // still beats the fresh consensus reference.
+                    if outcome.trained.accuracy >= eval.accuracy {
+                        parents = fresh;
+                        reselected = true;
+                    } else {
+                        publish = None;
+                        self.discarded_stale += 1;
+                    }
+                }
+            }
+        }
+        if publish.is_some() {
+            // The histogram records the staleness of the parents
+            // actually *approved*: a successful re-selection attaches
+            // to fresh tips, so it lands in bucket 0.
+            let approved_stale = if reselected { 0 } else { stale_parents };
+            self.staleness_histogram[approved_stale.min(2)] += 1;
+        }
+        let published = publish.is_some();
+        if let Some(params) = publish {
+            self.publish(idx, now, params, parents)?;
+        }
+        let record = ActivationRecord {
+            started,
+            completed: now,
+            client: outcome.client,
+            accuracy: outcome.trained.accuracy,
+            published,
+            stale_parents,
+            reselected,
+        };
+        self.history.push(record.clone());
+        self.activations += 1;
+        let gap = self.sample_interarrival(idx);
+        self.schedule(now + gap, EventKind::Activate(idx));
+        Ok(record)
+    }
+
+    /// Attaches a publication to the global tangle and the publisher's
+    /// own replica, and schedules per-link deliveries to every peer.
+    fn publish(
+        &mut self,
+        idx: usize,
+        now: f64,
+        params: Vec<f32>,
+        parents: (TxId, TxId),
+    ) -> Result<(), CoreError> {
+        let replica = &self.replicas[idx];
+        let global_parents = [
+            replica.to_global[parents.0.index() as usize],
+            replica.to_global[parents.1.index() as usize],
+        ];
+        let global_id = self.global.attach_with_meta(
+            ModelPayload::new(params),
+            &global_parents,
+            Some(idx as u32),
+            now as u32,
+        )?;
+        // The publisher sees its own transaction immediately.
+        self.replicas[idx].attach(&self.global, global_id);
+        self.publications += 1;
+        let publisher_slow = self.slow_cohort[idx];
+        let model = self.config.delay;
+        for (peer, replica) in self.replicas.iter_mut().enumerate() {
+            if peer == idx {
+                continue;
+            }
+            let delay = model.sample(publisher_slow, self.slow_cohort[peer], &mut self.rng);
+            self.latency_sum += delay;
+            self.latency_count += 1;
+            if delay > self.latency_max {
+                self.latency_max = delay;
+            }
+            replica.inbox.push(Arrival {
+                at: now + delay,
+                global: global_id,
+            });
+        }
+        Ok(())
+    }
+
+    /// Processes events until the next activation completes and returns
+    /// its record.
     ///
     /// # Errors
     ///
     /// Propagates model/tangle errors.
     pub fn step(&mut self) -> Result<ActivationRecord, CoreError> {
-        self.clock += self.sample_interarrival();
-        self.deliver_due()?;
-        let idx = self.rng.gen_range(0..self.dataset.num_clients());
-        let data = &self.dataset.clients()[idx];
-        let client = &mut self.clients[idx];
-        let outcome = client.train_round(&self.tangle, data, &self.config.dag)?;
-        let published = outcome.published.is_some();
-        if let Some(params) = outcome.published {
-            self.in_flight.push(InFlight {
-                visible_at: self.clock + self.config.visibility_delay,
-                params,
-                parents: outcome.parents,
-                issuer: outcome.client,
-            });
+        loop {
+            let Reverse(event) = self.events.pop().expect("event queue never empties");
+            self.clock = event.time;
+            match event.kind {
+                EventKind::Activate(idx) => self.process_activate(idx, event.time)?,
+                EventKind::Finish(idx) => return self.process_finish(idx, event.time),
+            }
         }
-        let record = ActivationRecord {
-            time: self.clock,
-            client: outcome.client,
-            accuracy: outcome.trained.accuracy,
-            published,
-        };
-        self.history.push(record.clone());
-        self.activations += 1;
-        Ok(record)
     }
 
-    /// Runs until `total_activations` activations have been processed,
-    /// then flushes the remaining in-flight transactions.
+    /// Runs until `total_activations` activations have completed. The
+    /// global tangle always contains every publication, so no flush is
+    /// needed afterwards.
     ///
     /// # Errors
     ///
@@ -231,21 +742,17 @@ impl AsyncSimulation {
         while self.activations < self.config.total_activations {
             self.step()?;
         }
-        // Let the network quiesce: advance the clock past every pending
-        // delivery.
-        self.clock += self.config.visibility_delay;
-        self.deliver_due()?;
         Ok(())
     }
 
-    /// The derived client graph of the visible tangle (§4.3).
+    /// The derived client graph of the global tangle (§4.3).
     pub fn client_graph(&self) -> Graph {
-        crate::client_graph_of(&self.tangle, self.dataset.num_clients())
+        crate::client_graph_of(&self.global, self.dataset.num_clients())
     }
 
-    /// Approval pureness of the visible tangle (Table 2).
+    /// Approval pureness of the global tangle (Table 2).
     pub fn approval_pureness(&self) -> f64 {
-        crate::approval_pureness_of(&self.tangle, &self.dataset.cluster_labels())
+        crate::approval_pureness_of(&self.global, &self.dataset.cluster_labels())
     }
 
     /// Mean accuracy over the last `n` activations.
@@ -267,8 +774,8 @@ impl std::fmt::Debug for AsyncSimulation {
         f.debug_struct("AsyncSimulation")
             .field("clock", &self.clock)
             .field("activations", &self.activations)
-            .field("transactions", &self.tangle.len())
-            .field("in_flight", &self.in_flight.len())
+            .field("transactions", &self.global.len())
+            .field("pending_deliveries", &self.pending_deliveries())
             .finish()
     }
 }
@@ -280,32 +787,38 @@ mod tests {
     use dagfl_nn::{Dense, Model, Relu, Sequential};
     use std::sync::Arc;
 
-    fn setup(total: usize, visibility_delay: f64) -> AsyncSimulation {
-        let dataset = fmnist_clustered(&FmnistConfig {
-            num_clients: 6,
-            samples_per_client: 50,
-            ..FmnistConfig::default()
-        });
-        let features = dataset.feature_len();
-        let factory: ModelFactory = Arc::new(move |rng: &mut StdRng| {
+    fn small_factory(features: usize) -> ModelFactory {
+        Arc::new(move |rng: &mut StdRng| {
             Box::new(Sequential::new(vec![
                 Box::new(Dense::new(rng, features, 16)),
                 Box::new(Relu::new()),
                 Box::new(Dense::new(rng, 16, 10)),
             ])) as Box<dyn Model>
+        })
+    }
+
+    fn setup_with(config: AsyncConfig, num_clients: usize) -> AsyncSimulation {
+        let dataset = fmnist_clustered(&FmnistConfig {
+            num_clients,
+            samples_per_client: 50,
+            ..FmnistConfig::default()
         });
-        AsyncSimulation::new(
+        let features = dataset.feature_len();
+        AsyncSimulation::new(config, dataset, small_factory(features))
+    }
+
+    fn setup(total: usize, delay: f64) -> AsyncSimulation {
+        setup_with(
             AsyncConfig {
                 dag: DagConfig {
                     local_batches: 3,
                     ..DagConfig::default()
                 },
                 total_activations: total,
-                mean_interarrival: 1.0,
-                visibility_delay,
+                delay: DelayModel::constant(delay),
+                ..AsyncConfig::default()
             },
-            dataset,
-            factory,
+            6,
         )
     }
 
@@ -317,7 +830,10 @@ mod tests {
         assert!(sim.clock() > 0.0);
         assert!(sim.tangle().len() > 1, "nothing was published");
         assert_eq!(sim.history().len(), 30);
-        assert_eq!(sim.in_flight(), 0, "run() must flush in-flight txs");
+        let m = sim.metrics();
+        assert_eq!(m.activations, 30);
+        assert_eq!(m.transactions, sim.tangle().len());
+        assert_eq!(m.publications + 1, sim.tangle().len());
     }
 
     #[test]
@@ -334,6 +850,20 @@ mod tests {
             delayed_tips >= instant_tips,
             "delay should widen the frontier: {instant_tips} vs {delayed_tips}"
         );
+    }
+
+    #[test]
+    fn zero_delay_and_instant_training_collapse_to_a_chain() {
+        // Instantaneous broadcast + instantaneous training reproduce the
+        // old serial behaviour: the DAG degenerates towards a chain.
+        let mut sim = setup(40, 0.0);
+        sim.run().unwrap();
+        assert!(
+            sim.tangle().stats().tips <= 2,
+            "expected a near-chain, got {} tips",
+            sim.tangle().stats().tips
+        );
+        assert_eq!(sim.pending_deliveries(), 0, "zero delay leaves no backlog");
     }
 
     #[test]
@@ -360,15 +890,222 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let mut a = setup(25, 2.0);
-        a.run().unwrap();
-        let mut b = setup(25, 2.0);
-        b.run().unwrap();
+        let run = || {
+            let mut sim = setup_with(
+                AsyncConfig {
+                    dag: DagConfig {
+                        local_batches: 3,
+                        ..DagConfig::default()
+                    },
+                    total_activations: 25,
+                    delay: DelayModel::UniformJitter {
+                        base: 1.0,
+                        jitter: 2.0,
+                    },
+                    compute: ComputeProfile::TwoSpeed {
+                        slow_fraction: 0.5,
+                        slowdown: 3.0,
+                    },
+                    train_time: 0.5,
+                    stale_policy: StaleTipPolicy::Reselect,
+                    ..AsyncConfig::default()
+                },
+                6,
+            );
+            sim.run().unwrap();
+            sim
+        };
+        let a = run();
+        let b = run();
         assert_eq!(a.tangle().len(), b.tangle().len());
         assert_eq!(a.clock(), b.clock());
+        assert_eq!(a.metrics(), b.metrics());
         let acc_a: Vec<f32> = a.history().iter().map(|r| r.accuracy).collect();
         let acc_b: Vec<f32> = b.history().iter().map(|r| r.accuracy).collect();
         assert_eq!(acc_a, acc_b);
+    }
+
+    #[test]
+    fn replicas_lag_behind_the_global_tangle() {
+        let mut sim = setup(50, 25.0);
+        sim.run().unwrap();
+        // With a large delay some deliveries must still be in flight,
+        // and every replica holds at most what the global tangle holds.
+        assert!(sim.pending_deliveries() > 0, "no deliveries in flight");
+        for c in 0..6 {
+            assert!(sim.replica(c).len() <= sim.tangle().len());
+        }
+    }
+
+    #[test]
+    fn slow_cohort_links_raise_publish_latency() {
+        let constant = {
+            let mut sim = setup_with(
+                AsyncConfig {
+                    dag: DagConfig {
+                        local_batches: 2,
+                        ..DagConfig::default()
+                    },
+                    total_activations: 30,
+                    delay: DelayModel::constant(1.0),
+                    ..AsyncConfig::default()
+                },
+                6,
+            );
+            sim.run().unwrap();
+            sim.metrics()
+        };
+        let cohorts = {
+            let mut sim = setup_with(
+                AsyncConfig {
+                    dag: DagConfig {
+                        local_batches: 2,
+                        ..DagConfig::default()
+                    },
+                    total_activations: 30,
+                    delay: DelayModel::Cohorts {
+                        slow_fraction: 0.5,
+                        fast: 1.0,
+                        slow: 10.0,
+                        jitter: 0.0,
+                    },
+                    ..AsyncConfig::default()
+                },
+                6,
+            );
+            sim.run().unwrap();
+            sim.metrics()
+        };
+        assert!(
+            cohorts.mean_publish_latency > constant.mean_publish_latency,
+            "heterogeneous links should raise latency: {} vs {}",
+            cohorts.mean_publish_latency,
+            constant.mean_publish_latency
+        );
+        assert!(cohorts.max_publish_latency >= 10.0);
+        assert_eq!(constant.mean_publish_latency, 1.0);
+    }
+
+    #[test]
+    fn training_time_makes_tips_go_stale() {
+        let mut sim = setup_with(
+            AsyncConfig {
+                dag: DagConfig {
+                    local_batches: 3,
+                    ..DagConfig::default()
+                },
+                total_activations: 60,
+                mean_interarrival: 0.5,
+                delay: DelayModel::constant(0.0),
+                train_time: 2.0,
+                stale_policy: StaleTipPolicy::PublishAnyway,
+                ..AsyncConfig::default()
+            },
+            6,
+        );
+        sim.run().unwrap();
+        let m = sim.metrics();
+        assert!(
+            m.stale_fraction() > 0.0,
+            "concurrent training with instant broadcast must produce stale tips"
+        );
+        assert!(sim.history().iter().any(|r| r.stale_parents > 0));
+    }
+
+    #[test]
+    fn discard_policy_drops_stale_publications() {
+        let run = |policy: StaleTipPolicy| {
+            let mut sim = setup_with(
+                AsyncConfig {
+                    dag: DagConfig {
+                        local_batches: 3,
+                        ..DagConfig::default()
+                    },
+                    total_activations: 60,
+                    mean_interarrival: 0.5,
+                    delay: DelayModel::constant(0.0),
+                    train_time: 2.0,
+                    stale_policy: policy,
+                    ..AsyncConfig::default()
+                },
+                6,
+            );
+            sim.run().unwrap();
+            sim.metrics()
+        };
+        let publish = run(StaleTipPolicy::PublishAnyway);
+        let discard = run(StaleTipPolicy::Discard);
+        assert!(discard.discarded_stale > 0, "nothing was discarded");
+        assert!(
+            discard.publications < publish.publications,
+            "discarding stale tips must shrink the tangle: {} vs {}",
+            discard.publications,
+            publish.publications
+        );
+        // Discarded publications never carry stale parents into the DAG.
+        assert_eq!(discard.staleness_histogram[1], 0);
+        assert_eq!(discard.staleness_histogram[2], 0);
+    }
+
+    #[test]
+    fn reselect_policy_attaches_to_fresh_tips() {
+        let mut sim = setup_with(
+            AsyncConfig {
+                dag: DagConfig {
+                    local_batches: 3,
+                    ..DagConfig::default()
+                },
+                total_activations: 60,
+                mean_interarrival: 0.5,
+                delay: DelayModel::constant(0.0),
+                train_time: 2.0,
+                stale_policy: StaleTipPolicy::Reselect,
+                ..AsyncConfig::default()
+            },
+            6,
+        );
+        sim.run().unwrap();
+        let m = sim.metrics();
+        assert!(m.reselections > 0, "no reselection happened");
+        assert!(sim.history().iter().any(|r| r.reselected));
+    }
+
+    #[test]
+    fn matched_cohort_couples_network_and_compute() {
+        let sim = setup_with(
+            AsyncConfig {
+                delay: DelayModel::Cohorts {
+                    slow_fraction: 0.5,
+                    fast: 1.0,
+                    slow: 8.0,
+                    jitter: 0.0,
+                },
+                compute: ComputeProfile::MatchNetworkCohort { slowdown: 4.0 },
+                ..AsyncConfig::default()
+            },
+            12,
+        );
+        assert!(sim.slow_clients().iter().any(|&s| s));
+        assert!(sim.slow_clients().iter().any(|&s| !s));
+        for (i, &slow) in sim.slow_clients().iter().enumerate() {
+            assert_eq!(
+                sim.speeds()[i] < 1.0,
+                slow,
+                "client {i}: compute speed must mirror the network cohort"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_report_throughput_and_depth() {
+        let mut sim = setup(40, 1.0);
+        sim.run().unwrap();
+        let m = sim.metrics();
+        assert!(m.activation_rate() > 0.0);
+        assert!(m.publish_fraction() > 0.0 && m.publish_fraction() <= 1.0);
+        assert!(m.elapsed > 0.0);
+        assert!(m.mean_confirmation_depth > 0.0);
+        assert_eq!(m.mean_publish_latency, 1.0);
     }
 
     #[test]
@@ -380,24 +1117,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "inter-arrival")]
     fn zero_interarrival_panics() {
-        let dataset = fmnist_clustered(&FmnistConfig {
-            num_clients: 3,
-            samples_per_client: 30,
-            ..FmnistConfig::default()
-        });
-        let features = dataset.feature_len();
-        let factory: ModelFactory = Arc::new(move |rng: &mut StdRng| {
-            Box::new(Sequential::new(vec![Box::new(Dense::new(
-                rng, features, 10,
-            ))])) as Box<dyn Model>
-        });
-        AsyncSimulation::new(
+        setup_with(
             AsyncConfig {
                 mean_interarrival: 0.0,
                 ..AsyncConfig::default()
             },
-            dataset,
-            factory,
+            3,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delay_panics() {
+        setup_with(
+            AsyncConfig {
+                delay: DelayModel::constant(-1.0),
+                ..AsyncConfig::default()
+            },
+            3,
         );
     }
 }

@@ -126,6 +126,25 @@ impl Hyperparameters {
 }
 
 /// Full configuration of a Specializing-DAG simulation.
+///
+/// # Example
+///
+/// ```
+/// use dagfl_core::{DagConfig, Hyperparameters, Normalization, TipSelector};
+///
+/// // Start from a Table 1 row and override what the experiment needs.
+/// let config = DagConfig {
+///     rounds: 50,
+///     tip_selector: TipSelector::Accuracy {
+///         alpha: 10.0,
+///         normalization: Normalization::Dynamic,
+///     },
+///     ..DagConfig::from_hyperparameters(Hyperparameters::fmnist())
+/// }
+/// .with_seed(7);
+/// assert_eq!(config.rounds, 50);
+/// assert_eq!(config.seed, 7);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DagConfig {
     /// Training rounds to simulate.

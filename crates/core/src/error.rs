@@ -1,3 +1,5 @@
+//! The crate-wide error type, unifying model and ledger failures.
+
 use std::error::Error;
 use std::fmt;
 

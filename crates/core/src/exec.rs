@@ -1,0 +1,234 @@
+//! The shared execution-mode abstraction over the round-based and
+//! asynchronous simulators.
+//!
+//! The paper's algorithm is mode-agnostic — rounds exist only for
+//! comparability (§5.3.3) — and so is most analysis code: pureness,
+//! client graphs, Louvain partitions and accuracy summaries only need a
+//! tangle and a dataset, not a scheduling discipline. [`ExecutionMode`]
+//! captures exactly that surface, so experiment harnesses (e.g. the
+//! `mode_comparison` binary in `dagfl-bench`) can drive
+//! [`Simulation`](crate::Simulation) and
+//! [`AsyncSimulation`](crate::AsyncSimulation) through one `dyn`
+//! interface and compare them on identical budgets.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dagfl_datasets::FederatedDataset;
+use dagfl_graphs::{louvain, misclassification_fraction, modularity, partition_count, Graph};
+use dagfl_tangle::TangleStats;
+
+use crate::{
+    AsyncSimulation, CoreError, ModelTangle, Simulation, SpecializationMetrics,
+    {approval_pureness_of, client_graph_of},
+};
+
+/// A simulator that can run a Specializing-DAG workload to completion
+/// and expose its tangle for analysis, regardless of whether progress is
+/// counted in rounds or in activations.
+pub trait ExecutionMode {
+    /// Short human-readable mode name (`"rounds"` or `"async"`).
+    fn mode_name(&self) -> &'static str;
+
+    /// The federated dataset being trained on.
+    fn dataset(&self) -> &FederatedDataset;
+
+    /// Completed scheduling units: rounds for the round simulator,
+    /// activations for the asynchronous one.
+    fn progress(&self) -> usize;
+
+    /// Runs the configured workload to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/tangle errors.
+    fn run_to_completion(&mut self) -> Result<(), CoreError>;
+
+    /// Calls `f` with the globally visible tangle. (A callback rather
+    /// than a return value because the round simulator hands out a lock
+    /// guard while the asynchronous one holds its tangle directly.)
+    fn with_tangle(&self, f: &mut dyn FnMut(&ModelTangle));
+
+    /// Mean post-training accuracy over the most recent `n` client
+    /// evaluations.
+    fn recent_accuracy(&self, n: usize) -> f32;
+
+    /// The derived client graph `G_clients` (§4.3).
+    fn client_graph(&self) -> Graph {
+        let num_clients = self.dataset().num_clients();
+        let mut graph = Graph::new(num_clients);
+        self.with_tangle(&mut |t| graph = client_graph_of(t, num_clients));
+        graph
+    }
+
+    /// Approval pureness of the visible tangle (Table 2).
+    fn approval_pureness(&self) -> f64 {
+        let labels = self.dataset().cluster_labels();
+        let mut pureness = 1.0;
+        self.with_tangle(&mut |t| pureness = approval_pureness_of(t, &labels));
+        pureness
+    }
+
+    /// Structural statistics of the visible tangle.
+    fn tangle_stats(&self) -> TangleStats {
+        let mut stats = None;
+        self.with_tangle(&mut |t| stats = Some(t.stats()));
+        stats.expect("with_tangle invokes the callback")
+    }
+
+    /// The §4.3 specialization metrics, with Louvain seeded by `seed`
+    /// so comparisons across modes stay reproducible.
+    fn specialization_metrics_seeded(&self, seed: u64) -> SpecializationMetrics {
+        let graph = self.client_graph();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let partition = louvain(&graph, &mut rng);
+        SpecializationMetrics {
+            modularity: modularity(&graph, &partition),
+            partitions: partition_count(&partition),
+            misclassification: misclassification_fraction(
+                &partition,
+                &self.dataset().cluster_labels(),
+            ),
+            approval_pureness: self.approval_pureness(),
+            partition,
+        }
+    }
+}
+
+impl ExecutionMode for Simulation {
+    fn mode_name(&self) -> &'static str {
+        "rounds"
+    }
+
+    fn dataset(&self) -> &FederatedDataset {
+        Simulation::dataset(self)
+    }
+
+    fn progress(&self) -> usize {
+        self.round()
+    }
+
+    fn run_to_completion(&mut self) -> Result<(), CoreError> {
+        Simulation::run(self).map(|_| ())
+    }
+
+    fn with_tangle(&self, f: &mut dyn FnMut(&ModelTangle)) {
+        f(&self.tangle().read());
+    }
+
+    fn recent_accuracy(&self, n: usize) -> f32 {
+        Simulation::recent_accuracy(self, n)
+    }
+}
+
+impl ExecutionMode for AsyncSimulation {
+    fn mode_name(&self) -> &'static str {
+        "async"
+    }
+
+    fn dataset(&self) -> &FederatedDataset {
+        AsyncSimulation::dataset(self)
+    }
+
+    fn progress(&self) -> usize {
+        self.activations()
+    }
+
+    fn run_to_completion(&mut self) -> Result<(), CoreError> {
+        AsyncSimulation::run(self)
+    }
+
+    fn with_tangle(&self, f: &mut dyn FnMut(&ModelTangle)) {
+        f(self.tangle());
+    }
+
+    fn recent_accuracy(&self, n: usize) -> f32 {
+        AsyncSimulation::recent_accuracy(self, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsyncConfig, DagConfig, DelayModel, ModelFactory};
+    use dagfl_datasets::{fmnist_clustered, FmnistConfig};
+    use dagfl_nn::{Dense, Model, Relu, Sequential};
+    use std::sync::Arc;
+
+    fn dataset() -> FederatedDataset {
+        fmnist_clustered(&FmnistConfig {
+            num_clients: 6,
+            samples_per_client: 40,
+            ..FmnistConfig::default()
+        })
+    }
+
+    fn factory(features: usize) -> ModelFactory {
+        Arc::new(move |rng: &mut StdRng| {
+            Box::new(Sequential::new(vec![
+                Box::new(Dense::new(rng, features, 16)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(rng, 16, 10)),
+            ])) as Box<dyn Model>
+        })
+    }
+
+    fn both_modes() -> Vec<Box<dyn ExecutionMode>> {
+        let ds = dataset();
+        let features = ds.feature_len();
+        let round_sim = Simulation::new(
+            DagConfig {
+                rounds: 2,
+                clients_per_round: 3,
+                local_batches: 2,
+                ..DagConfig::default()
+            },
+            ds,
+            factory(features),
+        );
+        let ds = dataset();
+        let async_sim = AsyncSimulation::new(
+            AsyncConfig {
+                dag: DagConfig {
+                    local_batches: 2,
+                    ..DagConfig::default()
+                },
+                total_activations: 6,
+                delay: DelayModel::constant(1.0),
+                ..AsyncConfig::default()
+            },
+            ds,
+            factory(features),
+        );
+        vec![Box::new(round_sim), Box::new(async_sim)]
+    }
+
+    #[test]
+    fn both_simulators_run_behind_the_trait() {
+        for mode in &mut both_modes() {
+            mode.run_to_completion().unwrap();
+            assert!(mode.progress() > 0, "{} made no progress", mode.mode_name());
+            let stats = mode.tangle_stats();
+            assert!(stats.transactions >= 1);
+            assert!((0.0..=1.0).contains(&mode.approval_pureness()));
+            assert!(mode.recent_accuracy(5) > 0.0);
+            let spec = mode.specialization_metrics_seeded(7);
+            assert_eq!(spec.partition.len(), 6);
+        }
+    }
+
+    #[test]
+    fn mode_names_distinguish_the_simulators() {
+        let modes = both_modes();
+        assert_eq!(modes[0].mode_name(), "rounds");
+        assert_eq!(modes[1].mode_name(), "async");
+    }
+
+    #[test]
+    fn client_graph_has_dataset_dimensions() {
+        for mode in &mut both_modes() {
+            mode.run_to_completion().unwrap();
+            assert_eq!(mode.client_graph().num_nodes(), 6);
+        }
+    }
+}

@@ -17,7 +17,14 @@
 //!    configurable number of concurrently active clients (the paper's
 //!    simulation methodology, §5.3), per-round metrics, the derived client
 //!    graph `G_clients` and the specialization metrics of §4.3.
-//! 4. **Poisoning scenarios** ([`PoisoningScenario`]): flipped-label
+//! 4. **The asynchronous execution mode** ([`AsyncSimulation`]): the
+//!    round-free reality of §5.3.3 as a discrete-event simulation —
+//!    per-client tangle replicas, per-link [`DelayModel`]s, compute-speed
+//!    heterogeneity ([`ComputeProfile`]), stale-tip handling
+//!    ([`StaleTipPolicy`]) and throughput metrics ([`AsyncMetrics`]).
+//!    Both simulators share the [`ExecutionMode`] trait, so analysis code
+//!    runs against either.
+//! 5. **Poisoning scenarios** ([`PoisoningScenario`]): flipped-label
 //!    attacks with clean warm-up, mid-run dataset manipulation and the
 //!    misprediction / approved-poison metrics of §5.3.4.
 //!
@@ -68,18 +75,22 @@ mod attackers;
 mod client;
 mod config;
 pub mod csv;
+mod delay;
 mod error;
+mod exec;
 mod metrics;
 mod payload;
 mod poisoning;
 mod simulation;
 mod tip_selection;
 
-pub use async_sim::{ActivationRecord, AsyncConfig, AsyncSimulation};
+pub use async_sim::{ActivationRecord, AsyncConfig, AsyncMetrics, AsyncSimulation};
 pub use attackers::{GarbageAttackConfig, GarbageAttackScenario, GarbageRoundMetrics};
 pub use client::{DagClient, TrainOutcome};
 pub use config::{DagConfig, Hyperparameters, Normalization, PublishGate, TipSelector};
+pub use delay::{ComputeProfile, DelayModel, StaleTipPolicy};
 pub use error::CoreError;
+pub use exec::ExecutionMode;
 pub use metrics::{approval_pureness_of, client_graph_of, RoundMetrics, SpecializationMetrics};
 pub use payload::{ModelFactory, ModelPayload, ModelTangle, SharedModelTangle};
 pub use poisoning::{mean_accuracy_series, PoisonRoundMetrics, PoisoningConfig, PoisoningScenario};

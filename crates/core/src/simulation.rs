@@ -95,6 +95,24 @@ impl Simulation {
         &self.history
     }
 
+    /// Mean post-training accuracy over the most recent `n` client
+    /// evaluations (crossing round boundaries, newest first), the
+    /// round-based counterpart of
+    /// [`AsyncSimulation::recent_accuracy`](crate::AsyncSimulation::recent_accuracy).
+    pub fn recent_accuracy(&self, n: usize) -> f32 {
+        let recent: Vec<f32> = self
+            .history
+            .iter()
+            .rev()
+            .flat_map(|m| m.accuracies.iter().rev().copied())
+            .take(n)
+            .collect();
+        if recent.is_empty() {
+            return 0.0;
+        }
+        recent.iter().sum::<f32>() / recent.len() as f32
+    }
+
     /// Invalidates every client's evaluation cache (required after
     /// mutating the dataset, e.g. a poisoning attack).
     pub fn clear_caches(&mut self) {

@@ -65,8 +65,9 @@ pub use dagfl_tensor as tensor;
 
 pub use dagfl_baselines::{FedConfig, FederatedServer};
 pub use dagfl_core::{
-    AsyncConfig, AsyncSimulation, DagConfig, Hyperparameters, Normalization, PoisoningConfig,
-    PoisoningScenario, PublishGate, Simulation, TipSelector,
+    AsyncConfig, AsyncMetrics, AsyncSimulation, ComputeProfile, DagConfig, DelayModel,
+    ExecutionMode, Hyperparameters, Normalization, PoisoningConfig, PoisoningScenario, PublishGate,
+    Simulation, StaleTipPolicy, TipSelector,
 };
 
 #[cfg(test)]

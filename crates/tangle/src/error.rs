@@ -1,3 +1,6 @@
+//! Errors of the ledger operations (unknown ids, missing parents,
+//! invalid walk starts).
+
 use std::error::Error;
 use std::fmt;
 

@@ -1,3 +1,6 @@
+//! The append-only DAG store: attach, lookup, tip tracking and cone
+//! queries.
+
 use std::collections::HashSet;
 
 use crate::{TangleError, Transaction, TxId};

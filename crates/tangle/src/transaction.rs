@@ -1,3 +1,6 @@
+//! Transactions and their identifiers: the nodes of the DAG, generic
+//! over the payload they carry.
+
 use std::fmt;
 
 /// Identifier of a transaction within one [`Tangle`](crate::Tangle).

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use dagfl::dag::{AsyncConfig, AsyncSimulation, GarbageAttackConfig, GarbageAttackScenario};
 use dagfl::datasets::{fmnist_by_author, fmnist_clustered, FmnistConfig};
 use dagfl::nn::{Dense, Model, Relu, Sequential};
-use dagfl::{DagConfig, PublishGate, TipSelector};
+use dagfl::{
+    ComputeProfile, DagConfig, DelayModel, ExecutionMode, PublishGate, StaleTipPolicy, TipSelector,
+};
 
 type Factory = Arc<dyn Fn(&mut rand::rngs::StdRng) -> Box<dyn Model> + Send + Sync>;
 
@@ -36,8 +38,8 @@ fn async_simulation_learns_and_specializes() {
                 ..DagConfig::default()
             },
             total_activations: 70,
-            mean_interarrival: 1.0,
-            visibility_delay: 3.0,
+            delay: DelayModel::constant(3.0),
+            ..AsyncConfig::default()
         },
         dataset,
         factory(features),
@@ -67,20 +69,159 @@ fn zero_delay_collapses_to_a_chain() {
                 ..DagConfig::default()
             },
             total_activations: 50,
-            mean_interarrival: 1.0,
-            visibility_delay: 0.0,
+            delay: DelayModel::constant(0.0),
+            ..AsyncConfig::default()
         },
         dataset,
         factory(features),
     );
     sim.run().expect("async run");
-    // Instantaneous visibility + serial activations: at most a couple of
-    // tips ever exist (the DAG degenerates towards a chain).
+    // Instantaneous visibility + instantaneous training (the defaults):
+    // activations are effectively serial, so at most a couple of tips
+    // ever exist (the DAG degenerates towards a chain). This pins the
+    // old single-global-tangle broadcast behaviour.
     assert!(
         sim.tangle().stats().tips <= 2,
         "expected a near-chain, got {} tips",
         sim.tangle().stats().tips
     );
+}
+
+#[test]
+fn heterogeneous_cohorts_raise_publish_latency_deterministically() {
+    let run = |delay: DelayModel| {
+        let dataset = fmnist_clustered(&FmnistConfig {
+            num_clients: 8,
+            samples_per_client: 40,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let mut sim = AsyncSimulation::new(
+            AsyncConfig {
+                dag: DagConfig {
+                    local_batches: 3,
+                    seed: 7,
+                    ..DagConfig::default()
+                },
+                total_activations: 40,
+                delay,
+                ..AsyncConfig::default()
+            },
+            dataset,
+            factory(features),
+        );
+        sim.run().expect("async run");
+        sim.metrics()
+    };
+    let flat = run(DelayModel::constant(1.0));
+    let cohorts = run(DelayModel::Cohorts {
+        slow_fraction: 0.5,
+        fast: 1.0,
+        slow: 12.0,
+        jitter: 0.0,
+    });
+    assert_eq!(flat.mean_publish_latency, 1.0);
+    assert!(
+        cohorts.mean_publish_latency > flat.mean_publish_latency,
+        "slow cohort must raise latency: {} vs {}",
+        cohorts.mean_publish_latency,
+        flat.mean_publish_latency
+    );
+    // Same seed, same model: the run itself is reproducible.
+    let again = run(DelayModel::Cohorts {
+        slow_fraction: 0.5,
+        fast: 1.0,
+        slow: 12.0,
+        jitter: 0.0,
+    });
+    assert_eq!(again, cohorts);
+}
+
+#[test]
+fn stale_tips_appear_and_discard_policy_prunes_them() {
+    let run = |policy: StaleTipPolicy| {
+        let dataset = fmnist_clustered(&FmnistConfig {
+            num_clients: 6,
+            samples_per_client: 40,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let mut sim = AsyncSimulation::new(
+            AsyncConfig {
+                dag: DagConfig {
+                    local_batches: 3,
+                    ..DagConfig::default()
+                },
+                total_activations: 50,
+                mean_interarrival: 0.5,
+                delay: DelayModel::constant(0.0),
+                compute: ComputeProfile::TwoSpeed {
+                    slow_fraction: 0.5,
+                    slowdown: 3.0,
+                },
+                train_time: 2.0,
+                stale_policy: policy,
+            },
+            dataset,
+            factory(features),
+        );
+        sim.run().expect("async run");
+        sim.metrics()
+    };
+    let lenient = run(StaleTipPolicy::PublishAnyway);
+    assert!(
+        lenient.stale_fraction() > 0.0,
+        "long training over instant broadcast must produce stale tips"
+    );
+    let strict = run(StaleTipPolicy::Discard);
+    assert!(strict.discarded_stale > 0, "nothing was discarded");
+    assert!(
+        strict.publications < lenient.publications,
+        "discarding must reduce publications: {} vs {}",
+        strict.publications,
+        lenient.publications
+    );
+}
+
+#[test]
+fn execution_mode_trait_covers_both_simulators() {
+    let dataset = fmnist_clustered(&FmnistConfig {
+        num_clients: 6,
+        samples_per_client: 40,
+        ..FmnistConfig::default()
+    });
+    let features = dataset.feature_len();
+    let mut modes: Vec<Box<dyn ExecutionMode>> = vec![
+        Box::new(dagfl::Simulation::new(
+            DagConfig {
+                rounds: 3,
+                clients_per_round: 3,
+                local_batches: 3,
+                ..DagConfig::default()
+            },
+            dataset.clone(),
+            factory(features),
+        )),
+        Box::new(AsyncSimulation::new(
+            AsyncConfig {
+                dag: DagConfig {
+                    local_batches: 3,
+                    ..DagConfig::default()
+                },
+                total_activations: 9,
+                ..AsyncConfig::default()
+            },
+            dataset,
+            factory(features),
+        )),
+    ];
+    for mode in &mut modes {
+        mode.run_to_completion().expect("mode runs");
+        assert!(mode.progress() > 0);
+        assert!(mode.recent_accuracy(6) > 0.0);
+        assert!(mode.tangle_stats().transactions >= 1);
+        assert!((0.0..=1.0).contains(&mode.approval_pureness()));
+    }
 }
 
 #[test]
