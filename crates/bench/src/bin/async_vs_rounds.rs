@@ -6,62 +6,47 @@
 //! Expected shape: comparable final accuracy and pureness; larger
 //! propagation delays widen the DAG frontier (more tips) without breaking
 //! convergence — the asynchrony-tolerance the tangle design buys.
+//!
+//! The round reference is the `table1-fmnist` preset; the asynchronous
+//! runs are the budget-matched `async-delay*` presets.
 
-use dagfl_bench::experiments::{fmnist_dataset, fmnist_spec, run_dag};
 use dagfl_bench::output::{emit, f, f32c, int};
-use dagfl_bench::{fmnist_model_factory, Scale};
-use dagfl_core::{AsyncConfig, AsyncSimulation, DelayModel};
+use dagfl_scenario::{RunReport, Scenario, ScenarioRunner};
+
+fn run_preset(name: &str) -> RunReport {
+    ScenarioRunner::new(Scenario::preset(name).expect("preset exists"))
+        .expect("preset validates")
+        .run()
+        .expect("scenario run failed")
+}
 
 fn main() {
-    let scale = Scale::from_env();
-    let spec = fmnist_spec(scale);
     let mut rows = Vec::new();
 
-    // Round-based reference run.
-    let dataset = fmnist_dataset(scale, 0.0, 42);
-    let features = dataset.feature_len();
-    let sim = run_dag(spec, dataset, fmnist_model_factory(features, 10));
-    let late: f32 = sim
-        .history()
-        .iter()
-        .rev()
-        .take(5)
-        .map(|m| m.mean_accuracy())
-        .sum::<f32>()
-        / 5.0;
+    // Round-based reference run: late accuracy over the last 5 rounds.
+    let rounds = run_preset("table1-fmnist");
+    let late: f32 = rounds.round_accuracy.iter().rev().take(5).sum::<f32>() / 5.0;
     rows.push(vec![
         "rounds".into(),
         f(0.0),
         f32c(late),
-        f(sim.approval_pureness()),
-        int(sim.tangle().read().stats().tips),
-        int(sim.tangle().len()),
+        f(rounds.specialization.approval_pureness),
+        int(rounds.tangle.tips),
+        int(rounds.tangle.transactions),
     ]);
 
-    // Asynchronous runs with increasing propagation delay. The total
-    // number of activations matches the round-based training budget.
-    let activations = spec.rounds * spec.clients_per_round;
+    // Asynchronous runs with increasing propagation delay; the presets
+    // match the round-based training budget (rounds x clients_per_round
+    // activations) and report accuracy over an equivalent late window.
     for delay in [0.0f64, 2.0, 10.0] {
-        let dataset = fmnist_dataset(scale, 0.0, 42);
-        let mut async_sim = AsyncSimulation::new(
-            AsyncConfig {
-                dag: spec.dag_config(),
-                total_activations: activations,
-                mean_interarrival: 1.0,
-                delay: DelayModel::constant(delay),
-                ..AsyncConfig::default()
-            },
-            dataset,
-            fmnist_model_factory(features, 10),
-        );
-        async_sim.run().expect("async simulation failed");
+        let report = run_preset(&format!("async-delay{delay:.0}"));
         rows.push(vec![
             format!("async_delay_{delay}"),
             f(delay),
-            f32c(async_sim.recent_accuracy(spec.clients_per_round * 5)),
-            f(async_sim.approval_pureness()),
-            int(async_sim.tangle().stats().tips),
-            int(async_sim.tangle().len()),
+            f32c(report.recent_accuracy),
+            f(report.specialization.approval_pureness),
+            int(report.tangle.tips),
+            int(report.tangle.transactions),
         ]);
     }
 

@@ -6,33 +6,25 @@
 //! near-zero misclassification); α = 1 degrades modularity and
 //! misclassifies heavily; α = 100 keeps modularity high but fragments into
 //! too many partitions.
+//!
+//! Each curve is a `fig05-alpha*` scenario preset with specialization
+//! tracking enabled; this binary only reshapes the reports into a CSV.
 
-use dagfl_bench::experiments::{fmnist_dataset, fmnist_spec, run_dag_tracking_specialization};
 use dagfl_bench::output::{emit, f, int};
-use dagfl_bench::{fmnist_model_factory, Scale};
-use dagfl_core::{Normalization, TipSelector};
+use dagfl_scenario::{Scenario, ScenarioRunner};
 
 fn main() {
-    let scale = Scale::from_env();
-    let every = scale.pick(3, 10);
     let mut rows = Vec::new();
     for alpha in [1.0f32, 10.0, 100.0] {
-        let dataset = fmnist_dataset(scale, 0.0, 42);
-        let features = dataset.feature_len();
-        let spec = fmnist_spec(scale).with_selector(TipSelector::Accuracy {
-            alpha,
-            normalization: Normalization::Simple,
-        });
-        let (_, tracked) = run_dag_tracking_specialization(
-            spec,
-            dataset,
-            fmnist_model_factory(features, 10),
-            every,
-        );
-        for (round, m) in tracked {
+        let scenario = Scenario::preset(&format!("fig05-alpha{alpha}")).expect("preset exists");
+        let report = ScenarioRunner::new(scenario)
+            .expect("preset validates")
+            .run()
+            .expect("scenario run failed");
+        for (round, m) in &report.specialization_track {
             rows.push(vec![
                 f(alpha as f64),
-                int(round),
+                int(*round),
                 f(m.modularity),
                 int(m.partitions),
                 f(m.misclassification),

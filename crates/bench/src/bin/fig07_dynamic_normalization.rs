@@ -5,42 +5,34 @@
 //! pureness rises from 0.40 to 0.51), leaving high-α behaviour unchanged.
 //! The emitted series includes the final pureness per α so the comparison
 //! against Figure 6 is direct.
+//!
+//! Simple-normalization runs are the `fig06-alpha*` presets, dynamic runs
+//! the `fig07-alpha*` presets — the two figures share one definition of
+//! "the α sweep" in the preset registry.
 
-use dagfl_bench::experiments::{fmnist_dataset, fmnist_spec, run_dag};
 use dagfl_bench::output::{emit, f, f32c, int};
-use dagfl_bench::{fmnist_model_factory, Scale};
-use dagfl_core::{Normalization, TipSelector};
+use dagfl_scenario::{Scenario, ScenarioRunner};
 
 fn main() {
-    let scale = Scale::from_env();
     let mut rows = Vec::new();
     let mut pureness_rows = Vec::new();
     for alpha in [0.1f32, 1.0, 10.0, 100.0] {
-        for normalization in [Normalization::Simple, Normalization::Dynamic] {
-            let dataset = fmnist_dataset(scale, 0.0, 42);
-            let features = dataset.feature_len();
-            let spec = fmnist_spec(scale).with_selector(TipSelector::Accuracy {
-                alpha,
-                normalization,
-            });
-            let sim = run_dag(spec, dataset, fmnist_model_factory(features, 10));
-            let norm_name = match normalization {
-                Normalization::Simple => "simple",
-                Normalization::Dynamic => "dynamic",
-            };
-            if normalization == Normalization::Dynamic {
-                for m in sim.history() {
-                    rows.push(vec![
-                        f(alpha as f64),
-                        int(m.round + 1),
-                        f32c(m.mean_accuracy()),
-                    ]);
+        for (norm_name, preset_prefix) in [("simple", "fig06"), ("dynamic", "fig07")] {
+            let scenario =
+                Scenario::preset(&format!("{preset_prefix}-alpha{alpha}")).expect("preset exists");
+            let report = ScenarioRunner::new(scenario)
+                .expect("preset validates")
+                .run()
+                .expect("scenario run failed");
+            if norm_name == "dynamic" {
+                for (round, accuracy) in report.round_accuracy.iter().enumerate() {
+                    rows.push(vec![f(alpha as f64), int(round + 1), f32c(*accuracy)]);
                 }
             }
             pureness_rows.push(vec![
                 f(alpha as f64),
                 norm_name.into(),
-                f(sim.approval_pureness()),
+                f(report.specialization.approval_pureness),
             ]);
         }
     }

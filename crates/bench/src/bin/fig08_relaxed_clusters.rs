@@ -5,30 +5,23 @@
 //! Paper shape: relaxation helps low-α runs generalise faster while
 //! slightly slowing the highly specialized high-α runs — the α ordering
 //! remains but the gap narrows compared to Figure 6.
+//!
+//! Each curve is a `fig08-alpha*` scenario preset (18 % foreign data, the
+//! middle of the paper's range).
 
-use dagfl_bench::experiments::{fmnist_dataset, fmnist_spec, run_dag};
 use dagfl_bench::output::{emit, f, f32c, int};
-use dagfl_bench::{fmnist_model_factory, Scale};
-use dagfl_core::{Normalization, TipSelector};
+use dagfl_scenario::{Scenario, ScenarioRunner};
 
 fn main() {
-    let scale = Scale::from_env();
     let mut rows = Vec::new();
     for alpha in [0.1f32, 1.0, 10.0, 100.0] {
-        // 18 % foreign-cluster data, the middle of the paper's 15–20 %.
-        let dataset = fmnist_dataset(scale, 0.18, 42);
-        let features = dataset.feature_len();
-        let spec = fmnist_spec(scale).with_selector(TipSelector::Accuracy {
-            alpha,
-            normalization: Normalization::Simple,
-        });
-        let sim = run_dag(spec, dataset, fmnist_model_factory(features, 10));
-        for m in sim.history() {
-            rows.push(vec![
-                f(alpha as f64),
-                int(m.round + 1),
-                f32c(m.mean_accuracy()),
-            ]);
+        let scenario = Scenario::preset(&format!("fig08-alpha{alpha}")).expect("preset exists");
+        let report = ScenarioRunner::new(scenario)
+            .expect("preset validates")
+            .run()
+            .expect("scenario run failed");
+        for (round, accuracy) in report.round_accuracy.iter().enumerate() {
+            rows.push(vec![f(alpha as f64), int(round + 1), f32c(*accuracy)]);
         }
     }
     emit(

@@ -6,13 +6,12 @@
 //! hard for the affected clients to detect.
 
 use dagfl_bench::output::{emit, int};
-use dagfl_bench::poisoning_suite::run_scenario;
+use dagfl_bench::poisoning_suite::run_preset;
 use dagfl_bench::Scale;
-use dagfl_core::TipSelector;
 
 fn main() {
     let scale = Scale::from_env();
-    let result = run_scenario(scale, 0.3, TipSelector::default(), "accuracy");
+    let result = run_preset("poisoning-p0.3", scale);
     let rows: Vec<Vec<String>> = result
         .distribution
         .iter()

@@ -9,6 +9,8 @@
 use std::process::Command;
 use std::time::Instant;
 
+use dagfl_scenario::{Scale, Scenario, ScenarioRunner};
+
 /// The experiment binaries in execution order.
 const EXPERIMENTS: &[&str] = &[
     "table1_hyperparams",
@@ -32,7 +34,63 @@ const EXPERIMENTS: &[&str] = &[
     "communication_cost",
 ];
 
+/// Every preset the suite's binaries resolve: the canonical registry
+/// names plus the α-sweep, poisoning and delay variants the figure
+/// binaries iterate over.
+fn executed_presets() -> Vec<String> {
+    let mut names: Vec<String> = Scenario::preset_names()
+        .iter()
+        .map(|(name, _)| name.to_string())
+        .collect();
+    for alpha in ["1", "10", "100"] {
+        names.push(format!("fig05-alpha{alpha}"));
+    }
+    for prefix in ["fig06", "fig07", "fig08"] {
+        for alpha in ["0.1", "1", "10", "100"] {
+            names.push(format!("{prefix}-alpha{alpha}"));
+        }
+    }
+    names.extend(
+        dagfl_bench::poisoning_suite::POISONING_PRESETS
+            .iter()
+            .map(|name| name.to_string()),
+    );
+    for delay in ["0", "2", "10"] {
+        names.push(format!("async-delay{delay}"));
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Resolves and validates every scenario preset the suite will execute
+/// at the current scale before any experiment burns compute, so a
+/// drifted preset fails the suite in milliseconds instead of mid-run.
+fn validate_presets() {
+    let scale = Scale::from_env();
+    let presets = executed_presets();
+    let mut failures = 0;
+    for name in &presets {
+        match Scenario::preset_at(name, scale).and_then(ScenarioRunner::new) {
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("preset `{name}` is invalid at {scale:?} scale: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} invalid presets; aborting");
+        std::process::exit(1);
+    }
+    println!(
+        "validated {} scenario presets at {scale:?} scale\n",
+        presets.len()
+    );
+}
+
 fn main() {
+    validate_presets();
     let self_path = std::env::current_exe().expect("own path");
     let bin_dir = self_path.parent().expect("binary directory");
     let mut failures = Vec::new();

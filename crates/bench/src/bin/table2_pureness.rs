@@ -2,59 +2,32 @@
 //!
 //! Paper reference values (100 rounds, α = 10): FMNIST-clustered 1.0
 //! (base 0.33), Poets 0.95 (base 0.5), CIFAR-100 0.51 (base 0.05).
+//!
+//! The three runs are exactly the Table 1 scenario presets; the report
+//! carries the dataset facts, so this binary is a pure reshaping step.
 
-use dagfl_bench::experiments::{
-    cifar_dataset, cifar_spec, fmnist_dataset, fmnist_spec, poets_dataset, poets_spec, run_dag,
-};
 use dagfl_bench::output::{emit, f, int};
-use dagfl_bench::{cifar_model_factory, fmnist_model_factory, poets_model_factory, Scale};
+use dagfl_scenario::{Scenario, ScenarioRunner};
 
 fn main() {
-    let scale = Scale::from_env();
     let mut rows = Vec::new();
-
-    // FMNIST-clustered: 3 clusters.
-    let dataset = fmnist_dataset(scale, 0.0, 42);
-    let features = dataset.feature_len();
-    let clusters = dataset.clusters().len();
-    let base = dataset.base_pureness();
-    let sim = run_dag(
-        fmnist_spec(scale),
-        dataset,
-        fmnist_model_factory(features, 10),
-    );
-    rows.push(vec![
-        "FMNIST-clustered".into(),
-        int(clusters),
-        f(base),
-        f(sim.approval_pureness()),
-    ]);
-
-    // Poets: 2 clusters.
-    let dataset = poets_dataset(scale, 42);
-    let clusters = dataset.clusters().len();
-    let base = dataset.base_pureness();
-    let sim = run_dag(poets_spec(scale), dataset, poets_model_factory());
-    rows.push(vec![
-        "Poets".into(),
-        int(clusters),
-        f(base),
-        f(sim.approval_pureness()),
-    ]);
-
-    // CIFAR-100-like: up to 20 superclass clusters.
-    let dataset = cifar_dataset(scale, 42);
-    let features = dataset.feature_len();
-    let clusters = dataset.clusters().len();
-    let base = dataset.base_pureness();
-    let sim = run_dag(cifar_spec(scale), dataset, cifar_model_factory(features));
-    rows.push(vec![
-        "CIFAR-100".into(),
-        int(clusters),
-        f(base),
-        f(sim.approval_pureness()),
-    ]);
-
+    for (label, preset) in [
+        ("FMNIST-clustered", "table1-fmnist"),
+        ("Poets", "table1-poets"),
+        ("CIFAR-100", "table1-cifar"),
+    ] {
+        let scenario = Scenario::preset(preset).expect("preset exists");
+        let report = ScenarioRunner::new(scenario)
+            .expect("preset validates")
+            .run()
+            .expect("scenario run failed");
+        rows.push(vec![
+            label.into(),
+            int(report.dataset.clusters),
+            f(report.dataset.base_pureness),
+            f(report.specialization.approval_pureness),
+        ]);
+    }
     emit(
         "table2_pureness",
         &["dataset", "clusters", "base_pureness", "pureness"],

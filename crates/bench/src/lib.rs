@@ -23,82 +23,46 @@ pub mod experiments;
 pub mod output;
 pub mod poisoning_suite;
 
-use std::sync::Arc;
-
-use rand::rngs::StdRng;
-
 use dagfl_core::ModelFactory;
 use dagfl_datasets::POETS_VOCAB;
-use dagfl_nn::{CharRnn, Dense, Model, Relu, Sequential};
+use dagfl_scenario::ModelSpec;
 
-/// Experiment scale: quick (default) or the paper's full scale
-/// (`DAGFL_FULL=1`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Scaled-down runs preserving the qualitative result shapes.
-    Quick,
-    /// The paper's configuration (Table 1).
-    Full,
-}
-
-impl Scale {
-    /// Reads the scale from the `DAGFL_FULL` environment variable.
-    pub fn from_env() -> Self {
-        match std::env::var("DAGFL_FULL") {
-            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Scale::Full,
-            _ => Scale::Quick,
-        }
-    }
-
-    /// Picks `quick` or `full` depending on the scale.
-    pub fn pick<T>(self, quick: T, full: T) -> T {
-        match self {
-            Scale::Quick => quick,
-            Scale::Full => full,
-        }
-    }
-}
+pub use dagfl_scenario::Scale;
 
 /// The MLP used for the FMNIST experiments (the pixel-level stand-in for
 /// the paper's LEAF CNN; see DESIGN.md §3).
+///
+/// A thin wrapper over the shared [`ModelSpec`]-driven constructors —
+/// architecture definitions live in `dagfl-scenario`.
 pub fn fmnist_model_factory(features: usize, classes: usize) -> ModelFactory {
-    Arc::new(move |rng: &mut StdRng| {
-        Box::new(Sequential::new(vec![
-            Box::new(Dense::new(rng, features, 64)),
-            Box::new(Relu::new()),
-            Box::new(Dense::new(rng, 64, classes)),
-        ])) as Box<dyn Model>
-    })
+    ModelSpec::Mlp { hidden: vec![64] }.build_factory(features, classes)
 }
 
 /// The next-character GRU used for the Poets experiments.
 pub fn poets_model_factory() -> ModelFactory {
-    Arc::new(move |rng: &mut StdRng| {
-        Box::new(CharRnn::new(rng, POETS_VOCAB.len(), 8, 32)) as Box<dyn Model>
-    })
+    // The RNN embeds class (vocabulary) indices; the feature width is
+    // the sequence length and does not shape the model.
+    ModelSpec::CharRnn {
+        embed: 8,
+        hidden: 32,
+    }
+    .build_factory(0, POETS_VOCAB.len())
 }
 
 /// The MLP used for the CIFAR-100-like experiments.
 pub fn cifar_model_factory(features: usize) -> ModelFactory {
-    Arc::new(move |rng: &mut StdRng| {
-        Box::new(Sequential::new(vec![
-            Box::new(Dense::new(rng, features, 128)),
-            Box::new(Relu::new()),
-            Box::new(Dense::new(rng, 128, 100)),
-        ])) as Box<dyn Model>
-    })
+    ModelSpec::Mlp { hidden: vec![128] }.build_factory(features, 100)
 }
 
 /// The logistic-regression model of the FedProx synthetic benchmark.
 pub fn fedprox_model_factory() -> ModelFactory {
-    Arc::new(move |rng: &mut StdRng| {
-        Box::new(Sequential::new(vec![Box::new(Dense::new(rng, 60, 10))])) as Box<dyn Model>
-    })
+    ModelSpec::Linear.build_factory(60, 10)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]

@@ -1,13 +1,12 @@
 //! The shared poisoning experiment suite behind Figures 12–14.
 //!
 //! All three figures come from the same four runs (p ∈ {0.0, 0.2, 0.3}
-//! with the accuracy tip selector, plus p = 0.2 with the random selector),
-//! so the suite runs them once and each binary extracts its slice.
+//! with the accuracy tip selector, plus p = 0.2 with the random selector).
+//! Each run is a `poisoning-*` scenario preset executed by the shared
+//! `ScenarioRunner`; the binaries extract their slice of the reports.
 
-use dagfl_core::{DagConfig, PoisonRoundMetrics, PoisoningConfig, PoisoningScenario, TipSelector};
-
-use crate::experiments::fmnist_author_dataset;
-use crate::{fmnist_model_factory, Scale};
+use dagfl_core::{PoisonRoundMetrics, TipSelector};
+use dagfl_scenario::{Scale, Scenario, ScenarioRunner};
 
 /// The result of one poisoning scenario run.
 #[derive(Debug)]
@@ -24,57 +23,52 @@ pub struct ScenarioResult {
     pub distribution: Vec<(usize, usize, usize)>,
 }
 
+/// The paper's four scenarios, by preset name. Fraction and selector
+/// are read off the resolved scenarios — the registry is the single
+/// source of truth.
+pub const POISONING_PRESETS: &[&str] = &[
+    "poisoning-p0.0",
+    "poisoning-p0.2",
+    "poisoning-random-p0.2",
+    "poisoning-p0.3",
+];
+
 /// Runs the paper's four poisoning scenarios at the given scale.
 ///
 /// # Panics
 ///
 /// Panics on simulation errors.
 pub fn run_suite(scale: Scale) -> Vec<ScenarioResult> {
-    let scenarios: [(f64, TipSelector, &'static str); 4] = [
-        (0.0, TipSelector::default(), "accuracy"),
-        (0.2, TipSelector::default(), "accuracy"),
-        (0.2, TipSelector::Random, "random"),
-        (0.3, TipSelector::default(), "accuracy"),
-    ];
-    scenarios
-        .into_iter()
-        .map(|(fraction, selector, selector_name)| {
-            run_scenario(scale, fraction, selector, selector_name)
-        })
+    POISONING_PRESETS
+        .iter()
+        .map(|preset| run_preset(preset, scale))
         .collect()
 }
 
-/// Runs one poisoning scenario.
+/// Runs one poisoning preset; the label, fraction and selector name are
+/// derived from the scenario itself so they cannot drift from the
+/// registry.
 ///
 /// # Panics
 ///
-/// Panics on simulation errors.
-pub fn run_scenario(
-    scale: Scale,
-    fraction: f64,
-    selector: TipSelector,
-    selector_name: &'static str,
-) -> ScenarioResult {
-    let num_clients = scale.pick(12, 40);
-    let dataset = fmnist_author_dataset(scale, num_clients, 42);
-    let features = dataset.feature_len();
-    let config = PoisoningConfig {
-        dag: DagConfig {
-            clients_per_round: scale.pick(4, 10),
-            local_batches: scale.pick(5, 10),
-            ..DagConfig::default()
-        }
-        .with_tip_selector(selector),
-        clean_rounds: scale.pick(20, 100),
-        attack_rounds: scale.pick(20, 100),
-        poison_fraction: fraction,
-        class_a: 3,
-        class_b: 8,
-        measure_every: scale.pick(4, 10),
+/// Panics if the preset is unknown, lacks an attack, or the simulation
+/// fails.
+pub fn run_preset(preset: &str, scale: Scale) -> ScenarioResult {
+    let scenario = Scenario::preset_at(preset, scale).expect("poisoning preset exists");
+    let fraction = scenario
+        .attack
+        .expect("poisoning preset configures an attack")
+        .fraction;
+    let selector_name = match scenario.execution.dag().tip_selector {
+        TipSelector::Random => "random",
+        TipSelector::Accuracy { .. } => "accuracy",
+        TipSelector::CumulativeWeight { .. } => "cumulative",
     };
-    let mut scenario = PoisoningScenario::new(config, dataset, fmnist_model_factory(features, 10));
-    let measurements = scenario.run().expect("poisoning scenario failed");
-    let distribution = scenario.poisoned_cluster_distribution();
+    let report = ScenarioRunner::new(scenario)
+        .expect("preset validates")
+        .run()
+        .expect("poisoning scenario failed");
+    let poisoning = report.poisoning.expect("attack scenario reports poisoning");
     let label = if selector_name == "random" {
         format!("p={fraction} (random tip selector)")
     } else {
@@ -84,8 +78,8 @@ pub fn run_scenario(
         label,
         fraction,
         selector_name,
-        measurements,
-        distribution,
+        measurements: poisoning.measurements,
+        distribution: poisoning.distribution,
     }
 }
 
@@ -94,10 +88,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn single_scenario_produces_measurements() {
-        let result = run_scenario(Scale::Quick, 0.2, TipSelector::default(), "accuracy");
+    fn single_preset_produces_measurements() {
+        let result = run_preset("poisoning-p0.2", Scale::Quick);
         assert!(!result.measurements.is_empty());
         assert_eq!(result.label, "p=0.2");
+        assert_eq!(result.fraction, 0.2);
+        assert_eq!(result.selector_name, "accuracy");
         let clients: usize = result.distribution.iter().map(|(_, b, p)| b + p).sum();
         assert_eq!(clients, 12);
     }

@@ -17,6 +17,12 @@ pub enum Command {
     Local,
     /// Event-driven asynchronous DAG simulation.
     Async,
+    /// Run a declarative scenario (`--scenario <file>` or
+    /// `--preset <name>`).
+    Run,
+    /// List scenario presets, or check/dump scenario files
+    /// (`--check <dir>` / `--dump <dir>`).
+    Scenarios,
     /// Print usage.
     Help,
 }
@@ -29,6 +35,8 @@ impl Command {
             "fedprox" => Some(Command::FedProx),
             "local" => Some(Command::Local),
             "async" => Some(Command::Async),
+            "run" => Some(Command::Run),
+            "scenarios" => Some(Command::Scenarios),
             "help" | "--help" | "-h" => Some(Command::Help),
             _ => None,
         }
@@ -166,12 +174,21 @@ USAGE:
     dagfl <COMMAND> [--flag value]...
 
 COMMANDS:
+    run       run a declarative scenario (--scenario <file> | --preset <name>)
+    scenarios list presets; --check <dir> validates scenario files,
+              --dump <dir> writes every preset as a .toml file
     dag       Specializing-DAG simulation (the paper's algorithm)
     fedavg    centralized federated averaging baseline
     fedprox   FedProx baseline (use --mu, --stragglers)
     local     local-only training (no communication)
     async     event-driven asynchronous DAG simulation
     help      print this message
+
+SCENARIOS:
+    A scenario file describes a whole experiment (dataset, model,
+    execution mode, attack, output) as TOML; see scenarios/*.toml.
+    Presets resolve at quick scale by default, at the paper's full
+    scale with DAGFL_FULL=1.
 
 COMMON FLAGS (defaults in parentheses):
     --dataset           fmnist | fmnist-relaxed | fmnist-author | poets |
@@ -239,6 +256,8 @@ mod tests {
             ("fedprox", Command::FedProx),
             ("local", Command::Local),
             ("async", Command::Async),
+            ("run", Command::Run),
+            ("scenarios", Command::Scenarios),
             ("help", Command::Help),
             ("--help", Command::Help),
         ] {
@@ -289,7 +308,15 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_command() {
-        for cmd in ["dag", "fedavg", "fedprox", "local", "async"] {
+        for cmd in [
+            "dag",
+            "fedavg",
+            "fedprox",
+            "local",
+            "async",
+            "run",
+            "scenarios",
+        ] {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");
         }
     }

@@ -1,20 +1,18 @@
 //! Builds datasets/models from parsed arguments and runs the experiment.
 
 use std::error::Error;
-use std::sync::Arc;
-
-use rand::rngs::StdRng;
+use std::path::Path;
 
 use dagfl_baselines::{FedConfig, FederatedServer, LocalOnly};
 use dagfl_core::{
-    AsyncConfig, AsyncSimulation, ComputeProfile, DagConfig, DelayModel, ModelFactory,
+    AsyncConfig, AsyncSimulation, ComputeProfile, CoreError, DagConfig, DelayModel, ModelFactory,
     Normalization, Simulation, StaleTipPolicy, TipSelector,
 };
 use dagfl_datasets::{
     cifar100_like, fedprox_synthetic, fmnist_by_author, fmnist_clustered, poets, Cifar100Config,
-    FedProxConfig, FederatedDataset, FmnistConfig, PoetsConfig, POETS_VOCAB,
+    FedProxConfig, FederatedDataset, FmnistConfig, PoetsConfig,
 };
-use dagfl_nn::{CharRnn, Dense, Model, Relu, Sequential};
+use dagfl_scenario::{ModelSpec, Scale, Scenario, ScenarioRunner};
 
 use crate::args::{Command, ParseError, ParsedArgs, USAGE};
 
@@ -94,26 +92,53 @@ fn build_task(
             ..FedProxConfig::default()
         }),
     };
-    let features = dataset.feature_len();
-    let classes = dataset.num_classes();
-    let factory: ModelFactory = match kind {
-        DatasetKind::Poets => Arc::new(move |rng: &mut StdRng| {
-            Box::new(CharRnn::new(rng, POETS_VOCAB.len(), 8, 32)) as Box<dyn Model>
-        }),
-        DatasetKind::FedProxSynthetic => Arc::new(move |rng: &mut StdRng| {
-            Box::new(Sequential::new(vec![Box::new(Dense::new(
-                rng, features, classes,
-            ))])) as Box<dyn Model>
-        }),
-        _ => Arc::new(move |rng: &mut StdRng| {
-            Box::new(Sequential::new(vec![
-                Box::new(Dense::new(rng, features, 64)),
-                Box::new(Relu::new()),
-                Box::new(Dense::new(rng, 64, classes)),
-            ])) as Box<dyn Model>
-        }),
+    let spec = match kind {
+        DatasetKind::Poets => ModelSpec::CharRnn {
+            embed: 8,
+            hidden: 32,
+        },
+        DatasetKind::FedProxSynthetic => ModelSpec::Linear,
+        _ => ModelSpec::Mlp { hidden: vec![64] },
     };
+    let factory = spec.build_factory(dataset.feature_len(), dataset.num_classes());
     Ok((dataset, factory))
+}
+
+/// The CLI flag a core config field is populated from, so validation
+/// errors name what the user actually typed.
+fn flag_for_field(field: &str) -> &str {
+    match field {
+        "delay.delay" | "delay.base" | "delay.fast" => "delay",
+        "delay.jitter" => "jitter",
+        "delay.slow" => "slow-delay",
+        "delay.slow_fraction" | "compute.slow_fraction" => "slow-fraction",
+        "compute.slowdown" => "slowdown",
+        "mean_interarrival" => "interarrival",
+        "train_time" => "train-time",
+        "total_activations" => "activations",
+        "learning_rate" => "lr",
+        "clients_per_round" => "clients-per-round",
+        "local_epochs" => "epochs",
+        "local_batches" => "batches",
+        "batch_size" => "batch-size",
+        "walk_stop_margin" => "stop-margin",
+        // `rounds`, `alpha`, `seed`, ... already match their flags.
+        other => other,
+    }
+}
+
+/// Maps a core validation error onto the CLI's flag-error shape.
+fn config_error(err: CoreError) -> ParseError {
+    match err {
+        CoreError::InvalidField { field, value, .. } => ParseError::InvalidValue {
+            flag: flag_for_field(field).to_string(),
+            value,
+        },
+        other => ParseError::InvalidValue {
+            flag: "config".to_string(),
+            value: other.to_string(),
+        },
+    }
 }
 
 fn dag_config(args: &ParsedArgs, num_clients: usize) -> Result<DagConfig, ParseError> {
@@ -131,7 +156,7 @@ fn dag_config(args: &ParsedArgs, num_clients: usize) -> Result<DagConfig, ParseE
         },
     };
     let stop_margin: f32 = args.get_parsed_or("stop-margin", 0.0)?;
-    Ok(DagConfig {
+    let config = DagConfig {
         rounds: args.get_parsed_or("rounds", 30)?,
         clients_per_round: args.get_parsed_or("clients-per-round", 6.min(num_clients))?,
         local_epochs: args.get_parsed_or("epochs", 1)?,
@@ -142,50 +167,30 @@ fn dag_config(args: &ParsedArgs, num_clients: usize) -> Result<DagConfig, ParseE
         walk_stop_margin: (stop_margin > 0.0).then_some(stop_margin),
         seed: args.get_parsed_or("seed", 42)?,
         ..DagConfig::default()
-    })
-}
-
-/// Rejects a flag value that would later fail the simulator's
-/// constructor asserts, so bad values surface as CLI errors rather
-/// than panics.
-fn reject_invalid(flag: &str, value: f64, ok: bool) -> Result<f64, ParseError> {
-    if ok && value.is_finite() {
-        Ok(value)
-    } else {
-        Err(ParseError::InvalidValue {
-            flag: flag.into(),
-            value: value.to_string(),
-        })
-    }
+    };
+    // Range validation lives in core (`DagConfig::validate`), so
+    // programmatic users get the same errors as CLI users.
+    config.validate().map_err(config_error)?;
+    Ok(config)
 }
 
 /// Builds the asynchronous-mode configuration from `--delay-model`,
 /// `--stale-policy` and friends.
 fn async_config(args: &ParsedArgs, num_clients: usize) -> Result<AsyncConfig, ParseError> {
     let base: f64 = args.get_parsed_or("delay", 2.0)?;
-    let base = reject_invalid("delay", base, base >= 0.0)?;
     let jitter: f64 = args.get_parsed_or("jitter", 0.0)?;
-    let jitter = reject_invalid("jitter", jitter, jitter >= 0.0)?;
     let slow_fraction: f64 = args.get_parsed_or("slow-fraction", 0.3)?;
-    let slow_fraction = reject_invalid(
-        "slow-fraction",
-        slow_fraction,
-        (0.0..=1.0).contains(&slow_fraction),
-    )?;
+    let slow_delay: f64 = args.get_parsed_or("slow-delay", 8.0)?;
     let model_word = args.get_or("delay-model", "constant");
     let delay = match model_word {
         "constant" => DelayModel::Constant { delay: base },
         "jitter" => DelayModel::UniformJitter { base, jitter },
-        "cohorts" => {
-            let slow: f64 = args.get_parsed_or("slow-delay", 8.0)?;
-            let slow = reject_invalid("slow-delay", slow, slow >= 0.0)?;
-            DelayModel::Cohorts {
-                slow_fraction,
-                fast: base,
-                slow,
-                jitter,
-            }
-        }
+        "cohorts" => DelayModel::Cohorts {
+            slow_fraction,
+            fast: base,
+            slow: slow_delay,
+            jitter,
+        },
         other => {
             return Err(ParseError::InvalidValue {
                 flag: "delay-model".into(),
@@ -193,9 +198,19 @@ fn async_config(args: &ParsedArgs, num_clients: usize) -> Result<AsyncConfig, Pa
             })
         }
     };
+    // Flags that the chosen delay model happens not to use are still
+    // range-checked, so a typo like `--slow-fraction 1.5` never passes
+    // silently: validate a cohorts model built from all raw values.
+    DelayModel::Cohorts {
+        slow_fraction,
+        fast: base,
+        slow: slow_delay,
+        jitter,
+    }
+    .validate()
+    .map_err(config_error)?;
     let slowdown: f64 = args.get_parsed_or("slowdown", 1.0)?;
-    let slowdown = reject_invalid("slowdown", slowdown, slowdown >= 1.0)?;
-    let compute = if slowdown > 1.0 {
+    let compute = if slowdown != 1.0 {
         if model_word == "cohorts" {
             // One shared straggler cohort: slow links and slow compute
             // hit the same clients.
@@ -220,20 +235,19 @@ fn async_config(args: &ParsedArgs, num_clients: usize) -> Result<AsyncConfig, Pa
             })
         }
     };
-    let mean_interarrival: f64 = args.get_parsed_or("interarrival", 1.0)?;
-    let mean_interarrival =
-        reject_invalid("interarrival", mean_interarrival, mean_interarrival > 0.0)?;
-    let train_time: f64 = args.get_parsed_or("train-time", 0.0)?;
-    let train_time = reject_invalid("train-time", train_time, train_time >= 0.0)?;
-    Ok(AsyncConfig {
+    let config = AsyncConfig {
         dag: dag_config(args, num_clients)?,
         total_activations: args.get_parsed_or("activations", 200)?,
-        mean_interarrival,
+        mean_interarrival: args.get_parsed_or("interarrival", 1.0)?,
         delay,
         compute,
-        train_time,
+        train_time: args.get_parsed_or("train-time", 0.0)?,
         stale_policy,
-    })
+    };
+    // Core validation covers the rest (delays, slowdown, inter-arrival,
+    // training time and the embedded DAG config).
+    config.validate().map_err(config_error)?;
+    Ok(config)
 }
 
 fn fed_config(args: &ParsedArgs, num_clients: usize, mu: f32) -> Result<FedConfig, ParseError> {
@@ -258,9 +272,14 @@ fn fed_config(args: &ParsedArgs, num_clients: usize, mu: f32) -> Result<FedConfi
 ///
 /// Returns an error for invalid arguments or failed training.
 pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    if args.command() == Command::Help {
-        println!("{USAGE}");
-        return Ok(());
+    match args.command() {
+        Command::Help => {
+            println!("{USAGE}");
+            return Ok(());
+        }
+        Command::Run => return run_scenario(args),
+        Command::Scenarios => return scenarios_command(args),
+        _ => {}
     }
     let dataset_word = args.get_or("dataset", "fmnist").to_string();
     let kind = DatasetKind::parse(&dataset_word).ok_or_else(|| {
@@ -382,7 +401,90 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
                 sim.approval_pureness()
             );
         }
-        Command::Help => unreachable!("handled above"),
+        Command::Help | Command::Run | Command::Scenarios => unreachable!("handled above"),
+    }
+    Ok(())
+}
+
+/// `dagfl run --scenario <file>` / `dagfl run --preset <name>`: resolve,
+/// validate and execute one declarative scenario, printing the report.
+fn run_scenario(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    let scenario = match (args.get("scenario"), args.get("preset")) {
+        (Some(path), None) => Scenario::load(path)?,
+        (None, Some(name)) => Scenario::preset(name)?,
+        _ => {
+            return Err(
+                "`dagfl run` needs exactly one of --scenario <file> or --preset <name>".into(),
+            )
+        }
+    };
+    let runner = ScenarioRunner::new(scenario)?;
+    eprintln!(
+        "# scenario={} mode={}",
+        runner.scenario().name,
+        runner.scenario().execution.mode()
+    );
+    let report = runner.run()?;
+    print!("{}", report.summary());
+    Ok(())
+}
+
+/// `dagfl scenarios`: list the preset registry; `--check <dir>`
+/// validates every `*.toml` scenario file in a directory (the CI smoke
+/// job runs this over `scenarios/`); `--dump <dir>` writes every preset
+/// out as a scenario file.
+fn scenarios_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    if let Some(dir) = args.get("check") {
+        return check_scenario_dir(Path::new(dir));
+    }
+    if let Some(dir) = args.get("dump") {
+        return dump_presets(Path::new(dir));
+    }
+    println!("available presets (quick scale; set DAGFL_FULL=1 for the paper's scale):");
+    for (name, description) in Scenario::preset_names() {
+        println!("  {name:<24} {description}");
+    }
+    println!("\nrun one with `dagfl run --preset <name>`;");
+    println!("check scenario files with `dagfl scenarios --check <dir>`.");
+    Ok(())
+}
+
+fn check_scenario_dir(dir: &Path) -> Result<(), Box<dyn Error>> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .toml scenario files found in {}", dir.display()).into());
+    }
+    let mut failures = Vec::new();
+    for path in &paths {
+        match Scenario::load(path).and_then(|s| s.validate().map(|()| s)) {
+            Ok(scenario) => println!("ok   {} ({})", path.display(), scenario.name),
+            Err(e) => {
+                println!("FAIL {}: {e}", path.display());
+                failures.push(path.display().to_string());
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("{} scenario files valid", paths.len());
+        Ok(())
+    } else {
+        Err(format!("invalid scenario files: {}", failures.join(", ")).into())
+    }
+}
+
+fn dump_presets(dir: &Path) -> Result<(), Box<dyn Error>> {
+    // Pin the quick scale so checked-in files don't depend on the
+    // caller's environment.
+    for (name, _) in Scenario::preset_names() {
+        let scenario = Scenario::preset_at(name, Scale::Quick)?;
+        let path = dir.join(format!("{name}.toml"));
+        scenario.save(&path)?;
+        println!("wrote {}", path.display());
     }
     Ok(())
 }
@@ -406,7 +508,7 @@ mod tests {
     fn build_task_produces_matching_model() {
         let args = ParsedArgs::parse(["dag", "--clients", "6", "--samples", "30"]).unwrap();
         let (dataset, factory) = build_task(DatasetKind::Fmnist, &args).unwrap();
-        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
         let model = factory(&mut rng);
         // The model accepts the dataset's feature width.
         let eval = model
@@ -531,6 +633,125 @@ mod tests {
         ])
         .unwrap();
         run_command(&args).unwrap();
+    }
+
+    #[test]
+    fn validation_errors_name_the_flag_the_user_typed() {
+        for (flags, flag_name) in [
+            (vec!["async", "--slow-fraction", "1.5"], "slow-fraction"),
+            (vec!["async", "--delay", "-1"], "delay"),
+            (vec!["async", "--interarrival", "0"], "interarrival"),
+            (vec!["async", "--train-time", "-2"], "train-time"),
+            (vec!["async", "--slowdown", "0.5"], "slowdown"),
+            (vec!["dag", "--lr", "-1"], "lr"),
+            (vec!["dag", "--batches", "0"], "batches"),
+        ] {
+            let args = ParsedArgs::parse(flags.clone()).unwrap();
+            let err = if flags[0] == "async" {
+                async_config(&args, 10).unwrap_err()
+            } else {
+                dag_config(&args, 10).unwrap_err()
+            };
+            match err {
+                ParseError::InvalidValue { ref flag, .. } => {
+                    assert_eq!(flag, flag_name, "{flags:?}")
+                }
+                other => panic!("{flags:?}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn run_preset_smoke_succeeds_end_to_end() {
+        let args = ParsedArgs::parse(["run", "--preset", "smoke"]).unwrap();
+        run_command(&args).unwrap();
+    }
+
+    #[test]
+    fn run_rejects_unknown_preset_and_missing_flags() {
+        let args = ParsedArgs::parse(["run", "--preset", "fig99"]).unwrap();
+        assert!(run_command(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("fig99"));
+        let args = ParsedArgs::parse(["run"]).unwrap();
+        assert!(run_command(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("--scenario"));
+        let args = ParsedArgs::parse(["run", "--scenario", "a", "--preset", "b"]).unwrap();
+        assert!(run_command(&args).is_err());
+    }
+
+    #[test]
+    fn run_scenario_file_round_trips_through_the_cli() {
+        let dir = temp_dir("dagfl_cli_run_scenario_test");
+        let path = dir.join("smoke.toml");
+        Scenario::preset_at("smoke", Scale::Quick)
+            .unwrap()
+            .save(&path)
+            .unwrap();
+        let args = ParsedArgs::parse(["run", "--scenario", path.to_str().unwrap()]).unwrap();
+        run_command(&args).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_rejects_missing_and_malformed_scenario_files() {
+        let args = ParsedArgs::parse(["run", "--scenario", "/nonexistent/x.toml"]).unwrap();
+        assert!(run_command(&args).is_err());
+        let dir = temp_dir("dagfl_cli_bad_scenario_test");
+        let path = dir.join("bad.toml");
+        std::fs::write(&path, "name = \"x\"\n[dataset]\nkind = \"imagenet\"\n").unwrap();
+        let args = ParsedArgs::parse(["run", "--scenario", path.to_str().unwrap()]).unwrap();
+        assert!(run_command(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("imagenet"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenarios_lists_presets() {
+        let args = ParsedArgs::parse(["scenarios"]).unwrap();
+        run_command(&args).unwrap();
+    }
+
+    #[test]
+    fn scenarios_dump_then_check_round_trips() {
+        let dir = temp_dir("dagfl_cli_scenarios_check_test");
+        let args = ParsedArgs::parse(["scenarios", "--dump", dir.to_str().unwrap()]).unwrap();
+        run_command(&args).unwrap();
+        let args = ParsedArgs::parse(["scenarios", "--check", dir.to_str().unwrap()]).unwrap();
+        run_command(&args).unwrap();
+        // One broken file fails the whole check.
+        std::fs::write(dir.join("broken.toml"), "not a scenario").unwrap();
+        let args = ParsedArgs::parse(["scenarios", "--check", dir.to_str().unwrap()]).unwrap();
+        assert!(run_command(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("broken"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenarios_check_rejects_empty_or_missing_dirs() {
+        let dir = temp_dir("dagfl_cli_scenarios_empty_test");
+        let args = ParsedArgs::parse(["scenarios", "--check", dir.to_str().unwrap()]).unwrap();
+        assert!(run_command(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("no .toml"));
+        let args = ParsedArgs::parse(["scenarios", "--check", "/nonexistent-dir"]).unwrap();
+        assert!(run_command(&args).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -116,3 +116,19 @@ fn tiny_dag_run_succeeds_end_to_end() {
     .expect("parses");
     run_command(&args).expect("tiny dag run succeeds");
 }
+
+#[test]
+fn scenario_preset_runs_through_the_public_cli_surface() {
+    // The declarative path: `dagfl run --preset smoke` resolves, validates
+    // and executes a whole scenario through one entry point.
+    let args = ParsedArgs::parse(["run", "--preset", "smoke"]).expect("parses");
+    assert_eq!(args.command(), Command::Run);
+    run_command(&args).expect("smoke preset runs");
+}
+
+#[test]
+fn scenarios_listing_never_fails() {
+    let args = ParsedArgs::parse(["scenarios"]).expect("parses");
+    assert_eq!(args.command(), Command::Scenarios);
+    run_command(&args).expect("preset listing succeeds");
+}

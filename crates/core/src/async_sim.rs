@@ -73,7 +73,7 @@ use crate::{
 /// };
 /// assert_eq!(config.total_activations, 500);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AsyncConfig {
     /// Hyperparameters, tip selection and seed (the `rounds`,
     /// `clients_per_round` and `parallel` fields are ignored).
@@ -107,6 +107,66 @@ impl Default for AsyncConfig {
             train_time: 0.0,
             stale_policy: StaleTipPolicy::default(),
         }
+    }
+}
+
+impl AsyncConfig {
+    /// Checks every field, including the embedded [`DagConfig`] and the
+    /// delay/compute models — the same ranges `dagfl async` enforces, so
+    /// programmatic users get identical errors. The `dag` fields this
+    /// mode ignores (`rounds`, `clients_per_round`, `parallel`) are
+    /// exempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidField`] naming the first offending
+    /// field.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dagfl_core::AsyncConfig;
+    ///
+    /// assert!(AsyncConfig::default().validate().is_ok());
+    /// let bad = AsyncConfig {
+    ///     mean_interarrival: 0.0,
+    ///     ..AsyncConfig::default()
+    /// };
+    /// assert!(bad.validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), CoreError> {
+        // Neutralise the round-scheduling fields before delegating: this
+        // mode documents them as ignored, so they must not fail a config
+        // that would run fine.
+        DagConfig {
+            rounds: self.dag.rounds.max(1),
+            clients_per_round: self.dag.clients_per_round.max(1),
+            ..self.dag
+        }
+        .validate()?;
+        if self.total_activations == 0 {
+            return Err(CoreError::invalid_field(
+                "total_activations",
+                self.total_activations,
+                "must be at least 1",
+            ));
+        }
+        if !(self.mean_interarrival > 0.0 && self.mean_interarrival.is_finite()) {
+            return Err(CoreError::invalid_field(
+                "mean_interarrival",
+                self.mean_interarrival,
+                "must be positive and finite",
+            ));
+        }
+        if !(self.train_time >= 0.0 && self.train_time.is_finite()) {
+            return Err(CoreError::invalid_field(
+                "train_time",
+                self.train_time,
+                "must be non-negative and finite",
+            ));
+        }
+        self.delay.validate()?;
+        self.compute.validate()
     }
 }
 
@@ -405,21 +465,14 @@ impl AsyncSimulation {
     ///
     /// # Panics
     ///
-    /// Panics if the dataset has no clients, `mean_interarrival` is not
-    /// positive, `train_time` is negative, or a delay/compute parameter
-    /// is invalid.
+    /// Panics if the dataset has no clients or the configuration fails
+    /// [`AsyncConfig::validate`] (call it first to get a `Result`
+    /// instead).
     pub fn new(config: AsyncConfig, dataset: FederatedDataset, factory: ModelFactory) -> Self {
         assert!(dataset.num_clients() > 0, "dataset has no clients");
-        assert!(
-            config.mean_interarrival > 0.0 && config.mean_interarrival.is_finite(),
-            "mean inter-arrival time must be positive"
-        );
-        assert!(
-            config.train_time >= 0.0 && config.train_time.is_finite(),
-            "train_time must be non-negative"
-        );
-        config.delay.validate();
-        config.compute.validate();
+        if let Err(e) = config.validate() {
+            panic!("invalid async configuration: {e}");
+        }
         let mut rng = StdRng::seed_from_u64(config.dag.seed ^ 0xA57C);
         let genesis_model = factory(&mut rng);
         let genesis = ModelPayload::new(genesis_model.parameters());
@@ -1115,7 +1168,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "inter-arrival")]
+    fn validate_exempts_the_ignored_round_fields() {
+        // `rounds`, `clients_per_round` and `parallel` are documented as
+        // ignored by this mode; zeroing them must not reject a config
+        // that runs fine.
+        let config = AsyncConfig {
+            dag: DagConfig {
+                rounds: 0,
+                clients_per_round: 0,
+                ..DagConfig::default()
+            },
+            ..AsyncConfig::default()
+        };
+        assert!(config.validate().is_ok());
+        // The shared hyperparameters are still checked.
+        let bad = AsyncConfig {
+            dag: DagConfig {
+                learning_rate: -1.0,
+                ..DagConfig::default()
+            },
+            ..AsyncConfig::default()
+        };
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("learning_rate"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mean_interarrival")]
     fn zero_interarrival_panics() {
         setup_with(
             AsyncConfig {

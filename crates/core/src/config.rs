@@ -1,5 +1,7 @@
 //! Simulation configuration, including the paper's Table 1 hyperparameters.
 
+use crate::CoreError;
+
 /// How candidate accuracies are normalised inside the biased walk (§4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Normalization {
@@ -232,6 +234,90 @@ impl DagConfig {
         self.seed = seed;
         self
     }
+
+    /// Checks every field for internal consistency, so programmatic users
+    /// get the same range errors the CLI reports (instead of later
+    /// panics deep inside the simulator).
+    ///
+    /// The one check this cannot perform is against the dataset
+    /// (`clients_per_round <= num_clients`); that stays with the
+    /// simulator constructors and the scenario layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidField`] naming the first offending
+    /// field.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dagfl_core::DagConfig;
+    ///
+    /// assert!(DagConfig::default().validate().is_ok());
+    /// let bad = DagConfig {
+    ///     learning_rate: -0.1,
+    ///     ..DagConfig::default()
+    /// };
+    /// assert!(bad.validate().unwrap_err().to_string().contains("learning_rate"));
+    /// ```
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let positive = |v: usize, field: &'static str| {
+            if v == 0 {
+                Err(CoreError::invalid_field(field, v, "must be at least 1"))
+            } else {
+                Ok(())
+            }
+        };
+        positive(self.rounds, "rounds")?;
+        positive(self.clients_per_round, "clients_per_round")?;
+        positive(self.local_epochs, "local_epochs")?;
+        positive(self.local_batches, "local_batches")?;
+        positive(self.batch_size, "batch_size")?;
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(CoreError::invalid_field(
+                "learning_rate",
+                self.learning_rate,
+                "must be positive and finite",
+            ));
+        }
+        let alpha = match self.tip_selector {
+            TipSelector::Accuracy { alpha, .. } | TipSelector::CumulativeWeight { alpha } => alpha,
+            TipSelector::Random => 0.0,
+        };
+        if !(alpha.is_finite() && alpha >= 0.0) {
+            return Err(CoreError::invalid_field(
+                "alpha",
+                alpha,
+                "must be non-negative and finite",
+            ));
+        }
+        if self.walk_depth.0 > self.walk_depth.1 {
+            return Err(CoreError::invalid_field(
+                "walk_depth",
+                format!("({}, {})", self.walk_depth.0, self.walk_depth.1),
+                "minimum depth must not exceed maximum depth",
+            ));
+        }
+        if let Some(margin) = self.walk_stop_margin {
+            if !(margin.is_finite() && margin > 0.0) {
+                return Err(CoreError::invalid_field(
+                    "walk_stop_margin",
+                    margin,
+                    "must be positive and finite (use None to disable)",
+                ));
+            }
+        }
+        if !(self.publication_dropout.is_finite()
+            && (0.0..=1.0).contains(&self.publication_dropout))
+        {
+            return Err(CoreError::invalid_field(
+                "publication_dropout",
+                self.publication_dropout,
+                "must be in [0, 1]",
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +361,87 @@ mod tests {
             .with_tip_selector(TipSelector::Random);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.tip_selector, TipSelector::Random);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_table1_rows() {
+        assert!(DagConfig::default().validate().is_ok());
+        for h in [
+            Hyperparameters::fmnist(),
+            Hyperparameters::poets(),
+            Hyperparameters::cifar(),
+        ] {
+            assert!(DagConfig::from_hyperparameters(h).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_each_out_of_range_field() {
+        let cases: Vec<(DagConfig, &str)> = vec![
+            (
+                DagConfig {
+                    rounds: 0,
+                    ..DagConfig::default()
+                },
+                "rounds",
+            ),
+            (
+                DagConfig {
+                    clients_per_round: 0,
+                    ..DagConfig::default()
+                },
+                "clients_per_round",
+            ),
+            (
+                DagConfig {
+                    batch_size: 0,
+                    ..DagConfig::default()
+                },
+                "batch_size",
+            ),
+            (
+                DagConfig {
+                    learning_rate: f32::NAN,
+                    ..DagConfig::default()
+                },
+                "learning_rate",
+            ),
+            (
+                DagConfig {
+                    tip_selector: TipSelector::Accuracy {
+                        alpha: -1.0,
+                        normalization: Normalization::Simple,
+                    },
+                    ..DagConfig::default()
+                },
+                "alpha",
+            ),
+            (
+                DagConfig {
+                    walk_depth: (25, 15),
+                    ..DagConfig::default()
+                },
+                "walk_depth",
+            ),
+            (
+                DagConfig {
+                    walk_stop_margin: Some(-0.2),
+                    ..DagConfig::default()
+                },
+                "walk_stop_margin",
+            ),
+            (
+                DagConfig {
+                    publication_dropout: 1.5,
+                    ..DagConfig::default()
+                },
+                "publication_dropout",
+            ),
+        ];
+        for (config, field) in cases {
+            let err = config.validate().expect_err(field);
+            assert!(err.to_string().contains(field), "{field}: {err}");
+        }
     }
 
     #[test]

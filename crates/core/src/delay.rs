@@ -16,6 +16,8 @@
 
 use rand::Rng;
 
+use crate::CoreError;
+
 /// Per-link propagation delay of a published transaction.
 ///
 /// A *link* is one `(publisher, receiver)` pair; the model is sampled
@@ -62,20 +64,29 @@ impl DelayModel {
         DelayModel::Constant { delay }
     }
 
-    /// Panics with a descriptive message when a parameter is invalid
-    /// (negative, non-finite, or a fraction outside `[0, 1]`).
-    pub(crate) fn validate(&self) {
-        let check = |v: f64, what: &str| {
-            assert!(
-                v >= 0.0 && v.is_finite(),
-                "delay model: {what} must be non-negative and finite, got {v}"
-            );
+    /// Checks every parameter (non-negative and finite; fractions in
+    /// `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidField`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let check = |v: f64, field: &'static str| {
+            if v >= 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(CoreError::invalid_field(
+                    field,
+                    v,
+                    "must be non-negative and finite",
+                ))
+            }
         };
         match *self {
-            DelayModel::Constant { delay } => check(delay, "delay"),
+            DelayModel::Constant { delay } => check(delay, "delay.delay"),
             DelayModel::UniformJitter { base, jitter } => {
-                check(base, "base");
-                check(jitter, "jitter");
+                check(base, "delay.base")?;
+                check(jitter, "delay.jitter")
             }
             DelayModel::Cohorts {
                 slow_fraction,
@@ -83,13 +94,16 @@ impl DelayModel {
                 slow,
                 jitter,
             } => {
-                assert!(
-                    (0.0..=1.0).contains(&slow_fraction),
-                    "delay model: slow_fraction must be in [0, 1], got {slow_fraction}"
-                );
-                check(fast, "fast");
-                check(slow, "slow");
-                check(jitter, "jitter");
+                if !(0.0..=1.0).contains(&slow_fraction) {
+                    return Err(CoreError::invalid_field(
+                        "delay.slow_fraction",
+                        slow_fraction,
+                        "must be in [0, 1]",
+                    ));
+                }
+                check(fast, "delay.fast")?;
+                check(slow, "delay.slow")?;
+                check(jitter, "delay.jitter")
             }
         }
     }
@@ -191,19 +205,26 @@ pub enum ComputeProfile {
 }
 
 impl ComputeProfile {
-    /// Panics with a descriptive message when a parameter is invalid.
-    pub(crate) fn validate(&self) {
+    /// Checks every parameter (fractions in `[0, 1]`, slowdown ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidField`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CoreError> {
         match *self {
-            ComputeProfile::Uniform => {}
+            ComputeProfile::Uniform => Ok(()),
             ComputeProfile::TwoSpeed {
                 slow_fraction,
                 slowdown,
             } => {
-                assert!(
-                    (0.0..=1.0).contains(&slow_fraction),
-                    "compute profile: slow_fraction must be in [0, 1], got {slow_fraction}"
-                );
-                check_slowdown(slowdown);
+                if !(0.0..=1.0).contains(&slow_fraction) {
+                    return Err(CoreError::invalid_field(
+                        "compute.slow_fraction",
+                        slow_fraction,
+                        "must be in [0, 1]",
+                    ));
+                }
+                check_slowdown(slowdown)
             }
             ComputeProfile::MatchNetworkCohort { slowdown } => check_slowdown(slowdown),
         }
@@ -250,11 +271,16 @@ impl ComputeProfile {
     }
 }
 
-fn check_slowdown(slowdown: f64) {
-    assert!(
-        slowdown >= 1.0 && slowdown.is_finite(),
-        "compute profile: slowdown must be >= 1.0 and finite, got {slowdown}"
-    );
+fn check_slowdown(slowdown: f64) -> Result<(), CoreError> {
+    if slowdown >= 1.0 && slowdown.is_finite() {
+        Ok(())
+    } else {
+        Err(CoreError::invalid_field(
+            "compute.slowdown",
+            slowdown,
+            "must be >= 1.0 and finite",
+        ))
+    }
 }
 
 /// What to do when a client finishes training and discovers that a tip
@@ -394,31 +420,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-negative")]
     fn negative_delay_is_rejected() {
-        DelayModel::constant(-1.0).validate();
+        let err = DelayModel::constant(-1.0).validate().unwrap_err();
+        assert!(err.to_string().contains("non-negative"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "slow_fraction")]
     fn out_of_range_fraction_is_rejected() {
-        DelayModel::Cohorts {
+        let err = DelayModel::Cohorts {
             slow_fraction: 1.5,
             fast: 1.0,
             slow: 2.0,
             jitter: 0.0,
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("slow_fraction"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "slowdown")]
     fn sub_unit_slowdown_is_rejected() {
-        ComputeProfile::TwoSpeed {
+        let err = ComputeProfile::TwoSpeed {
             slow_fraction: 0.5,
             slowdown: 0.5,
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("slowdown"), "{err}");
+        assert!(ComputeProfile::Uniform.validate().is_ok());
+        assert!(DelayModel::constant(2.0).validate().is_ok());
     }
 
     #[test]

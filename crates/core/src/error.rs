@@ -15,6 +15,15 @@ pub enum CoreError {
     Tangle(TangleError),
     /// The configuration is inconsistent with the dataset.
     Config(String),
+    /// A single configuration field failed validation.
+    InvalidField {
+        /// Dotted path of the offending field (e.g. `delay.slow_fraction`).
+        field: &'static str,
+        /// The rejected value, formatted for display.
+        value: String,
+        /// Human-readable constraint the value violated.
+        constraint: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -23,6 +32,13 @@ impl fmt::Display for CoreError {
             CoreError::Nn(e) => write!(f, "model error: {e}"),
             CoreError::Tangle(e) => write!(f, "tangle error: {e}"),
             CoreError::Config(msg) => write!(f, "configuration error: {msg}"),
+            CoreError::InvalidField {
+                field,
+                value,
+                constraint,
+            } => {
+                write!(f, "invalid value `{value}` for `{field}`: {constraint}")
+            }
         }
     }
 }
@@ -32,7 +48,22 @@ impl Error for CoreError {
         match self {
             CoreError::Nn(e) => Some(e),
             CoreError::Tangle(e) => Some(e),
-            CoreError::Config(_) => None,
+            CoreError::Config(_) | CoreError::InvalidField { .. } => None,
+        }
+    }
+}
+
+impl CoreError {
+    /// Shorthand for an [`CoreError::InvalidField`] validation error.
+    pub(crate) fn invalid_field(
+        field: &'static str,
+        value: impl fmt::Display,
+        constraint: &'static str,
+    ) -> Self {
+        CoreError::InvalidField {
+            field,
+            value: value.to_string(),
+            constraint,
         }
     }
 }
@@ -70,6 +101,16 @@ mod tests {
     fn display_is_informative() {
         let e = CoreError::Config("clients_per_round exceeds clients".into());
         assert!(e.to_string().contains("clients_per_round"));
+    }
+
+    #[test]
+    fn invalid_field_names_field_value_and_constraint() {
+        let e = CoreError::invalid_field("delay.jitter", -0.5, "must be non-negative and finite");
+        let msg = e.to_string();
+        assert!(msg.contains("delay.jitter"), "{msg}");
+        assert!(msg.contains("-0.5"), "{msg}");
+        assert!(msg.contains("non-negative"), "{msg}");
+        assert!(Error::source(&e).is_none());
     }
 
     #[test]

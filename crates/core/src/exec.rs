@@ -11,6 +11,9 @@
 //! [`AsyncSimulation`](crate::AsyncSimulation) through one `dyn`
 //! interface and compare them on identical budgets.
 
+use std::ops::Deref;
+
+use parking_lot::RwLockReadGuard;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,6 +25,32 @@ use crate::{
     AsyncSimulation, CoreError, ModelTangle, Simulation, SpecializationMetrics,
     {approval_pureness_of, client_graph_of},
 };
+
+/// A read-only view of a simulator's globally visible tangle.
+///
+/// The round simulator shares its tangle behind a lock (clients mutate it
+/// concurrently) while the asynchronous simulator owns its global tangle
+/// directly; this guard abstracts over both so callers can simply deref
+/// to [`ModelTangle`] instead of threading `&mut dyn FnMut` callbacks
+/// with out-parameters. Hold it briefly — the `Guard` variant keeps the
+/// round simulator's read lock.
+pub enum TangleView<'a> {
+    /// A read-lock guard over a shared tangle (round simulator).
+    Guard(RwLockReadGuard<'a, ModelTangle>),
+    /// A plain borrow of a directly owned tangle (async simulator).
+    Borrowed(&'a ModelTangle),
+}
+
+impl Deref for TangleView<'_> {
+    type Target = ModelTangle;
+
+    fn deref(&self) -> &ModelTangle {
+        match self {
+            TangleView::Guard(guard) => guard,
+            TangleView::Borrowed(tangle) => tangle,
+        }
+    }
+}
 
 /// A simulator that can run a Specializing-DAG workload to completion
 /// and expose its tangle for analysis, regardless of whether progress is
@@ -44,10 +73,17 @@ pub trait ExecutionMode {
     /// Propagates model/tangle errors.
     fn run_to_completion(&mut self) -> Result<(), CoreError>;
 
-    /// Calls `f` with the globally visible tangle. (A callback rather
-    /// than a return value because the round simulator hands out a lock
-    /// guard while the asynchronous one holds its tangle directly.)
-    fn with_tangle(&self, f: &mut dyn FnMut(&ModelTangle));
+    /// A read-only view of the globally visible tangle; deref it to
+    /// [`ModelTangle`].
+    fn tangle_view(&self) -> TangleView<'_>;
+
+    /// Calls `f` with the globally visible tangle.
+    ///
+    /// Kept for callers written against the original callback shape;
+    /// [`ExecutionMode::tangle_view`] is the preferred accessor.
+    fn with_tangle(&self, f: &mut dyn FnMut(&ModelTangle)) {
+        f(&self.tangle_view());
+    }
 
     /// Mean post-training accuracy over the most recent `n` client
     /// evaluations.
@@ -55,25 +91,17 @@ pub trait ExecutionMode {
 
     /// The derived client graph `G_clients` (§4.3).
     fn client_graph(&self) -> Graph {
-        let num_clients = self.dataset().num_clients();
-        let mut graph = Graph::new(num_clients);
-        self.with_tangle(&mut |t| graph = client_graph_of(t, num_clients));
-        graph
+        client_graph_of(&self.tangle_view(), self.dataset().num_clients())
     }
 
     /// Approval pureness of the visible tangle (Table 2).
     fn approval_pureness(&self) -> f64 {
-        let labels = self.dataset().cluster_labels();
-        let mut pureness = 1.0;
-        self.with_tangle(&mut |t| pureness = approval_pureness_of(t, &labels));
-        pureness
+        approval_pureness_of(&self.tangle_view(), &self.dataset().cluster_labels())
     }
 
     /// Structural statistics of the visible tangle.
     fn tangle_stats(&self) -> TangleStats {
-        let mut stats = None;
-        self.with_tangle(&mut |t| stats = Some(t.stats()));
-        stats.expect("with_tangle invokes the callback")
+        self.tangle_view().stats()
     }
 
     /// The §4.3 specialization metrics, with Louvain seeded by `seed`
@@ -112,8 +140,8 @@ impl ExecutionMode for Simulation {
         Simulation::run(self).map(|_| ())
     }
 
-    fn with_tangle(&self, f: &mut dyn FnMut(&ModelTangle)) {
-        f(&self.tangle().read());
+    fn tangle_view(&self) -> TangleView<'_> {
+        TangleView::Guard(self.tangle().read())
     }
 
     fn recent_accuracy(&self, n: usize) -> f32 {
@@ -138,8 +166,8 @@ impl ExecutionMode for AsyncSimulation {
         AsyncSimulation::run(self)
     }
 
-    fn with_tangle(&self, f: &mut dyn FnMut(&ModelTangle)) {
-        f(self.tangle());
+    fn tangle_view(&self) -> TangleView<'_> {
+        TangleView::Borrowed(self.tangle())
     }
 
     fn recent_accuracy(&self, n: usize) -> f32 {
@@ -229,6 +257,18 @@ mod tests {
         for mode in &mut both_modes() {
             mode.run_to_completion().unwrap();
             assert_eq!(mode.client_graph().num_nodes(), 6);
+        }
+    }
+
+    #[test]
+    fn tangle_view_derefs_and_with_tangle_agrees() {
+        for mode in &mut both_modes() {
+            mode.run_to_completion().unwrap();
+            let via_view = mode.tangle_view().len();
+            let mut via_callback = 0;
+            mode.with_tangle(&mut |t| via_callback = t.len());
+            assert_eq!(via_view, via_callback, "{}", mode.mode_name());
+            assert!(via_view >= 1);
         }
     }
 }

@@ -90,7 +90,7 @@ pub use client::{DagClient, TrainOutcome};
 pub use config::{DagConfig, Hyperparameters, Normalization, PublishGate, TipSelector};
 pub use delay::{ComputeProfile, DelayModel, StaleTipPolicy};
 pub use error::CoreError;
-pub use exec::ExecutionMode;
+pub use exec::{ExecutionMode, TangleView};
 pub use metrics::{approval_pureness_of, client_graph_of, RoundMetrics, SpecializationMetrics};
 pub use payload::{ModelFactory, ModelPayload, ModelTangle, SharedModelTangle};
 pub use poisoning::{mean_accuracy_series, PoisonRoundMetrics, PoisoningConfig, PoisoningScenario};

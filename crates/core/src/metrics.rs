@@ -108,7 +108,7 @@ fn mean(values: &[f32]) -> f32 {
 }
 
 /// The §4.3 specialization metrics of the derived client graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpecializationMetrics {
     /// Newman modularity of the Louvain partition of `G_clients`.
     pub modularity: f64,

@@ -54,7 +54,7 @@ impl Default for PoisoningConfig {
 }
 
 /// Poisoning metrics measured after one attack round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PoisonRoundMetrics {
     /// Global round index at measurement time.
     pub round: usize,

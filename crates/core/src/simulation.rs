@@ -44,9 +44,13 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if `clients_per_round` is zero or exceeds the dataset's
-    /// client count.
+    /// Panics if the configuration fails [`DagConfig::validate`] (call
+    /// it first to get a `Result` instead) or `clients_per_round`
+    /// exceeds the dataset's client count.
     pub fn new(config: DagConfig, dataset: FederatedDataset, factory: ModelFactory) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid simulation configuration: {e}");
+        }
         assert!(
             config.clients_per_round > 0 && config.clients_per_round <= dataset.num_clients(),
             "clients_per_round ({}) must be in 1..={}",

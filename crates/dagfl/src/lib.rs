@@ -15,16 +15,42 @@
 //! | [`graphs`] | modularity, Louvain and the specialization metrics |
 //! | [`dag`] | the Specializing DAG itself: biased tip selection, simulation, poisoning scenarios |
 //! | [`baselines`] | FedAvg and FedProx |
+//! | [`scenario`] | the declarative layer: one spec to build, validate, run and report any experiment |
 //!
 //! The most common entry points are re-exported at the crate root.
 //!
 //! # Example
 //!
+//! The declarative path — a whole experiment as a value, runnable from a
+//! preset name, a `scenarios/*.toml` file or the builder API:
+//!
 //! ```
-//! use dagfl::{DagConfig, Simulation};
+//! use dagfl::{DatasetSpec, Scenario, ScenarioRunner};
+//!
+//! # fn main() -> Result<(), dagfl::scenario::ScenarioError> {
+//! let scenario = Scenario::new(
+//!     "demo",
+//!     DatasetSpec::Fmnist {
+//!         clients: 6,
+//!         samples: 30,
+//!         relaxation: 0.0,
+//!         seed: 42,
+//!     },
+//! )
+//! .rounds(2)
+//! .clients_per_round(3)
+//! .local_batches(2);
+//! let report = ScenarioRunner::new(scenario)?.run()?;
+//! println!("pureness: {:.2}", report.specialization.approval_pureness);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The imperative substrate stays available for custom harnesses:
+//!
+//! ```
+//! use dagfl::{DagConfig, ModelSpec, Simulation};
 //! use dagfl::datasets::{fmnist_clustered, FmnistConfig};
-//! use dagfl::nn::{Dense, Model, Relu, Sequential};
-//! use std::sync::Arc;
 //!
 //! # fn main() -> Result<(), dagfl::dag::CoreError> {
 //! let dataset = fmnist_clustered(&FmnistConfig {
@@ -32,20 +58,15 @@
 //!     samples_per_client: 30,
 //!     ..FmnistConfig::default()
 //! });
-//! let features = dataset.feature_len();
 //! let config = DagConfig {
 //!     rounds: 2,
 //!     clients_per_round: 3,
 //!     local_batches: 2,
 //!     ..DagConfig::default()
 //! };
-//! let mut sim = Simulation::new(config, dataset, Arc::new(move |rng| {
-//!     Box::new(Sequential::new(vec![
-//!         Box::new(Dense::new(rng, features, 16)),
-//!         Box::new(Relu::new()),
-//!         Box::new(Dense::new(rng, 16, 10)),
-//!     ])) as Box<dyn Model>
-//! }));
+//! let factory = ModelSpec::Mlp { hidden: vec![16] }
+//!     .build_factory(dataset.feature_len(), dataset.num_classes());
+//! let mut sim = Simulation::new(config, dataset, factory);
 //! sim.run()?;
 //! println!("pureness: {:.2}", sim.approval_pureness());
 //! # Ok(())
@@ -60,6 +81,7 @@ pub use dagfl_core as dag;
 pub use dagfl_datasets as datasets;
 pub use dagfl_graphs as graphs;
 pub use dagfl_nn as nn;
+pub use dagfl_scenario as scenario;
 pub use dagfl_tangle as tangle;
 pub use dagfl_tensor as tensor;
 
@@ -67,7 +89,10 @@ pub use dagfl_baselines::{FedConfig, FederatedServer};
 pub use dagfl_core::{
     AsyncConfig, AsyncMetrics, AsyncSimulation, ComputeProfile, DagConfig, DelayModel,
     ExecutionMode, Hyperparameters, Normalization, PoisoningConfig, PoisoningScenario, PublishGate,
-    Simulation, StaleTipPolicy, TipSelector,
+    Simulation, StaleTipPolicy, TangleView, TipSelector,
+};
+pub use dagfl_scenario::{
+    AttackSpec, DatasetSpec, ExecutionSpec, ModelSpec, RunReport, Scenario, ScenarioRunner,
 };
 
 #[cfg(test)]

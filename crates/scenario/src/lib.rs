@@ -1,0 +1,63 @@
+//! The **declarative scenario layer**: one spec to build, validate, run,
+//! and report any Specializing-DAG experiment.
+//!
+//! The paper's evaluation is one algorithm under many conditions —
+//! Table 1 hyperparameter rows, tip-selector ablations, poisoning
+//! attacks, asynchronous deployments. This crate makes each such
+//! condition *data* instead of hand-wired code:
+//!
+//! * [`Scenario`] — a complete experiment as a value: dataset
+//!   ([`DatasetSpec`]), model architecture ([`ModelSpec`]), execution
+//!   mode ([`ExecutionSpec`]: rounds or async, with the full core
+//!   config), optional poisoning attack ([`AttackSpec`]) and output
+//!   options ([`OutputSpec`]), with a fluent builder and a single
+//!   [`Scenario::validate`].
+//! * **Text round-trip** — [`Scenario::to_toml`] /
+//!   [`Scenario::from_toml`] serialize scenarios through a
+//!   dependency-free TOML subset, so experiments live in version
+//!   control as `scenarios/*.toml` files.
+//! * [`ScenarioRunner`] — consumes a scenario, builds the dataset and
+//!   model factory, drives the right simulator behind the core
+//!   [`ExecutionMode`](dagfl_core::ExecutionMode) trait and returns a
+//!   structured [`RunReport`] (specialization metrics, tangle stats,
+//!   async throughput and poisoning summaries, optional CSV).
+//! * **Presets** — [`Scenario::preset`] resolves the paper's
+//!   experiments by name (`"table1-fmnist"`, `"fig06-alpha10"`,
+//!   `"poisoning-p0.2"`, `"async-cohorts"`, ...) at quick or full
+//!   [`Scale`].
+//!
+//! A paper experiment is therefore runnable three equivalent ways — by
+//! preset name, from a checked-in `.toml` file (`dagfl run --scenario`),
+//! or through the builder API — and all three meet in the same
+//! validation and runner code.
+//!
+//! # Example
+//!
+//! ```
+//! use dagfl_scenario::{Scenario, ScenarioRunner};
+//!
+//! // By preset name...
+//! let scenario = Scenario::preset("smoke")?;
+//! // ...which is the same experiment as this file:
+//! let from_file = Scenario::from_toml(&scenario.to_toml())?;
+//! assert_eq!(scenario, from_file);
+//!
+//! let report = ScenarioRunner::new(scenario)?.run()?;
+//! assert_eq!(report.progress, 2);
+//! println!("{}", report.summary());
+//! # Ok::<(), dagfl_scenario::ScenarioError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod presets;
+mod runner;
+mod spec;
+pub mod text;
+
+pub use presets::{Scale, PRESET_NAMES};
+pub use runner::{DatasetSummary, PoisoningSummary, RunReport, ScenarioRunner};
+pub use spec::{
+    AttackSpec, DatasetSpec, ExecutionSpec, ModelSpec, OutputSpec, Scenario, ScenarioError,
+};

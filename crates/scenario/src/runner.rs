@@ -1,0 +1,455 @@
+//! Executes a [`Scenario`] and assembles a structured [`RunReport`].
+
+use std::path::PathBuf;
+
+use dagfl_core::csv::write_csv;
+use dagfl_core::{
+    AsyncMetrics, AsyncSimulation, ExecutionMode, PoisonRoundMetrics, PoisoningConfig,
+    PoisoningScenario, Simulation, SpecializationMetrics,
+};
+use dagfl_tangle::TangleStats;
+
+use crate::spec::{ExecutionSpec, Scenario, ScenarioError};
+
+/// Dataset facts the report carries so downstream tables (e.g. Table 2)
+/// need no second dataset build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Generator name (e.g. `fmnist-clustered`).
+    pub name: String,
+    /// Number of clients.
+    pub clients: usize,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Number of ground-truth clusters.
+    pub clusters: usize,
+    /// Pureness a uniformly random approval graph would score.
+    pub base_pureness: f64,
+}
+
+/// Poisoning results of an attack scenario (Figures 12–14).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoisoningSummary {
+    /// Per-measurement attack-phase metrics.
+    pub measurements: Vec<PoisonRoundMetrics>,
+    /// `(community, benign, poisoned)` rows of the final Louvain
+    /// partition.
+    pub distribution: Vec<(usize, usize, usize)>,
+    /// The clients whose labels were flipped.
+    pub poisoned_clients: Vec<u32>,
+}
+
+/// The structured result of one scenario run.
+///
+/// Everything is a plain value: two runs of the same scenario with the
+/// same seed produce equal reports, which the determinism tests assert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The scenario name.
+    pub scenario: String,
+    /// Execution mode (`"rounds"` or `"async"`).
+    pub mode: &'static str,
+    /// Completed scheduling units (rounds or activations).
+    pub progress: usize,
+    /// Mean post-training accuracy over the configured recent window.
+    pub recent_accuracy: f32,
+    /// Mean post-training accuracy per round (rounds mode; empty for
+    /// async runs).
+    pub round_accuracy: Vec<f32>,
+    /// Mean post-training loss per round (rounds mode; empty for async
+    /// runs).
+    pub round_loss: Vec<f32>,
+    /// The dataset the run trained on.
+    pub dataset: DatasetSummary,
+    /// Final §4.3 specialization metrics.
+    pub specialization: SpecializationMetrics,
+    /// `(round, metrics)` pairs when `output.track_every > 0`.
+    pub specialization_track: Vec<(usize, SpecializationMetrics)>,
+    /// Structural statistics of the final (globally visible) tangle.
+    pub tangle: TangleStats,
+    /// Throughput metrics (async mode only).
+    pub async_metrics: Option<AsyncMetrics>,
+    /// Poisoning metrics (attack scenarios only).
+    pub poisoning: Option<PoisoningSummary>,
+    /// Where the CSV series was written, if requested.
+    pub csv_path: Option<PathBuf>,
+}
+
+impl RunReport {
+    /// A multi-line human-readable summary (what `dagfl run` prints).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "scenario {} ({} mode): {} {} completed",
+            self.scenario,
+            self.mode,
+            self.progress,
+            if self.mode == "async" {
+                "activations"
+            } else {
+                "rounds"
+            }
+        );
+        let _ = writeln!(
+            out,
+            "dataset {} ({} clients, {} classes, {} clusters, base pureness {:.3})",
+            self.dataset.name,
+            self.dataset.clients,
+            self.dataset.classes,
+            self.dataset.clusters,
+            self.dataset.base_pureness
+        );
+        let _ = writeln!(out, "recent accuracy {:.4}", self.recent_accuracy);
+        let _ = writeln!(
+            out,
+            "specialization: pureness {:.3} modularity {:.3} partitions {} misclassification {:.3}",
+            self.specialization.approval_pureness,
+            self.specialization.modularity,
+            self.specialization.partitions,
+            self.specialization.misclassification
+        );
+        let _ = writeln!(
+            out,
+            "tangle: {} transactions, {} tips, max depth {}",
+            self.tangle.transactions, self.tangle.tips, self.tangle.max_depth
+        );
+        if let Some(m) = &self.async_metrics {
+            let _ = writeln!(
+                out,
+                "async: rate {:.3}/t publish_fraction {:.3} latency mean {:.3} \
+                 stale_fraction {:.3} confirmation depth {:.2}",
+                m.activation_rate(),
+                m.publish_fraction(),
+                m.mean_publish_latency,
+                m.stale_fraction(),
+                m.mean_confirmation_depth
+            );
+        }
+        if let Some(p) = &self.poisoning {
+            let last = p.measurements.last();
+            let _ = writeln!(
+                out,
+                "poisoning: {} clients flipped, final flipped-predictions {:.3}, \
+                 final approved-poisoned {:.2}",
+                p.poisoned_clients.len(),
+                last.map_or(0.0, |m| m.flipped_fraction),
+                last.map_or(0.0, |m| m.approved_poisoned)
+            );
+        }
+        if let Some(path) = &self.csv_path {
+            let _ = writeln!(out, "series written to {}", path.display());
+        }
+        out
+    }
+}
+
+/// Consumes a [`Scenario`], builds the dataset, model factory and the
+/// right simulator behind [`ExecutionMode`], runs it to completion and
+/// returns a [`RunReport`].
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunner {
+    scenario: Scenario,
+}
+
+impl ScenarioRunner {
+    /// Validates the scenario and wraps it for execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Scenario::validate`] inconsistency.
+    pub fn new(scenario: Scenario) -> Result<Self, ScenarioError> {
+        scenario.validate()?;
+        Ok(Self { scenario })
+    }
+
+    /// The wrapped scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the experiment to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures and CSV write errors.
+    pub fn run(&self) -> Result<RunReport, ScenarioError> {
+        let dataset = self.scenario.dataset.build();
+        let summary = DatasetSummary {
+            name: dataset.name().to_string(),
+            clients: dataset.num_clients(),
+            classes: dataset.num_classes(),
+            clusters: dataset.clusters().len(),
+            base_pureness: dataset.base_pureness(),
+        };
+        let factory = self.scenario.build_factory(&dataset);
+        let window = self.scenario.output.recent_window;
+        let mut report = match (&self.scenario.execution, &self.scenario.attack) {
+            (ExecutionSpec::Rounds(dag), Some(attack)) => {
+                let config = PoisoningConfig {
+                    dag: *dag,
+                    clean_rounds: attack.clean_rounds,
+                    attack_rounds: attack.attack_rounds,
+                    poison_fraction: attack.fraction,
+                    class_a: attack.class_a,
+                    class_b: attack.class_b,
+                    measure_every: attack.measure_every,
+                };
+                let mut scenario = PoisoningScenario::new(config, dataset, factory);
+                let measurements = scenario.run()?;
+                let distribution = scenario.poisoned_cluster_distribution();
+                let poisoned_clients = scenario
+                    .report()
+                    .map(|r| r.poisoned_clients.clone())
+                    .unwrap_or_default();
+                let sim = scenario.simulation();
+                RunReport {
+                    scenario: self.scenario.name.clone(),
+                    mode: "rounds",
+                    progress: sim.round(),
+                    recent_accuracy: sim.recent_accuracy(window),
+                    round_accuracy: sim.history().iter().map(|m| m.mean_accuracy()).collect(),
+                    round_loss: sim.history().iter().map(|m| m.mean_loss()).collect(),
+                    dataset: summary,
+                    specialization: sim.specialization_metrics(),
+                    specialization_track: Vec::new(),
+                    tangle: ExecutionMode::tangle_stats(sim),
+                    async_metrics: None,
+                    poisoning: Some(PoisoningSummary {
+                        measurements,
+                        distribution,
+                        poisoned_clients,
+                    }),
+                    csv_path: None,
+                }
+            }
+            (ExecutionSpec::Rounds(dag), None) => {
+                let mut sim = Simulation::new(*dag, dataset, factory);
+                let mut track = Vec::new();
+                if self.scenario.output.track_every > 0 {
+                    for round in 0..dag.rounds {
+                        sim.run_round()?;
+                        if (round + 1) % self.scenario.output.track_every == 0 {
+                            track.push((round + 1, sim.specialization_metrics()));
+                        }
+                    }
+                } else {
+                    sim.run()?;
+                }
+                RunReport {
+                    scenario: self.scenario.name.clone(),
+                    mode: "rounds",
+                    progress: sim.round(),
+                    recent_accuracy: sim.recent_accuracy(window),
+                    round_accuracy: sim.history().iter().map(|m| m.mean_accuracy()).collect(),
+                    round_loss: sim.history().iter().map(|m| m.mean_loss()).collect(),
+                    dataset: summary,
+                    specialization: sim.specialization_metrics(),
+                    specialization_track: track,
+                    tangle: ExecutionMode::tangle_stats(&sim),
+                    async_metrics: None,
+                    poisoning: None,
+                    csv_path: None,
+                }
+            }
+            (ExecutionSpec::Async(config), _) => {
+                let mut sim = AsyncSimulation::new(*config, dataset, factory);
+                sim.run()?;
+                let metrics = sim.metrics();
+                RunReport {
+                    scenario: self.scenario.name.clone(),
+                    mode: "async",
+                    progress: sim.activations(),
+                    recent_accuracy: sim.recent_accuracy(window),
+                    round_accuracy: Vec::new(),
+                    round_loss: Vec::new(),
+                    dataset: summary,
+                    specialization: sim
+                        .specialization_metrics_seeded(config.dag.seed ^ 0xC0FF_EE00),
+                    specialization_track: Vec::new(),
+                    tangle: ExecutionMode::tangle_stats(&sim),
+                    async_metrics: Some(metrics),
+                    poisoning: None,
+                    csv_path: None,
+                }
+            }
+        };
+        if let Some(csv) = &self.scenario.output.csv {
+            report.csv_path = Some(self.write_csv(csv, &report)?);
+        }
+        Ok(report)
+    }
+
+    fn write_csv(&self, name: &str, report: &RunReport) -> Result<PathBuf, ScenarioError> {
+        let dir = std::env::var("DAGFL_RESULTS")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        let path = dir.join(format!("{name}.csv"));
+        let (header, rows): (Vec<&str>, Vec<Vec<String>>) = if report.mode == "async" {
+            let m = report
+                .async_metrics
+                .as_ref()
+                .expect("async run has metrics");
+            (
+                vec![
+                    "activations",
+                    "elapsed",
+                    "activation_rate",
+                    "publish_fraction",
+                    "mean_publish_latency",
+                    "stale_fraction",
+                    "mean_confirmation_depth",
+                    "pureness",
+                ],
+                vec![vec![
+                    m.activations.to_string(),
+                    format!("{:.4}", m.elapsed),
+                    format!("{:.4}", m.activation_rate()),
+                    format!("{:.4}", m.publish_fraction()),
+                    format!("{:.4}", m.mean_publish_latency),
+                    format!("{:.4}", m.stale_fraction()),
+                    format!("{:.4}", m.mean_confirmation_depth),
+                    format!("{:.4}", report.specialization.approval_pureness),
+                ]],
+            )
+        } else {
+            (
+                vec!["round", "mean_accuracy", "mean_loss"],
+                report
+                    .round_accuracy
+                    .iter()
+                    .zip(&report.round_loss)
+                    .enumerate()
+                    .map(|(i, (acc, loss))| {
+                        vec![
+                            (i + 1).to_string(),
+                            format!("{acc:.4}"),
+                            format!("{loss:.4}"),
+                        ]
+                    })
+                    .collect(),
+            )
+        };
+        write_csv(&path, &header, &rows)
+            .map_err(|e| ScenarioError::Io(format!("writing {}: {e}", path.display())))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AttackSpec, DatasetSpec};
+    use dagfl_core::{AsyncConfig, DagConfig, DelayModel};
+
+    fn tiny() -> Scenario {
+        Scenario::new(
+            "tiny",
+            DatasetSpec::Fmnist {
+                clients: 4,
+                samples: 30,
+                relaxation: 0.0,
+                seed: 42,
+            },
+        )
+        .rounds(2)
+        .clients_per_round(2)
+        .local_batches(2)
+    }
+
+    #[test]
+    fn rounds_scenario_produces_a_full_report() {
+        let report = ScenarioRunner::new(tiny()).unwrap().run().unwrap();
+        assert_eq!(report.mode, "rounds");
+        assert_eq!(report.progress, 2);
+        assert_eq!(report.round_accuracy.len(), 2);
+        assert_eq!(report.dataset.clients, 4);
+        assert!(report.tangle.transactions >= 1);
+        assert!(report.async_metrics.is_none());
+        assert!(report.poisoning.is_none());
+        assert!((0.0..=1.0).contains(&report.specialization.approval_pureness));
+        assert!(report.summary().contains("rounds"));
+    }
+
+    #[test]
+    fn tracking_records_requested_rounds() {
+        let scenario = tiny().rounds(4).tracking(2);
+        let report = ScenarioRunner::new(scenario).unwrap().run().unwrap();
+        assert_eq!(report.specialization_track.len(), 2);
+        assert_eq!(report.specialization_track[0].0, 2);
+        assert_eq!(report.specialization_track[1].0, 4);
+    }
+
+    #[test]
+    fn async_scenario_reports_throughput_metrics() {
+        let scenario = tiny().asynchronous(AsyncConfig {
+            dag: DagConfig {
+                local_batches: 2,
+                ..DagConfig::default()
+            },
+            total_activations: 6,
+            delay: DelayModel::constant(1.0),
+            ..AsyncConfig::default()
+        });
+        let report = ScenarioRunner::new(scenario).unwrap().run().unwrap();
+        assert_eq!(report.mode, "async");
+        assert_eq!(report.progress, 6);
+        let metrics = report.async_metrics.as_ref().expect("async metrics");
+        assert_eq!(metrics.activations, 6);
+        assert!(report.round_accuracy.is_empty());
+        assert!(report.summary().contains("async"));
+    }
+
+    #[test]
+    fn attack_scenario_reports_poisoning_summary() {
+        let scenario = Scenario::new(
+            "attack",
+            DatasetSpec::FmnistAuthor {
+                clients: 6,
+                samples: 40,
+                seed: 42,
+            },
+        )
+        .clients_per_round(3)
+        .local_batches(3)
+        .with_attack(AttackSpec {
+            fraction: 0.3,
+            clean_rounds: 2,
+            attack_rounds: 2,
+            class_a: 3,
+            class_b: 8,
+            measure_every: 2,
+        });
+        let report = ScenarioRunner::new(scenario).unwrap().run().unwrap();
+        let poisoning = report.poisoning.expect("poisoning summary");
+        assert_eq!(poisoning.poisoned_clients.len(), 2);
+        assert_eq!(poisoning.measurements.len(), 1);
+        assert_eq!(report.progress, 4);
+        let clients: usize = poisoning.distribution.iter().map(|(_, b, p)| b + p).sum();
+        assert_eq!(clients, 6);
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected_before_running() {
+        let err = ScenarioRunner::new(tiny().clients_per_round(99)).unwrap_err();
+        assert!(err.to_string().contains("clients_per_round"), "{err}");
+    }
+
+    #[test]
+    fn csv_output_lands_in_the_results_dir() {
+        // Avoid mutating the process environment: exercise the default
+        // relative `results/` directory and clean it up afterwards.
+        let scenario = tiny().with_csv("scenario_runner_csv_test");
+        let runner = ScenarioRunner::new(scenario).unwrap();
+        let report = runner.run().unwrap();
+        let path = report.csv_path.expect("csv written");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("round,mean_accuracy,mean_loss\n"));
+        assert_eq!(content.lines().count(), 3);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(path.parent().expect("results dir"));
+    }
+}

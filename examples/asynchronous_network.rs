@@ -20,12 +20,10 @@
 //! ```
 
 use std::error::Error;
-use std::sync::Arc;
 
 use dagfl::dag::{AsyncConfig, AsyncSimulation};
 use dagfl::datasets::{fmnist_clustered, FmnistConfig};
-use dagfl::nn::{Dense, Model, Relu, Sequential};
-use dagfl::{ComputeProfile, DagConfig, DelayModel, StaleTipPolicy};
+use dagfl::{ComputeProfile, DagConfig, DelayModel, ModelSpec, StaleTipPolicy};
 
 fn run(label: &str, delay: DelayModel, compute: ComputeProfile) -> Result<(), Box<dyn Error>> {
     let dataset = fmnist_clustered(&FmnistConfig {
@@ -33,14 +31,8 @@ fn run(label: &str, delay: DelayModel, compute: ComputeProfile) -> Result<(), Bo
         samples_per_client: 60,
         ..FmnistConfig::default()
     });
-    let features = dataset.feature_len();
-    let factory = Arc::new(move |rng: &mut rand::rngs::StdRng| {
-        Box::new(Sequential::new(vec![
-            Box::new(Dense::new(rng, features, 24)),
-            Box::new(Relu::new()),
-            Box::new(Dense::new(rng, 24, 10)),
-        ])) as Box<dyn Model>
-    });
+    let factory = ModelSpec::Mlp { hidden: vec![24] }
+        .build_factory(dataset.feature_len(), dataset.num_classes());
     let mut sim = AsyncSimulation::new(
         AsyncConfig {
             dag: DagConfig {

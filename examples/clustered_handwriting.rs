@@ -15,12 +15,10 @@
 //! ```
 
 use std::error::Error;
-use std::sync::Arc;
 
 use dagfl::datasets::{fmnist_clustered, FmnistConfig};
-use dagfl::nn::{Dense, Model, Relu, Sequential};
 use dagfl::tensor::Summary;
-use dagfl::{DagConfig, FedConfig, FederatedServer, Simulation};
+use dagfl::{DagConfig, FedConfig, FederatedServer, ModelSpec, Simulation};
 
 const ROUNDS: usize = 30;
 const CLIENTS: usize = 15;
@@ -34,16 +32,8 @@ fn dataset() -> dagfl::datasets::FederatedDataset {
     })
 }
 
-type Factory = Arc<dyn Fn(&mut rand::rngs::StdRng) -> Box<dyn Model> + Send + Sync>;
-
-fn factory(features: usize, classes: usize) -> Factory {
-    Arc::new(move |rng| {
-        Box::new(Sequential::new(vec![
-            Box::new(Dense::new(rng, features, 32)),
-            Box::new(Relu::new()),
-            Box::new(Dense::new(rng, 32, classes)),
-        ])) as Box<dyn Model>
-    })
+fn factory(features: usize, classes: usize) -> dagfl::dag::ModelFactory {
+    ModelSpec::Mlp { hidden: vec![32] }.build_factory(features, classes)
 }
 
 fn main() -> Result<(), Box<dyn Error>> {

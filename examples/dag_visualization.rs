@@ -11,11 +11,9 @@
 //! ```
 
 use std::error::Error;
-use std::sync::Arc;
 
 use dagfl::datasets::{fmnist_clustered, FmnistConfig};
-use dagfl::nn::{Dense, Model, Relu, Sequential};
-use dagfl::{DagConfig, Simulation};
+use dagfl::{DagConfig, ModelSpec, Simulation};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let dataset = fmnist_clustered(&FmnistConfig {
@@ -23,14 +21,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         samples_per_client: 60,
         ..FmnistConfig::default()
     });
-    let features = dataset.feature_len();
-    let factory = Arc::new(move |rng: &mut rand::rngs::StdRng| {
-        Box::new(Sequential::new(vec![
-            Box::new(Dense::new(rng, features, 24)),
-            Box::new(Relu::new()),
-            Box::new(Dense::new(rng, 24, 10)),
-        ])) as Box<dyn Model>
-    });
+    let factory = ModelSpec::Mlp { hidden: vec![24] }
+        .build_factory(dataset.feature_len(), dataset.num_classes());
     let mut sim = Simulation::new(
         DagConfig {
             rounds: 10,

@@ -14,11 +14,9 @@
 //! ```
 
 use std::error::Error;
-use std::sync::Arc;
 
 use dagfl::datasets::{poets, PoetsConfig, POETS_VOCAB};
-use dagfl::nn::{CharRnn, Model};
-use dagfl::{DagConfig, Simulation};
+use dagfl::{DagConfig, ModelSpec, Simulation};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let dataset = poets(&PoetsConfig {
@@ -36,9 +34,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Embedding(8) -> GRU(32) -> Dense(vocab), the small cousin of the
     // paper's LSTM next-character model.
-    let factory = Arc::new(move |rng: &mut rand::rngs::StdRng| {
-        Box::new(CharRnn::new(rng, POETS_VOCAB.len(), 8, 32)) as Box<dyn Model>
-    });
+    let factory = ModelSpec::CharRnn {
+        embed: 8,
+        hidden: 32,
+    }
+    .build_factory(0, POETS_VOCAB.len());
 
     let config = DagConfig {
         rounds: 20,

@@ -1,5 +1,10 @@
-//! Quickstart: train a Specializing DAG on the clustered handwriting
-//! dataset and watch the specialization metrics emerge.
+//! Quickstart: declare a Specializing-DAG experiment as a `Scenario`
+//! value, run it, and read the specialization metrics off the report.
+//!
+//! The same experiment is equally runnable as a preset
+//! (`dagfl run --preset quickstart`) or from a checked-in file
+//! (`dagfl run --scenario scenarios/quickstart.toml`) — builder, preset
+//! and file are three spellings of one spec.
 //!
 //! Run with:
 //!
@@ -8,71 +13,43 @@
 //! ```
 
 use std::error::Error;
-use std::sync::Arc;
 
-use dagfl::datasets::{fmnist_clustered, FmnistConfig};
-use dagfl::nn::{Dense, Model, Relu, Sequential};
-use dagfl::{DagConfig, Simulation};
+use dagfl::{DatasetSpec, ModelSpec, Scenario, ScenarioRunner};
 
 fn main() -> Result<(), Box<dyn Error>> {
     // A small three-cluster federated dataset: clients in cluster 0 hold
-    // digits {0-3}, cluster 1 holds {4-6}, cluster 2 holds {7-9}.
-    let dataset = fmnist_clustered(&FmnistConfig {
-        num_clients: 15,
-        samples_per_client: 80,
-        ..FmnistConfig::default()
-    });
-    let features = dataset.feature_len();
-    let classes = dataset.num_classes();
-    println!(
-        "dataset: {} ({} clients, {} clusters, base pureness {:.2})",
-        dataset.name(),
-        dataset.num_clients(),
-        dataset.clusters().len(),
-        dataset.base_pureness()
-    );
+    // digits {0-3}, cluster 1 holds {4-6}, cluster 2 holds {7-9}. Every
+    // participant trains the same small MLP; default config means
+    // accuracy-biased tip selection with alpha = 10, the paper's sweet
+    // spot for this dataset (Figure 5).
+    let scenario = Scenario::new(
+        "quickstart",
+        DatasetSpec::Fmnist {
+            clients: 15,
+            samples: 80,
+            relaxation: 0.0,
+            seed: 42,
+        },
+    )
+    .with_model(ModelSpec::Mlp { hidden: vec![32] })
+    .rounds(25)
+    .clients_per_round(5);
 
-    // Every participant trains the same small MLP; the factory gives each
-    // client (and the genesis transaction) a reproducible random
-    // initialisation.
-    let factory = Arc::new(move |rng: &mut rand::rngs::StdRng| {
-        Box::new(Sequential::new(vec![
-            Box::new(Dense::new(rng, features, 32)),
-            Box::new(Relu::new()),
-            Box::new(Dense::new(rng, 32, classes)),
-        ])) as Box<dyn Model>
-    });
+    // The scenario is plain data: it serializes to the same TOML that
+    // lives in scenarios/quickstart.toml.
+    println!("--- scenario ---\n{}", scenario.to_toml());
 
-    // Default config: accuracy-biased tip selection with alpha = 10, the
-    // paper's sweet spot for this dataset (Figure 5).
-    let config = DagConfig {
-        rounds: 25,
-        clients_per_round: 5,
-        ..DagConfig::default()
-    };
-    let mut sim = Simulation::new(config, dataset, factory);
+    let report = ScenarioRunner::new(scenario)?.run()?;
 
-    println!("\nround  published  mean accuracy  tangle size");
-    for _ in 0..config.rounds {
-        let m = sim.run_round()?;
-        if (m.round + 1) % 5 == 0 {
-            println!(
-                "{:>5}  {:>9}  {:>13.3}  {:>11}",
-                m.round + 1,
-                m.published,
-                m.mean_accuracy(),
-                sim.tangle().len()
-            );
+    println!("round  mean accuracy");
+    for (round, accuracy) in report.round_accuracy.iter().enumerate() {
+        if (round + 1) % 5 == 0 {
+            println!("{:>5}  {:>13.3}", round + 1, accuracy);
         }
     }
 
-    // The §4.3 metrics: clusters of clients emerge purely from who
-    // approves whose transactions.
-    let spec = sim.specialization_metrics();
-    println!("\nspecialization after {} rounds:", sim.round());
-    println!("  approval pureness: {:.3}", spec.approval_pureness);
-    println!("  modularity:        {:.3}", spec.modularity);
-    println!("  louvain partitions: {}", spec.partitions);
-    println!("  misclassification: {:.3}", spec.misclassification);
+    // The section 4.3 metrics: clusters of clients emerge purely from
+    // who approves whose transactions.
+    println!("\n--- report ---\n{}", report.summary());
     Ok(())
 }

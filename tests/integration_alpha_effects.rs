@@ -2,11 +2,8 @@
 //! specialization-friendly walks; lower α means more randomness and mixing
 //! across clusters.
 
-use std::sync::Arc;
-
 use dagfl::datasets::{fmnist_clustered, FmnistConfig};
-use dagfl::nn::{Dense, Model, Relu, Sequential};
-use dagfl::{DagConfig, Normalization, Simulation, TipSelector};
+use dagfl::{DagConfig, ModelSpec, Normalization, Simulation, TipSelector};
 
 fn run_with_selector(selector: TipSelector, seed: u64) -> Simulation {
     let dataset = fmnist_clustered(&FmnistConfig {
@@ -15,14 +12,8 @@ fn run_with_selector(selector: TipSelector, seed: u64) -> Simulation {
         seed,
         ..FmnistConfig::default()
     });
-    let features = dataset.feature_len();
-    let factory = Arc::new(move |rng: &mut rand::rngs::StdRng| {
-        Box::new(Sequential::new(vec![
-            Box::new(Dense::new(rng, features, 24)),
-            Box::new(Relu::new()),
-            Box::new(Dense::new(rng, 24, 10)),
-        ])) as Box<dyn Model>
-    });
+    let factory = ModelSpec::Mlp { hidden: vec![24] }
+        .build_factory(dataset.feature_len(), dataset.num_classes());
     let mut sim = Simulation::new(
         DagConfig {
             rounds: 12,

@@ -1,25 +1,15 @@
 //! Workspace-level tests of the event-driven (round-free) simulation and
 //! the flooding-hardening features, exercised through the public API.
 
-use std::sync::Arc;
-
 use dagfl::dag::{AsyncConfig, AsyncSimulation, GarbageAttackConfig, GarbageAttackScenario};
 use dagfl::datasets::{fmnist_by_author, fmnist_clustered, FmnistConfig};
-use dagfl::nn::{Dense, Model, Relu, Sequential};
 use dagfl::{
-    ComputeProfile, DagConfig, DelayModel, ExecutionMode, PublishGate, StaleTipPolicy, TipSelector,
+    ComputeProfile, DagConfig, DelayModel, ExecutionMode, ModelSpec, PublishGate, StaleTipPolicy,
+    TipSelector,
 };
 
-type Factory = Arc<dyn Fn(&mut rand::rngs::StdRng) -> Box<dyn Model> + Send + Sync>;
-
-fn factory(features: usize) -> Factory {
-    Arc::new(move |rng| {
-        Box::new(Sequential::new(vec![
-            Box::new(Dense::new(rng, features, 16)),
-            Box::new(Relu::new()),
-            Box::new(Dense::new(rng, 16, 10)),
-        ])) as Box<dyn Model>
-    })
+fn factory(features: usize) -> dagfl::dag::ModelFactory {
+    ModelSpec::Mlp { hidden: vec![16] }.build_factory(features, 10)
 }
 
 #[test]

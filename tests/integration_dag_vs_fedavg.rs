@@ -2,12 +2,9 @@
 //! claim): the Specializing DAG reaches at least comparable accuracy with
 //! a tighter per-client spread than a single FedAvg global model.
 
-use std::sync::Arc;
-
 use dagfl::datasets::{fmnist_clustered, FederatedDataset, FmnistConfig};
-use dagfl::nn::{Dense, Model, Relu, Sequential};
 use dagfl::tensor::Summary;
-use dagfl::{DagConfig, FedConfig, FederatedServer, Simulation};
+use dagfl::{DagConfig, FedConfig, FederatedServer, ModelSpec, Simulation};
 
 const ROUNDS: usize = 20;
 
@@ -19,16 +16,8 @@ fn dataset() -> FederatedDataset {
     })
 }
 
-type Factory = Arc<dyn Fn(&mut rand::rngs::StdRng) -> Box<dyn Model> + Send + Sync>;
-
-fn factory(features: usize) -> Factory {
-    Arc::new(move |rng| {
-        Box::new(Sequential::new(vec![
-            Box::new(Dense::new(rng, features, 24)),
-            Box::new(Relu::new()),
-            Box::new(Dense::new(rng, 24, 10)),
-        ])) as Box<dyn Model>
-    })
+fn factory(features: usize) -> dagfl::dag::ModelFactory {
+    ModelSpec::Mlp { hidden: vec![24] }.build_factory(features, 10)
 }
 
 fn late_accuracies_dag(sim: &Simulation) -> Vec<f32> {
@@ -125,12 +114,7 @@ fn fedprox_converges_on_heterogeneous_synthetic_data() {
         num_clients: 10,
         ..FedProxConfig::default()
     });
-    let features = ds.feature_len();
-    let logreg = Arc::new(move |rng: &mut rand::rngs::StdRng| {
-        Box::new(Sequential::new(vec![Box::new(Dense::new(
-            rng, features, 10,
-        ))])) as Box<dyn Model>
-    });
+    let logreg = ModelSpec::Linear.build_factory(ds.feature_len(), 10);
     let base = FedConfig {
         rounds: 15,
         clients_per_round: 5,

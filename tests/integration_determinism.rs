@@ -1,22 +1,12 @@
 //! Reproducibility: every experiment in the workspace is deterministic for
 //! a fixed seed, and seeds actually matter.
 
-use std::sync::Arc;
-
+use dagfl::dag::ModelFactory;
 use dagfl::datasets::{fmnist_clustered, poets, FmnistConfig, PoetsConfig, POETS_VOCAB};
-use dagfl::nn::{CharRnn, Dense, Model, Relu, Sequential};
-use dagfl::{DagConfig, FedConfig, FederatedServer, Simulation};
+use dagfl::{DagConfig, FedConfig, FederatedServer, ModelSpec, Simulation};
 
-type Factory = Arc<dyn Fn(&mut rand::rngs::StdRng) -> Box<dyn Model> + Send + Sync>;
-
-fn mlp_factory(features: usize) -> Factory {
-    Arc::new(move |rng| {
-        Box::new(Sequential::new(vec![
-            Box::new(Dense::new(rng, features, 16)),
-            Box::new(Relu::new()),
-            Box::new(Dense::new(rng, 16, 10)),
-        ])) as Box<dyn Model>
-    })
+fn mlp_factory(features: usize) -> ModelFactory {
+    ModelSpec::Mlp { hidden: vec![16] }.build_factory(features, 10)
 }
 
 fn dag_fingerprint(seed: u64, parallel: bool) -> (usize, Vec<f32>) {
@@ -96,9 +86,11 @@ fn char_rnn_dag_is_reproducible() {
             seq_len: 8,
             seed: 5,
         });
-        let factory = Arc::new(move |rng: &mut rand::rngs::StdRng| {
-            Box::new(CharRnn::new(rng, POETS_VOCAB.len(), 4, 12)) as Box<dyn Model>
-        });
+        let factory = ModelSpec::CharRnn {
+            embed: 4,
+            hidden: 12,
+        }
+        .build_factory(0, POETS_VOCAB.len());
         let mut sim = Simulation::new(
             DagConfig {
                 rounds: 3,

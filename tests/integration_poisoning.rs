@@ -1,11 +1,8 @@
 //! End-to-end poisoning robustness (§5.3.4): flipped-label attackers are
 //! contained by the accuracy-aware tip selection.
 
-use std::sync::Arc;
-
 use dagfl::datasets::{fmnist_by_author, FmnistConfig};
-use dagfl::nn::{Dense, Model, Relu, Sequential};
-use dagfl::{DagConfig, PoisoningConfig, PoisoningScenario, TipSelector};
+use dagfl::{DagConfig, ModelSpec, PoisoningConfig, PoisoningScenario, TipSelector};
 
 fn scenario(selector: TipSelector, fraction: f64, seed: u64) -> PoisoningScenario {
     let dataset = fmnist_by_author(&FmnistConfig {
@@ -14,14 +11,8 @@ fn scenario(selector: TipSelector, fraction: f64, seed: u64) -> PoisoningScenari
         seed,
         ..FmnistConfig::default()
     });
-    let features = dataset.feature_len();
-    let factory = Arc::new(move |rng: &mut rand::rngs::StdRng| {
-        Box::new(Sequential::new(vec![
-            Box::new(Dense::new(rng, features, 24)),
-            Box::new(Relu::new()),
-            Box::new(Dense::new(rng, 24, 10)),
-        ])) as Box<dyn Model>
-    });
+    let factory = ModelSpec::Mlp { hidden: vec![24] }
+        .build_factory(dataset.feature_len(), dataset.num_classes());
     PoisoningScenario::new(
         PoisoningConfig {
             dag: DagConfig {

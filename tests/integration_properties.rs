@@ -1,11 +1,9 @@
 //! Cross-crate property-based tests: invariants of the full pipeline.
 
-use std::sync::Arc;
-
 use dagfl::datasets::{fmnist_clustered, FmnistConfig};
 use dagfl::graphs::{louvain, modularity};
-use dagfl::nn::{average_parameters, Dense, Model, Sequential};
-use dagfl::{DagConfig, Normalization, Simulation, TipSelector};
+use dagfl::nn::average_parameters;
+use dagfl::{DagConfig, ModelSpec, Normalization, Simulation, TipSelector};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,12 +15,7 @@ fn tiny_sim(seed: u64, alpha: f32, rounds: usize) -> Simulation {
         seed,
         ..FmnistConfig::default()
     });
-    let features = dataset.feature_len();
-    let factory = Arc::new(move |rng: &mut StdRng| {
-        Box::new(Sequential::new(vec![Box::new(Dense::new(
-            rng, features, 10,
-        ))])) as Box<dyn Model>
-    });
+    let factory = ModelSpec::Linear.build_factory(dataset.feature_len(), 10);
     let mut sim = Simulation::new(
         DagConfig {
             rounds,

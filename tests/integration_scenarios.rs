@@ -1,0 +1,153 @@
+//! Workspace-level tests of the declarative scenario layer: the three
+//! equivalent ways to express an experiment (preset name, TOML file,
+//! builder API) produce the same runs, runs are deterministic, and the
+//! checked-in `scenarios/*.toml` files stay valid and in sync with the
+//! preset registry.
+
+use dagfl::scenario::{AttackSpec, Scale};
+use dagfl::{DatasetSpec, ExecutionSpec, RunReport, Scenario, ScenarioRunner};
+
+fn run(scenario: Scenario) -> RunReport {
+    ScenarioRunner::new(scenario)
+        .expect("scenario validates")
+        .run()
+        .expect("scenario runs")
+}
+
+#[test]
+fn preset_file_and_builder_agree() {
+    // Preset name.
+    let preset = Scenario::preset_at("smoke", Scale::Quick).expect("smoke preset");
+    // TOML file (serialize -> reparse simulates the checked-in file).
+    let file = Scenario::from_toml(&preset.to_toml()).expect("file parses");
+    // Builder API.
+    let built = Scenario::new(
+        "smoke",
+        DatasetSpec::Fmnist {
+            clients: 4,
+            samples: 30,
+            relaxation: 0.0,
+            seed: 42,
+        },
+    )
+    .rounds(2)
+    .clients_per_round(2)
+    .local_batches(2);
+    assert_eq!(preset, file);
+    assert_eq!(preset, built);
+    // All three therefore produce the same report.
+    assert_eq!(run(preset), run(built));
+}
+
+#[test]
+fn preset_runs_are_deterministic() {
+    // The satellite guarantee: one preset, same seed, two runs,
+    // identical RunReport metrics (field-for-field equality).
+    let a = run(Scenario::preset_at("smoke", Scale::Quick).unwrap());
+    let b = run(Scenario::preset_at("smoke", Scale::Quick).unwrap());
+    assert_eq!(a, b);
+    assert_eq!(a.round_accuracy, b.round_accuracy);
+    assert_eq!(
+        a.specialization.approval_pureness,
+        b.specialization.approval_pureness
+    );
+    assert_eq!(a.tangle, b.tangle);
+}
+
+#[test]
+fn different_seeds_change_the_report() {
+    let a = run(Scenario::preset_at("smoke", Scale::Quick).unwrap());
+    let b = run(Scenario::preset_at("smoke", Scale::Quick)
+        .unwrap()
+        .with_seed(7));
+    assert_ne!(a.round_accuracy, b.round_accuracy);
+}
+
+#[test]
+fn async_preset_runs_deterministically_behind_the_same_api() {
+    let shrink = |mut s: Scenario| {
+        if let ExecutionSpec::Async(config) = &mut s.execution {
+            config.total_activations = 12;
+            config.dag.local_batches = 2;
+        }
+        s
+    };
+    let a = run(shrink(
+        Scenario::preset_at("async-delay2", Scale::Quick).unwrap(),
+    ));
+    let b = run(shrink(
+        Scenario::preset_at("async-delay2", Scale::Quick).unwrap(),
+    ));
+    assert_eq!(a, b);
+    assert_eq!(a.mode, "async");
+    assert_eq!(a.progress, 12);
+    assert!(a.async_metrics.is_some());
+}
+
+#[test]
+fn attack_preset_reports_poisoning_deterministically() {
+    let shrink = |mut s: Scenario| {
+        s.attack = Some(AttackSpec {
+            clean_rounds: 2,
+            attack_rounds: 2,
+            measure_every: 2,
+            ..s.attack.expect("poisoning preset has an attack")
+        });
+        if let ExecutionSpec::Rounds(dag) = &mut s.execution {
+            dag.local_batches = 2;
+        }
+        s
+    };
+    let a = run(shrink(
+        Scenario::preset_at("poisoning-p0.3", Scale::Quick).unwrap(),
+    ));
+    let b = run(shrink(
+        Scenario::preset_at("poisoning-p0.3", Scale::Quick).unwrap(),
+    ));
+    assert_eq!(a, b);
+    let poisoning = a.poisoning.expect("poisoning summary");
+    assert!(!poisoning.poisoned_clients.is_empty());
+}
+
+#[test]
+fn checked_in_scenario_files_parse_validate_and_match_their_presets() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("scenarios/ directory exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|ext| ext.to_str()) != Some("toml") {
+            continue;
+        }
+        let scenario = Scenario::load(&path)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("{} does not validate: {e}", path.display()));
+        // Files are dumped from the registry at quick scale; any drift
+        // between a file and its preset fails here.
+        let preset = Scenario::preset_at(&scenario.name, Scale::Quick)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            scenario,
+            preset,
+            "{} drifted from its preset",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "only {checked} scenario files checked");
+}
+
+#[test]
+fn malformed_scenarios_are_rejected_end_to_end() {
+    // Unknown key.
+    assert!(
+        Scenario::from_toml("name = \"x\"\n[dataset]\nkind = \"fmnist\"\nclinets = 3\n").is_err()
+    );
+    // Out-of-range value parses but fails validation.
+    let s = Scenario::from_toml(
+        "name = \"x\"\n[dataset]\nkind = \"fmnist\"\n[execution]\nlearning_rate = -1.0\n",
+    )
+    .expect("parses");
+    assert!(ScenarioRunner::new(s).is_err());
+}

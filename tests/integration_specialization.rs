@@ -1,23 +1,8 @@
 //! End-to-end test of the paper's central claim: specialization emerges
 //! implicitly from accuracy-biased tip selection.
 
-use std::sync::Arc;
-
 use dagfl::datasets::{fmnist_clustered, FmnistConfig};
-use dagfl::nn::{Dense, Model, Relu, Sequential};
-use dagfl::{DagConfig, Simulation};
-
-type Factory = Arc<dyn Fn(&mut rand::rngs::StdRng) -> Box<dyn Model> + Send + Sync>;
-
-fn factory(features: usize) -> Factory {
-    Arc::new(move |rng| {
-        Box::new(Sequential::new(vec![
-            Box::new(Dense::new(rng, features, 24)),
-            Box::new(Relu::new()),
-            Box::new(Dense::new(rng, 24, 10)),
-        ])) as Box<dyn Model>
-    })
-}
+use dagfl::{DagConfig, ModelSpec, Simulation};
 
 fn run_simulation(rounds: usize) -> Simulation {
     let dataset = fmnist_clustered(&FmnistConfig {
@@ -25,14 +10,15 @@ fn run_simulation(rounds: usize) -> Simulation {
         samples_per_client: 60,
         ..FmnistConfig::default()
     });
-    let features = dataset.feature_len();
+    let factory = ModelSpec::Mlp { hidden: vec![24] }
+        .build_factory(dataset.feature_len(), dataset.num_classes());
     let config = DagConfig {
         rounds,
         clients_per_round: 6,
         local_batches: 5,
         ..DagConfig::default()
     };
-    let mut sim = Simulation::new(config, dataset, factory(features));
+    let mut sim = Simulation::new(config, dataset, factory);
     sim.run().expect("simulation runs");
     sim
 }
