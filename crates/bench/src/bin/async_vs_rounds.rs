@@ -8,23 +8,22 @@
 //! convergence — the asynchrony-tolerance the tangle design buys.
 //!
 //! The round reference is the `table1-fmnist` preset; the asynchronous
-//! runs are the budget-matched `async-delay*` presets.
+//! delay grid is the `sweep-async-delay` sweep preset (base
+//! `async-delay2`, axis `execution.delay`, budget-matched to the round
+//! reference).
 
 use dagfl_bench::output::{emit, f, f32c, int};
-use dagfl_scenario::{RunReport, Scenario, ScenarioRunner};
-
-fn run_preset(name: &str) -> RunReport {
-    ScenarioRunner::new(Scenario::preset(name).expect("preset exists"))
-        .expect("preset validates")
-        .run()
-        .expect("scenario run failed")
-}
+use dagfl_bench::{axis_f64, run_sweep_preset};
+use dagfl_scenario::{Scenario, ScenarioRunner};
 
 fn main() {
     let mut rows = Vec::new();
 
     // Round-based reference run: late accuracy over the last 5 rounds.
-    let rounds = run_preset("table1-fmnist");
+    let rounds = ScenarioRunner::new(Scenario::preset("table1-fmnist").expect("preset exists"))
+        .expect("preset validates")
+        .run()
+        .expect("scenario run failed");
     let late: f32 = rounds.round_accuracy.iter().rev().take(5).sum::<f32>() / 5.0;
     rows.push(vec![
         "rounds".into(),
@@ -35,18 +34,19 @@ fn main() {
         int(rounds.tangle.transactions),
     ]);
 
-    // Asynchronous runs with increasing propagation delay; the presets
-    // match the round-based training budget (rounds x clients_per_round
-    // activations) and report accuracy over an equivalent late window.
-    for delay in [0.0f64, 2.0, 10.0] {
-        let report = run_preset(&format!("async-delay{delay:.0}"));
+    // Asynchronous cells with increasing propagation delay; the sweep
+    // matches the round-based training budget (rounds x clients_per_round
+    // activations) and reports accuracy over an equivalent late window.
+    let sweep = run_sweep_preset("sweep-async-delay");
+    for cell in &sweep.cells {
+        let delay = axis_f64(cell, "execution.delay");
         rows.push(vec![
             format!("async_delay_{delay}"),
             f(delay),
-            f32c(report.recent_accuracy),
-            f(report.specialization.approval_pureness),
-            int(report.tangle.tips),
-            int(report.tangle.transactions),
+            f32c(cell.report.recent_accuracy),
+            f(cell.report.specialization.approval_pureness),
+            int(cell.report.tangle.tips),
+            int(cell.report.tangle.transactions),
         ]);
     }
 

@@ -7,23 +7,21 @@
 //! misclassifies heavily; α = 100 keeps modularity high but fragments into
 //! too many partitions.
 //!
-//! Each curve is a `fig05-alpha*` scenario preset with specialization
-//! tracking enabled; this binary only reshapes the reports into a CSV.
+//! The α grid is the `sweep-fig05-alpha` sweep preset (base
+//! `fig05-alpha10` with specialization tracking, axis `execution.alpha`);
+//! this binary only reshapes the sweep report into a CSV.
 
 use dagfl_bench::output::{emit, f, int};
-use dagfl_scenario::{Scenario, ScenarioRunner};
+use dagfl_bench::{axis_f64, run_sweep_preset};
 
 fn main() {
+    let sweep = run_sweep_preset("sweep-fig05-alpha");
     let mut rows = Vec::new();
-    for alpha in [1.0f32, 10.0, 100.0] {
-        let scenario = Scenario::preset(&format!("fig05-alpha{alpha}")).expect("preset exists");
-        let report = ScenarioRunner::new(scenario)
-            .expect("preset validates")
-            .run()
-            .expect("scenario run failed");
-        for (round, m) in &report.specialization_track {
+    for cell in &sweep.cells {
+        let alpha = axis_f64(cell, "execution.alpha");
+        for (round, m) in &cell.report.specialization_track {
             rows.push(vec![
-                f(alpha as f64),
+                f(alpha),
                 int(*round),
                 f(m.modularity),
                 int(m.partitions),

@@ -4,22 +4,20 @@
 //! Paper shape: higher α improves accuracy earlier; all α eventually come
 //! close to 1.0 because the task is solvable by a generalised model.
 //!
-//! The experiment itself is data: one `fig06-alpha*` scenario preset per
-//! curve, executed by the shared `ScenarioRunner`.
+//! The whole grid is the `sweep-fig06-alpha` sweep preset (base
+//! `fig06-alpha10`, axis `execution.alpha`), executed cell-parallel by
+//! the shared sweep engine.
 
 use dagfl_bench::output::{emit, f, f32c, int};
-use dagfl_scenario::{Scenario, ScenarioRunner};
+use dagfl_bench::{axis_f64, run_sweep_preset};
 
 fn main() {
+    let sweep = run_sweep_preset("sweep-fig06-alpha");
     let mut rows = Vec::new();
-    for alpha in [0.1f32, 1.0, 10.0, 100.0] {
-        let scenario = Scenario::preset(&format!("fig06-alpha{alpha}")).expect("preset exists");
-        let report = ScenarioRunner::new(scenario)
-            .expect("preset validates")
-            .run()
-            .expect("scenario run failed");
-        for (round, accuracy) in report.round_accuracy.iter().enumerate() {
-            rows.push(vec![f(alpha as f64), int(round + 1), f32c(*accuracy)]);
+    for cell in &sweep.cells {
+        let alpha = axis_f64(cell, "execution.alpha");
+        for (round, accuracy) in cell.report.round_accuracy.iter().enumerate() {
+            rows.push(vec![f(alpha), int(round + 1), f32c(*accuracy)]);
         }
     }
     emit(

@@ -6,33 +6,38 @@
 //! The emitted series includes the final pureness per α so the comparison
 //! against Figure 6 is direct.
 //!
-//! Simple-normalization runs are the `fig06-alpha*` presets, dynamic runs
-//! the `fig07-alpha*` presets — the two figures share one definition of
-//! "the α sweep" in the preset registry.
+//! Simple-normalization runs are the `sweep-fig06-alpha` sweep, dynamic
+//! runs the `sweep-fig07-alpha` sweep — the two figures share one
+//! definition of "the α grid" in the sweep preset registry.
 
 use dagfl_bench::output::{emit, f, f32c, int};
-use dagfl_scenario::{Scenario, ScenarioRunner};
+use dagfl_bench::{axis_f64, run_sweep_preset};
 
 fn main() {
+    let simple = run_sweep_preset("sweep-fig06-alpha");
+    let dynamic = run_sweep_preset("sweep-fig07-alpha");
+    assert_eq!(
+        simple.cells.len(),
+        dynamic.cells.len(),
+        "the fig06 and fig07 sweeps must cover the same alpha grid"
+    );
     let mut rows = Vec::new();
     let mut pureness_rows = Vec::new();
-    for alpha in [0.1f32, 1.0, 10.0, 100.0] {
-        for (norm_name, preset_prefix) in [("simple", "fig06"), ("dynamic", "fig07")] {
-            let scenario =
-                Scenario::preset(&format!("{preset_prefix}-alpha{alpha}")).expect("preset exists");
-            let report = ScenarioRunner::new(scenario)
-                .expect("preset validates")
-                .run()
-                .expect("scenario run failed");
-            if norm_name == "dynamic" {
-                for (round, accuracy) in report.round_accuracy.iter().enumerate() {
-                    rows.push(vec![f(alpha as f64), int(round + 1), f32c(*accuracy)]);
-                }
-            }
+    for (simple_cell, dynamic_cell) in simple.cells.iter().zip(&dynamic.cells) {
+        let alpha = axis_f64(dynamic_cell, "execution.alpha");
+        assert_eq!(
+            alpha,
+            axis_f64(simple_cell, "execution.alpha"),
+            "the two sweeps share one alpha grid"
+        );
+        for (round, accuracy) in dynamic_cell.report.round_accuracy.iter().enumerate() {
+            rows.push(vec![f(alpha), int(round + 1), f32c(*accuracy)]);
+        }
+        for (norm_name, cell) in [("simple", simple_cell), ("dynamic", dynamic_cell)] {
             pureness_rows.push(vec![
-                f(alpha as f64),
+                f(alpha),
                 norm_name.into(),
-                f(report.specialization.approval_pureness),
+                f(cell.report.specialization.approval_pureness),
             ]);
         }
     }

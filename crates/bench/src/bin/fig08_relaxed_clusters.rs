@@ -6,22 +6,19 @@
 //! slightly slowing the highly specialized high-α runs — the α ordering
 //! remains but the gap narrows compared to Figure 6.
 //!
-//! Each curve is a `fig08-alpha*` scenario preset (18 % foreign data, the
-//! middle of the paper's range).
+//! The grid is the `sweep-fig08-alpha` sweep preset (base `fig08-alpha10`
+//! at 18 % foreign data, axis `execution.alpha`).
 
 use dagfl_bench::output::{emit, f, f32c, int};
-use dagfl_scenario::{Scenario, ScenarioRunner};
+use dagfl_bench::{axis_f64, run_sweep_preset};
 
 fn main() {
+    let sweep = run_sweep_preset("sweep-fig08-alpha");
     let mut rows = Vec::new();
-    for alpha in [0.1f32, 1.0, 10.0, 100.0] {
-        let scenario = Scenario::preset(&format!("fig08-alpha{alpha}")).expect("preset exists");
-        let report = ScenarioRunner::new(scenario)
-            .expect("preset validates")
-            .run()
-            .expect("scenario run failed");
-        for (round, accuracy) in report.round_accuracy.iter().enumerate() {
-            rows.push(vec![f(alpha as f64), int(round + 1), f32c(*accuracy)]);
+    for cell in &sweep.cells {
+        let alpha = axis_f64(cell, "execution.alpha");
+        for (round, accuracy) in cell.report.round_accuracy.iter().enumerate() {
+            rows.push(vec![f(alpha), int(round + 1), f32c(*accuracy)]);
         }
     }
     emit(

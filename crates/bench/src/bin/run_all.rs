@@ -9,7 +9,7 @@
 use std::process::Command;
 use std::time::Instant;
 
-use dagfl_scenario::{Scale, Scenario, ScenarioRunner};
+use dagfl_scenario::{Scale, Scenario, ScenarioRunner, SweepRunner, SweepSpec};
 
 /// The experiment binaries in execution order.
 const EXPERIMENTS: &[&str] = &[
@@ -79,13 +79,26 @@ fn validate_presets() {
             }
         }
     }
+    // The figure binaries resolve their grids through the sweep
+    // registry; expand every sweep preset up front as well.
+    let sweeps = SweepSpec::preset_names();
+    for (name, _) in sweeps {
+        match SweepSpec::preset(name).and_then(|spec| SweepRunner::at_scale(spec, scale)) {
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("sweep preset `{name}` is invalid at {scale:?} scale: {e}");
+                failures += 1;
+            }
+        }
+    }
     if failures > 0 {
         eprintln!("{failures} invalid presets; aborting");
         std::process::exit(1);
     }
     println!(
-        "validated {} scenario presets at {scale:?} scale\n",
-        presets.len()
+        "validated {} scenario presets and {} sweep presets at {scale:?} scale\n",
+        presets.len(),
+        sweeps.len()
     );
 }
 

@@ -25,9 +25,43 @@ pub mod poisoning_suite;
 
 use dagfl_core::ModelFactory;
 use dagfl_datasets::POETS_VOCAB;
-use dagfl_scenario::ModelSpec;
+use dagfl_scenario::{ModelSpec, SweepCellReport, SweepReport, SweepRunner, SweepSpec};
 
 pub use dagfl_scenario::Scale;
+
+/// Runs a sweep preset on all available cores and returns the aggregate
+/// report — the standard entry point of the figure binaries, which are
+/// thin preset lookups plus CSV reshaping.
+///
+/// # Panics
+///
+/// Panics if the preset is unknown, fails validation or a cell fails;
+/// experiment binaries fail loudly.
+pub fn run_sweep_preset(name: &str) -> SweepReport {
+    let spec = SweepSpec::preset(name).expect("sweep preset exists");
+    let jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    SweepRunner::new(spec)
+        .expect("sweep preset validates")
+        .run(jobs)
+        .expect("sweep run failed")
+}
+
+/// Reads one axis coordinate of a sweep cell as a number.
+///
+/// # Panics
+///
+/// Panics if the cell has no such axis or the token is not numeric.
+pub fn axis_f64(cell: &SweepCellReport, path: &str) -> f64 {
+    cell.values
+        .iter()
+        .find(|(p, _)| p == path)
+        .unwrap_or_else(|| panic!("cell `{}` has no `{path}` axis", cell.id))
+        .1
+        .parse()
+        .expect("axis tokens are numeric")
+}
 
 /// The MLP used for the FMNIST experiments (the pixel-level stand-in for
 /// the paper's LEAF CNN; see DESIGN.md §3).

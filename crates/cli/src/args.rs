@@ -20,6 +20,9 @@ pub enum Command {
     /// Run a declarative scenario (`--scenario <file>` or
     /// `--preset <name>`).
     Run,
+    /// Expand and run a parameter-grid sweep (`dagfl sweep <file>` or
+    /// `--preset-base <name> --axes <spec>`).
+    Sweep,
     /// List scenario presets, or check/dump scenario files
     /// (`--check <dir>` / `--dump <dir>`).
     Scenarios,
@@ -36,6 +39,7 @@ impl Command {
             "local" => Some(Command::Local),
             "async" => Some(Command::Async),
             "run" => Some(Command::Run),
+            "sweep" => Some(Command::Sweep),
             "scenarios" => Some(Command::Scenarios),
             "help" | "--help" | "-h" => Some(Command::Help),
             _ => None,
@@ -79,11 +83,17 @@ impl fmt::Display for ParseError {
 
 impl Error for ParseError {}
 
-/// A parsed command line: the subcommand plus `--key value` options.
+/// Flags that take no value (their presence means `true`), so
+/// `dagfl run --preset smoke --full` parses without a dangling token.
+const BOOLEAN_FLAGS: &[&str] = &["full", "dry-run"];
+
+/// A parsed command line: the subcommand plus `--key value` options and
+/// (for `sweep`) one optional positional argument.
 #[derive(Debug, Clone)]
 pub struct ParsedArgs {
     command: Command,
     options: HashMap<String, String>,
+    positional: Option<String>,
 }
 
 impl ParsedArgs {
@@ -102,6 +112,7 @@ impl ParsedArgs {
         let command = Command::parse(command_word.as_ref())
             .ok_or_else(|| ParseError::UnknownCommand(command_word.as_ref().to_string()))?;
         let mut options = HashMap::new();
+        let mut positional: Option<String> = None;
         let mut pending: Option<String> = None;
         for token in iter {
             let token = token.as_ref();
@@ -111,7 +122,15 @@ impl ParsedArgs {
                 }
                 None => {
                     if let Some(flag) = token.strip_prefix("--") {
-                        pending = Some(flag.to_string());
+                        if BOOLEAN_FLAGS.contains(&flag) {
+                            options.insert(flag.to_string(), "true".to_string());
+                        } else {
+                            pending = Some(flag.to_string());
+                        }
+                    } else if command == Command::Sweep && positional.is_none() {
+                        // `dagfl sweep <file>` takes the sweep file (or
+                        // sweep preset name) as its one positional arg.
+                        positional = Some(token.to_string());
                     } else {
                         return Err(ParseError::UnexpectedToken(token.to_string()));
                     }
@@ -121,7 +140,11 @@ impl ParsedArgs {
         if let Some(flag) = pending {
             return Err(ParseError::MissingValue(format!("--{flag}")));
         }
-        Ok(Self { command, options })
+        Ok(Self {
+            command,
+            options,
+            positional,
+        })
     }
 
     /// The subcommand.
@@ -132,6 +155,17 @@ impl ParsedArgs {
     /// Raw string option, if present.
     pub fn get(&self, flag: &str) -> Option<&str> {
         self.options.get(flag).map(String::as_str)
+    }
+
+    /// Whether a valueless boolean flag (`--full`, `--dry-run`) was
+    /// given.
+    pub fn flag(&self, flag: &str) -> bool {
+        self.get(flag).is_some()
+    }
+
+    /// The positional argument (`dagfl sweep <file>`), if present.
+    pub fn positional(&self) -> Option<&str> {
+        self.positional.as_deref()
     }
 
     /// String option with default.
@@ -175,8 +209,10 @@ USAGE:
 
 COMMANDS:
     run       run a declarative scenario (--scenario <file> | --preset <name>)
-    scenarios list presets; --check <dir> validates scenario files,
-              --dump <dir> writes every preset as a .toml file
+    sweep     expand and run a parameter grid over a base scenario
+              (sweep <file|sweep-preset> | --preset-base <name> --axes <spec>)
+    scenarios list scenario and sweep presets; --check <dir> validates
+              scenario and sweep files, --dump <dir> writes every preset
     dag       Specializing-DAG simulation (the paper's algorithm)
     fedavg    centralized federated averaging baseline
     fedprox   FedProx baseline (use --mu, --stragglers)
@@ -187,8 +223,18 @@ COMMANDS:
 SCENARIOS:
     A scenario file describes a whole experiment (dataset, model,
     execution mode, attack, output) as TOML; see scenarios/*.toml.
-    Presets resolve at quick scale by default, at the paper's full
-    scale with DAGFL_FULL=1.
+    Presets resolve at quick scale by default; pass --full (or set
+    DAGFL_FULL=1) for the paper's scale — the flag wins over the
+    environment.
+
+SWEEP FLAGS:
+    <file>              sweep file (scenarios/sweep-*.toml) or sweep preset name
+    --preset-base       base scenario preset for an ad-hoc sweep
+    --axes              ad-hoc axes, e.g. \"alpha=0.1,1,10;replicate=0..3\"
+    --jobs              worker threads                  (available cores)
+    --dry-run           list the expanded cells without running
+    --csv               comparison CSV name             (spec default)
+    --full              resolve preset bases at the paper's scale
 
 COMMON FLAGS (defaults in parentheses):
     --dataset           fmnist | fmnist-relaxed | fmnist-author | poets |
@@ -257,6 +303,7 @@ mod tests {
             ("local", Command::Local),
             ("async", Command::Async),
             ("run", Command::Run),
+            ("sweep", Command::Sweep),
             ("scenarios", Command::Scenarios),
             ("help", Command::Help),
             ("--help", Command::Help),
@@ -298,6 +345,32 @@ mod tests {
     }
 
     #[test]
+    fn sweep_takes_one_positional_argument() {
+        let args =
+            ParsedArgs::parse(["sweep", "scenarios/sweep-smoke.toml", "--jobs", "2"]).unwrap();
+        assert_eq!(args.command(), Command::Sweep);
+        assert_eq!(args.positional(), Some("scenarios/sweep-smoke.toml"));
+        assert_eq!(args.get("jobs"), Some("2"));
+        // Only one positional is accepted, and only for `sweep`.
+        assert!(matches!(
+            ParsedArgs::parse(["sweep", "a.toml", "b.toml"]).unwrap_err(),
+            ParseError::UnexpectedToken(_)
+        ));
+        assert_eq!(ParsedArgs::parse(["run"]).unwrap().positional(), None);
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let args = ParsedArgs::parse(["run", "--preset", "smoke", "--full"]).unwrap();
+        assert!(args.flag("full"));
+        assert_eq!(args.get("preset"), Some("smoke"));
+        let args = ParsedArgs::parse(["sweep", "x.toml", "--dry-run", "--jobs", "4"]).unwrap();
+        assert!(args.flag("dry-run"));
+        assert_eq!(args.get_parsed_or("jobs", 1usize).unwrap(), 4);
+        assert!(!ParsedArgs::parse(["run"]).unwrap().flag("full"));
+    }
+
+    #[test]
     fn invalid_typed_value_errors() {
         let args = ParsedArgs::parse(["dag", "--rounds", "many"]).unwrap();
         assert!(matches!(
@@ -315,6 +388,7 @@ mod tests {
             "local",
             "async",
             "run",
+            "sweep",
             "scenarios",
         ] {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");

@@ -12,7 +12,9 @@ use dagfl_datasets::{
     cifar100_like, fedprox_synthetic, fmnist_by_author, fmnist_clustered, poets, Cifar100Config,
     FedProxConfig, FederatedDataset, FmnistConfig, PoetsConfig,
 };
-use dagfl_scenario::{ModelSpec, Scale, Scenario, ScenarioRunner};
+use dagfl_scenario::{
+    ModelSpec, Scale, Scenario, ScenarioRunner, SweepAxis, SweepRunner, SweepSpec,
+};
 
 use crate::args::{Command, ParseError, ParsedArgs, USAGE};
 
@@ -278,6 +280,7 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             return Ok(());
         }
         Command::Run => return run_scenario(args),
+        Command::Sweep => return sweep_command(args),
         Command::Scenarios => return scenarios_command(args),
         _ => {}
     }
@@ -401,9 +404,22 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
                 sim.approval_pureness()
             );
         }
-        Command::Help | Command::Run | Command::Scenarios => unreachable!("handled above"),
+        Command::Help | Command::Run | Command::Sweep | Command::Scenarios => {
+            unreachable!("handled above")
+        }
     }
     Ok(())
+}
+
+/// The experiment scale a command runs at: the `--full` flag wins, the
+/// `DAGFL_FULL` environment variable is the fallback, so paper-scale
+/// runs are reproducible from the command line alone.
+fn requested_scale(args: &ParsedArgs) -> Scale {
+    if args.flag("full") {
+        Scale::Full
+    } else {
+        Scale::from_env()
+    }
 }
 
 /// `dagfl run --scenario <file>` / `dagfl run --preset <name>`: resolve,
@@ -411,7 +427,7 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
 fn run_scenario(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     let scenario = match (args.get("scenario"), args.get("preset")) {
         (Some(path), None) => Scenario::load(path)?,
-        (None, Some(name)) => Scenario::preset(name)?,
+        (None, Some(name)) => Scenario::preset_at(name, requested_scale(args))?,
         _ => {
             return Err(
                 "`dagfl run` needs exactly one of --scenario <file> or --preset <name>".into(),
@@ -429,10 +445,117 @@ fn run_scenario(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// `dagfl scenarios`: list the preset registry; `--check <dir>`
-/// validates every `*.toml` scenario file in a directory (the CI smoke
-/// job runs this over `scenarios/`); `--dump <dir>` writes every preset
-/// out as a scenario file.
+/// Parses the ad-hoc `--axes` value: `;`-separated `field=v1,v2,...`
+/// entries (`"alpha=0.1,1,10;replicate=0..3"`). Ranges expand like
+/// sweep files.
+fn parse_axes_flag(spec: &str) -> Result<Vec<SweepAxis>, Box<dyn Error>> {
+    let mut axes = Vec::new();
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (field, values) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("axis `{entry}` is not of the form field=v1,v2,..."))?;
+        let values = values.trim();
+        let tokens: Vec<String> =
+            match values.split_once("..") {
+                Some((start, end)) => {
+                    let start: u64 = start.trim().parse().map_err(|_| {
+                        format!("axis `{field}`: `{values}` is not an integer range")
+                    })?;
+                    let end: u64 = end.trim().parse().map_err(|_| {
+                        format!("axis `{field}`: `{values}` is not an integer range")
+                    })?;
+                    // Shared with sweep files: empty and oversized
+                    // ranges are rejected before anything is allocated.
+                    SweepAxis::range_tokens(field.trim(), start, end)?
+                }
+                None => values
+                    .split(',')
+                    .map(|v| v.trim().to_string())
+                    .filter(|v| !v.is_empty())
+                    .collect(),
+            };
+        axes.push(SweepAxis {
+            field: field.trim().to_string(),
+            values: tokens,
+        });
+    }
+    if axes.is_empty() {
+        return Err("--axes needs at least one `field=values` entry".into());
+    }
+    Ok(axes)
+}
+
+/// `dagfl sweep <file|sweep-preset>` / `dagfl sweep --preset-base <name>
+/// --axes <spec>`: expand a parameter grid, run the cells on `--jobs`
+/// workers (or list them with `--dry-run`), and print the aggregate
+/// report.
+fn sweep_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    let mut spec = match (args.positional(), args.get("preset-base")) {
+        (Some(source), None) => {
+            let looks_like_path = source.ends_with(".toml") || source.contains(['/', '\\']);
+            if looks_like_path || Path::new(source).exists() {
+                SweepSpec::load(source)?
+            } else {
+                // A bare word: try the sweep preset registry.
+                SweepSpec::preset(source)?
+            }
+        }
+        (None, Some(base)) => {
+            let axes_spec = args
+                .get("axes")
+                .ok_or("`--preset-base` needs `--axes \"field=v1,v2;...\"`")?;
+            let mut spec = SweepSpec::over_preset(format!("sweep-{base}"), base);
+            spec.axes = parse_axes_flag(axes_spec)?;
+            spec
+        }
+        _ => {
+            return Err(
+                "`dagfl sweep` needs a sweep file (or sweep preset name), or --preset-base \
+                 <name> with --axes"
+                    .into(),
+            )
+        }
+    };
+    if let Some(csv) = args.get("csv") {
+        spec.comparison_csv = Some(csv.to_string());
+    }
+    let scale = requested_scale(args);
+    let runner = SweepRunner::at_scale(spec, scale)?;
+    let cells = runner.cells();
+    if args.flag("dry-run") {
+        println!(
+            "sweep {} expands to {} cells:",
+            runner.spec().name,
+            cells.len()
+        );
+        for cell in cells {
+            println!("  {:>3}  {}", cell.index, cell.id);
+        }
+        return Ok(());
+    }
+    let default_jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let jobs: usize = args.get_parsed_or("jobs", default_jobs)?.max(1);
+    eprintln!(
+        "# sweep={} cells={} jobs={}",
+        runner.spec().name,
+        cells.len(),
+        jobs.min(cells.len())
+    );
+    let report = runner.run(jobs)?;
+    print!("{}", report.summary());
+    Ok(())
+}
+
+/// `dagfl scenarios`: list the scenario and sweep preset registries;
+/// `--check <dir>` validates every `*.toml` scenario *and* sweep file in
+/// a directory (the CI smoke job runs this over `scenarios/`);
+/// `--dump <dir>` writes every preset out as a file.
 fn scenarios_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     if let Some(dir) = args.get("check") {
         return check_scenario_dir(Path::new(dir));
@@ -440,12 +563,18 @@ fn scenarios_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     if let Some(dir) = args.get("dump") {
         return dump_presets(Path::new(dir));
     }
-    println!("available presets (quick scale; set DAGFL_FULL=1 for the paper's scale):");
+    println!(
+        "available presets (quick scale; pass --full or set DAGFL_FULL=1 for the paper's scale):"
+    );
     for (name, description) in Scenario::preset_names() {
         println!("  {name:<24} {description}");
     }
-    println!("\nrun one with `dagfl run --preset <name>`;");
-    println!("check scenario files with `dagfl scenarios --check <dir>`.");
+    println!("\navailable sweeps (parameter grids; `dagfl sweep <name>`):");
+    for (name, description) in SweepSpec::preset_names() {
+        println!("  {name:<24} {description}");
+    }
+    println!("\nrun one with `dagfl run --preset <name>` (add --full for paper scale);");
+    println!("check scenario and sweep files with `dagfl scenarios --check <dir>`.");
     Ok(())
 }
 
@@ -461,8 +590,23 @@ fn check_scenario_dir(dir: &Path) -> Result<(), Box<dyn Error>> {
     }
     let mut failures = Vec::new();
     for path in &paths {
-        match Scenario::load(path).and_then(|s| s.validate().map(|()| s)) {
-            Ok(scenario) => println!("ok   {} ({})", path.display(), scenario.name),
+        let outcome = match std::fs::read_to_string(path) {
+            // Sweep files go through `SweepSpec::load`, not `from_toml`,
+            // so relative file bases anchor to the sweep file's
+            // directory exactly as `dagfl sweep <file>` resolves them.
+            Ok(text) if dagfl_scenario::is_sweep_toml(&text) => SweepSpec::load(path)
+                .and_then(|spec| spec.validate().map(|()| spec))
+                .map(|spec| format!("{} (sweep)", spec.name)),
+            Ok(text) => Scenario::from_toml(&text)
+                .and_then(|s| s.validate().map(|()| s))
+                .map(|s| s.name),
+            Err(e) => Err(dagfl_scenario::ScenarioError::Io(format!(
+                "reading {}: {e}",
+                path.display()
+            ))),
+        };
+        match outcome {
+            Ok(name) => println!("ok   {} ({name})", path.display()),
             Err(e) => {
                 println!("FAIL {}: {e}", path.display());
                 failures.push(path.display().to_string());
@@ -484,6 +628,12 @@ fn dump_presets(dir: &Path) -> Result<(), Box<dyn Error>> {
         let scenario = Scenario::preset_at(name, Scale::Quick)?;
         let path = dir.join(format!("{name}.toml"));
         scenario.save(&path)?;
+        println!("wrote {}", path.display());
+    }
+    for (name, _) in SweepSpec::preset_names() {
+        let spec = SweepSpec::preset(name)?;
+        let path = dir.join(format!("{name}.toml"));
+        spec.save(&path)?;
         println!("wrote {}", path.display());
     }
     Ok(())
@@ -722,6 +872,101 @@ mod tests {
     fn scenarios_lists_presets() {
         let args = ParsedArgs::parse(["scenarios"]).unwrap();
         run_command(&args).unwrap();
+    }
+
+    #[test]
+    fn full_flag_resolves_paper_scale() {
+        let args = ParsedArgs::parse(["run", "--preset", "smoke", "--full"]).unwrap();
+        assert_eq!(requested_scale(&args), Scale::Full);
+        // The smoke preset is scale-independent, so this stays cheap.
+        run_command(&args).unwrap();
+        let args = ParsedArgs::parse(["run", "--preset", "smoke"]).unwrap();
+        assert_eq!(requested_scale(&args), Scale::from_env());
+    }
+
+    #[test]
+    fn parse_axes_flag_handles_lists_ranges_and_errors() {
+        let axes = parse_axes_flag("alpha=0.1,1,10;replicate=0..3").unwrap();
+        assert_eq!(axes.len(), 2);
+        assert_eq!(axes[0].field, "alpha");
+        assert_eq!(axes[0].values, ["0.1", "1", "10"]);
+        assert_eq!(axes[1].values, ["0", "1", "2"]);
+        assert!(parse_axes_flag("").is_err());
+        assert!(parse_axes_flag("alpha").is_err());
+        assert!(parse_axes_flag("seed=5..5").is_err());
+        assert!(parse_axes_flag("seed=a..b").is_err());
+        // Oversized ranges are refused before allocation, like files.
+        assert!(parse_axes_flag("replicate=0..9999999999").is_err());
+    }
+
+    #[test]
+    fn sweep_preset_dry_run_lists_cells() {
+        let args = ParsedArgs::parse(["sweep", "sweep-smoke", "--dry-run"]).unwrap();
+        run_command(&args).unwrap();
+    }
+
+    #[test]
+    fn sweep_ad_hoc_grid_runs_end_to_end() {
+        let args = ParsedArgs::parse([
+            "sweep",
+            "--preset-base",
+            "smoke",
+            "--axes",
+            "seed=42,43",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        run_command(&args).unwrap();
+    }
+
+    #[test]
+    fn sweep_file_round_trips_through_the_cli() {
+        let dir = temp_dir("dagfl_cli_sweep_file_test");
+        let path = dir.join("sweep-smoke.toml");
+        dagfl_scenario::SweepSpec::preset("sweep-smoke")
+            .unwrap()
+            .save(&path)
+            .unwrap();
+        let args = ParsedArgs::parse(["sweep", path.to_str().unwrap(), "--dry-run"]).unwrap();
+        run_command(&args).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_invocations() {
+        // Neither a file nor a preset base.
+        let args = ParsedArgs::parse(["sweep"]).unwrap();
+        assert!(run_command(&args).is_err());
+        // An unknown sweep preset word.
+        let args = ParsedArgs::parse(["sweep", "sweep-nothing"]).unwrap();
+        assert!(run_command(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("sweep-nothing"));
+        // A missing sweep file.
+        let args = ParsedArgs::parse(["sweep", "/nonexistent/sweep.toml"]).unwrap();
+        assert!(run_command(&args).is_err());
+        // --preset-base without --axes.
+        let args = ParsedArgs::parse(["sweep", "--preset-base", "smoke"]).unwrap();
+        assert!(run_command(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("--axes"));
+        // An axis rejected by the spec, naming the field path.
+        let args = ParsedArgs::parse([
+            "sweep",
+            "--preset-base",
+            "smoke",
+            "--axes",
+            "execution.delay=1.0",
+            "--dry-run",
+        ])
+        .unwrap();
+        assert!(run_command(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("execution.delay"));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! # Usage
 //!
 //! ```text
+//! dagfl run     --preset quickstart [--full]
+//! dagfl sweep   scenarios/sweep-fig06-alpha.toml --jobs 4
 //! dagfl dag     --dataset fmnist --rounds 30 --clients-per-round 6 --alpha 10
 //! dagfl fedavg  --dataset poets  --rounds 20
 //! dagfl fedprox --dataset fedprox-synthetic --mu 0.1 --stragglers 0.5

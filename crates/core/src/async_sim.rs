@@ -920,6 +920,43 @@ mod tests {
     }
 
     #[test]
+    fn zero_activation_metrics_are_zero_not_nan() {
+        // A run whose horizon elapses before any activation completes:
+        // the metrics snapshot of a freshly constructed simulation has
+        // activations == 0, elapsed == 0 and an empty latency record.
+        // Every derived rate must report 0.0 — never NaN from a 0/0.
+        let sim = setup(10, 2.0);
+        let m = sim.metrics();
+        assert_eq!(m.activations, 0);
+        assert_eq!(m.publications, 0);
+        assert_eq!(m.elapsed, 0.0);
+        assert_eq!(m.activation_rate(), 0.0);
+        assert_eq!(m.publish_fraction(), 0.0);
+        assert_eq!(m.stale_fraction(), 0.0);
+        assert_eq!(m.mean_publish_latency, 0.0);
+        assert_eq!(m.max_publish_latency, 0.0);
+        for value in [
+            m.activation_rate(),
+            m.publish_fraction(),
+            m.stale_fraction(),
+            m.mean_publish_latency,
+            m.mean_confirmation_depth,
+        ] {
+            assert!(value.is_finite(), "non-finite metric {value}");
+        }
+        // The genesis-only tangle still reports sane structure.
+        assert_eq!(m.transactions, 1);
+        assert_eq!(m.tips, 1);
+    }
+
+    #[test]
+    fn zero_activation_recent_accuracy_is_zero() {
+        let sim = setup(10, 2.0);
+        assert_eq!(sim.recent_accuracy(30), 0.0);
+        assert_eq!(sim.activations(), 0);
+    }
+
+    #[test]
     fn accuracy_improves_over_activations() {
         let mut sim = setup(80, 1.0);
         sim.run().unwrap();

@@ -81,6 +81,7 @@ mod exec;
 mod metrics;
 mod payload;
 mod poisoning;
+mod seed;
 mod simulation;
 mod tip_selection;
 
@@ -94,5 +95,6 @@ pub use exec::{ExecutionMode, TangleView};
 pub use metrics::{approval_pureness_of, client_graph_of, RoundMetrics, SpecializationMetrics};
 pub use payload::{ModelFactory, ModelPayload, ModelTangle, SharedModelTangle};
 pub use poisoning::{mean_accuracy_series, PoisonRoundMetrics, PoisoningConfig, PoisoningScenario};
+pub use seed::derive_seed;
 pub use simulation::{ReferenceEvaluation, Simulation};
 pub use tip_selection::AccuracyBias;

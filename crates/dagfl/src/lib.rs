@@ -93,6 +93,7 @@ pub use dagfl_core::{
 };
 pub use dagfl_scenario::{
     AttackSpec, DatasetSpec, ExecutionSpec, ModelSpec, RunReport, Scenario, ScenarioRunner,
+    SweepReport, SweepRunner, SweepSpec,
 };
 
 #[cfg(test)]

@@ -25,6 +25,12 @@
 //!   experiments by name (`"table1-fmnist"`, `"fig06-alpha10"`,
 //!   `"poisoning-p0.2"`, `"async-cohorts"`, ...) at quick or full
 //!   [`Scale`].
+//! * **Sweeps** — [`SweepSpec`] expands a base scenario over typed
+//!   parameter axes (`execution.alpha = [0.1, 1, 10, 100]`,
+//!   `replicate = 0..5`) into a validated grid; [`SweepRunner`] executes
+//!   the cells on a worker pool and aggregates a [`SweepReport`] with a
+//!   scheduling-independent comparison CSV. Sweep files
+//!   (`scenarios/sweep-*.toml`) run with `dagfl sweep <file>`.
 //!
 //! A paper experiment is therefore runnable three equivalent ways — by
 //! preset name, from a checked-in `.toml` file (`dagfl run --scenario`),
@@ -54,10 +60,15 @@
 mod presets;
 mod runner;
 mod spec;
+mod sweep;
 pub mod text;
 
 pub use presets::{Scale, PRESET_NAMES};
 pub use runner::{DatasetSummary, PoisoningSummary, RunReport, ScenarioRunner};
 pub use spec::{
     AttackSpec, DatasetSpec, ExecutionSpec, ModelSpec, OutputSpec, Scenario, ScenarioError,
+};
+pub use sweep::{
+    is_sweep_toml, SweepAxis, SweepBase, SweepCell, SweepCellReport, SweepField, SweepReport,
+    SweepRunner, SweepSpec, SWEEP_PRESET_NAMES,
 };

@@ -1124,15 +1124,16 @@ fn write_output(table: &mut Table, output: &OutputSpec) {
 // ---------------------------------------------------------------------------
 
 /// A typed view over one section that tracks which keys were consumed,
-/// so leftovers are reported as unknown keys.
-struct Reader<'a> {
+/// so leftovers are reported as unknown keys (shared with the sweep
+/// parser in `sweep.rs`).
+pub(crate) struct Reader<'a> {
     section: &'a str,
     table: Option<&'a Table>,
     used: std::cell::RefCell<BTreeSet<String>>,
 }
 
 impl<'a> Reader<'a> {
-    fn new(section: &'a str, table: Option<&'a Table>) -> Self {
+    pub(crate) fn new(section: &'a str, table: Option<&'a Table>) -> Self {
         Self {
             section,
             table,
@@ -1140,7 +1141,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn path(&self, key: &str) -> String {
+    pub(crate) fn path(&self, key: &str) -> String {
         if self.section.is_empty() {
             key.to_string()
         } else {
@@ -1148,12 +1149,12 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn get(&self, key: &str) -> Option<&'a Value> {
+    pub(crate) fn get(&self, key: &str) -> Option<&'a Value> {
         self.used.borrow_mut().insert(key.to_string());
         self.table.and_then(|t| t.get(key))
     }
 
-    fn invalid(&self, key: &str, value: &Value, expected: &str) -> ScenarioError {
+    pub(crate) fn invalid(&self, key: &str, value: &Value, expected: &str) -> ScenarioError {
         ScenarioError::InvalidValue {
             key: self.path(key),
             value: match value {
@@ -1161,12 +1162,13 @@ impl<'a> Reader<'a> {
                 Value::Number(n) => n.clone(),
                 Value::Bool(b) => b.to_string(),
                 Value::NumberList(items) => format!("[{}]", items.join(", ")),
+                Value::Range(start, end) => format!("{start}..{end}"),
             },
             expected: expected.to_string(),
         }
     }
 
-    fn str(&self, key: &str) -> Result<Option<String>, ScenarioError> {
+    pub(crate) fn str(&self, key: &str) -> Result<Option<String>, ScenarioError> {
         match self.get(key) {
             None => Ok(None),
             Some(Value::Str(s)) => Ok(Some(s.clone())),
@@ -1174,13 +1176,13 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn req_str(&self, key: &str) -> Result<String, ScenarioError> {
+    pub(crate) fn req_str(&self, key: &str) -> Result<String, ScenarioError> {
         self.str(key)?.ok_or_else(|| ScenarioError::MissingKey {
             key: self.path(key),
         })
     }
 
-    fn number<T: std::str::FromStr>(
+    pub(crate) fn number<T: std::str::FromStr>(
         &self,
         key: &str,
         expected: &str,
@@ -1195,37 +1197,37 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn usize_or(&self, key: &str, default: usize) -> Result<usize, ScenarioError> {
+    pub(crate) fn usize_or(&self, key: &str, default: usize) -> Result<usize, ScenarioError> {
         Ok(self
             .number::<usize>(key, "a non-negative integer")?
             .unwrap_or(default))
     }
 
-    fn u64_or(&self, key: &str, default: u64) -> Result<u64, ScenarioError> {
+    pub(crate) fn u64_or(&self, key: &str, default: u64) -> Result<u64, ScenarioError> {
         Ok(self
             .number::<u64>(key, "a non-negative integer")?
             .unwrap_or(default))
     }
 
-    fn u32_or(&self, key: &str, default: u32) -> Result<u32, ScenarioError> {
+    pub(crate) fn u32_or(&self, key: &str, default: u32) -> Result<u32, ScenarioError> {
         Ok(self
             .number::<u32>(key, "a non-negative integer")?
             .unwrap_or(default))
     }
 
-    fn f32_or(&self, key: &str, default: f32) -> Result<f32, ScenarioError> {
+    pub(crate) fn f32_or(&self, key: &str, default: f32) -> Result<f32, ScenarioError> {
         Ok(self.number::<f32>(key, "a number")?.unwrap_or(default))
     }
 
-    fn f32_opt(&self, key: &str) -> Result<Option<f32>, ScenarioError> {
+    pub(crate) fn f32_opt(&self, key: &str) -> Result<Option<f32>, ScenarioError> {
         self.number::<f32>(key, "a number")
     }
 
-    fn f64_or(&self, key: &str, default: f64) -> Result<f64, ScenarioError> {
+    pub(crate) fn f64_or(&self, key: &str, default: f64) -> Result<f64, ScenarioError> {
         Ok(self.number::<f64>(key, "a number")?.unwrap_or(default))
     }
 
-    fn bool_or(&self, key: &str, default: bool) -> Result<bool, ScenarioError> {
+    pub(crate) fn bool_or(&self, key: &str, default: bool) -> Result<bool, ScenarioError> {
         match self.get(key) {
             None => Ok(default),
             Some(Value::Bool(b)) => Ok(*b),
@@ -1233,7 +1235,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn usize_list(&self, key: &str) -> Result<Option<Vec<usize>>, ScenarioError> {
+    pub(crate) fn usize_list(&self, key: &str) -> Result<Option<Vec<usize>>, ScenarioError> {
         match self.get(key) {
             None => Ok(None),
             Some(value @ Value::NumberList(items)) => items
@@ -1249,7 +1251,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Errors on any key the schema never asked for.
-    fn finish(&self) -> Result<(), ScenarioError> {
+    pub(crate) fn finish(&self) -> Result<(), ScenarioError> {
         if let Some(table) = self.table {
             let used = self.used.borrow();
             for (key, _) in table.iter() {

@@ -1,0 +1,1786 @@
+//! The parameter-grid sweep engine: expand one base [`Scenario`] over
+//! typed axes, run the cells on a worker pool, aggregate the reports.
+//!
+//! The paper's results are all *sweeps* — Figures 5–8 sweep the walk
+//! randomness α, Table 1 sweeps datasets, Figures 12–14 sweep poisoning
+//! fractions. A [`SweepSpec`] makes the grid itself data:
+//!
+//! * a **base scenario** ([`SweepBase`]): a preset name, a scenario
+//!   file, or an inline [`Scenario`] value,
+//! * one or more **axes** ([`SweepAxis`]): a typed field path
+//!   ([`SweepField`]) plus the values it takes
+//!   (`execution.alpha = [0.1, 1, 10, 100]`, `replicate = 0..5`),
+//! * the cross-product of the axes, optionally capped
+//!   ([`SweepSpec::max_cells`]).
+//!
+//! Expansion ([`SweepSpec::expand_at`]) produces concrete, validated
+//! [`SweepCell`]s in a deterministic order (axes as listed, last axis
+//! fastest). [`SweepRunner::run`] executes them on `jobs` scoped worker
+//! threads; every cell is a self-contained [`ScenarioRunner`] run whose
+//! randomness derives only from the cell's own scenario seed, so the
+//! aggregate [`SweepReport`] — including its cross-cell comparison CSV
+//! — is byte-identical for any worker count or scheduling order.
+//! Replicate grids use [`dagfl_core::derive_seed`] so per-cell seeds are
+//! data, never a function of execution order.
+//!
+//! Sweeps serialize through the same TOML subset as scenarios
+//! ([`SweepSpec::to_toml`] / [`SweepSpec::from_toml`]): a `[sweep]`
+//! section naming the base plus an `[axes]` section, checked in as
+//! `scenarios/sweep-*.toml` and runnable with `dagfl sweep <file>`.
+//!
+//! # Example
+//!
+//! ```
+//! use dagfl_scenario::{Scale, SweepRunner, SweepSpec};
+//!
+//! let spec = SweepSpec::over_preset("alpha-demo", "smoke")
+//!     .axis("execution.alpha", ["1", "10"])
+//!     .axis("seed", ["42", "43"]);
+//! let runner = SweepRunner::at_scale(spec, Scale::Quick)?;
+//! assert_eq!(runner.cells().len(), 4);
+//! let report = runner.run(2)?;
+//! assert_eq!(report.cells.len(), 4);
+//! # Ok::<(), dagfl_scenario::ScenarioError>(())
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dagfl_core::csv::{to_csv_string, write_csv};
+use dagfl_core::{derive_seed, DelayModel, TipSelector};
+
+use crate::presets::Scale;
+use crate::runner::{RunReport, ScenarioRunner};
+use crate::spec::{DatasetSpec, ExecutionSpec, Reader, Scenario, ScenarioError};
+use crate::text::{Document, Value};
+
+/// The longest expansion a single range axis may produce; a backstop
+/// against `0..9999999999` typos, far above any real grid.
+const MAX_RANGE_LEN: u64 = 10_000;
+
+// ---------------------------------------------------------------------------
+// Typed field paths
+// ---------------------------------------------------------------------------
+
+/// A sweepable scenario field, addressed by a typed path.
+///
+/// Each variant knows its canonical dotted path (used in `[axes]` keys,
+/// CSV columns and error messages), which base scenarios it applies to,
+/// and how to write a value into a [`Scenario`]. Unknown paths and axes
+/// that target a field the base scenario's [`ExecutionSpec`] variant
+/// (or dataset, or attack section) does not have are [`SweepSpec::validate`]
+/// errors, never silent no-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepField {
+    /// Master seed (`seed`): dataset generator and simulation together,
+    /// like [`Scenario::with_seed`].
+    Seed,
+    /// Replicate index (`replicate`): sets the master seed to
+    /// `derive_seed(base seed, index)`, the canonical way to run
+    /// seed-replicated grids (`replicate = 0..5`).
+    Replicate,
+    /// Walk randomness α (`execution.alpha`); requires a selector that
+    /// has an α (accuracy or cumulative).
+    Alpha,
+    /// Round budget (`execution.rounds`); rounds mode only.
+    Rounds,
+    /// Active clients per round (`execution.clients_per_round`); rounds
+    /// mode only.
+    ClientsPerRound,
+    /// Local epochs (`execution.local_epochs`).
+    LocalEpochs,
+    /// Local mini-batches per epoch (`execution.local_batches`).
+    LocalBatches,
+    /// Mini-batch size (`execution.batch_size`).
+    BatchSize,
+    /// SGD learning rate (`execution.learning_rate`).
+    LearningRate,
+    /// Foreign-cluster fraction (`dataset.relaxation`); fmnist only.
+    Relaxation,
+    /// Number of clients (`dataset.clients`); every dataset except
+    /// poets (which sizes by `clients_per_language`).
+    Clients,
+    /// Samples per client (`dataset.samples`); every dataset except
+    /// fedprox (which sizes by `min_samples`/`max_samples`).
+    Samples,
+    /// Poisoned-client fraction (`attack.fraction`); requires an attack.
+    PoisonFraction,
+    /// Total activations (`execution.activations`); async mode only.
+    Activations,
+    /// Mean activation gap (`execution.interarrival`); async mode only.
+    Interarrival,
+    /// Logical training duration (`execution.train_time`); async only.
+    TrainTime,
+    /// Base (fast-link) propagation delay (`execution.delay`); async
+    /// only. Sets the constant delay, the jitter base or the cohorts
+    /// fast-link delay, matching the `delay` key of scenario files.
+    Delay,
+}
+
+/// All sweepable fields, in listing order.
+const ALL_FIELDS: &[SweepField] = &[
+    SweepField::Seed,
+    SweepField::Replicate,
+    SweepField::Alpha,
+    SweepField::Rounds,
+    SweepField::ClientsPerRound,
+    SweepField::LocalEpochs,
+    SweepField::LocalBatches,
+    SweepField::BatchSize,
+    SweepField::LearningRate,
+    SweepField::Relaxation,
+    SweepField::Clients,
+    SweepField::Samples,
+    SweepField::PoisonFraction,
+    SweepField::Activations,
+    SweepField::Interarrival,
+    SweepField::TrainTime,
+    SweepField::Delay,
+];
+
+impl SweepField {
+    /// Resolves a field path or short alias (`alpha`, `lr`, ...).
+    pub fn parse(word: &str) -> Option<Self> {
+        ALL_FIELDS
+            .iter()
+            .copied()
+            .find(|f| f.path() == word || f.short() == word)
+            .or(match word {
+                "lr" => Some(SweepField::LearningRate),
+                "poison_fraction" => Some(SweepField::PoisonFraction),
+                _ => None,
+            })
+    }
+
+    /// The canonical dotted path (the `[axes]` key and CSV column name).
+    pub fn path(&self) -> &'static str {
+        match self {
+            SweepField::Seed => "seed",
+            SweepField::Replicate => "replicate",
+            SweepField::Alpha => "execution.alpha",
+            SweepField::Rounds => "execution.rounds",
+            SweepField::ClientsPerRound => "execution.clients_per_round",
+            SweepField::LocalEpochs => "execution.local_epochs",
+            SweepField::LocalBatches => "execution.local_batches",
+            SweepField::BatchSize => "execution.batch_size",
+            SweepField::LearningRate => "execution.learning_rate",
+            SweepField::Relaxation => "dataset.relaxation",
+            SweepField::Clients => "dataset.clients",
+            SweepField::Samples => "dataset.samples",
+            SweepField::PoisonFraction => "attack.fraction",
+            SweepField::Activations => "execution.activations",
+            SweepField::Interarrival => "execution.interarrival",
+            SweepField::TrainTime => "execution.train_time",
+            SweepField::Delay => "execution.delay",
+        }
+    }
+
+    /// The short name used in cell ids (`alpha=0.1,seed=42`).
+    pub fn short(&self) -> &'static str {
+        match self {
+            SweepField::Seed => "seed",
+            SweepField::Replicate => "replicate",
+            SweepField::Alpha => "alpha",
+            SweepField::Rounds => "rounds",
+            SweepField::ClientsPerRound => "clients_per_round",
+            SweepField::LocalEpochs => "epochs",
+            SweepField::LocalBatches => "batches",
+            SweepField::BatchSize => "batch_size",
+            SweepField::LearningRate => "learning_rate",
+            SweepField::Relaxation => "relaxation",
+            SweepField::Clients => "clients",
+            SweepField::Samples => "samples",
+            SweepField::PoisonFraction => "fraction",
+            SweepField::Activations => "activations",
+            SweepField::Interarrival => "interarrival",
+            SweepField::TrainTime => "train_time",
+            SweepField::Delay => "delay",
+        }
+    }
+
+    /// The scenario location two axes may not both target (`seed` and
+    /// `replicate` collide on the master seed).
+    fn target(&self) -> &'static str {
+        match self {
+            SweepField::Seed | SweepField::Replicate => "seed",
+            other => other.path(),
+        }
+    }
+
+    /// Whether values must be non-negative integers.
+    fn is_integer(&self) -> bool {
+        matches!(
+            self,
+            SweepField::Seed
+                | SweepField::Replicate
+                | SweepField::Rounds
+                | SweepField::ClientsPerRound
+                | SweepField::LocalEpochs
+                | SweepField::LocalBatches
+                | SweepField::BatchSize
+                | SweepField::Clients
+                | SweepField::Samples
+                | SweepField::Activations
+        )
+    }
+
+    /// Checks that the base scenario has this field at all.
+    fn check_applies(&self, base: &Scenario) -> Result<(), ScenarioError> {
+        let path = self.path();
+        let fail = |reason: String| {
+            Err(ScenarioError::Invalid(format!(
+                "sweep axis `{path}` does not apply: {reason}"
+            )))
+        };
+        match self {
+            SweepField::Alpha => {
+                if matches!(base.execution.dag().tip_selector, TipSelector::Random) {
+                    return fail("the base scenario's random tip selector has no alpha".into());
+                }
+            }
+            SweepField::Rounds | SweepField::ClientsPerRound => {
+                if matches!(base.execution, ExecutionSpec::Async(_)) {
+                    return fail(format!(
+                        "`{path}` needs rounds mode, the base scenario is async"
+                    ));
+                }
+            }
+            SweepField::Activations
+            | SweepField::Interarrival
+            | SweepField::TrainTime
+            | SweepField::Delay => {
+                if matches!(base.execution, ExecutionSpec::Rounds(_)) {
+                    return fail(format!(
+                        "`{path}` needs async mode, the base scenario uses rounds"
+                    ));
+                }
+            }
+            SweepField::Relaxation if !matches!(base.dataset, DatasetSpec::Fmnist { .. }) => {
+                return fail(format!(
+                    "only the fmnist dataset has a relaxation, the base uses `{}`",
+                    base.dataset.kind()
+                ));
+            }
+            SweepField::Clients => {
+                if matches!(base.dataset, DatasetSpec::Poets { .. }) {
+                    return fail("the poets dataset sizes by clients_per_language".into());
+                }
+            }
+            SweepField::Samples => {
+                if matches!(base.dataset, DatasetSpec::FedProx { .. }) {
+                    return fail("the fedprox dataset sizes by min_samples/max_samples".into());
+                }
+            }
+            SweepField::PoisonFraction if base.attack.is_none() => {
+                return fail("the base scenario has no [attack] section".into());
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Parses one raw token into this field's type (error-checking only).
+    fn check_token(&self, token: &str) -> Result<(), ScenarioError> {
+        let ok = if self.is_integer() {
+            token.parse::<u64>().is_ok()
+        } else {
+            token.parse::<f64>().map(f64::is_finite).unwrap_or(false)
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(ScenarioError::InvalidValue {
+                key: format!("axes.{}", self.path()),
+                value: token.to_string(),
+                expected: if self.is_integer() {
+                    "a non-negative integer".into()
+                } else {
+                    "a finite number".into()
+                },
+            })
+        }
+    }
+
+    /// Writes one value into a cell scenario. The token was checked by
+    /// [`SweepField::check_token`] and the base by
+    /// [`SweepField::check_applies`].
+    fn apply(&self, scenario: &mut Scenario, token: &str) -> Result<(), ScenarioError> {
+        self.check_token(token)?;
+        let int = || token.parse::<u64>().expect("checked integer token");
+        let float = || token.parse::<f64>().expect("checked float token");
+        match self {
+            SweepField::Seed => {
+                let seed = int();
+                scenario.dataset.set_seed(seed);
+                scenario.execution.dag_mut().seed = seed;
+            }
+            SweepField::Replicate => {
+                let seed = derive_seed(scenario.execution.dag().seed, int());
+                scenario.dataset.set_seed(seed);
+                scenario.execution.dag_mut().seed = seed;
+            }
+            SweepField::Alpha => match &mut scenario.execution.dag_mut().tip_selector {
+                TipSelector::Accuracy { alpha, .. } | TipSelector::CumulativeWeight { alpha } => {
+                    *alpha = float() as f32;
+                }
+                TipSelector::Random => unreachable!("checked by check_applies"),
+            },
+            SweepField::Rounds => {
+                if let ExecutionSpec::Rounds(dag) = &mut scenario.execution {
+                    dag.rounds = int() as usize;
+                }
+            }
+            SweepField::ClientsPerRound => {
+                scenario.execution.dag_mut().clients_per_round = int() as usize;
+            }
+            SweepField::LocalEpochs => scenario.execution.dag_mut().local_epochs = int() as usize,
+            SweepField::LocalBatches => scenario.execution.dag_mut().local_batches = int() as usize,
+            SweepField::BatchSize => scenario.execution.dag_mut().batch_size = int() as usize,
+            SweepField::LearningRate => {
+                scenario.execution.dag_mut().learning_rate = float() as f32;
+            }
+            SweepField::Relaxation => {
+                if let DatasetSpec::Fmnist { relaxation, .. } = &mut scenario.dataset {
+                    *relaxation = float() as f32;
+                }
+            }
+            SweepField::Clients => match &mut scenario.dataset {
+                DatasetSpec::Fmnist { clients, .. }
+                | DatasetSpec::FmnistAuthor { clients, .. }
+                | DatasetSpec::Cifar { clients, .. }
+                | DatasetSpec::FedProx { clients, .. } => *clients = int() as usize,
+                DatasetSpec::Poets { .. } => unreachable!("checked by check_applies"),
+            },
+            SweepField::Samples => match &mut scenario.dataset {
+                DatasetSpec::Fmnist { samples, .. }
+                | DatasetSpec::FmnistAuthor { samples, .. }
+                | DatasetSpec::Poets { samples, .. }
+                | DatasetSpec::Cifar { samples, .. } => *samples = int() as usize,
+                DatasetSpec::FedProx { .. } => unreachable!("checked by check_applies"),
+            },
+            SweepField::PoisonFraction => {
+                if let Some(attack) = &mut scenario.attack {
+                    attack.fraction = float();
+                }
+            }
+            SweepField::Activations => {
+                if let ExecutionSpec::Async(config) = &mut scenario.execution {
+                    config.total_activations = int() as usize;
+                }
+            }
+            SweepField::Interarrival => {
+                if let ExecutionSpec::Async(config) = &mut scenario.execution {
+                    config.mean_interarrival = float();
+                }
+            }
+            SweepField::TrainTime => {
+                if let ExecutionSpec::Async(config) = &mut scenario.execution {
+                    config.train_time = float();
+                }
+            }
+            SweepField::Delay => {
+                if let ExecutionSpec::Async(config) = &mut scenario.execution {
+                    match &mut config.delay {
+                        DelayModel::Constant { delay } => *delay = float(),
+                        DelayModel::UniformJitter { base, .. } => *base = float(),
+                        DelayModel::Cohorts { fast, .. } => *fast = float(),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The spec
+// ---------------------------------------------------------------------------
+
+/// One sweep axis: a field path (raw, resolved at validation) plus the
+/// raw value tokens it takes, in sweep order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxis {
+    /// The field path as authored (canonical path or short alias).
+    pub field: String,
+    /// The values, as raw number tokens (`"0.1"`, `"42"`). Raw tokens
+    /// keep cell ids and CSV columns byte-stable.
+    pub values: Vec<String>,
+}
+
+impl SweepAxis {
+    /// Expands a half-open integer range (`start..end`) into raw value
+    /// tokens, enforcing the shared [`MAX_RANGE_LEN`] backstop — the one
+    /// range expansion both sweep files and the CLI `--axes` flag go
+    /// through, so a typo'd `0..9999999999` is rejected instead of
+    /// eagerly allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Invalid`] for empty or oversized ranges.
+    pub fn range_tokens(field: &str, start: u64, end: u64) -> Result<Vec<String>, ScenarioError> {
+        if start >= end {
+            return Err(ScenarioError::Invalid(format!(
+                "sweep axis `{field}`: range {start}..{end} is empty"
+            )));
+        }
+        if end - start > MAX_RANGE_LEN {
+            return Err(ScenarioError::Invalid(format!(
+                "sweep axis `{field}`: range {start}..{end} expands to more than \
+                 {MAX_RANGE_LEN} values"
+            )));
+        }
+        Ok((start..end).map(|v| v.to_string()).collect())
+    }
+}
+
+/// Where the base scenario of a sweep comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepBase {
+    /// A preset name, resolved at the sweep's [`Scale`].
+    Preset(String),
+    /// A scenario file, loaded at expansion time.
+    File(PathBuf),
+    /// An inline scenario value (embedded in the sweep file; boxed to
+    /// keep the enum small next to the name variants).
+    Inline(Box<Scenario>),
+}
+
+/// A declarative parameter grid over one base scenario.
+///
+/// Built three equivalent ways — the fluent builder
+/// ([`SweepSpec::over_preset`] + [`SweepSpec::axis`]), a sweep preset
+/// name ([`SweepSpec::preset`]), or a TOML file
+/// ([`SweepSpec::from_toml`]) — and executed by a [`SweepRunner`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (one line; prefixes cell scenario names and output
+    /// files).
+    pub name: String,
+    /// The base scenario every cell starts from.
+    pub base: SweepBase,
+    /// The axes, in sweep order (last axis varies fastest).
+    pub axes: Vec<SweepAxis>,
+    /// Refuse to expand more than this many cells (`None` = unlimited).
+    pub max_cells: Option<usize>,
+    /// Write the cross-cell comparison CSV as
+    /// `<results dir>/<name>.csv` (`DAGFL_RESULTS`, default `results/`).
+    pub comparison_csv: Option<String>,
+    /// Give every cell its own per-cell CSV series
+    /// (`<sweep name>-<cell index>`).
+    pub cell_csv: bool,
+}
+
+impl SweepSpec {
+    /// Starts a sweep over a preset base.
+    pub fn over_preset(name: impl Into<String>, preset: impl Into<String>) -> Self {
+        Self::new(name, SweepBase::Preset(preset.into()))
+    }
+
+    /// Starts a sweep over a scenario file base.
+    pub fn over_file(name: impl Into<String>, path: impl Into<PathBuf>) -> Self {
+        Self::new(name, SweepBase::File(path.into()))
+    }
+
+    /// Starts a sweep over an inline scenario base.
+    pub fn over_scenario(name: impl Into<String>, scenario: Scenario) -> Self {
+        Self::new(name, SweepBase::Inline(Box::new(scenario)))
+    }
+
+    fn new(name: impl Into<String>, base: SweepBase) -> Self {
+        Self {
+            name: name.into(),
+            base,
+            axes: Vec::new(),
+            max_cells: None,
+            comparison_csv: None,
+            cell_csv: false,
+        }
+    }
+
+    /// Adds an axis (builder style). `field` is a [`SweepField`] path or
+    /// alias; unknown fields surface in [`SweepSpec::validate`].
+    pub fn axis<I, S>(mut self, field: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: ToString,
+    {
+        self.axes.push(SweepAxis {
+            field: field.into(),
+            values: values.into_iter().map(|v| v.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Adds an integer-range axis (builder style); `range` is half-open,
+    /// like `replicate = 0..5` in sweep files.
+    pub fn axis_range(self, field: impl Into<String>, range: std::ops::Range<u64>) -> Self {
+        self.axis(field, range.map(|v| v.to_string()))
+    }
+
+    /// Caps the expansion size (builder style).
+    pub fn with_max_cells(mut self, cap: usize) -> Self {
+        self.max_cells = Some(cap);
+        self
+    }
+
+    /// Requests the cross-cell comparison CSV (builder style).
+    pub fn with_comparison_csv(mut self, name: impl Into<String>) -> Self {
+        self.comparison_csv = Some(name.into());
+        self
+    }
+
+    /// Enables per-cell CSV series (builder style).
+    pub fn with_cell_csv(mut self, enabled: bool) -> Self {
+        self.cell_csv = enabled;
+        self
+    }
+
+    /// Resolves the raw axis fields, rejecting unknown paths, empty
+    /// value lists and duplicate/conflicting axes.
+    fn resolved_axes(&self) -> Result<Vec<(SweepField, &SweepAxis)>, ScenarioError> {
+        if self.axes.is_empty() {
+            return Err(ScenarioError::Invalid(
+                "a sweep needs at least one axis (a zero-axis sweep is `dagfl run`)".into(),
+            ));
+        }
+        let mut resolved: Vec<(SweepField, &SweepAxis)> = Vec::with_capacity(self.axes.len());
+        for axis in &self.axes {
+            let field =
+                SweepField::parse(&axis.field).ok_or_else(|| ScenarioError::UnknownKey {
+                    key: format!("axes.{}", axis.field),
+                })?;
+            if axis.values.is_empty() {
+                return Err(ScenarioError::Invalid(format!(
+                    "sweep axis `{}` has no values",
+                    field.path()
+                )));
+            }
+            if let Some((prev, prev_axis)) =
+                resolved.iter().find(|(f, _)| f.target() == field.target())
+            {
+                return Err(ScenarioError::Invalid(format!(
+                    "duplicate sweep axis for `{}`: `{}` and `{}` target the same field",
+                    prev.path(),
+                    prev_axis.field,
+                    axis.field
+                )));
+            }
+            resolved.push((field, axis));
+        }
+        Ok(resolved)
+    }
+
+    /// Resolves the base scenario at the given scale.
+    fn resolve_base(&self, scale: Scale) -> Result<Scenario, ScenarioError> {
+        match &self.base {
+            SweepBase::Preset(name) => Scenario::preset_at(name, scale),
+            SweepBase::File(path) => Scenario::load(path),
+            SweepBase::Inline(scenario) => Ok(scenario.as_ref().clone()),
+        }
+    }
+
+    /// Expands the grid into concrete, validated cells at the scale read
+    /// from `DAGFL_FULL`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first spec or cell inconsistency.
+    pub fn expand(&self) -> Result<Vec<SweepCell>, ScenarioError> {
+        self.expand_at(Scale::from_env())
+    }
+
+    /// Expands the grid at an explicit scale. Cells come out in a
+    /// deterministic order — axes as listed, the last axis varying
+    /// fastest — independent of how they will later be scheduled.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency: unknown/duplicate/inapplicable
+    /// axes, malformed values, an exceeded [`SweepSpec::max_cells`] cap,
+    /// or a cell whose scenario fails [`Scenario::validate`].
+    pub fn expand_at(&self, scale: Scale) -> Result<Vec<SweepCell>, ScenarioError> {
+        if self.name.trim().is_empty() || self.name.contains('\n') {
+            return Err(ScenarioError::Invalid(
+                "sweep name must be a non-empty single line".into(),
+            ));
+        }
+        let base = self.resolve_base(scale)?;
+        base.validate()
+            .map_err(|e| ScenarioError::Invalid(format!("sweep base scenario is invalid: {e}")))?;
+        let axes = self.resolved_axes()?;
+        for (field, axis) in &axes {
+            field.check_applies(&base)?;
+            for token in &axis.values {
+                field.check_token(token)?;
+            }
+        }
+        let mut total: usize = 1;
+        for (_, axis) in &axes {
+            total = total.checked_mul(axis.values.len()).ok_or_else(|| {
+                ScenarioError::Invalid("sweep expansion overflows the cell counter".into())
+            })?;
+        }
+        if let Some(cap) = self.max_cells {
+            if total > cap {
+                return Err(ScenarioError::Invalid(format!(
+                    "sweep expands to {total} cells, exceeding max_cells ({cap})"
+                )));
+            }
+        }
+        let mut cells = Vec::with_capacity(total);
+        for index in 0..total {
+            // Mixed-radix odometer, last axis fastest.
+            let mut digits = vec![0usize; axes.len()];
+            let mut rem = index;
+            for pos in (0..axes.len()).rev() {
+                let len = axes[pos].1.values.len();
+                digits[pos] = rem % len;
+                rem /= len;
+            }
+            let mut scenario = base.clone();
+            let mut values = Vec::with_capacity(axes.len());
+            let mut id_parts = Vec::with_capacity(axes.len());
+            for (pos, (field, axis)) in axes.iter().enumerate() {
+                let token = &axis.values[digits[pos]];
+                field.apply(&mut scenario, token)?;
+                values.push((field.path().to_string(), token.clone()));
+                id_parts.push(format!("{}={}", field.short(), token));
+            }
+            let id = id_parts.join(",");
+            scenario.name = format!("{}/{}", self.name, id);
+            if self.cell_csv {
+                scenario.output.csv = Some(format!("{}-{index:03}", self.name));
+            }
+            scenario.validate().map_err(|e| {
+                ScenarioError::Invalid(format!("sweep cell `{id}` is invalid: {e}"))
+            })?;
+            cells.push(SweepCell {
+                index,
+                id,
+                values,
+                scenario,
+            });
+        }
+        Ok(cells)
+    }
+
+    /// Checks the complete spec by performing a full (quick-scale)
+    /// expansion: base resolution, axis typing and compatibility,
+    /// duplicate axes, the cell cap, and per-cell scenario validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found, naming the offending axis
+    /// field path.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.expand_at(Scale::Quick).map(|_| ())
+    }
+
+    /// Serializes the sweep as TOML-subset text; the exact inverse of
+    /// [`SweepSpec::from_toml`].
+    pub fn to_toml(&self) -> String {
+        let mut doc = Document::default();
+        doc.root.set("name", Value::Str(self.name.clone()));
+        {
+            let sweep = doc.section_mut("sweep");
+            match &self.base {
+                SweepBase::Preset(preset) => sweep.set("preset", Value::Str(preset.clone())),
+                SweepBase::File(path) => {
+                    sweep.set("scenario", Value::Str(path.display().to_string()));
+                }
+                SweepBase::Inline(scenario) => {
+                    sweep.set("scenario_name", Value::Str(scenario.name.clone()));
+                }
+            }
+            if let Some(cap) = self.max_cells {
+                sweep.set("max_cells", Value::Number(cap.to_string()));
+            }
+            if let Some(csv) = &self.comparison_csv {
+                sweep.set("comparison_csv", Value::Str(csv.clone()));
+            }
+            sweep.set("cell_csv", Value::Bool(self.cell_csv));
+        }
+        if let SweepBase::Inline(scenario) = &self.base {
+            let base_doc =
+                Document::parse(&scenario.to_toml()).expect("scenario TOML always reparses");
+            for section in ["dataset", "model", "execution", "attack", "output"] {
+                if let Some(table) = base_doc.section(section) {
+                    *doc.section_mut(section) = table.clone();
+                }
+            }
+        }
+        {
+            let axes = doc.section_mut("axes");
+            for axis in &self.axes {
+                axes.set(&axis.field, Value::NumberList(axis.values.clone()));
+            }
+        }
+        doc.to_text()
+    }
+
+    /// Parses a sweep from TOML-subset text: a root `name`, a `[sweep]`
+    /// section naming the base (`preset`, `scenario` file path, or
+    /// `scenario_name` plus inline scenario sections) and an `[axes]`
+    /// section mapping field paths to value arrays or integer ranges.
+    /// The result is *not* yet validated — call [`SweepSpec::validate`]
+    /// (or hand it to [`SweepRunner::new`], which does).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] describing the first problem.
+    pub fn from_toml(text: &str) -> Result<Self, ScenarioError> {
+        let doc = Document::parse(text).map_err(|e| ScenarioError::Parse {
+            line: e.line,
+            message: e.message,
+        })?;
+        for section in doc.section_names() {
+            if !matches!(
+                section,
+                "sweep" | "axes" | "dataset" | "model" | "execution" | "attack" | "output"
+            ) {
+                return Err(ScenarioError::UnknownKey {
+                    key: format!("[{section}]"),
+                });
+            }
+        }
+        let root = Reader::new("", Some(&doc.root));
+        let name = root.req_str("name")?;
+        root.finish()?;
+        let sweep_table = doc.section("sweep").ok_or(ScenarioError::MissingKey {
+            key: "[sweep]".into(),
+        })?;
+        let reader = Reader::new("sweep", Some(sweep_table));
+        let preset = reader.str("preset")?;
+        let file = reader.str("scenario")?;
+        let inline_name = reader.str("scenario_name")?;
+        let max_cells = reader.number::<usize>("max_cells", "a positive integer")?;
+        let comparison_csv = reader.str("comparison_csv")?;
+        let cell_csv = reader.bool_or("cell_csv", false)?;
+        reader.finish()?;
+        let has_scenario_sections = ["dataset", "model", "execution", "attack", "output"]
+            .iter()
+            .any(|s| doc.section(s).is_some());
+        let base = match (preset, file, inline_name) {
+            (Some(preset), None, None) => {
+                if has_scenario_sections {
+                    return Err(ScenarioError::Invalid(
+                        "inline scenario sections are only allowed with `sweep.scenario_name`"
+                            .into(),
+                    ));
+                }
+                SweepBase::Preset(preset)
+            }
+            (None, Some(path), None) => {
+                if has_scenario_sections {
+                    return Err(ScenarioError::Invalid(
+                        "inline scenario sections are only allowed with `sweep.scenario_name`"
+                            .into(),
+                    ));
+                }
+                SweepBase::File(PathBuf::from(path))
+            }
+            (None, None, Some(scenario_name)) => {
+                let mut base_doc = Document::default();
+                base_doc.root.set("name", Value::Str(scenario_name));
+                for section in ["dataset", "model", "execution", "attack", "output"] {
+                    if let Some(table) = doc.section(section) {
+                        *base_doc.section_mut(section) = table.clone();
+                    }
+                }
+                SweepBase::Inline(Box::new(Scenario::from_toml(&base_doc.to_text())?))
+            }
+            _ => {
+                return Err(ScenarioError::Invalid(
+                    "the [sweep] section needs exactly one of `preset`, `scenario` or \
+                     `scenario_name` (with inline scenario sections)"
+                        .into(),
+                ))
+            }
+        };
+        let axes_table = doc.section("axes").ok_or(ScenarioError::MissingKey {
+            key: "[axes]".into(),
+        })?;
+        let mut axes = Vec::new();
+        for (key, value) in axes_table.iter() {
+            let values = match value {
+                Value::NumberList(items) => items.clone(),
+                Value::Range(start, end) => SweepAxis::range_tokens(
+                    key,
+                    start.parse::<u64>().expect("parser checked"),
+                    end.parse::<u64>().expect("parser checked"),
+                )?,
+                other => {
+                    return Err(ScenarioError::InvalidValue {
+                        key: format!("axes.{key}"),
+                        value: match other {
+                            Value::Str(s) => s.clone(),
+                            Value::Number(n) => n.clone(),
+                            Value::Bool(b) => b.to_string(),
+                            _ => unreachable!("list and range handled above"),
+                        },
+                        expected: "an array of numbers or an integer range".into(),
+                    })
+                }
+            };
+            axes.push(SweepAxis {
+                field: key.to_string(),
+                values,
+            });
+        }
+        Ok(SweepSpec {
+            name,
+            base,
+            axes,
+            max_cells,
+            comparison_csv,
+            cell_csv,
+        })
+    }
+
+    /// Reads and parses a sweep file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Io`] on read failures and parse errors
+    /// otherwise.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ScenarioError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Io(format!("reading {}: {e}", path.display())))?;
+        let mut spec = Self::from_toml(&text)?;
+        // A relative `scenario = "base.toml"` refers to a sibling of the
+        // sweep file, not of the process working directory — anchor it,
+        // so file-based sweeps are portable.
+        if let SweepBase::File(base) = &mut spec.base {
+            if base.is_relative() {
+                if let Some(parent) = path.parent() {
+                    *base = parent.join(&*base);
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Writes the sweep as a TOML file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Io`] on write failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ScenarioError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| ScenarioError::Io(format!("creating {}: {e}", parent.display())))?;
+        }
+        std::fs::write(path, self.to_toml())
+            .map_err(|e| ScenarioError::Io(format!("writing {}: {e}", path.display())))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expansion and execution
+// ---------------------------------------------------------------------------
+
+/// One concrete grid point: a fully resolved, validated scenario plus
+/// the axis coordinates that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Position in the deterministic expansion order.
+    pub index: usize,
+    /// Human-readable coordinates (`alpha=0.1,seed=42`).
+    pub id: String,
+    /// `(canonical field path, raw value token)` pairs, in axis order.
+    pub values: Vec<(String, String)>,
+    /// The cell's scenario (base plus this cell's axis values).
+    pub scenario: Scenario,
+}
+
+/// One executed cell: its coordinates plus the run's [`RunReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCellReport {
+    /// Position in the deterministic expansion order.
+    pub index: usize,
+    /// Human-readable coordinates (`alpha=0.1,seed=42`).
+    pub id: String,
+    /// `(canonical field path, raw value token)` pairs, in axis order.
+    pub values: Vec<(String, String)>,
+    /// The cell's full run report.
+    pub report: RunReport,
+}
+
+/// The aggregate result of a sweep: every cell's report in expansion
+/// order plus the cross-cell comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The sweep name.
+    pub name: String,
+    /// Canonical axis field paths, in sweep order.
+    pub axes: Vec<String>,
+    /// Per-cell reports, in expansion order (independent of scheduling).
+    pub cells: Vec<SweepCellReport>,
+    /// Where the comparison CSV was written, if requested.
+    pub comparison_csv: Option<PathBuf>,
+}
+
+impl SweepReport {
+    /// The comparison-table header: `cell`, one column per axis, then
+    /// the shared headline metrics (async columns are empty for rounds
+    /// cells).
+    pub fn comparison_header(&self) -> Vec<String> {
+        let mut header = vec!["cell".to_string()];
+        header.extend(self.axes.iter().cloned());
+        header.extend(
+            [
+                "mode",
+                "progress",
+                "recent_accuracy",
+                "pureness",
+                "modularity",
+                "partitions",
+                "misclassification",
+                "transactions",
+                "tips",
+                "activation_rate",
+                "publish_fraction",
+                "stale_fraction",
+                "mean_publish_latency",
+            ]
+            .map(String::from),
+        );
+        header
+    }
+
+    /// The comparison-table rows, one per cell in expansion order. All
+    /// values format deterministically, so the table is byte-identical
+    /// for any worker count.
+    pub fn comparison_rows(&self) -> Vec<Vec<String>> {
+        self.cells
+            .iter()
+            .map(|cell| {
+                let r = &cell.report;
+                let mut row = vec![cell.id.clone()];
+                for path in &self.axes {
+                    let token = cell
+                        .values
+                        .iter()
+                        .find(|(p, _)| p == path)
+                        .map(|(_, t)| t.clone())
+                        .unwrap_or_default();
+                    row.push(token);
+                }
+                row.push(r.mode.to_string());
+                row.push(r.progress.to_string());
+                row.push(format!("{:.4}", r.recent_accuracy));
+                row.push(format!("{:.4}", r.specialization.approval_pureness));
+                row.push(format!("{:.4}", r.specialization.modularity));
+                row.push(r.specialization.partitions.to_string());
+                row.push(format!("{:.4}", r.specialization.misclassification));
+                row.push(r.tangle.transactions.to_string());
+                row.push(r.tangle.tips.to_string());
+                match &r.async_metrics {
+                    Some(m) => {
+                        row.push(format!("{:.4}", m.activation_rate()));
+                        row.push(format!("{:.4}", m.publish_fraction()));
+                        row.push(format!("{:.4}", m.stale_fraction()));
+                        row.push(format!("{:.4}", m.mean_publish_latency));
+                    }
+                    None => row.extend(std::iter::repeat(String::new()).take(4)),
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// The comparison table as CSV text (what the comparison file
+    /// holds).
+    pub fn comparison_csv_text(&self) -> String {
+        let header = self.comparison_header();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        to_csv_string(&header_refs, &self.comparison_rows())
+    }
+
+    /// A multi-line human-readable summary (what `dagfl sweep` prints).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sweep {}: {} cells over [{}]",
+            self.name,
+            self.cells.len(),
+            self.axes.join(", ")
+        );
+        for cell in &self.cells {
+            let r = &cell.report;
+            let _ = write!(
+                out,
+                "  {:<32} accuracy {:.4} pureness {:.3} ({} {}",
+                cell.id,
+                r.recent_accuracy,
+                r.specialization.approval_pureness,
+                r.progress,
+                if r.mode == "async" {
+                    "activations"
+                } else {
+                    "rounds"
+                },
+            );
+            let _ = match &r.async_metrics {
+                Some(m) => writeln!(out, ", rate {:.3}/t)", m.activation_rate()),
+                None => writeln!(out, ")"),
+            };
+        }
+        if let Some(path) = &self.comparison_csv {
+            let _ = writeln!(out, "comparison written to {}", path.display());
+        }
+        out
+    }
+
+    fn write_comparison_csv(&self, name: &str) -> Result<PathBuf, ScenarioError> {
+        let dir = std::env::var("DAGFL_RESULTS")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        let path = dir.join(format!("{name}.csv"));
+        let header = self.comparison_header();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        write_csv(&path, &header_refs, &self.comparison_rows())
+            .map_err(|e| ScenarioError::Io(format!("writing {}: {e}", path.display())))?;
+        Ok(path)
+    }
+}
+
+/// Validates a [`SweepSpec`] and executes its cells on a pool of scoped
+/// worker threads.
+///
+/// Workers pull cell indices from a shared atomic counter, so `jobs`
+/// only controls wall-clock parallelism: every cell is a self-contained
+/// deterministic scenario run, results are re-assembled in expansion
+/// order, and the resulting [`SweepReport`] (and comparison CSV) is
+/// byte-identical for `--jobs 1` and `--jobs N`.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    spec: SweepSpec,
+    cells: Vec<SweepCell>,
+}
+
+impl SweepRunner {
+    /// Validates the spec (at the `DAGFL_FULL` scale), expands the grid
+    /// once and wraps both for execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SweepSpec::validate`]-style inconsistency.
+    pub fn new(spec: SweepSpec) -> Result<Self, ScenarioError> {
+        Self::at_scale(spec, Scale::from_env())
+    }
+
+    /// Validates and expands at an explicit scale. The expansion is
+    /// captured here, so later [`SweepRunner::run`] calls execute
+    /// exactly the cells that were validated — a file base edited or
+    /// deleted in between cannot change (or fail) the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first expansion inconsistency.
+    pub fn at_scale(spec: SweepSpec, scale: Scale) -> Result<Self, ScenarioError> {
+        let cells = spec.expand_at(scale)?;
+        Ok(Self { spec, cells })
+    }
+
+    /// The wrapped spec.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// The expanded cells, in deterministic order.
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// Runs every cell on `jobs` worker threads and aggregates the
+    /// reports (clamped to at least 1 and at most the cell count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing cell (by expansion order), naming
+    /// its id.
+    pub fn run(&self, jobs: usize) -> Result<SweepReport, ScenarioError> {
+        let cells = &self.cells;
+        let n = cells.len();
+        let jobs = jobs.clamp(1, n.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<RunReport, ScenarioError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::SeqCst);
+                    if index >= n {
+                        break;
+                    }
+                    let mut scenario = cells[index].scenario.clone();
+                    if jobs > 1 {
+                        // Cell-level workers already saturate the cores;
+                        // stacking the per-round client fan-out on top
+                        // would oversubscribe them. Safe to disable: the
+                        // parallel round path is bit-deterministic
+                        // against the sequential one (pinned by the
+                        // RunReport-equality regression test).
+                        scenario.execution.dag_mut().parallel = false;
+                    }
+                    let outcome = ScenarioRunner::new(scenario).and_then(|runner| runner.run());
+                    *slots[index].lock().expect("cell slot lock") = Some(outcome);
+                });
+            }
+        });
+        let mut reports = Vec::with_capacity(n);
+        for (cell, slot) in cells.iter().zip(slots) {
+            let report = slot
+                .into_inner()
+                .expect("cell slot lock")
+                .expect("every cell index was claimed by a worker")
+                .map_err(|e| {
+                    ScenarioError::Invalid(format!("sweep cell `{}` failed: {e}", cell.id))
+                })?;
+            reports.push(SweepCellReport {
+                index: cell.index,
+                id: cell.id.clone(),
+                values: cell.values.clone(),
+                report,
+            });
+        }
+        let axes = self
+            .spec
+            .resolved_axes()
+            .expect("spec validated at construction")
+            .iter()
+            .map(|(field, _)| field.path().to_string())
+            .collect();
+        let mut report = SweepReport {
+            name: self.spec.name.clone(),
+            axes,
+            cells: reports,
+            comparison_csv: None,
+        };
+        if let Some(csv) = &self.spec.comparison_csv {
+            report.comparison_csv = Some(report.write_comparison_csv(csv)?);
+        }
+        Ok(report)
+    }
+}
+
+/// Whether TOML text is a sweep spec (it holds a real `[sweep]`
+/// section) rather than a plain scenario — the one classifier shared by
+/// `dagfl scenarios --check` and the integration tests, so the two
+/// front doors can never disagree. Comments or strings that merely
+/// mention `[sweep]` do not count.
+pub fn is_sweep_toml(text: &str) -> bool {
+    Document::parse(text)
+        .map(|doc| doc.section("sweep").is_some())
+        .unwrap_or(false)
+}
+
+// ---------------------------------------------------------------------------
+// The sweep preset registry
+// ---------------------------------------------------------------------------
+
+/// The canonical sweep preset names with one-line descriptions, in
+/// listing order. The checked-in `scenarios/sweep-*.toml` files are
+/// dumps of these specs (regenerated by `dagfl scenarios --dump`).
+pub const SWEEP_PRESET_NAMES: &[(&str, &str)] = &[
+    (
+        "sweep-smoke",
+        "2-cell seed sweep over the smoke scenario (CI smoke test, seconds)",
+    ),
+    (
+        "sweep-fig05-alpha",
+        "Figure 5: alpha in {1, 10, 100} with tracked cluster metrics",
+    ),
+    (
+        "sweep-fig06-alpha",
+        "Figure 6: alpha in {0.1, 1, 10, 100}, simple normalization",
+    ),
+    (
+        "sweep-fig07-alpha",
+        "Figure 7: alpha in {0.1, 1, 10, 100}, dynamic normalization",
+    ),
+    (
+        "sweep-fig08-alpha",
+        "Figure 8: alpha in {0.1, 1, 10, 100} on relaxed clusters",
+    ),
+    (
+        "sweep-poisoning-fraction",
+        "Figures 12-14: poisoned-client fraction in {0, 0.2, 0.3}",
+    ),
+    (
+        "sweep-async-delay",
+        "async link delay in {0, 2, 10} at the round-matched budget",
+    ),
+];
+
+fn build_preset(name: &str) -> Option<SweepSpec> {
+    let alpha_sweep = |base: &str, alphas: &[&str]| {
+        SweepSpec::over_preset(name, base)
+            .axis("execution.alpha", alphas.iter().copied())
+            .with_comparison_csv(name.replace('-', "_"))
+    };
+    match name {
+        "sweep-smoke" => Some(
+            SweepSpec::over_preset(name, "smoke")
+                .axis("seed", ["42", "43"])
+                .with_comparison_csv("sweep_smoke"),
+        ),
+        "sweep-fig05-alpha" => Some(alpha_sweep("fig05-alpha10", &["1", "10", "100"])),
+        "sweep-fig06-alpha" => Some(alpha_sweep("fig06-alpha10", &["0.1", "1", "10", "100"])),
+        "sweep-fig07-alpha" => Some(alpha_sweep("fig07-alpha10", &["0.1", "1", "10", "100"])),
+        "sweep-fig08-alpha" => Some(alpha_sweep("fig08-alpha10", &["0.1", "1", "10", "100"])),
+        "sweep-poisoning-fraction" => Some(
+            SweepSpec::over_preset(name, "poisoning-p0.2")
+                .axis("attack.fraction", ["0.0", "0.2", "0.3"])
+                .with_comparison_csv("sweep_poisoning_fraction"),
+        ),
+        "sweep-async-delay" => Some(
+            SweepSpec::over_preset(name, "async-delay2")
+                .axis("execution.delay", ["0.0", "2.0", "10.0"])
+                .with_comparison_csv("sweep_async_delay"),
+        ),
+        _ => None,
+    }
+}
+
+impl SweepSpec {
+    /// Resolves a sweep preset by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnknownPreset`] for unregistered names.
+    pub fn preset(name: &str) -> Result<SweepSpec, ScenarioError> {
+        build_preset(name).ok_or_else(|| ScenarioError::UnknownPreset(name.to_string()))
+    }
+
+    /// The canonical sweep preset names with one-line descriptions.
+    pub fn preset_names() -> &'static [(&'static str, &'static str)] {
+        SWEEP_PRESET_NAMES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetSpec;
+
+    fn smoke_scenario() -> Scenario {
+        Scenario::preset_at("smoke", Scale::Quick).unwrap()
+    }
+
+    fn tiny_sweep() -> SweepSpec {
+        SweepSpec::over_scenario("tiny-sweep", smoke_scenario())
+            .axis("execution.alpha", ["1", "10"])
+            .axis("seed", ["42", "43"])
+    }
+
+    #[test]
+    fn expansion_is_a_deterministic_cross_product() {
+        let cells = tiny_sweep().expand_at(Scale::Quick).unwrap();
+        assert_eq!(cells.len(), 4);
+        // Last axis fastest.
+        let ids: Vec<&str> = cells.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "alpha=1,seed=42",
+                "alpha=1,seed=43",
+                "alpha=10,seed=42",
+                "alpha=10,seed=43"
+            ]
+        );
+        assert_eq!(cells[3].index, 3);
+        assert_eq!(cells[3].scenario.dataset.seed(), 43);
+        assert_eq!(cells[3].scenario.execution.dag().seed, 43);
+        match cells[3].scenario.execution.dag().tip_selector {
+            TipSelector::Accuracy { alpha, .. } => assert_eq!(alpha, 10.0),
+            ref other => panic!("unexpected selector {other:?}"),
+        }
+        // Cell names carry the sweep context.
+        assert_eq!(cells[0].scenario.name, "tiny-sweep/alpha=1,seed=42");
+        // Expansion is pure.
+        assert_eq!(cells, tiny_sweep().expand_at(Scale::Quick).unwrap());
+    }
+
+    #[test]
+    fn replicate_axis_derives_independent_seeds() {
+        let cells = SweepSpec::over_scenario("rep", smoke_scenario())
+            .axis_range("replicate", 0..3)
+            .expand_at(Scale::Quick)
+            .unwrap();
+        assert_eq!(cells.len(), 3);
+        let base_seed = smoke_scenario().execution.dag().seed;
+        for (k, cell) in cells.iter().enumerate() {
+            assert_eq!(
+                cell.scenario.execution.dag().seed,
+                derive_seed(base_seed, k as u64)
+            );
+            assert_eq!(
+                cell.scenario.dataset.seed(),
+                derive_seed(base_seed, k as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_and_duplicate_axes_are_rejected_with_the_field_path() {
+        let err = SweepSpec::over_scenario("bad", smoke_scenario())
+            .axis("warp_factor", ["1"])
+            .validate()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::UnknownKey { ref key } if key == "axes.warp_factor"),
+            "{err}"
+        );
+        // The same field twice, via an alias.
+        let err = SweepSpec::over_scenario("bad", smoke_scenario())
+            .axis("execution.alpha", ["1"])
+            .axis("alpha", ["10"])
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("execution.alpha"), "{err}");
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        // seed and replicate target the same master seed.
+        let err = SweepSpec::over_scenario("bad", smoke_scenario())
+            .axis("seed", ["1"])
+            .axis("replicate", ["0"])
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        assert!(err.to_string().contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn inapplicable_axes_are_rejected_with_the_field_path() {
+        // Async field on a rounds base.
+        let err = SweepSpec::over_scenario("bad", smoke_scenario())
+            .axis("execution.delay", ["1.0"])
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("execution.delay"), "{err}");
+        assert!(err.to_string().contains("async"), "{err}");
+        // Rounds field on an async base.
+        let err = SweepSpec::over_preset("bad", "async-delay2")
+            .axis("execution.rounds", ["5"])
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("execution.rounds"), "{err}");
+        // Attack field without an attack.
+        let err = SweepSpec::over_scenario("bad", smoke_scenario())
+            .axis("attack.fraction", ["0.1"])
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("attack.fraction"), "{err}");
+        // Alpha on a random selector.
+        let mut random = smoke_scenario();
+        random.execution.dag_mut().tip_selector = TipSelector::Random;
+        let err = SweepSpec::over_scenario("bad", random)
+            .axis("alpha", ["1"])
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("execution.alpha"), "{err}");
+        // Relaxation on a non-fmnist dataset.
+        let mut author = smoke_scenario();
+        author.dataset = DatasetSpec::FmnistAuthor {
+            clients: 4,
+            samples: 30,
+            seed: 42,
+        };
+        let err = SweepSpec::over_scenario("bad", author)
+            .axis("dataset.relaxation", ["0.1"])
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("dataset.relaxation"), "{err}");
+    }
+
+    #[test]
+    fn empty_axes_bad_tokens_and_caps_are_rejected() {
+        let err = SweepSpec::over_scenario("bad", smoke_scenario())
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one axis"), "{err}");
+        let err = SweepSpec::over_scenario("bad", smoke_scenario())
+            .axis("alpha", Vec::<String>::new())
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("no values"), "{err}");
+        // An integer field rejects float tokens.
+        let err = SweepSpec::over_scenario("bad", smoke_scenario())
+            .axis("seed", ["1.5"])
+            .validate()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::InvalidValue { ref key, .. } if key == "axes.seed"),
+            "{err}"
+        );
+        // The cell cap refuses oversized grids.
+        let err = tiny_sweep().with_max_cells(3).validate().unwrap_err();
+        assert!(err.to_string().contains("max_cells"), "{err}");
+        assert!(tiny_sweep().with_max_cells(4).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_cells_name_their_coordinates() {
+        // alpha = 0 fails DagConfig range checks only after application.
+        let err = SweepSpec::over_scenario("bad", smoke_scenario())
+            .axis("alpha", ["-1"])
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("alpha=-1"), "{err}");
+    }
+
+    #[test]
+    fn toml_round_trips_every_base_shape() {
+        let cases = vec![
+            tiny_sweep(),
+            SweepSpec::over_preset("over-preset", "smoke")
+                .axis("seed", ["1", "2"])
+                .with_max_cells(8)
+                .with_comparison_csv("cmp")
+                .with_cell_csv(true),
+            SweepSpec::over_file("over-file", "scenarios/smoke.toml").axis("alpha", ["1"]),
+        ];
+        for spec in cases {
+            let text = spec.to_toml();
+            let reparsed = SweepSpec::from_toml(&text)
+                .unwrap_or_else(|e| panic!("reparsing `{}` failed: {e}\n{text}", spec.name));
+            assert_eq!(spec, reparsed, "{text}");
+        }
+    }
+
+    #[test]
+    fn toml_ranges_expand_to_value_lists() {
+        let spec = SweepSpec::from_toml(
+            "name = \"r\"\n[sweep]\npreset = \"smoke\"\n[axes]\nreplicate = 0..3\n",
+        )
+        .unwrap();
+        assert_eq!(spec.axes[0].values, ["0", "1", "2"]);
+        // Builder ranges expand identically, so the round trip stays exact.
+        let built = SweepSpec::over_preset("r", "smoke").axis_range("replicate", 0..3);
+        assert_eq!(spec.axes, built.axes);
+    }
+
+    #[test]
+    fn malformed_sweep_files_are_rejected() {
+        // Missing [sweep].
+        let err = SweepSpec::from_toml("name = \"x\"\n[axes]\nseed = [1]\n").unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::MissingKey { ref key } if key == "[sweep]"),
+            "{err}"
+        );
+        // Missing [axes].
+        let err = SweepSpec::from_toml("name = \"x\"\n[sweep]\npreset = \"smoke\"\n").unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::MissingKey { ref key } if key == "[axes]"),
+            "{err}"
+        );
+        // Two bases at once.
+        let err = SweepSpec::from_toml(
+            "name = \"x\"\n[sweep]\npreset = \"a\"\nscenario = \"b\"\n[axes]\nseed = [1]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("exactly one"), "{err}");
+        // Scenario sections without an inline base.
+        let err = SweepSpec::from_toml(
+            "name = \"x\"\n[sweep]\npreset = \"smoke\"\n[dataset]\nkind = \"fmnist\"\n\
+             [axes]\nseed = [1]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("scenario_name"), "{err}");
+        // Unknown section and unknown [sweep] key.
+        let err = SweepSpec::from_toml(
+            "name = \"x\"\n[sweep]\npreset = \"smoke\"\n[axes]\nseed = [1]\n[extra]\nk = 1\n",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::UnknownKey { ref key } if key == "[extra]"),
+            "{err}"
+        );
+        let err = SweepSpec::from_toml(
+            "name = \"x\"\n[sweep]\npreset = \"smoke\"\npresett = \"y\"\n[axes]\nseed = [1]\n",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::UnknownKey { ref key } if key == "sweep.presett"),
+            "{err}"
+        );
+        // A non-list axis value.
+        let err = SweepSpec::from_toml(
+            "name = \"x\"\n[sweep]\npreset = \"smoke\"\n[axes]\nseed = \"many\"\n",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::InvalidValue { ref key, .. } if key == "axes.seed"),
+            "{err}"
+        );
+        // An empty range.
+        let err = SweepSpec::from_toml(
+            "name = \"x\"\n[sweep]\npreset = \"smoke\"\n[axes]\nseed = 5..5\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("dagfl_sweep_io_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/tiny.toml");
+        let spec = tiny_sweep();
+        spec.save(&path).unwrap();
+        assert_eq!(SweepSpec::load(&path).unwrap(), spec);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(matches!(
+            SweepSpec::load(dir.join("missing.toml")).unwrap_err(),
+            ScenarioError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn file_base_resolves_at_expansion_time() {
+        let dir = std::env::temp_dir().join("dagfl_sweep_file_base_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let base_path = dir.join("base.toml");
+        smoke_scenario().save(&base_path).unwrap();
+        let spec = SweepSpec::over_file("file-base", &base_path).axis("seed", ["1", "2"]);
+        let cells = spec.expand_at(Scale::Quick).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].scenario.dataset.seed(), 1);
+        // A runner captures the expansion at construction, so deleting
+        // the base file afterwards neither changes nor fails the run.
+        let runner = SweepRunner::at_scale(spec.clone(), Scale::Quick).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(matches!(
+            spec.expand_at(Scale::Quick).unwrap_err(),
+            ScenarioError::Io(_)
+        ));
+        assert_eq!(runner.cells().len(), 2);
+        assert_eq!(runner.run(1).unwrap().cells.len(), 2);
+    }
+
+    #[test]
+    fn loaded_relative_file_bases_anchor_to_the_sweep_file() {
+        // `scenario = "base.toml"` in a sweep file means a sibling of
+        // that file, wherever the process happens to run from.
+        let dir = std::env::temp_dir().join("dagfl_sweep_relative_base_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        smoke_scenario().save(dir.join("base.toml")).unwrap();
+        let sweep_path = dir.join("sweep.toml");
+        SweepSpec::over_file("relative", "base.toml")
+            .axis("seed", ["1"])
+            .save(&sweep_path)
+            .unwrap();
+        let spec = SweepSpec::load(&sweep_path).unwrap();
+        assert_eq!(spec.base, SweepBase::File(dir.join("base.toml")));
+        assert_eq!(spec.expand_at(Scale::Quick).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn is_sweep_toml_requires_a_real_sweep_section() {
+        assert!(is_sweep_toml(
+            "name = \"x\"\n[sweep]\npreset = \"smoke\"\n[axes]\nseed = [1]\n"
+        ));
+        // Mentions in comments or strings do not count.
+        assert!(!is_sweep_toml(
+            "# migrated from [sweep] format\nname = \"x\"\n"
+        ));
+        assert!(!is_sweep_toml("name = \"a [sweep] b\"\n"));
+        assert!(!is_sweep_toml("not toml at all"));
+    }
+
+    #[test]
+    fn run_aggregates_cells_in_expansion_order() {
+        let spec = SweepSpec::over_scenario("order", smoke_scenario()).axis("seed", ["42", "43"]);
+        let report = SweepRunner::at_scale(spec, Scale::Quick)
+            .unwrap()
+            .run(1)
+            .unwrap();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].id, "seed=42");
+        assert_eq!(report.cells[1].id, "seed=43");
+        assert_eq!(report.axes, ["seed"]);
+        // Different seeds actually produced different runs.
+        assert_ne!(
+            report.cells[0].report.round_accuracy,
+            report.cells[1].report.round_accuracy
+        );
+        assert!(report.summary().contains("seed=43"));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report_or_the_csv() {
+        // The acceptance grid: >= 4 cells, --jobs 1 vs --jobs 2,
+        // byte-identical comparison CSVs.
+        let runner = SweepRunner::at_scale(tiny_sweep(), Scale::Quick).unwrap();
+        let serial = runner.run(1).unwrap();
+        let pooled = runner.run(2).unwrap();
+        assert_eq!(serial, pooled);
+        let a = serial.comparison_csv_text();
+        let b = pooled.comparison_csv_text();
+        assert_eq!(a.as_bytes(), b.as_bytes());
+        // The table has one row per cell plus the header.
+        assert_eq!(a.lines().count(), 5);
+        assert!(
+            a.starts_with("cell,execution.alpha,seed,mode,progress,"),
+            "{a}"
+        );
+    }
+
+    #[test]
+    fn oversized_jobs_clamp_to_the_cell_count() {
+        let spec = SweepSpec::over_scenario("clamp", smoke_scenario()).axis("seed", ["42"]);
+        let report = SweepRunner::at_scale(spec, Scale::Quick)
+            .unwrap()
+            .run(64)
+            .unwrap();
+        assert_eq!(report.cells.len(), 1);
+    }
+
+    #[test]
+    fn cell_csv_names_follow_the_expansion_index() {
+        let cells = tiny_sweep()
+            .with_cell_csv(true)
+            .expand_at(Scale::Quick)
+            .unwrap();
+        assert_eq!(
+            cells[0].scenario.output.csv.as_deref(),
+            Some("tiny-sweep-000")
+        );
+        assert_eq!(
+            cells[3].scenario.output.csv.as_deref(),
+            Some("tiny-sweep-003")
+        );
+    }
+
+    #[test]
+    fn zero_activation_async_reports_format_without_nan() {
+        // An async run whose horizon elapses before any activation:
+        // every AsyncMetrics rate guard returns 0.0, and neither the
+        // human summary nor the sweep comparison CSV may leak a NaN.
+        use crate::runner::DatasetSummary;
+        use dagfl_core::{AsyncMetrics, SpecializationMetrics};
+        use dagfl_tangle::TangleStats;
+        let metrics = AsyncMetrics {
+            activations: 0,
+            publications: 0,
+            discarded_stale: 0,
+            reselections: 0,
+            elapsed: 0.0,
+            mean_publish_latency: 0.0,
+            max_publish_latency: 0.0,
+            staleness_histogram: [0; 3],
+            mean_confirmation_depth: 0.0,
+            tips: 1,
+            transactions: 1,
+        };
+        assert_eq!(metrics.activation_rate(), 0.0);
+        assert_eq!(metrics.publish_fraction(), 0.0);
+        assert_eq!(metrics.stale_fraction(), 0.0);
+        let report = RunReport {
+            scenario: "empty-horizon".into(),
+            mode: "async",
+            progress: 0,
+            recent_accuracy: 0.0,
+            round_accuracy: Vec::new(),
+            round_loss: Vec::new(),
+            dataset: DatasetSummary {
+                name: "fmnist-clustered".into(),
+                clients: 4,
+                classes: 10,
+                clusters: 3,
+                base_pureness: 0.33,
+            },
+            specialization: SpecializationMetrics {
+                modularity: 0.0,
+                partitions: 1,
+                misclassification: 0.0,
+                approval_pureness: 1.0,
+                partition: vec![0; 4],
+            },
+            specialization_track: Vec::new(),
+            tangle: TangleStats {
+                transactions: 1,
+                tips: 1,
+                edges: 0,
+                max_depth: 0,
+                mean_parents: 0.0,
+                mean_children: 0.0,
+            },
+            async_metrics: Some(metrics),
+            poisoning: None,
+            csv_path: None,
+        };
+        let summary = report.summary();
+        assert!(!summary.contains("NaN"), "{summary}");
+        let sweep = SweepReport {
+            name: "empty".into(),
+            axes: vec!["execution.delay".into()],
+            cells: vec![SweepCellReport {
+                index: 0,
+                id: "delay=2.0".into(),
+                values: vec![("execution.delay".into(), "2.0".into())],
+                report,
+            }],
+            comparison_csv: None,
+        };
+        let csv = sweep.comparison_csv_text();
+        assert!(!csv.contains("NaN"), "{csv}");
+        assert!(csv.contains("0.0000"), "{csv}");
+        assert!(!sweep.summary().contains("NaN"));
+    }
+
+    #[test]
+    fn every_sweep_preset_builds_validates_and_round_trips() {
+        for (name, _) in SWEEP_PRESET_NAMES {
+            let spec = SweepSpec::preset(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(spec.name, *name);
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let reparsed = SweepSpec::from_toml(&spec.to_toml()).unwrap();
+            assert_eq!(spec, reparsed, "{name}");
+        }
+        assert!(matches!(
+            SweepSpec::preset("sweep-nothing"),
+            Err(ScenarioError::UnknownPreset(_))
+        ));
+    }
+
+    #[test]
+    fn async_delay_preset_sweeps_the_delay_field() {
+        let cells = SweepSpec::preset("sweep-async-delay")
+            .unwrap()
+            .expand_at(Scale::Quick)
+            .unwrap();
+        assert_eq!(cells.len(), 3);
+        let delays: Vec<f64> = cells
+            .iter()
+            .map(|c| match &c.scenario.execution {
+                ExecutionSpec::Async(config) => match config.delay {
+                    DelayModel::Constant { delay } => delay,
+                    ref other => panic!("unexpected delay model {other:?}"),
+                },
+                other => panic!("unexpected execution {other:?}"),
+            })
+            .collect();
+        assert_eq!(delays, [0.0, 2.0, 10.0]);
+    }
+
+    #[test]
+    fn poisoning_preset_sweeps_the_attack_fraction() {
+        let cells = SweepSpec::preset("sweep-poisoning-fraction")
+            .unwrap()
+            .expand_at(Scale::Quick)
+            .unwrap();
+        let fractions: Vec<f64> = cells
+            .iter()
+            .map(|c| c.scenario.attack.expect("attack").fraction)
+            .collect();
+        assert_eq!(fractions, [0.0, 0.2, 0.3]);
+    }
+}

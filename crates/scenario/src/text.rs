@@ -8,7 +8,8 @@
 //! * `key = value` pairs, optionally grouped under `[section]` headers
 //!   (one level, no nested or array-of-table sections),
 //! * values: double-quoted strings (with `\"`, `\\`, `\n`, `\t`
-//!   escapes), booleans, decimal numbers, and flat arrays of numbers,
+//!   escapes), booleans, decimal numbers, flat arrays of numbers, and
+//!   half-open integer ranges (`0..5`, used by sweep axes),
 //! * `#` comments (whole-line or trailing) and blank lines.
 //!
 //! Numbers are kept as their raw tokens and parsed on demand, so an
@@ -45,6 +46,9 @@ pub enum Value {
     Bool(bool),
     /// A flat array of numeric tokens.
     NumberList(Vec<String>),
+    /// A half-open integer range `start..end` (`end` exclusive), kept as
+    /// raw tokens. Sweep axes use this for replicate grids (`seed = 0..5`).
+    Range(String, String),
 }
 
 /// An ordered `key = value` table (insertion order is preserved so
@@ -249,6 +253,16 @@ fn parse_value(token: &str, line: usize) -> Result<Value, TextError> {
         }
         return Ok(Value::NumberList(items));
     }
+    if let Some((start, end)) = token.split_once("..") {
+        let (start, end) = (start.trim(), end.trim());
+        if start.parse::<u64>().is_ok() && end.parse::<u64>().is_ok() {
+            return Ok(Value::Range(start.to_string(), end.to_string()));
+        }
+        return Err(TextError {
+            line,
+            message: format!("`{token}` is not an integer range (expected `start..end`)"),
+        });
+    }
     Ok(Value::Number(number_token(token, line)?))
 }
 
@@ -299,6 +313,7 @@ fn format_value(value: &Value) -> String {
         Value::Number(n) => n.clone(),
         Value::Bool(b) => b.to_string(),
         Value::NumberList(items) => format!("[{}]", items.join(", ")),
+        Value::Range(start, end) => format!("{start}..{end}"),
     }
 }
 
@@ -403,6 +418,35 @@ mod tests {
             assert!(s.contains('.') || s.contains('e'), "{s} looks integral");
         }
         assert_eq!(format_f64(2.0), "2.0");
+    }
+
+    #[test]
+    fn integer_ranges_parse_and_round_trip() {
+        let doc = Document::parse("[axes]\nseed = 0..5\nreplicate = 2 .. 4\n").unwrap();
+        let axes = doc.section("axes").unwrap();
+        assert_eq!(
+            axes.get("seed"),
+            Some(&Value::Range("0".into(), "5".into()))
+        );
+        assert_eq!(
+            axes.get("replicate"),
+            Some(&Value::Range("2".into(), "4".into()))
+        );
+        let text = doc.to_text();
+        assert!(text.contains("seed = 0..5"), "{text}");
+        assert_eq!(Document::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn malformed_ranges_are_rejected() {
+        for input in ["k = 0..x", "k = ..5", "k = 1.5..3", "k = -1..3"] {
+            let err = Document::parse(input).unwrap_err();
+            assert!(
+                err.message.contains("integer range"),
+                "{input:?}: {}",
+                err.message
+            );
+        }
     }
 
     #[test]

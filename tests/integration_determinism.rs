@@ -46,6 +46,48 @@ fn parallel_execution_matches_sequential() {
 }
 
 #[test]
+fn parallel_round_path_produces_an_identical_run_report() {
+    // The sweep engine stacks a second layer of parallelism (cell
+    // workers) on top of the per-round client fan-out, so the parallel
+    // round path must be bit-deterministic: the *complete* RunReport —
+    // per-round accuracy/loss, specialization tracking, tangle stats —
+    // must be field-for-field equal between `parallel = true/false` on
+    // the same seed, not just the headline fingerprint.
+    use dagfl::scenario::DatasetSpec;
+    use dagfl::{Scenario, ScenarioRunner};
+    let report_with = |parallel: bool| {
+        let mut scenario = Scenario::new(
+            "parallel-determinism",
+            DatasetSpec::Fmnist {
+                clients: 8,
+                samples: 40,
+                relaxation: 0.0,
+                seed: 7,
+            },
+        )
+        .rounds(4)
+        .clients_per_round(4)
+        .local_batches(3)
+        .tracking(2);
+        scenario.execution.dag_mut().parallel = parallel;
+        ScenarioRunner::new(scenario)
+            .expect("scenario validates")
+            .run()
+            .expect("scenario runs")
+    };
+    let parallel = report_with(true);
+    let sequential = report_with(false);
+    assert_eq!(parallel.round_accuracy, sequential.round_accuracy);
+    assert_eq!(parallel.round_loss, sequential.round_loss);
+    assert_eq!(
+        parallel.specialization_track,
+        sequential.specialization_track
+    );
+    assert_eq!(parallel.tangle, sequential.tangle);
+    assert_eq!(parallel, sequential);
+}
+
+#[test]
 fn different_seeds_differ() {
     assert_ne!(dag_fingerprint(7, false).1, dag_fingerprint(8, false).1);
 }

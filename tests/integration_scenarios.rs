@@ -5,7 +5,9 @@
 //! preset registry.
 
 use dagfl::scenario::{AttackSpec, Scale};
-use dagfl::{DatasetSpec, ExecutionSpec, RunReport, Scenario, ScenarioRunner};
+use dagfl::{
+    DatasetSpec, ExecutionSpec, RunReport, Scenario, ScenarioRunner, SweepRunner, SweepSpec,
+};
 
 fn run(scenario: Scenario) -> RunReport {
     ScenarioRunner::new(scenario)
@@ -113,12 +115,28 @@ fn attack_preset_reports_poisoning_deterministically() {
 fn checked_in_scenario_files_parse_validate_and_match_their_presets() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
     let mut checked = 0;
+    let mut sweeps_checked = 0;
     for entry in std::fs::read_dir(&dir).expect("scenarios/ directory exists") {
         let path = entry.expect("dir entry").path();
         if path.extension().and_then(|ext| ext.to_str()) != Some("toml") {
             continue;
         }
-        let scenario = Scenario::load(&path)
+        let text = std::fs::read_to_string(&path).expect("scenario file reads");
+        if dagfl::scenario::is_sweep_toml(&text) {
+            // Sweep files: load (anchoring relative file bases like the
+            // CLI does), validate via a full quick-scale expansion, and
+            // pin against the sweep preset registry.
+            let spec = SweepSpec::load(&path)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{} does not validate: {e}", path.display()));
+            let preset =
+                SweepSpec::preset(&spec.name).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert_eq!(spec, preset, "{} drifted from its preset", path.display());
+            sweeps_checked += 1;
+            continue;
+        }
+        let scenario = Scenario::from_toml(&text)
             .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
         scenario
             .validate()
@@ -136,6 +154,34 @@ fn checked_in_scenario_files_parse_validate_and_match_their_presets() {
         checked += 1;
     }
     assert!(checked >= 10, "only {checked} scenario files checked");
+    assert!(
+        sweeps_checked >= 5,
+        "only {sweeps_checked} sweep files checked"
+    );
+}
+
+#[test]
+fn sweep_grids_are_scheduling_independent_end_to_end() {
+    // The acceptance guarantee, exercised through the facade: a >= 4-cell
+    // grid run with 1 worker and with 2 workers produces equal reports
+    // and byte-identical comparison CSV text.
+    let spec = SweepSpec::over_preset("ws-sweep", "smoke")
+        .axis("execution.alpha", ["1", "10"])
+        .axis("replicate", ["0", "1"]);
+    let runner = SweepRunner::at_scale(spec, Scale::Quick).expect("sweep validates");
+    assert_eq!(runner.cells().len(), 4);
+    let serial = runner.run(1).expect("serial sweep runs");
+    let pooled = runner.run(2).expect("pooled sweep runs");
+    assert_eq!(serial, pooled);
+    assert_eq!(
+        serial.comparison_csv_text().as_bytes(),
+        pooled.comparison_csv_text().as_bytes()
+    );
+    // Replicates actually decorrelate the cells.
+    assert_ne!(
+        serial.cells[0].report.round_accuracy,
+        serial.cells[1].report.round_accuracy
+    );
 }
 
 #[test]
