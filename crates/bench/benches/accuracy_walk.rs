@@ -1,38 +1,14 @@
 //! The accuracy-biased walk with real model evaluations — the dominant
 //! cost of the Specializing DAG (§5.3.5) — with cold and warm caches.
 
-use std::collections::HashMap;
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use dagfl_bench::fmnist_model_factory;
-use dagfl_core::{AccuracyBias, ModelPayload, Normalization};
+use dagfl_core::{perturbed_model_tangle, AccuracyBias, ModelEvaluator, Normalization};
 use dagfl_datasets::{fmnist_clustered, FmnistConfig};
-use dagfl_tangle::{RandomWalker, Tangle};
-
-/// A model tangle with `n` transactions whose payloads are perturbed
-/// copies of a base model.
-fn model_tangle(n: usize, params: &[f32], seed: u64) -> Tangle<ModelPayload> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut tangle = Tangle::new(ModelPayload::new(params.to_vec()));
-    let mut ids = vec![tangle.genesis()];
-    for _ in 1..n {
-        let perturbed: Vec<f32> = params
-            .iter()
-            .map(|&p| p + rng.gen_range(-0.05f32..0.05))
-            .collect();
-        let recent = ids.len().saturating_sub(8);
-        let p1 = ids[rng.gen_range(recent..ids.len())];
-        let p2 = ids[rng.gen_range(0..ids.len())];
-        let id = tangle
-            .attach(ModelPayload::new(perturbed), &[p1, p2])
-            .expect("parents exist");
-        ids.push(id);
-    }
-    tangle
-}
+use dagfl_tangle::RandomWalker;
 
 fn bench_accuracy_walk(c: &mut Criterion) {
     let dataset = fmnist_clustered(&FmnistConfig {
@@ -43,24 +19,23 @@ fn bench_accuracy_walk(c: &mut Criterion) {
     let client = &dataset.clients()[0];
     let factory = fmnist_model_factory(dataset.feature_len(), 10);
     let mut rng = StdRng::seed_from_u64(0);
-    let mut model = factory(&mut rng);
+    let model = factory(&mut rng);
     let params = model.parameters();
 
     let mut group = c.benchmark_group("accuracy_walk");
     group.sample_size(10);
     for n in [50usize, 200] {
-        let tangle = model_tangle(n, &params, 1);
+        let tangle = perturbed_model_tangle(n, &params, 1);
         group.bench_with_input(BenchmarkId::new("cold_cache", n), &tangle, |b, tangle| {
             let mut rng = StdRng::seed_from_u64(7);
             b.iter(|| {
-                // A fresh cache per iteration: every candidate evaluation
-                // is a real forward pass.
-                let mut cache = HashMap::new();
+                // A fresh evaluator per iteration: every candidate
+                // evaluation is a real forward pass.
+                let mut evaluator = ModelEvaluator::new(factory(&mut rng));
                 let mut bias = AccuracyBias::new(
-                    model.as_mut(),
+                    &mut evaluator,
                     client.test_x(),
                     client.test_y(),
-                    &mut cache,
                     10.0,
                     Normalization::Simple,
                 );
@@ -71,13 +46,12 @@ fn bench_accuracy_walk(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("warm_cache", n), &tangle, |b, tangle| {
             let mut rng = StdRng::seed_from_u64(7);
-            let mut cache = HashMap::new();
+            let mut evaluator = ModelEvaluator::new(factory(&mut rng));
             b.iter(|| {
                 let mut bias = AccuracyBias::new(
-                    model.as_mut(),
+                    &mut evaluator,
                     client.test_x(),
                     client.test_y(),
-                    &mut cache,
                     10.0,
                     Normalization::Simple,
                 );

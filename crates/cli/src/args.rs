@@ -26,6 +26,8 @@ pub enum Command {
     /// List scenario presets, or check/dump scenario files
     /// (`--check <dir>` / `--dump <dir>`).
     Scenarios,
+    /// Walk-evaluation performance smoke; writes `BENCH_walk.json`.
+    Perf,
     /// Print usage.
     Help,
 }
@@ -41,6 +43,7 @@ impl Command {
             "run" => Some(Command::Run),
             "sweep" => Some(Command::Sweep),
             "scenarios" => Some(Command::Scenarios),
+            "perf" => Some(Command::Perf),
             "help" | "--help" | "-h" => Some(Command::Help),
             _ => None,
         }
@@ -218,6 +221,7 @@ COMMANDS:
     fedprox   FedProx baseline (use --mu, --stragglers)
     local     local-only training (no communication)
     async     event-driven asynchronous DAG simulation
+    perf      walk-evaluation performance smoke (writes BENCH_walk.json)
     help      print this message
 
 SCENARIOS:
@@ -258,6 +262,13 @@ DAG FLAGS:
 FEDPROX FLAGS:
     --mu                proximal strength           (0.1)
     --stragglers        straggler fraction          (0.0)
+
+PERF FLAGS:
+    --transactions      synthetic tangle size                 (500)
+    --walks             walks per phase (cold + warm cache)   (20)
+    --samples           samples per synthetic client          (240)
+    --alpha             walk randomness parameter             (10)
+    --out               output JSON path   (results/BENCH_walk.json)
 
 ASYNC FLAGS:
     --activations       total client activations              (200)
@@ -305,6 +316,7 @@ mod tests {
             ("run", Command::Run),
             ("sweep", Command::Sweep),
             ("scenarios", Command::Scenarios),
+            ("perf", Command::Perf),
             ("help", Command::Help),
             ("--help", Command::Help),
         ] {
@@ -390,6 +402,7 @@ mod tests {
             "run",
             "sweep",
             "scenarios",
+            "perf",
         ] {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");
         }

@@ -282,6 +282,7 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         Command::Run => return run_scenario(args),
         Command::Sweep => return sweep_command(args),
         Command::Scenarios => return scenarios_command(args),
+        Command::Perf => return crate::perf::perf_command(args),
         _ => {}
     }
     let dataset_word = args.get_or("dataset", "fmnist").to_string();
@@ -404,7 +405,7 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
                 sim.approval_pureness()
             );
         }
-        Command::Help | Command::Run | Command::Sweep | Command::Scenarios => {
+        Command::Help | Command::Run | Command::Sweep | Command::Scenarios | Command::Perf => {
             unreachable!("handled above")
         }
     }

@@ -22,6 +22,7 @@
 
 pub mod args;
 pub mod dispatch;
+pub mod perf;
 
 pub use args::{Command, ParseError, ParsedArgs, USAGE};
 pub use dispatch::{run_command, DatasetKind};

@@ -1,0 +1,251 @@
+//! `dagfl perf`: the walk-evaluation performance smoke.
+//!
+//! Runs accuracy-biased walks over a synthetic paper-scale model tangle
+//! with cold and warm caches, and writes the headline numbers
+//! (evaluations per second, fresh-eval ratio, wall time) to
+//! `BENCH_walk.json` so CI can archive one data point per commit and the
+//! performance trajectory of the evaluation pipeline is diffable across
+//! PRs.
+
+use std::error::Error;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dagfl_core::{
+    perturbed_model_tangle, AccuracyBias, EvalCounters, ModelEvaluator, ModelTangle, Normalization,
+};
+use dagfl_datasets::{fmnist_clustered, ClientDataset, FmnistConfig};
+use dagfl_scenario::ModelSpec;
+use dagfl_tangle::RandomWalker;
+
+use crate::args::ParsedArgs;
+
+/// One measured phase of the smoke (cold or warm cache).
+struct Phase {
+    wall: Duration,
+    counters: EvalCounters,
+    walk_steps: usize,
+}
+
+impl Phase {
+    /// Fresh (forward-pass) evaluations per second of wall time.
+    fn evals_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.counters.fresh as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"wall_ms\": {:.3}, \"fresh_evals\": {}, \"cached_evals\": {}, \
+             \"evals_per_sec\": {:.1}, \"fresh_eval_ratio\": {:.4}, \"walk_steps\": {}}}",
+            self.wall.as_secs_f64() * 1e3,
+            self.counters.fresh,
+            self.counters.cached,
+            self.evals_per_sec(),
+            self.counters.fresh_ratio(),
+            self.walk_steps,
+        )
+    }
+}
+
+/// Runs `walks` biased walks; when `cold` every walk starts with an
+/// invalidated cache.
+fn run_phase(
+    tangle: &ModelTangle,
+    evaluator: &mut ModelEvaluator,
+    client: &ClientDataset,
+    alpha: f32,
+    walks: usize,
+    cold: bool,
+    rng: &mut StdRng,
+) -> Phase {
+    let before = evaluator.counters();
+    let mut walk_steps = 0;
+    let started = Instant::now();
+    for _ in 0..walks {
+        if cold {
+            evaluator.invalidate();
+        }
+        let mut bias = AccuracyBias::new(
+            evaluator,
+            client.test_x(),
+            client.test_y(),
+            alpha,
+            Normalization::Simple,
+        );
+        let result = RandomWalker::new()
+            .walk(tangle, tangle.genesis(), &mut bias, rng)
+            .expect("walk over a well-formed tangle succeeds");
+        walk_steps += result.steps;
+    }
+    Phase {
+        wall: started.elapsed(),
+        counters: evaluator.counters().since(before),
+        walk_steps,
+    }
+}
+
+/// Entry point for `dagfl perf`.
+///
+/// # Errors
+///
+/// Returns an error for unparsable flags or an unwritable output path.
+pub fn perf_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    let transactions: usize = args.get_parsed_or("transactions", 500)?;
+    let walks: usize = args.get_parsed_or("walks", 20)?;
+    let samples: usize = args.get_parsed_or("samples", 240)?;
+    let alpha: f32 = args.get_parsed_or("alpha", 10.0)?;
+    let seed: u64 = args.get_parsed_or("seed", 42)?;
+    if transactions == 0 || walks == 0 || samples < 10 {
+        return Err("perf needs --transactions >= 1, --walks >= 1, --samples >= 10".into());
+    }
+
+    let dataset = fmnist_clustered(&FmnistConfig {
+        num_clients: 3,
+        samples_per_client: samples,
+        seed,
+        ..FmnistConfig::default()
+    });
+    let client = &dataset.clients()[0];
+    let factory = ModelSpec::Mlp { hidden: vec![64] }.build_factory(dataset.feature_len(), 10);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = factory(&mut rng);
+    let params = model.parameters();
+    let tangle = perturbed_model_tangle(transactions, &params, seed.wrapping_add(1));
+    let mut evaluator = ModelEvaluator::new(model);
+
+    eprintln!(
+        "# perf: {} transactions, {} walks per phase, {} test rows, alpha {}",
+        transactions,
+        walks,
+        client.test_y().len(),
+        alpha
+    );
+    let mut walk_rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let cold = run_phase(
+        &tangle,
+        &mut evaluator,
+        client,
+        alpha,
+        walks,
+        true,
+        &mut walk_rng,
+    );
+    // Warm phase: one priming walk already happened per cold iteration;
+    // without invalidation the cache now answers almost everything.
+    let warm = run_phase(
+        &tangle,
+        &mut evaluator,
+        client,
+        alpha,
+        walks,
+        false,
+        &mut walk_rng,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"walk_eval\",\n  \"transactions\": {},\n  \"walks\": {},\n  \
+         \"test_rows\": {},\n  \"model_parameters\": {},\n  \"alpha\": {},\n  \
+         \"cold\": {},\n  \"warm\": {}\n}}\n",
+        transactions,
+        walks,
+        client.test_y().len(),
+        params.len(),
+        alpha,
+        cold.json(),
+        warm.json(),
+    );
+    let path = match args.get("out") {
+        Some(path) => PathBuf::from(path),
+        None => std::env::var("DAGFL_RESULTS")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"))
+            .join("BENCH_walk.json"),
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(&path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+
+    println!(
+        "cold: {:.1} evals/sec ({} fresh, {:.3} ms)",
+        cold.evals_per_sec(),
+        cold.counters.fresh,
+        cold.wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "warm: {:.1} evals/sec ({} fresh, {} cached, {:.3} ms, fresh ratio {:.3})",
+        warm.evals_per_sec(),
+        warm.counters.fresh,
+        warm.counters.cached,
+        warm.wall.as_secs_f64() * 1e3,
+        warm.counters.fresh_ratio()
+    );
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_out(name: &str) -> PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
+    #[test]
+    fn perf_smoke_writes_json() {
+        let out = temp_out("dagfl_perf_smoke.json");
+        let _ = std::fs::remove_file(&out);
+        let args = ParsedArgs::parse([
+            "perf",
+            "--transactions",
+            "40",
+            "--walks",
+            "2",
+            "--samples",
+            "30",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        perf_command(&args).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        for key in [
+            "\"bench\": \"walk_eval\"",
+            "\"transactions\": 40",
+            "\"cold\"",
+            "\"warm\"",
+            "evals_per_sec",
+            "fresh_eval_ratio",
+            "wall_ms",
+        ] {
+            assert!(json.contains(key), "missing `{key}` in {json}");
+        }
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn perf_rejects_degenerate_flags() {
+        for flags in [
+            ["perf", "--transactions", "0"],
+            ["perf", "--walks", "0"],
+            ["perf", "--samples", "5"],
+        ] {
+            let args = ParsedArgs::parse(flags).unwrap();
+            assert!(perf_command(&args).is_err(), "{flags:?} should fail");
+        }
+        let args = ParsedArgs::parse(["perf", "--walks", "many"]).unwrap();
+        assert!(perf_command(&args).is_err());
+    }
+}

@@ -223,6 +223,11 @@ pub struct AsyncMetrics {
     pub tips: usize,
     /// Transactions in the global tangle, including the genesis.
     pub transactions: usize,
+    /// Candidate evaluations that ran a real forward pass (walks,
+    /// publish gates and stale-tip re-selections of every client).
+    pub fresh_evaluations: usize,
+    /// Candidate evaluations answered from per-client accuracy caches.
+    pub cached_evaluations: usize,
 }
 
 impl AsyncMetrics {
@@ -242,6 +247,16 @@ impl AsyncMetrics {
         } else {
             0.0
         }
+    }
+
+    /// Fraction of candidate evaluations that were fresh (forward
+    /// passes) rather than cache hits; `0.0` when nothing was evaluated.
+    pub fn fresh_eval_ratio(&self) -> f64 {
+        crate::EvalCounters {
+            fresh: self.fresh_evaluations,
+            cached: self.cached_evaluations,
+        }
+        .fresh_ratio()
     }
 
     /// Fraction of publications that approved at least one stale
@@ -594,6 +609,14 @@ impl AsyncSimulation {
             depths.iter().map(|&d| d as f64).sum::<f64>() / depths.len() as f64
         };
         let stats = self.global.stats();
+        // Evaluation counters live on the per-client evaluators, so the
+        // totals cover walks, publish gates and stale-tip re-selections
+        // alike.
+        let (fresh, cached) = self
+            .clients
+            .iter()
+            .map(|c| c.eval_counters())
+            .fold((0, 0), |(f, c), k| (f + k.fresh, c + k.cached));
         AsyncMetrics {
             activations: self.activations,
             publications: self.publications,
@@ -610,6 +633,8 @@ impl AsyncSimulation {
             mean_confirmation_depth: mean_depth,
             tips: stats.tips,
             transactions: stats.transactions,
+            fresh_evaluations: fresh,
+            cached_evaluations: cached,
         }
     }
 
@@ -887,6 +912,8 @@ mod tests {
         assert_eq!(m.activations, 30);
         assert_eq!(m.transactions, sim.tangle().len());
         assert_eq!(m.publications + 1, sim.tangle().len());
+        assert!(m.fresh_evaluations > 0, "walks must evaluate candidates");
+        assert!((0.0..=1.0).contains(&m.fresh_eval_ratio()));
     }
 
     #[test]
@@ -935,6 +962,9 @@ mod tests {
         assert_eq!(m.stale_fraction(), 0.0);
         assert_eq!(m.mean_publish_latency, 0.0);
         assert_eq!(m.max_publish_latency, 0.0);
+        assert_eq!(m.fresh_evaluations, 0);
+        assert_eq!(m.cached_evaluations, 0);
+        assert_eq!(m.fresh_eval_ratio(), 0.0);
         for value in [
             m.activation_rate(),
             m.publish_fraction(),

@@ -1,6 +1,5 @@
 //! A participating client: the four-step loop of Figure 1.
 
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -11,7 +10,10 @@ use dagfl_nn::{average_parameters, Evaluation, Model, SgdConfig};
 use dagfl_tangle::{CumulativeWeightBias, RandomWalker, TxId, UniformBias};
 use dagfl_tensor::Matrix;
 
-use crate::{AccuracyBias, CoreError, DagConfig, ModelTangle, PublishGate, TipSelector};
+use crate::{
+    AccuracyBias, CoreError, DagConfig, EvalCounters, ModelEvaluator, ModelTangle, PublishGate,
+    TipSelector,
+};
 
 /// Result of one client's participation in a round.
 #[derive(Debug, Clone)]
@@ -35,15 +37,20 @@ pub struct TrainOutcome {
     pub walk_steps: usize,
     /// Total candidate models whose transition weight was computed.
     pub candidates_evaluated: usize,
+    /// Fresh (forward-pass) evaluations this round, walks and publish
+    /// gate included.
+    pub fresh_evaluations: usize,
+    /// Evaluations answered from the per-transaction accuracy cache.
+    pub cached_evaluations: usize,
 }
 
-/// The client-side state of the Specializing DAG: a scratch model, the
-/// per-transaction accuracy cache and the client's private RNG.
+/// The client-side state of the Specializing DAG: the client's private
+/// RNG plus a [`ModelEvaluator`] owning the scratch model and the
+/// generation-stamped per-transaction accuracy cache.
 pub struct DagClient {
     id: u32,
     rng: StdRng,
-    model: Box<dyn Model>,
-    cache: HashMap<TxId, f32>,
+    evaluator: ModelEvaluator,
 }
 
 impl DagClient {
@@ -52,8 +59,7 @@ impl DagClient {
         Self {
             id,
             rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-            model,
-            cache: HashMap::new(),
+            evaluator: ModelEvaluator::new(model),
         }
     }
 
@@ -62,15 +68,23 @@ impl DagClient {
         self.id
     }
 
-    /// Number of cached transaction evaluations.
+    /// Number of cached transaction evaluations valid under the current
+    /// cache generation.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.evaluator.cache_len()
     }
 
-    /// Invalidates all cached evaluations. Must be called when the client's
-    /// local data changes (e.g. after a poisoning attack flips labels).
+    /// Invalidates all cached evaluations (by bumping the evaluator's
+    /// cache generation). Must be called when the client's local data
+    /// changes (e.g. after a poisoning attack flips labels).
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.evaluator.invalidate();
+    }
+
+    /// Cumulative fresh/cached evaluation counts of this client's
+    /// evaluator.
+    pub fn eval_counters(&self) -> EvalCounters {
+        self.evaluator.counters()
     }
 
     /// Runs one biased random walk and returns `(tip, steps, evaluations)`.
@@ -88,10 +102,9 @@ impl DagClient {
                 normalization,
             } => {
                 let mut bias = AccuracyBias::new(
-                    self.model.as_mut(),
+                    &mut self.evaluator,
                     data.test_x(),
                     data.test_y(),
-                    &mut self.cache,
                     alpha,
                     normalization,
                 );
@@ -160,8 +173,7 @@ impl DagClient {
         x: &Matrix,
         y: &[usize],
     ) -> Result<Evaluation, CoreError> {
-        self.model.set_parameters(params)?;
-        Ok(self.model.evaluate(x, y)?)
+        self.evaluator.evaluate_params(params, x, y)
     }
 
     /// Predicts classes for `x` using an arbitrary parameter vector loaded
@@ -171,8 +183,7 @@ impl DagClient {
     ///
     /// Returns an error if the parameter count or data shape mismatches.
     pub fn predict_with(&mut self, params: &[f32], x: &Matrix) -> Result<Vec<usize>, CoreError> {
-        self.model.set_parameters(params)?;
-        Ok(self.model.predict(x)?)
+        self.evaluator.predict_params(params, x)
     }
 
     /// Runs the full four-step loop of Figure 1 against a tangle snapshot:
@@ -193,6 +204,7 @@ impl DagClient {
         data: &ClientDataset,
         cfg: &DagConfig,
     ) -> Result<TrainOutcome, CoreError> {
+        let counters_start = self.evaluator.counters();
         // Step 1: biased random walks select two tips.
         let walk_started = Instant::now();
         let ((tip1, tip2), walk_steps, candidates_evaluated) =
@@ -205,37 +217,45 @@ impl DagClient {
         // contaminated by a random-weight attacker (§4.4).
         let p1 = tangle.get(tip1)?.payload().share();
         let p2 = tangle.get(tip2)?.payload().share();
+        // `score` maps malformed payloads to accuracy 0.0 (an
+        // unattractive walk target), so guard the averaging explicitly:
+        // mismatched parent lengths must surface as an error, not as an
+        // `average_parameters` panic.
+        if p1.len() != p2.len() {
+            return Err(CoreError::Config(format!(
+                "selected tips carry incompatible models ({} vs {} parameters)",
+                p1.len(),
+                p2.len()
+            )));
+        }
         let mut consensus_accuracy = 0.0f32;
         if cfg.publish_gate == PublishGate::BestParent {
-            for (tip, params) in [(tip1, &p1), (tip2, &p2)] {
-                let acc = match self.cache.get(&tip) {
-                    Some(&cached) => cached,
-                    None => {
-                        self.model.set_parameters(params)?;
-                        let acc = self.model.evaluate(data.test_x(), data.test_y())?.accuracy;
-                        self.cache.insert(tip, acc);
-                        acc
-                    }
-                };
+            for tip in [tip1, tip2] {
+                let acc = self
+                    .evaluator
+                    .score(tangle, tip, data.test_x(), data.test_y());
                 consensus_accuracy = consensus_accuracy.max(acc);
             }
         }
         let averaged = average_parameters(&[&p1, &p2]);
-        self.model.set_parameters(&averaged)?;
-        let reference = self.model.evaluate(data.test_x(), data.test_y())?;
+        let reference = self
+            .evaluator
+            .evaluate_params(&averaged, data.test_x(), data.test_y())?;
         // Step 3: train on local data (fixed batch budget, Table 1);
         // optionally with frozen leading layers (partial-layer
-        // personalisation).
+        // personalisation). Parameters are already loaded from the
+        // reference evaluation above.
         let mut opt = SgdConfig::new(cfg.learning_rate);
         if cfg.frozen_prefix > 0 {
             opt = opt.with_frozen_prefix(cfg.frozen_prefix);
         }
+        let (model, scratch) = self.evaluator.model_and_scratch();
         for _ in 0..cfg.local_epochs {
             for (x, y) in data.train_batches(cfg.batch_size, cfg.local_batches, &mut self.rng) {
-                self.model.train_batch(&x, &y, &opt)?;
+                model.train_batch(&x, &y, &opt)?;
             }
         }
-        let trained = self.model.evaluate(data.test_x(), data.test_y())?;
+        let trained = model.evaluate_with_scratch(data.test_x(), data.test_y(), scratch)?;
         // Step 4: publish only if training improved on the consensus,
         // with ties broken by loss against the averaged reference so that
         // early chance-level rounds can still make progress.
@@ -251,7 +271,8 @@ impl DagClient {
             }
             PublishGate::Always => true,
         };
-        let published = improved.then(|| self.model.parameters());
+        let published = improved.then(|| self.evaluator.model().parameters());
+        let counters = self.evaluator.counters().since(counters_start);
         Ok(TrainOutcome {
             client: self.id,
             parents: (tip1, tip2),
@@ -261,6 +282,8 @@ impl DagClient {
             walk_duration,
             walk_steps,
             candidates_evaluated,
+            fresh_evaluations: counters.fresh,
+            cached_evaluations: counters.cached,
         })
     }
 }
@@ -269,7 +292,7 @@ impl std::fmt::Debug for DagClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DagClient")
             .field("id", &self.id)
-            .field("cached_evaluations", &self.cache.len())
+            .field("evaluator", &self.evaluator)
             .finish()
     }
 }
@@ -373,6 +396,82 @@ mod tests {
         // the publish gate inspects the (at most two) selected parents.
         assert_eq!(outcome.candidates_evaluated, 0);
         assert!(client.cache_len() <= 2);
+    }
+
+    #[test]
+    fn incompatible_parent_models_error_instead_of_panicking() {
+        // A tangle whose only two tips carry different parameter counts:
+        // both walks are forced onto mismatched parents, which must
+        // surface as an error (previously the BestParent gate caught it;
+        // the evaluator's score-to-zero contract must not turn it into
+        // an `average_parameters` panic).
+        let ds = small_dataset();
+        let features = ds.feature_len();
+        let model = make_model(0, features);
+        let n = model.num_parameters();
+        let mut tangle: ModelTangle = Tangle::new(ModelPayload::new(vec![0.0; n]));
+        let g = tangle.genesis();
+        tangle
+            .attach(ModelPayload::new(vec![0.0; n]), &[g])
+            .unwrap();
+        tangle
+            .attach(ModelPayload::new(vec![1.0; 3]), &[g])
+            .unwrap();
+        let mut client = DagClient::new(0, model, 7);
+        let mut saw_mismatch_error = false;
+        for _ in 0..30 {
+            match client.train_round(&tangle, &ds.clients()[0], &config()) {
+                // Rounds where both walks land on the same tip either
+                // succeed (valid payload) or fail with a parameter-count
+                // error (malformed payload) — both acceptable here.
+                Ok(_) => {}
+                Err(e) if e.to_string().contains("incompatible") => saw_mismatch_error = true,
+                Err(e) => assert!(e.to_string().contains("parameter"), "{e}"),
+            }
+        }
+        assert!(
+            saw_mismatch_error,
+            "walks never selected the mismatched tip pair"
+        );
+    }
+
+    #[test]
+    fn cleared_cache_forces_fresh_reevaluation() {
+        let ds = small_dataset();
+        let features = ds.feature_len();
+        let model = make_model(0, features);
+        let genesis_params = model.parameters();
+        let mut tangle: ModelTangle = Tangle::new(ModelPayload::new(genesis_params.clone()));
+        let g = tangle.genesis();
+        tangle
+            .attach(ModelPayload::new(genesis_params.clone()), &[g])
+            .unwrap();
+        tangle
+            .attach(ModelPayload::new(genesis_params), &[g])
+            .unwrap();
+        let mut client = DagClient::new(1, model, 7);
+        // First round fills the cache with fresh evaluations.
+        let first = client
+            .train_round(&tangle, &ds.clients()[1], &config())
+            .unwrap();
+        assert!(first.fresh_evaluations > 0);
+        // Second round against the unchanged tangle: walks are answered
+        // from the cache.
+        let second = client
+            .train_round(&tangle, &ds.clients()[1], &config())
+            .unwrap();
+        assert_eq!(second.fresh_evaluations, 0, "unchanged data re-evaluated");
+        assert!(second.cached_evaluations > 0);
+        // Simulate a local-data change: the generation bump must force
+        // fresh evaluations of the very same transactions.
+        client.clear_cache();
+        let third = client
+            .train_round(&tangle, &ds.clients()[1], &config())
+            .unwrap();
+        assert!(
+            third.fresh_evaluations >= first.fresh_evaluations.min(2),
+            "generation bump must force re-evaluation, got {third:?}"
+        );
     }
 
     #[test]

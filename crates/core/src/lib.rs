@@ -6,11 +6,14 @@
 //! models, [`dagfl-datasets`] for federated data, [`dagfl-graphs`] for the
 //! specialization metrics):
 //!
-//! 1. **Accuracy-aware tip selection** ([`AccuracyBias`]): a biased random
-//!    walk through the DAG whose per-step transition weights are
-//!    `exp(alpha * normalized_accuracy)` of each candidate model on the
-//!    client's local test data, with the paper's simple (Eq. 1–2) and
-//!    dynamic (Eq. 3) normalizations.
+//! 1. **Accuracy-aware tip selection** ([`AccuracyBias`] over a
+//!    [`ModelEvaluator`]): a biased random walk through the DAG whose
+//!    per-step transition weights are `exp(alpha * normalized_accuracy)`
+//!    of each candidate model on the client's local test data, with the
+//!    paper's simple (Eq. 1–2) and dynamic (Eq. 3) normalizations. The
+//!    evaluator owns the scratch model, reusable forward-pass buffers and
+//!    a generation-stamped accuracy cache, and reports fresh-vs-cached
+//!    evaluation counts.
 //! 2. **The client loop** ([`DagClient`]): select two tips, average their
 //!    models, train on local data, publish if the model improved.
 //! 3. **The round simulator** ([`Simulation`]): discrete rounds with a
@@ -77,6 +80,7 @@ mod config;
 pub mod csv;
 mod delay;
 mod error;
+mod evaluator;
 mod exec;
 mod metrics;
 mod payload;
@@ -91,9 +95,12 @@ pub use client::{DagClient, TrainOutcome};
 pub use config::{DagConfig, Hyperparameters, Normalization, PublishGate, TipSelector};
 pub use delay::{ComputeProfile, DelayModel, StaleTipPolicy};
 pub use error::CoreError;
+pub use evaluator::{EvalCounters, ModelEvaluator};
 pub use exec::{ExecutionMode, TangleView};
 pub use metrics::{approval_pureness_of, client_graph_of, RoundMetrics, SpecializationMetrics};
-pub use payload::{ModelFactory, ModelPayload, ModelTangle, SharedModelTangle};
+pub use payload::{
+    perturbed_model_tangle, ModelFactory, ModelPayload, ModelTangle, SharedModelTangle,
+};
 pub use poisoning::{mean_accuracy_series, PoisonRoundMetrics, PoisoningConfig, PoisoningScenario};
 pub use seed::derive_seed;
 pub use simulation::{ReferenceEvaluation, Simulation};

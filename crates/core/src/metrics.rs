@@ -81,6 +81,11 @@ pub struct RoundMetrics {
     pub candidates_evaluated: usize,
     /// Total walk steps across all active clients.
     pub walk_steps: usize,
+    /// Candidate evaluations that ran a real forward pass this round
+    /// (walks and publish gates of all active clients).
+    pub fresh_evaluations: usize,
+    /// Candidate evaluations answered from per-client accuracy caches.
+    pub cached_evaluations: usize,
 }
 
 impl RoundMetrics {
@@ -97,6 +102,16 @@ impl RoundMetrics {
     /// Mean reference accuracy over the active clients.
     pub fn mean_reference_accuracy(&self) -> f32 {
         mean(&self.reference_accuracies)
+    }
+
+    /// Fraction of candidate evaluations that were fresh (forward
+    /// passes) rather than cache hits; `0.0` when nothing was evaluated.
+    pub fn fresh_eval_ratio(&self) -> f64 {
+        crate::EvalCounters {
+            fresh: self.fresh_evaluations,
+            cached: self.cached_evaluations,
+        }
+        .fresh_ratio()
     }
 }
 
@@ -140,6 +155,8 @@ mod tests {
             mean_walk_duration: Duration::ZERO,
             candidates_evaluated: 0,
             walk_steps: 0,
+            fresh_evaluations: 0,
+            cached_evaluations: 0,
         }
     }
 
@@ -156,5 +173,14 @@ mod tests {
         assert_eq!(m.mean_accuracy(), 0.0);
         assert_eq!(m.mean_loss(), 0.0);
         assert_eq!(m.mean_reference_accuracy(), 0.0);
+        assert_eq!(m.fresh_eval_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fresh_eval_ratio_is_a_fraction() {
+        let mut m = metrics(vec![], vec![]);
+        m.fresh_evaluations = 3;
+        m.cached_evaluations = 9;
+        assert!((m.fresh_eval_ratio() - 0.25).abs() < 1e-12);
     }
 }

@@ -139,7 +139,8 @@ impl PoisoningScenario {
             self.config.poison_fraction,
             &mut rng,
         );
-        // Cached evaluations refer to the pre-attack labels.
+        // Cached evaluations refer to the pre-attack labels: bump every
+        // client's cache generation so they can never be served again.
         self.simulation.clear_caches();
         self.report = Some(report);
     }
@@ -349,6 +350,51 @@ mod tests {
         scenario.simulation.run_round().unwrap();
         let m = scenario.measure().unwrap();
         assert_eq!(m.approved_poisoned, 0.0);
+    }
+
+    #[test]
+    fn label_flip_invalidates_evaluation_caches() {
+        // Every client is active every round so the caches are warm when
+        // the attack starts.
+        let dataset = fmnist_by_author(&FmnistConfig {
+            num_clients: 4,
+            samples_per_client: 60,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let config = PoisoningConfig {
+            dag: DagConfig {
+                clients_per_round: 4,
+                local_batches: 6,
+                ..DagConfig::default()
+            },
+            clean_rounds: 4,
+            attack_rounds: 1,
+            poison_fraction: 0.5,
+            measure_every: 1,
+            ..PoisoningConfig::default()
+        };
+        let mut scenario = PoisoningScenario::new(config, dataset, factory(features));
+        for _ in 0..config.clean_rounds {
+            scenario.simulation.run_round().unwrap();
+        }
+        let warm = scenario.simulation.history().last().unwrap().clone();
+        assert!(
+            warm.cached_evaluations > 0,
+            "warm-cache rounds must serve cache hits before the attack"
+        );
+        scenario.start_attack();
+        let post_attack = scenario.simulation.run_round().unwrap();
+        // The generation bump forces the walks over the *existing* tangle
+        // to re-evaluate: the first post-attack round must perform at
+        // least as many fresh evaluations as candidate lookups it would
+        // otherwise have served from the cache.
+        assert!(
+            post_attack.fresh_evaluations > warm.fresh_evaluations,
+            "label flip must force re-evaluation: {} fresh after attack vs {} before",
+            post_attack.fresh_evaluations,
+            warm.fresh_evaluations
+        );
     }
 
     #[test]

@@ -117,8 +117,10 @@ impl Simulation {
         recent.iter().sum::<f32>() / recent.len() as f32
     }
 
-    /// Invalidates every client's evaluation cache (required after
-    /// mutating the dataset, e.g. a poisoning attack).
+    /// Invalidates every client's evaluation cache by bumping its cache
+    /// generation (required after mutating the dataset, e.g. a poisoning
+    /// attack). Stale entries can never be served afterwards — lookups
+    /// check the generation stamp.
     pub fn clear_caches(&mut self) {
         for client in &mut self.clients {
             client.clear_cache();
@@ -181,6 +183,8 @@ impl Simulation {
                 .unwrap_or(Duration::ZERO),
             candidates_evaluated: outcomes.iter().map(|o| o.candidates_evaluated).sum(),
             walk_steps: outcomes.iter().map(|o| o.walk_steps).sum(),
+            fresh_evaluations: outcomes.iter().map(|o| o.fresh_evaluations).sum(),
+            cached_evaluations: outcomes.iter().map(|o| o.cached_evaluations).sum(),
         };
         self.history.push(metrics.clone());
         self.round += 1;

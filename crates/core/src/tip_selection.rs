@@ -1,18 +1,15 @@
 //! The paper's accuracy-aware walk bias (§4.2).
 
-use std::collections::HashMap;
-
-use dagfl_nn::Model;
 use dagfl_tangle::{Tangle, TxId, WalkBias};
 use dagfl_tensor::Matrix;
 
-use crate::{ModelPayload, Normalization};
+use crate::{ModelEvaluator, ModelPayload, Normalization};
 
 /// Accuracy-aware transition weights for the biased random walk.
 ///
 /// At every step of the walk, all candidate models (the approvers of the
-/// current transaction) are evaluated on the *client's local test data*;
-/// the transition weight of candidate `i` is
+/// current transaction) are scored as one slate on the *client's local
+/// test data*; the transition weight of candidate `i` is
 ///
 /// ```text
 /// normalized_i = accuracy_i − max(accuracies)               (Eq. 1, Simple)
@@ -20,33 +17,30 @@ use crate::{ModelPayload, Normalization};
 /// weight_i = exp(alpha · normalized_i)                      (Eq. 2)
 /// ```
 ///
-/// Evaluations are memoised per transaction id — payloads are immutable, so
-/// a cached accuracy stays valid for the lifetime of the dataset (caches
-/// must be cleared if the local data changes, e.g. after a poisoning
-/// attack flips labels).
+/// The bias borrows the client's [`ModelEvaluator`], which owns the
+/// scratch model, the reusable forward-pass buffers and the
+/// generation-stamped per-transaction accuracy cache — see the evaluator
+/// docs for when cached accuracies are invalidated.
 pub struct AccuracyBias<'a> {
-    model: &'a mut dyn Model,
+    evaluator: &'a mut ModelEvaluator,
     test_x: &'a Matrix,
     test_y: &'a [usize],
-    cache: &'a mut HashMap<TxId, f32>,
     alpha: f32,
     normalization: Normalization,
     stop_margin: Option<f32>,
-    evaluations: usize,
 }
 
 impl<'a> AccuracyBias<'a> {
-    /// Creates a bias evaluating candidates with `model` (used as scratch
-    /// space) on the given local test data.
+    /// Creates a bias scoring candidates with `evaluator` on the given
+    /// local test data.
     ///
     /// # Panics
     ///
     /// Panics if `alpha` is negative or not finite.
     pub fn new(
-        model: &'a mut dyn Model,
+        evaluator: &'a mut ModelEvaluator,
         test_x: &'a Matrix,
         test_y: &'a [usize],
-        cache: &'a mut HashMap<TxId, f32>,
         alpha: f32,
         normalization: Normalization,
     ) -> Self {
@@ -55,14 +49,12 @@ impl<'a> AccuracyBias<'a> {
             "alpha must be finite and non-negative, got {alpha}"
         );
         Self {
-            model,
+            evaluator,
             test_x,
             test_y,
-            cache,
             alpha,
             normalization,
             stop_margin: None,
-            evaluations: 0,
         }
     }
 
@@ -82,36 +74,13 @@ impl<'a> AccuracyBias<'a> {
         self
     }
 
-    /// Number of *fresh* (non-cached) model evaluations performed so far.
-    pub fn evaluations(&self) -> usize {
-        self.evaluations
-    }
-
-    /// Accuracy of the transaction's model on the local test data, cached.
-    fn accuracy_of(&mut self, tangle: &Tangle<ModelPayload>, id: TxId) -> f32 {
-        if let Some(&acc) = self.cache.get(&id) {
-            return acc;
-        }
-        let acc = match tangle.get(id) {
-            Ok(tx) => {
-                self.evaluations += 1;
-                match self.model.set_parameters(tx.payload().params()) {
-                    Ok(()) => self
-                        .model
-                        .evaluate(self.test_x, self.test_y)
-                        .map(|e| e.accuracy)
-                        .unwrap_or(0.0),
-                    Err(_) => 0.0,
-                }
-            }
-            Err(_) => 0.0,
-        };
-        self.cache.insert(id, acc);
-        acc
-    }
-
-    /// Applies Eq. 1–3 to raw accuracies.
+    /// Applies Eq. 1–3 to raw accuracies. An empty slate yields an empty
+    /// weight vector (instead of folding to `max = -inf` and exponentiating
+    /// infinities).
     fn normalize(accuracies: &[f32], alpha: f32, normalization: Normalization) -> Vec<f32> {
+        if accuracies.is_empty() {
+            return Vec::new();
+        }
         let max = accuracies.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let min = accuracies.iter().copied().fold(f32::INFINITY, f32::min);
         accuracies
@@ -141,10 +110,9 @@ impl WalkBias<ModelPayload> for AccuracyBias<'_> {
         _current: TxId,
         candidates: &[TxId],
     ) -> Vec<f32> {
-        let accuracies: Vec<f32> = candidates
-            .iter()
-            .map(|&c| self.accuracy_of(tangle, c))
-            .collect();
+        let accuracies = self
+            .evaluator
+            .score_slate(tangle, candidates, self.test_x, self.test_y);
         Self::normalize(&accuracies, self.alpha, self.normalization)
     }
 
@@ -157,23 +125,25 @@ impl WalkBias<ModelPayload> for AccuracyBias<'_> {
         let Some(margin) = self.stop_margin else {
             return false;
         };
-        let current_acc = self.accuracy_of(tangle, current);
-        candidates
-            .iter()
-            .all(|&c| self.accuracy_of(tangle, c) < current_acc - margin)
+        let current_acc = self
+            .evaluator
+            .score(tangle, current, self.test_x, self.test_y);
+        candidates.iter().all(|&c| {
+            self.evaluator.score(tangle, c, self.test_x, self.test_y) < current_acc - margin
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dagfl_nn::{Dense, Sequential, SgdConfig};
+    use dagfl_nn::{Dense, Model, Sequential, SgdConfig};
     use dagfl_tangle::{RandomWalker, Tangle};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    /// Toy task: features, labels, "good" params, "bad" params, scratch.
-    type ToySetup = (Matrix, Vec<usize>, Vec<f32>, Vec<f32>, Box<dyn Model>);
+    /// Toy task: features, labels, "good" params, "bad" params, evaluator.
+    type ToySetup = (Matrix, Vec<usize>, Vec<f32>, Vec<f32>, ModelEvaluator);
 
     /// A 2-feature, 2-class toy task plus a trained "good" model and an
     /// untrained "bad" model.
@@ -196,7 +166,7 @@ mod tests {
         let bad_params = bad.parameters();
         let scratch: Box<dyn Model> =
             Box::new(Sequential::new(vec![Box::new(Dense::new(&mut rng, 2, 2))]));
-        (x, y, good_params, bad_params, scratch)
+        (x, y, good_params, bad_params, ModelEvaluator::new(scratch))
     }
 
     #[test]
@@ -205,6 +175,16 @@ mod tests {
         // Best candidate has normalized 0 -> weight 1.
         assert!((w[1] - 1.0).abs() < 1e-6);
         assert!((w[0] - (-4.0f32).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_empty_slate_is_empty() {
+        // Regression: an empty slate used to fold to `max = -inf` and
+        // feed `exp(alpha * -inf)` (and `-inf / 0` spreads) downstream.
+        for normalization in [Normalization::Simple, Normalization::Dynamic] {
+            let w = AccuracyBias::normalize(&[], 10.0, normalization);
+            assert!(w.is_empty(), "{normalization:?} must yield no weights");
+        }
     }
 
     #[test]
@@ -238,25 +218,17 @@ mod tests {
 
     #[test]
     fn walk_prefers_accurate_branch() {
-        let (x, y, good_params, bad_params, mut scratch) = toy_setup();
+        let (x, y, good_params, bad_params, mut evaluator) = toy_setup();
         // genesis -> {good tip, bad tip}
         let mut tangle: Tangle<ModelPayload> =
             Tangle::new(ModelPayload::new(vec![0.0; good_params.len()]));
         let g = tangle.genesis();
         let good_tip = tangle.attach(ModelPayload::new(good_params), &[g]).unwrap();
         let _bad_tip = tangle.attach(ModelPayload::new(bad_params), &[g]).unwrap();
-        let mut cache = HashMap::new();
         let mut rng = StdRng::seed_from_u64(3);
         let mut good_count = 0;
         for _ in 0..50 {
-            let mut bias = AccuracyBias::new(
-                scratch.as_mut(),
-                &x,
-                &y,
-                &mut cache,
-                50.0,
-                Normalization::Simple,
-            );
+            let mut bias = AccuracyBias::new(&mut evaluator, &x, &y, 50.0, Normalization::Simple);
             let r = RandomWalker::new()
                 .walk(&tangle, g, &mut bias, &mut rng)
                 .unwrap();
@@ -272,46 +244,31 @@ mod tests {
 
     #[test]
     fn cache_avoids_reevaluation() {
-        let (x, y, good_params, bad_params, mut scratch) = toy_setup();
+        let (x, y, good_params, bad_params, mut evaluator) = toy_setup();
         let mut tangle: Tangle<ModelPayload> =
             Tangle::new(ModelPayload::new(vec![0.0; good_params.len()]));
         let g = tangle.genesis();
         tangle.attach(ModelPayload::new(good_params), &[g]).unwrap();
         tangle.attach(ModelPayload::new(bad_params), &[g]).unwrap();
-        let mut cache = HashMap::new();
         let mut rng = StdRng::seed_from_u64(3);
         // First walk: evaluates genesis children (2 fresh evaluations).
-        let mut bias = AccuracyBias::new(
-            scratch.as_mut(),
-            &x,
-            &y,
-            &mut cache,
-            10.0,
-            Normalization::Simple,
-        );
+        let mut bias = AccuracyBias::new(&mut evaluator, &x, &y, 10.0, Normalization::Simple);
         RandomWalker::new()
             .walk(&tangle, g, &mut bias, &mut rng)
             .unwrap();
-        assert_eq!(bias.evaluations(), 2);
-        let _ = bias;
+        assert_eq!(evaluator.counters().fresh, 2);
         // Second walk: everything cached.
-        let mut bias = AccuracyBias::new(
-            scratch.as_mut(),
-            &x,
-            &y,
-            &mut cache,
-            10.0,
-            Normalization::Simple,
-        );
+        let mut bias = AccuracyBias::new(&mut evaluator, &x, &y, 10.0, Normalization::Simple);
         RandomWalker::new()
             .walk(&tangle, g, &mut bias, &mut rng)
             .unwrap();
-        assert_eq!(bias.evaluations(), 0);
+        assert_eq!(evaluator.counters().fresh, 2, "no new fresh evaluations");
+        assert_eq!(evaluator.counters().cached, 2);
     }
 
     #[test]
     fn incompatible_payload_scores_zero() {
-        let (x, y, good_params, _, mut scratch) = toy_setup();
+        let (x, y, good_params, _, mut evaluator) = toy_setup();
         let mut tangle: Tangle<ModelPayload> =
             Tangle::new(ModelPayload::new(vec![0.0; good_params.len()]));
         let g = tangle.genesis();
@@ -319,32 +276,16 @@ mod tests {
         let weird = tangle
             .attach(ModelPayload::new(vec![1.0; 3]), &[g])
             .unwrap();
-        let mut cache = HashMap::new();
-        let mut bias = AccuracyBias::new(
-            scratch.as_mut(),
-            &x,
-            &y,
-            &mut cache,
-            10.0,
-            Normalization::Simple,
-        );
+        let mut bias = AccuracyBias::new(&mut evaluator, &x, &y, 10.0, Normalization::Simple);
         let w = bias.weights(&tangle, g, &[weird]);
         assert_eq!(w.len(), 1);
-        assert_eq!(cache[&weird], 0.0);
+        assert_eq!(evaluator.score(&tangle, weird, &x, &y), 0.0);
     }
 
     #[test]
     #[should_panic(expected = "alpha")]
     fn negative_alpha_panics() {
-        let (x, y, _, _, mut scratch) = toy_setup();
-        let mut cache = HashMap::new();
-        AccuracyBias::new(
-            scratch.as_mut(),
-            &x,
-            &y,
-            &mut cache,
-            -1.0,
-            Normalization::Simple,
-        );
+        let (x, y, _, _, mut evaluator) = toy_setup();
+        AccuracyBias::new(&mut evaluator, &x, &y, -1.0, Normalization::Simple);
     }
 }

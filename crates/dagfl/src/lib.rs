@@ -88,8 +88,8 @@ pub use dagfl_tensor as tensor;
 pub use dagfl_baselines::{FedConfig, FederatedServer};
 pub use dagfl_core::{
     AsyncConfig, AsyncMetrics, AsyncSimulation, ComputeProfile, DagConfig, DelayModel,
-    ExecutionMode, Hyperparameters, Normalization, PoisoningConfig, PoisoningScenario, PublishGate,
-    Simulation, StaleTipPolicy, TangleView, TipSelector,
+    EvalCounters, ExecutionMode, Hyperparameters, ModelEvaluator, Normalization, PoisoningConfig,
+    PoisoningScenario, PublishGate, Simulation, StaleTipPolicy, TangleView, TipSelector,
 };
 pub use dagfl_scenario::{
     AttackSpec, DatasetSpec, ExecutionSpec, ModelSpec, RunReport, Scenario, ScenarioRunner,

@@ -31,6 +31,11 @@ impl Layer for Relu {
         Ok(input.map(|v| v.max(0.0)))
     }
 
+    fn forward_inference_into(&self, input: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        input.map_into(out, |v| v.max(0.0));
+        Ok(())
+    }
+
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
         let input = self
             .cached_input
@@ -71,6 +76,11 @@ impl Layer for Tanh {
 
     fn forward_inference(&self, input: &Matrix) -> Result<Matrix, NnError> {
         Ok(input.map(f32::tanh))
+    }
+
+    fn forward_inference_into(&self, input: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        input.map_into(out, f32::tanh);
+        Ok(())
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
@@ -123,6 +133,11 @@ impl Layer for Sigmoid {
 
     fn forward_inference(&self, input: &Matrix) -> Result<Matrix, NnError> {
         Ok(input.map(sigmoid_scalar))
+    }
+
+    fn forward_inference_into(&self, input: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        input.map_into(out, sigmoid_scalar);
+        Ok(())
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {

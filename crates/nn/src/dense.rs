@@ -73,6 +73,36 @@ impl Layer for Dense {
         self.affine(input)
     }
 
+    fn forward_inference_into(&self, input: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        input.matmul_into(&self.weight, out)?;
+        out.add_row_broadcast(self.bias.as_slice())?;
+        Ok(())
+    }
+
+    fn forward_inference_params(
+        &self,
+        params: &mut &[f32],
+        input: &Matrix,
+        out: &mut Matrix,
+    ) -> Option<Result<(), NnError>> {
+        // Layout per `visit_parameters`: weights (in x out), then bias.
+        let (in_f, out_f) = (self.in_features(), self.out_features());
+        if params.len() < in_f * out_f + out_f {
+            // The caller pre-validates the total count; a short slice
+            // here means an inconsistent model, so fall back.
+            return None;
+        }
+        let (weight, rest) = params.split_at(in_f * out_f);
+        let (bias, rest) = rest.split_at(out_f);
+        *params = rest;
+        Some(
+            input
+                .matmul_slice_into(weight, out_f, out)
+                .and_then(|()| out.add_row_broadcast(bias))
+                .map_err(NnError::from),
+        )
+    }
+
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
         let input = self
             .cached_input

@@ -1,0 +1,53 @@
+//! Reusable scratch buffers for the inference-only evaluation path.
+
+use dagfl_tensor::Matrix;
+
+/// Ping-pong activation buffers threaded through
+/// [`Model::evaluate_with_scratch`](crate::Model::evaluate_with_scratch).
+///
+/// The training forward pass allocates a fresh activation matrix per
+/// layer; the evaluation hot path (the accuracy-biased walk scores every
+/// candidate model on the same test batch) instead alternates between the
+/// two matrices held here, so a full forward pass performs **zero**
+/// allocations once the buffers have grown to the model's widest layer.
+/// One `EvalScratch` per evaluator is enough — buffers are reshaped on
+/// every use and never carry state between calls.
+///
+/// # Example
+///
+/// ```
+/// use dagfl_nn::{Dense, EvalScratch, Model, Relu, Sequential};
+/// use dagfl_tensor::Matrix;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let model = Sequential::new(vec![
+///     Box::new(Dense::new(&mut rng, 4, 8)),
+///     Box::new(Relu::new()),
+///     Box::new(Dense::new(&mut rng, 8, 3)),
+/// ]);
+/// let x = Matrix::from_fn(5, 4, |r, c| (r + c) as f32 * 0.1);
+/// let y = vec![0, 1, 2, 0, 1];
+/// let mut scratch = EvalScratch::new();
+/// let fast = model.evaluate_with_scratch(&x, &y, &mut scratch).unwrap();
+/// let slow = model.evaluate(&x, &y).unwrap();
+/// assert_eq!(fast, slow);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    a: Matrix,
+    b: Matrix,
+}
+
+impl EvalScratch {
+    /// Creates empty scratch buffers (they grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Both buffers as disjoint mutable borrows, for ping-ponging
+    /// activations through a layer stack.
+    pub fn buffers(&mut self) -> (&mut Matrix, &mut Matrix) {
+        (&mut self.a, &mut self.b)
+    }
+}

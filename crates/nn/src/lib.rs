@@ -55,6 +55,7 @@ mod dense;
 mod dropout;
 mod embedding;
 mod error;
+mod eval;
 pub mod gradcheck;
 mod model;
 mod optimizer;
@@ -68,6 +69,7 @@ pub use dense::Dense;
 pub use dropout::Dropout;
 pub use embedding::Embedding;
 pub use error::NnError;
+pub use eval::EvalScratch;
 pub use model::{Evaluation, Model};
 pub use optimizer::SgdConfig;
 pub use params::{

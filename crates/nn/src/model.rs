@@ -3,7 +3,7 @@
 
 use dagfl_tensor::Matrix;
 
-use crate::{NnError, SgdConfig};
+use crate::{EvalScratch, NnError, SgdConfig};
 
 /// Loss and accuracy of a model on a labelled batch.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -89,6 +89,50 @@ pub trait Model: Send {
     ///
     /// Returns an error if the batch shape does not match the model.
     fn evaluate(&self, x: &Matrix, y: &[usize]) -> Result<Evaluation, NnError>;
+
+    /// Evaluates like [`Model::evaluate`], threading reusable
+    /// [`EvalScratch`] buffers through the forward pass.
+    ///
+    /// Results are identical to [`Model::evaluate`]; the difference is
+    /// purely allocation behaviour on the hot path (candidate-model
+    /// scoring during tip selection evaluates thousands of models on the
+    /// same test batch). The default implementation ignores the scratch
+    /// and delegates; models with a buffer-reusing inference path
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the batch shape does not match the model.
+    fn evaluate_with_scratch(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        scratch: &mut EvalScratch,
+    ) -> Result<Evaluation, NnError> {
+        let _ = scratch;
+        self.evaluate(x, y)
+    }
+
+    /// Evaluates a *flat parameter vector* on the batch without loading
+    /// it into the model: the forward pass reads weights directly from
+    /// `params` (in [`Model::parameters`] order), so scoring a candidate
+    /// skips the `set_parameters` copy entirely. The model's own
+    /// parameters are untouched and results are bit-identical to
+    /// `set_parameters(params)` + [`Model::evaluate_with_scratch`].
+    ///
+    /// Returns `None` when the model has no zero-copy path (the caller
+    /// falls back to loading the parameters); `Some(Err(_))` for shape
+    /// or parameter-count mismatches.
+    fn evaluate_flat_params(
+        &self,
+        params: &[f32],
+        x: &Matrix,
+        y: &[usize],
+        scratch: &mut EvalScratch,
+    ) -> Option<Result<Evaluation, NnError>> {
+        let _ = (params, x, y, scratch);
+        None
+    }
 
     /// Predicts the class for every row of `x`.
     ///

@@ -1,8 +1,10 @@
 //! The [`Layer`] trait and [`Sequential`] feed-forward models.
 
-use dagfl_tensor::{argmax, softmax_cross_entropy, softmax_in_place, Matrix};
+use dagfl_tensor::{
+    argmax, fused_softmax_cross_entropy, softmax_cross_entropy, softmax_in_place, Matrix,
+};
 
-use crate::{Evaluation, Model, NnError, SgdConfig};
+use crate::{EvalScratch, Evaluation, Model, NnError, SgdConfig};
 
 /// A differentiable layer in a [`Sequential`] model.
 ///
@@ -30,6 +32,50 @@ pub trait Layer: Send {
     ///
     /// Returns an error if `input` has the wrong width for this layer.
     fn forward_inference(&self, input: &Matrix) -> Result<Matrix, NnError>;
+
+    /// Inference-mode forward pass into a reusable output buffer.
+    ///
+    /// `out` is reshaped (reusing its allocation) and fully overwritten;
+    /// `input` and `out` must be distinct matrices. The default
+    /// implementation falls back to the allocating
+    /// [`Layer::forward_inference`]; hot-path layers override it with an
+    /// allocation-free kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` has the wrong width for this layer.
+    fn forward_inference_into(&self, input: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        *out = self.forward_inference(input)?;
+        Ok(())
+    }
+
+    /// Inference-mode forward pass reading this layer's parameters from
+    /// the front of `params` (the layer's slice of a flat parameter
+    /// vector, in [`Layer::visit_parameters`] order) instead of its own
+    /// weights, consuming them from the slice.
+    ///
+    /// This is the zero-copy candidate-evaluation path: scoring a
+    /// candidate model does not have to copy its parameters into the
+    /// scratch model first. Returns `None` when the layer has no such
+    /// fast path (the caller falls back to `set_parameters` +
+    /// [`Layer::forward_inference_into`]); layers *with* parameters that
+    /// implement it must produce bit-identical results to loading the
+    /// same values via `load_parameters`.
+    fn forward_inference_params(
+        &self,
+        params: &mut &[f32],
+        input: &Matrix,
+        out: &mut Matrix,
+    ) -> Option<Result<(), NnError>> {
+        if self.num_parameters() == 0 {
+            // Parameterless layers (activations, pooling, inference-mode
+            // dropout) consume nothing and forward as usual.
+            let _ = params;
+            Some(self.forward_inference_into(input, out))
+        } else {
+            None
+        }
+    }
 
     /// Backward pass: consumes the gradient w.r.t. this layer's output and
     /// returns the gradient w.r.t. its input, storing parameter gradients
@@ -205,6 +251,26 @@ impl Sequential {
     }
 }
 
+/// Label check + fused softmax/cross-entropy/accuracy over final logits
+/// (shared by the scratch and flat-params evaluation paths). `logits` is
+/// consumed in place.
+fn evaluation_from_logits(logits: &mut Matrix, y: &[usize]) -> Result<Evaluation, NnError> {
+    let classes = logits.cols();
+    if let Some(&bad) = y.iter().find(|&&label| label >= classes) {
+        return Err(NnError::LabelOutOfRange {
+            label: bad,
+            classes,
+        });
+    }
+    let (loss, correct) = fused_softmax_cross_entropy(logits, y);
+    Ok(Evaluation {
+        loss,
+        accuracy: correct as f32 / y.len() as f32,
+        correct,
+        total: y.len(),
+    })
+}
+
 impl Clone for Sequential {
     fn clone(&self) -> Self {
         Self {
@@ -292,6 +358,72 @@ impl Model for Sequential {
             correct,
             total: y.len(),
         })
+    }
+
+    fn evaluate_with_scratch(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        scratch: &mut EvalScratch,
+    ) -> Result<Evaluation, NnError> {
+        if x.rows() != y.len() {
+            return Err(NnError::BatchMismatch {
+                inputs: x.rows(),
+                labels: y.len(),
+            });
+        }
+        if y.is_empty() {
+            return Ok(Evaluation::default());
+        }
+        // Ping-pong the activations between the two scratch buffers —
+        // no per-layer allocation, unlike `logits()`.
+        let (mut cur, mut next) = scratch.buffers();
+        self.layers[0].forward_inference_into(x, cur)?;
+        for layer in &self.layers[1..] {
+            layer.forward_inference_into(cur, next)?;
+            std::mem::swap(&mut cur, &mut next);
+        }
+        evaluation_from_logits(cur, y)
+    }
+
+    fn evaluate_flat_params(
+        &self,
+        params: &[f32],
+        x: &Matrix,
+        y: &[usize],
+        scratch: &mut EvalScratch,
+    ) -> Option<Result<Evaluation, NnError>> {
+        if x.rows() != y.len() {
+            return Some(Err(NnError::BatchMismatch {
+                inputs: x.rows(),
+                labels: y.len(),
+            }));
+        }
+        let expected = self.num_parameters();
+        if params.len() != expected {
+            return Some(Err(NnError::ParameterCount {
+                expected,
+                actual: params.len(),
+            }));
+        }
+        if y.is_empty() {
+            return Some(Ok(Evaluation::default()));
+        }
+        let mut remaining = params;
+        let (mut cur, mut next) = scratch.buffers();
+        match self.layers[0].forward_inference_params(&mut remaining, x, cur)? {
+            Ok(()) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        for layer in &self.layers[1..] {
+            match layer.forward_inference_params(&mut remaining, cur, next)? {
+                Ok(()) => {}
+                Err(e) => return Some(Err(e)),
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        debug_assert!(remaining.is_empty(), "layers must consume all parameters");
+        Some(evaluation_from_logits(cur, y))
     }
 
     fn predict(&self, x: &Matrix) -> Result<Vec<usize>, NnError> {
@@ -408,6 +540,119 @@ mod tests {
         let model = tiny_model(1);
         let eval = model.evaluate(&Matrix::zeros(0, 4), &[]).unwrap();
         assert_eq!(eval, Evaluation::default());
+        let mut scratch = EvalScratch::new();
+        let eval = model
+            .evaluate_with_scratch(&Matrix::zeros(0, 4), &[], &mut scratch)
+            .unwrap();
+        assert_eq!(eval, Evaluation::default());
+    }
+
+    #[test]
+    fn scratch_evaluation_matches_allocating_evaluation() {
+        let mut model = tiny_model(9);
+        let (x, y) = toy_batch();
+        let opt = SgdConfig::new(0.5);
+        let mut scratch = EvalScratch::new();
+        // Across training steps (reused buffers, changing parameters) the
+        // two paths must agree exactly — the walk's cached accuracies
+        // depend on it.
+        for _ in 0..20 {
+            model.train_batch(&x, &y, &opt).unwrap();
+            let slow = model.evaluate(&x, &y).unwrap();
+            let fast = model.evaluate_with_scratch(&x, &y, &mut scratch).unwrap();
+            assert_eq!(fast, slow);
+            assert_eq!(fast.loss.to_bits(), slow.loss.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_evaluation_rejects_bad_batches() {
+        let model = tiny_model(2);
+        let mut scratch = EvalScratch::new();
+        let err = model
+            .evaluate_with_scratch(&Matrix::zeros(2, 4), &[0], &mut scratch)
+            .unwrap_err();
+        assert!(matches!(err, NnError::BatchMismatch { .. }));
+        let err = model
+            .evaluate_with_scratch(&Matrix::zeros(1, 4), &[7], &mut scratch)
+            .unwrap_err();
+        assert!(matches!(err, NnError::LabelOutOfRange { .. }));
+        let err = model
+            .evaluate_with_scratch(&Matrix::zeros(1, 9), &[0], &mut scratch)
+            .unwrap_err();
+        assert!(matches!(err, NnError::Shape(_)));
+    }
+
+    #[test]
+    fn flat_params_evaluation_matches_loaded_evaluation() {
+        let mut scratch_model = tiny_model(4);
+        let donor = tiny_model(5);
+        let params = donor.parameters();
+        let (x, y) = toy_batch();
+        let mut scratch = EvalScratch::new();
+        let before = scratch_model.parameters();
+        let zero_copy = scratch_model
+            .evaluate_flat_params(&params, &x, &y, &mut scratch)
+            .expect("Sequential of Dense/Relu supports the flat path")
+            .unwrap();
+        assert_eq!(
+            scratch_model.parameters(),
+            before,
+            "the flat path must not touch the model's own parameters"
+        );
+        scratch_model.set_parameters(&params).unwrap();
+        let loaded = scratch_model.evaluate(&x, &y).unwrap();
+        assert_eq!(zero_copy, loaded);
+        assert_eq!(zero_copy.loss.to_bits(), loaded.loss.to_bits());
+    }
+
+    #[test]
+    fn flat_params_evaluation_rejects_bad_inputs() {
+        let model = tiny_model(4);
+        let (x, y) = toy_batch();
+        let mut scratch = EvalScratch::new();
+        let err = model
+            .evaluate_flat_params(&[0.0; 3], &x, &y, &mut scratch)
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(err, NnError::ParameterCount { .. }));
+        let err = model
+            .evaluate_flat_params(&model.parameters(), &x, &y[..2], &mut scratch)
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(err, NnError::BatchMismatch { .. }));
+    }
+
+    #[test]
+    fn forward_inference_into_default_matches_allocating_path() {
+        // A single-layer model exercises the non-overridden default for
+        // layers without a buffer-reusing kernel.
+        struct Offset;
+        impl Layer for Offset {
+            fn name(&self) -> &'static str {
+                "Offset"
+            }
+            fn forward(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
+                Ok(input.map(|v| v + 1.0))
+            }
+            fn forward_inference(&self, input: &Matrix) -> Result<Matrix, NnError> {
+                Ok(input.map(|v| v + 1.0))
+            }
+            fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
+                Ok(grad_output.clone())
+            }
+            fn boxed_clone(&self) -> Box<dyn Layer> {
+                Box::new(Offset)
+            }
+        }
+        let model = Sequential::new(vec![Box::new(Offset)]);
+        let x = Matrix::from_rows(&[&[1.0, -3.0], &[0.0, 2.0]]).unwrap();
+        let mut scratch = EvalScratch::new();
+        let fast = model
+            .evaluate_with_scratch(&x, &[0, 1], &mut scratch)
+            .unwrap();
+        let slow = model.evaluate(&x, &[0, 1]).unwrap();
+        assert_eq!(fast, slow);
     }
 
     #[test]

@@ -59,6 +59,17 @@ pub struct RunReport {
     /// Mean post-training loss per round (rounds mode; empty for async
     /// runs).
     pub round_loss: Vec<f32>,
+    /// Fresh (forward-pass) candidate evaluations per round (rounds
+    /// mode; empty for async runs).
+    pub round_fresh_evals: Vec<usize>,
+    /// Cache-served candidate evaluations per round (rounds mode; empty
+    /// for async runs).
+    pub round_cached_evals: Vec<usize>,
+    /// Total fresh candidate evaluations over the whole run (both
+    /// modes) — the walk's dominant cost driver.
+    pub fresh_evaluations: usize,
+    /// Total cache-served candidate evaluations over the whole run.
+    pub cached_evaluations: usize,
     /// The dataset the run trained on.
     pub dataset: DatasetSummary,
     /// Final §4.3 specialization metrics.
@@ -213,6 +224,14 @@ impl ScenarioRunner {
                     recent_accuracy: sim.recent_accuracy(window),
                     round_accuracy: sim.history().iter().map(|m| m.mean_accuracy()).collect(),
                     round_loss: sim.history().iter().map(|m| m.mean_loss()).collect(),
+                    round_fresh_evals: sim.history().iter().map(|m| m.fresh_evaluations).collect(),
+                    round_cached_evals: sim
+                        .history()
+                        .iter()
+                        .map(|m| m.cached_evaluations)
+                        .collect(),
+                    fresh_evaluations: sim.history().iter().map(|m| m.fresh_evaluations).sum(),
+                    cached_evaluations: sim.history().iter().map(|m| m.cached_evaluations).sum(),
                     dataset: summary,
                     specialization: sim.specialization_metrics(),
                     specialization_track: Vec::new(),
@@ -246,6 +265,14 @@ impl ScenarioRunner {
                     recent_accuracy: sim.recent_accuracy(window),
                     round_accuracy: sim.history().iter().map(|m| m.mean_accuracy()).collect(),
                     round_loss: sim.history().iter().map(|m| m.mean_loss()).collect(),
+                    round_fresh_evals: sim.history().iter().map(|m| m.fresh_evaluations).collect(),
+                    round_cached_evals: sim
+                        .history()
+                        .iter()
+                        .map(|m| m.cached_evaluations)
+                        .collect(),
+                    fresh_evaluations: sim.history().iter().map(|m| m.fresh_evaluations).sum(),
+                    cached_evaluations: sim.history().iter().map(|m| m.cached_evaluations).sum(),
                     dataset: summary,
                     specialization: sim.specialization_metrics(),
                     specialization_track: track,
@@ -266,6 +293,10 @@ impl ScenarioRunner {
                     recent_accuracy: sim.recent_accuracy(window),
                     round_accuracy: Vec::new(),
                     round_loss: Vec::new(),
+                    round_fresh_evals: Vec::new(),
+                    round_cached_evals: Vec::new(),
+                    fresh_evaluations: metrics.fresh_evaluations,
+                    cached_evaluations: metrics.cached_evaluations,
                     dataset: summary,
                     specialization: sim
                         .specialization_metrics_seeded(config.dag.seed ^ 0xC0FF_EE00),
@@ -303,6 +334,8 @@ impl ScenarioRunner {
                     "stale_fraction",
                     "mean_confirmation_depth",
                     "pureness",
+                    "fresh_evals",
+                    "cached_evals",
                 ],
                 vec![vec![
                     m.activations.to_string(),
@@ -313,21 +346,37 @@ impl ScenarioRunner {
                     format!("{:.4}", m.stale_fraction()),
                     format!("{:.4}", m.mean_confirmation_depth),
                     format!("{:.4}", report.specialization.approval_pureness),
+                    m.fresh_evaluations.to_string(),
+                    m.cached_evaluations.to_string(),
                 ]],
             )
         } else {
             (
-                vec!["round", "mean_accuracy", "mean_loss"],
+                vec![
+                    "round",
+                    "mean_accuracy",
+                    "mean_loss",
+                    "fresh_evals",
+                    "cached_evals",
+                ],
                 report
                     .round_accuracy
                     .iter()
                     .zip(&report.round_loss)
+                    .zip(
+                        report
+                            .round_fresh_evals
+                            .iter()
+                            .zip(&report.round_cached_evals),
+                    )
                     .enumerate()
-                    .map(|(i, (acc, loss))| {
+                    .map(|(i, ((acc, loss), (fresh, cached)))| {
                         vec![
                             (i + 1).to_string(),
                             format!("{acc:.4}"),
                             format!("{loss:.4}"),
+                            fresh.to_string(),
+                            cached.to_string(),
                         ]
                     })
                     .collect(),
@@ -372,6 +421,36 @@ mod tests {
         assert!(report.poisoning.is_none());
         assert!((0.0..=1.0).contains(&report.specialization.approval_pureness));
         assert!(report.summary().contains("rounds"));
+    }
+
+    #[test]
+    fn reports_carry_evaluation_counts() {
+        let report = ScenarioRunner::new(tiny()).unwrap().run().unwrap();
+        assert_eq!(report.round_fresh_evals.len(), 2);
+        assert_eq!(report.round_cached_evals.len(), 2);
+        assert_eq!(
+            report.fresh_evaluations,
+            report.round_fresh_evals.iter().sum::<usize>()
+        );
+        assert_eq!(
+            report.cached_evaluations,
+            report.round_cached_evals.iter().sum::<usize>()
+        );
+        // Async runs report totals from the simulator's metrics.
+        let scenario = tiny().asynchronous(AsyncConfig {
+            dag: DagConfig {
+                local_batches: 2,
+                ..DagConfig::default()
+            },
+            total_activations: 6,
+            delay: DelayModel::constant(1.0),
+            ..AsyncConfig::default()
+        });
+        let report = ScenarioRunner::new(scenario).unwrap().run().unwrap();
+        let metrics = report.async_metrics.as_ref().expect("async metrics");
+        assert_eq!(report.fresh_evaluations, metrics.fresh_evaluations);
+        assert_eq!(report.cached_evaluations, metrics.cached_evaluations);
+        assert!(report.round_fresh_evals.is_empty());
     }
 
     #[test]
@@ -447,7 +526,7 @@ mod tests {
         let report = runner.run().unwrap();
         let path = report.csv_path.expect("csv written");
         let content = std::fs::read_to_string(&path).unwrap();
-        assert!(content.starts_with("round,mean_accuracy,mean_loss\n"));
+        assert!(content.starts_with("round,mean_accuracy,mean_loss,fresh_evals,cached_evals\n"));
         assert_eq!(content.lines().count(), 3);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(path.parent().expect("results dir"));

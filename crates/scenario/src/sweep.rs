@@ -410,7 +410,7 @@ pub struct SweepAxis {
 
 impl SweepAxis {
     /// Expands a half-open integer range (`start..end`) into raw value
-    /// tokens, enforcing the shared [`MAX_RANGE_LEN`] backstop — the one
+    /// tokens, enforcing the shared `MAX_RANGE_LEN` backstop — the one
     /// range expansion both sweep files and the CLI `--axes` flag go
     /// through, so a typo'd `0..9999999999` is rejected instead of
     /// eagerly allocated.
@@ -945,6 +945,8 @@ impl SweepReport {
                 "publish_fraction",
                 "stale_fraction",
                 "mean_publish_latency",
+                "fresh_evals",
+                "cached_evals",
             ]
             .map(String::from),
         );
@@ -987,6 +989,8 @@ impl SweepReport {
                     }
                     None => row.extend(std::iter::repeat(String::new()).take(4)),
                 }
+                row.push(r.fresh_evaluations.to_string());
+                row.push(r.cached_evaluations.to_string());
                 row
             })
             .collect()
@@ -1679,7 +1683,10 @@ mod tests {
             mean_confirmation_depth: 0.0,
             tips: 1,
             transactions: 1,
+            fresh_evaluations: 0,
+            cached_evaluations: 0,
         };
+        assert_eq!(metrics.fresh_eval_ratio(), 0.0);
         assert_eq!(metrics.activation_rate(), 0.0);
         assert_eq!(metrics.publish_fraction(), 0.0);
         assert_eq!(metrics.stale_fraction(), 0.0);
@@ -1690,6 +1697,10 @@ mod tests {
             recent_accuracy: 0.0,
             round_accuracy: Vec::new(),
             round_loss: Vec::new(),
+            round_fresh_evals: Vec::new(),
+            round_cached_evals: Vec::new(),
+            fresh_evaluations: 0,
+            cached_evaluations: 0,
             dataset: DatasetSummary {
                 name: "fmnist-clustered".into(),
                 clients: 4,

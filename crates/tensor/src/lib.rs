@@ -6,10 +6,15 @@
 //! cache-friendly matrix multiplication, broadcasting helpers, common
 //! activation/normalisation kernels and reproducible random initialisation.
 //!
-//! The design goal is *predictable* rather than *maximal* performance: all
-//! operations are straightforward loops over contiguous slices so that the
-//! experiment harness built on top has stable timing behaviour (important
-//! for the scalability experiment, Figure 15 of the paper).
+//! The design goal is *predictable* rather than *maximal* performance: the
+//! training-path operations are straightforward loops over contiguous
+//! slices so that the experiment harness built on top has stable timing
+//! behaviour (important for the scalability experiment, Figure 15 of the
+//! paper). The evaluation hot path additionally gets blocked, buffer-reusing
+//! kernels ([`Matrix::matmul_into`], [`Matrix::matmul_transpose_into`],
+//! [`fused_softmax_cross_entropy`]) whose per-cell accumulation order
+//! matches the naive versions exactly — the naive kernels double as the
+//! reference oracles in the property tests.
 //!
 //! # Example
 //!
@@ -42,7 +47,7 @@ pub use error::ShapeError;
 pub use init::{he_normal, he_uniform, normal_init, uniform_init, xavier_normal, xavier_uniform};
 pub use matrix::Matrix;
 pub use ops::{
-    argmax, cross_entropy_from_probs, log_sum_exp, one_hot, softmax, softmax_cross_entropy,
-    softmax_in_place,
+    argmax, cross_entropy_from_probs, fused_softmax_cross_entropy, log_sum_exp, one_hot, softmax,
+    softmax_cross_entropy, softmax_in_place,
 };
 pub use stats::{max, mean, min, stddev, variance, Summary};

@@ -177,6 +177,15 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
+    /// Reshapes this matrix to `rows x cols`, reusing the existing
+    /// allocation where possible. All entries are reset to zero.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Returns a new matrix keeping only the rows with the given indices.
     ///
     /// # Panics
@@ -221,33 +230,138 @@ impl Matrix {
 
     /// Matrix multiplication with the transpose of `other`: `self * other^T`.
     ///
-    /// This is the common backward-pass shape and avoids materialising the
-    /// transpose.
+    /// This is the common backward-pass shape and avoids materialising
+    /// the transpose. Delegates to the blocked
+    /// [`Matrix::matmul_transpose_into`] kernel, whose per-cell dot
+    /// order matches the straightforward loop exactly (the naive form is
+    /// pinned as the oracle in the property tests).
     ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] if `self.cols() != other.cols()`.
     pub fn matmul_transpose(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut out = Matrix::default();
+        self.matmul_transpose_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Blocked matrix multiplication `self * other` into a reusable
+    /// output buffer.
+    ///
+    /// This is the inference-path kernel: `out` is reshaped (reusing its
+    /// allocation) instead of freshly allocated, and column tiles of
+    /// accumulators stay in SIMD registers across the whole `k` loop
+    /// instead of re-reading and re-writing the output row per `k`. Per
+    /// output cell the terms are accumulated in exactly the same
+    /// ascending-`k` order as [`Matrix::matmul`], including its
+    /// zero-LHS skip, so results match the naive kernel — which serves
+    /// as the reference oracle in the property tests — bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != other.rows()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new("matmul_into", self.shape(), other.shape()));
+        }
+        matmul_slice_kernel(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            out,
+        );
+        Ok(())
+    }
+
+    /// [`Matrix::matmul_into`] with the right-hand side given as a raw
+    /// row-major slice of width `rhs_cols` (so `rhs.len() / rhs_cols`
+    /// rows).
+    ///
+    /// This is the zero-copy inference kernel: candidate model
+    /// parameters arrive as flat `Vec<f32>` payloads, and evaluating
+    /// them directly from the payload slice skips the
+    /// `set_parameters` round-trip (a full copy of the weights) per
+    /// candidate. Results are bit-identical to materialising the slice
+    /// as a [`Matrix`] first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `rhs_cols` is zero, `rhs.len()` is not
+    /// a multiple of `rhs_cols`, or the row count does not match
+    /// `self.cols()`.
+    pub fn matmul_slice_into(
+        &self,
+        rhs: &[f32],
+        rhs_cols: usize,
+        out: &mut Matrix,
+    ) -> Result<(), ShapeError> {
+        if rhs_cols == 0 || rhs.len() % rhs_cols != 0 || rhs.len() / rhs_cols != self.cols {
+            return Err(ShapeError::new(
+                "matmul_slice_into",
+                self.shape(),
+                (rhs.len() / rhs_cols.max(1), rhs_cols),
+            ));
+        }
+        matmul_slice_kernel(&self.data, self.rows, self.cols, rhs, rhs_cols, out);
+        Ok(())
+    }
+
+    /// Blocked transposed-RHS matrix multiplication `self * other^T`
+    /// into a reusable output buffer.
+    ///
+    /// The counterpart of [`Matrix::matmul_into`] for a right-hand side
+    /// stored row-major in transposed layout (each RHS *row* is a column
+    /// of the product): both operands are walked along contiguous rows,
+    /// tiled so the RHS rows of a tile stay cached across the LHS rows.
+    /// Accumulation order per cell matches [`Matrix::matmul_transpose`],
+    /// the naive reference oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != other.cols()`.
+    pub fn matmul_transpose_into(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), ShapeError> {
         if self.cols != other.cols {
             return Err(ShapeError::new(
-                "matmul_transpose",
+                "matmul_transpose_into",
                 self.shape(),
                 other.shape(),
             ));
         }
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        out.reset(self.rows, other.rows);
+        const COL_TILE: usize = 8;
+        let n = other.rows;
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + COL_TILE).min(n);
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                for j in j0..j1 {
+                    let b_row = &other.data[j * self.cols..(j + 1) * self.cols];
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    out.data[i * n + j] = acc;
                 }
-                out[(i, j)] = acc;
             }
+            j0 = j1;
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Applies `f` to every entry of `self`, writing the result into a
+    /// reusable output buffer (reshaped to `self`'s shape).
+    pub fn map_into<F: Fn(f32) -> f32>(&self, out: &mut Matrix, f: F) {
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.extend(self.data.iter().map(|&v| f(v)));
     }
 
     /// Matrix multiplication of the transpose of `self` with `other`:
@@ -466,6 +580,210 @@ impl Matrix {
     }
 }
 
+/// The register-tiled matmul kernel shared by [`Matrix::matmul_into`]
+/// and [`Matrix::matmul_slice_into`]: `out = a * b`, with `a` of shape
+/// `m x k` and `b` of shape `k x n`, all row-major.
+///
+/// A cascade of fixed-width column tiles (64 → 32 → 8 → narrow tail)
+/// keeps the accumulators in SIMD registers across the whole `k` loop,
+/// so the streamed RHS row costs one load per multiply-add and the
+/// output is written exactly once. Per output cell the terms are
+/// accumulated in ascending-`k` order with a single accumulator and the
+/// naive kernel's zero-LHS skip — [`Matrix::matmul`]'s results,
+/// bit-for-bit, for every input including non-finite entries.
+fn matmul_slice_kernel(a: &[f32], m: usize, k_len: usize, b: &[f32], n: usize, out: &mut Matrix) {
+    out.reset(m, n);
+    if n <= 16 {
+        // Narrow outputs (classifier heads, linear models): the whole
+        // output row fits one accumulator tile, so amortise each RHS
+        // row load over four LHS rows instead of re-slicing per row.
+        // The `av != 0.0` skip mirrors the naive kernel exactly (and
+        // pays for itself: ReLU activations are frequently zero).
+        let mut i = 0;
+        while i + 4 <= m {
+            let a_rows = [
+                &a[i * k_len..(i + 1) * k_len],
+                &a[(i + 1) * k_len..(i + 2) * k_len],
+                &a[(i + 2) * k_len..(i + 3) * k_len],
+                &a[(i + 3) * k_len..(i + 4) * k_len],
+            ];
+            let mut acc = [[0.0f32; 16]; 4];
+            for k in 0..k_len {
+                let b_tile = &b[k * n..(k + 1) * n];
+                for (acc_row, a_row) in acc.iter_mut().zip(&a_rows) {
+                    let av = a_row[k];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (c, &bv) in acc_row[..n].iter_mut().zip(b_tile) {
+                        *c += av * bv;
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                out.data[(i + r) * n..(i + r + 1) * n].copy_from_slice(&acc_row[..n]);
+            }
+            i += 4;
+        }
+        for i in i..m {
+            let a_row = &a[i * k_len..(i + 1) * k_len];
+            let mut acc = [0.0f32; 16];
+            for (k, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_tile = &b[k * n..(k + 1) * n];
+                for (c, &bv) in acc[..n].iter_mut().zip(b_tile) {
+                    *c += av * bv;
+                }
+            }
+            out.data[i * n..(i + 1) * n].copy_from_slice(&acc[..n]);
+        }
+        return;
+    }
+    let mut i = 0;
+    while i < m {
+        // Four dense LHS rows at a time: each streamed RHS row is
+        // reused across all four, quartering RHS cache traffic (the
+        // bound at realistic batch sizes). The zero scan decides the
+        // loop shape: dense rows (the common case for image inputs)
+        // take the branchless block; rows with zeros fall back to the
+        // single-row path with the naive kernel's zero-skip, which both
+        // preserves its exact semantics (a zero times a non-finite
+        // weight contributes nothing) and saves work on sparse
+        // activations.
+        if i + 4 <= m {
+            let rows = [
+                &a[i * k_len..(i + 1) * k_len],
+                &a[(i + 1) * k_len..(i + 2) * k_len],
+                &a[(i + 2) * k_len..(i + 3) * k_len],
+                &a[(i + 3) * k_len..(i + 4) * k_len],
+            ];
+            if rows.iter().all(|r| !r.contains(&0.0)) {
+                matmul_rows4(rows, b, n, &mut out.data[i * n..(i + 4) * n]);
+                i += 4;
+                continue;
+            }
+        }
+        let a_row = &a[i * k_len..(i + 1) * k_len];
+        let has_zero = a_row.contains(&0.0);
+        matmul_row1(a_row, b, n, &mut out.data[i * n..(i + 1) * n], has_zero);
+        i += 1;
+    }
+}
+
+/// Four dense (zero-free) LHS rows against the full RHS: 16-wide column
+/// tiles whose 4 x 16 accumulators stay in registers, with each RHS row
+/// loaded once per tile and reused across all four LHS rows (RHS cache
+/// traffic is the bound at realistic batch sizes).
+fn matmul_rows4(rows: [&[f32]; 4], b: &[f32], n: usize, out4: &mut [f32]) {
+    let [r0, r1, r2, r3] = rows;
+    let mut j0 = 0;
+    while j0 + 16 <= n {
+        let mut acc0 = [0.0f32; 16];
+        let mut acc1 = [0.0f32; 16];
+        let mut acc2 = [0.0f32; 16];
+        let mut acc3 = [0.0f32; 16];
+        for k in 0..r0.len() {
+            let b_tile = &b[k * n + j0..k * n + j0 + 16];
+            let (a0, a1, a2, a3) = (r0[k], r1[k], r2[k], r3[k]);
+            for j in 0..16 {
+                let bv = b_tile[j];
+                acc0[j] += a0 * bv;
+                acc1[j] += a1 * bv;
+                acc2[j] += a2 * bv;
+                acc3[j] += a3 * bv;
+            }
+        }
+        out4[j0..j0 + 16].copy_from_slice(&acc0);
+        out4[n + j0..n + j0 + 16].copy_from_slice(&acc1);
+        out4[2 * n + j0..2 * n + j0 + 16].copy_from_slice(&acc2);
+        out4[3 * n + j0..3 * n + j0 + 16].copy_from_slice(&acc3);
+        j0 += 16;
+    }
+    if j0 < n {
+        // Column tail (< 16): per-row accumulator tiles.
+        let w = n - j0;
+        for (r, a_row) in rows.iter().enumerate() {
+            let mut acc = [0.0f32; 16];
+            for (k, &av) in a_row.iter().enumerate() {
+                let b_tile = &b[k * n + j0..k * n + j0 + w];
+                for (c, &bv) in acc[..w].iter_mut().zip(b_tile) {
+                    *c += av * bv;
+                }
+            }
+            out4[r * n + j0..(r + 1) * n].copy_from_slice(&acc[..w]);
+        }
+    }
+}
+
+/// One LHS row against the full RHS: the 64/32/8-wide tile cascade plus
+/// a narrow tail, skipping zero LHS entries when the row has any.
+fn matmul_row1(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32], has_zero: bool) {
+    let mut j0 = 0;
+    while j0 + 64 <= n {
+        matmul_tile::<64>(a_row, b, n, j0, out_row, has_zero);
+        j0 += 64;
+    }
+    while j0 + 32 <= n {
+        matmul_tile::<32>(a_row, b, n, j0, out_row, has_zero);
+        j0 += 32;
+    }
+    while j0 + 8 <= n {
+        matmul_tile::<8>(a_row, b, n, j0, out_row, has_zero);
+        j0 += 8;
+    }
+    if j0 < n {
+        // Tail of fewer than 8 columns: registers still hold the
+        // accumulators, the same ascending-`k` order applies.
+        let w = n - j0;
+        let mut acc = [0.0f32; 8];
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_tile = &b[k * n + j0..k * n + j0 + w];
+            for (c, &bv) in acc[..w].iter_mut().zip(b_tile) {
+                *c += av * bv;
+            }
+        }
+        out_row[j0..].copy_from_slice(&acc[..w]);
+    }
+}
+
+/// One `W`-wide column tile of [`matmul_slice_kernel`]: `W` accumulators
+/// held in registers over the full `k` loop.
+#[inline]
+fn matmul_tile<const W: usize>(
+    a_row: &[f32],
+    b: &[f32],
+    n: usize,
+    j0: usize,
+    out_row: &mut [f32],
+    has_zero: bool,
+) {
+    let mut acc = [0.0f32; W];
+    if has_zero {
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_tile = &b[k * n + j0..k * n + j0 + W];
+            for (c, &bv) in acc.iter_mut().zip(b_tile) {
+                *c += av * bv;
+            }
+        }
+    } else {
+        for (k, &av) in a_row.iter().enumerate() {
+            let b_tile = &b[k * n + j0..k * n + j0 + W];
+            for (c, &bv) in acc.iter_mut().zip(b_tile) {
+                *c += av * bv;
+            }
+        }
+    }
+    out_row[j0..j0 + W].copy_from_slice(&acc);
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
@@ -559,6 +877,105 @@ mod tests {
         let fast = a.matmul_transpose(&b).unwrap();
         let slow = a.matmul(&b.transpose()).unwrap();
         assert!(fast.max_abs_diff(&slow).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_into_matches_naive_and_reuses_buffers() {
+        let a = Matrix::from_fn(13, 9, |r, c| ((r * 9 + c) as f32 - 50.0) * 0.25);
+        let b = Matrix::from_fn(9, 21, |r, c| ((r + 3 * c) as f32 - 20.0) * 0.5);
+        let naive = a.matmul(&b).unwrap();
+        // A dirty, wrongly shaped output buffer must be reshaped and
+        // fully overwritten.
+        let mut out = Matrix::filled(2, 2, 99.0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, naive);
+    }
+
+    #[test]
+    fn matmul_into_handles_zero_entries_like_naive() {
+        // Both kernels skip zero LHS entries; results must agree exactly
+        // on sparse input.
+        let a = Matrix::from_fn(5, 7, |r, c| if (r + c) % 3 == 0 { 0.0 } else { 1.5 });
+        let b = Matrix::from_fn(7, 4, |r, c| (r * 4 + c) as f32 * 0.1 - 1.0);
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn matmul_into_matches_naive_for_non_finite_rhs() {
+        // A diverged candidate model can carry inf/NaN weights; the
+        // zero-LHS skip means a zero input times an inf weight stays
+        // skipped in both kernels, so even these results are identical.
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 0.0], &[1.0, 0.0, 3.0]]).unwrap();
+        let mut weights = Matrix::from_fn(3, 20, |r, c| (r * 20 + c) as f32 * 0.5);
+        weights[(0, 0)] = f32::INFINITY;
+        weights[(2, 19)] = f32::NAN;
+        let naive = a.matmul(&weights).unwrap();
+        let mut blocked = Matrix::default();
+        a.matmul_into(&weights, &mut blocked).unwrap();
+        for (x, y) in naive.as_slice().iter().zip(blocked.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{naive:?} vs {blocked:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_slice_into_matches_matrix_rhs() {
+        let a = Matrix::from_fn(7, 65, |r, c| ((r * 65 + c) as f32).sin());
+        let b = Matrix::from_fn(65, 74, |r, c| ((r + c) as f32).cos());
+        let mut via_matrix = Matrix::default();
+        a.matmul_into(&b, &mut via_matrix).unwrap();
+        let mut via_slice = Matrix::default();
+        a.matmul_slice_into(b.as_slice(), b.cols(), &mut via_slice)
+            .unwrap();
+        assert_eq!(via_matrix, via_slice);
+        assert_eq!(via_matrix, a.matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn matmul_slice_into_rejects_bad_slices() {
+        let a = Matrix::zeros(2, 3);
+        let mut out = Matrix::default();
+        assert!(a.matmul_slice_into(&[0.0; 6], 0, &mut out).is_err());
+        assert!(a.matmul_slice_into(&[0.0; 7], 2, &mut out).is_err());
+        assert!(a.matmul_slice_into(&[0.0; 8], 2, &mut out).is_err());
+        assert!(a.matmul_slice_into(&[0.0; 6], 2, &mut out).is_ok());
+    }
+
+    #[test]
+    fn matmul_into_rejects_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut out = Matrix::default();
+        assert!(a.matmul_into(&b, &mut out).is_err());
+    }
+
+    #[test]
+    fn matmul_transpose_into_matches_naive() {
+        let a = Matrix::from_fn(11, 6, |r, c| (r * 6 + c) as f32 * 0.3 - 5.0);
+        let b = Matrix::from_fn(17, 6, |r, c| ((r + c) as f32).sin());
+        let naive = a.matmul_transpose(&b).unwrap();
+        let mut out = Matrix::filled(1, 1, -1.0);
+        a.matmul_transpose_into(&b, &mut out).unwrap();
+        assert_eq!(out, naive);
+        let bad = Matrix::zeros(4, 5);
+        assert!(a.matmul_transpose_into(&bad, &mut out).is_err());
+    }
+
+    #[test]
+    fn reset_reshapes_and_zeroes() {
+        let mut m = Matrix::filled(2, 3, 7.0);
+        m.reset(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn map_into_matches_map() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32 - 7.0);
+        let mut out = Matrix::filled(1, 9, 3.0);
+        m.map_into(&mut out, |v| v.max(0.0));
+        assert_eq!(out, m.map(|v| v.max(0.0)));
     }
 
     #[test]

@@ -130,6 +130,51 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (Matrix, f32)
     (probs, loss)
 }
 
+/// Fused softmax + cross-entropy + accuracy kernel, in place.
+///
+/// The inference-path counterpart of [`softmax_cross_entropy`]: one pass
+/// over the logit rows with **no intermediate probability matrix** —
+/// `logits` itself is normalised row by row, and the per-row loss and
+/// argmax are folded into the same pass. Returns `(mean_loss, correct)`
+/// where `correct` counts rows whose probability argmax equals the label
+/// (ties resolve to the first maximum, like [`argmax`]).
+///
+/// Per row the arithmetic (max-shift, exp, sum, divide, clamp, ln) runs
+/// in exactly the order of the composed naive kernels, so results are
+/// bit-identical to `softmax_cross_entropy` + [`cross_entropy_from_probs`]
+/// + [`argmax`] — the property tests pin this against the naive oracles.
+///
+/// # Panics
+///
+/// Panics if `logits.rows() != labels.len()` or a label is out of range.
+pub fn fused_softmax_cross_entropy(logits: &mut Matrix, labels: &[usize]) -> (f32, usize) {
+    assert_eq!(
+        logits.rows(),
+        labels.len(),
+        "logit rows must match label count"
+    );
+    if labels.is_empty() {
+        return (0.0, 0);
+    }
+    let classes = logits.cols();
+    let mut total = 0.0;
+    let mut correct = 0;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
+        let row = logits.row_mut(r);
+        softmax_slice_in_place(row);
+        let p = row[label].max(1e-12);
+        total -= p.ln();
+        if argmax(row) == label {
+            correct += 1;
+        }
+    }
+    (total / labels.len() as f32, correct)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +279,47 @@ mod tests {
     fn cross_entropy_empty_batch_is_zero() {
         let probs = Matrix::zeros(0, 3);
         assert_eq!(cross_entropy_from_probs(&probs, &[]), 0.0);
+    }
+
+    #[test]
+    fn fused_kernel_matches_naive_composition() {
+        let logits =
+            Matrix::from_rows(&[&[0.5, -0.25, 1.5], &[2.0, 0.0, -1.0], &[3.0, 3.0, 0.1]]).unwrap();
+        let labels = [2, 0, 1];
+        let (probs, naive_loss) = softmax_cross_entropy(&logits, &labels);
+        let naive_correct = labels
+            .iter()
+            .enumerate()
+            .filter(|&(r, &label)| argmax(probs.row(r)) == label)
+            .count();
+        let mut fused_logits = logits.clone();
+        let (loss, correct) = fused_softmax_cross_entropy(&mut fused_logits, &labels);
+        assert_eq!(
+            loss.to_bits(),
+            naive_loss.to_bits(),
+            "loss must be bit-identical"
+        );
+        assert_eq!(correct, naive_correct);
+        assert_eq!(fused_logits, probs, "logits must hold the probabilities");
+    }
+
+    #[test]
+    fn fused_kernel_empty_batch_is_zero() {
+        let mut logits = Matrix::zeros(0, 4);
+        assert_eq!(fused_softmax_cross_entropy(&mut logits, &[]), (0.0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fused_kernel_rejects_out_of_range_label() {
+        let mut logits = Matrix::zeros(1, 3);
+        fused_softmax_cross_entropy(&mut logits, &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "logit rows")]
+    fn fused_kernel_rejects_row_mismatch() {
+        let mut logits = Matrix::zeros(2, 3);
+        fused_softmax_cross_entropy(&mut logits, &[0]);
     }
 }

@@ -1,6 +1,9 @@
 //! Property-based tests for the tensor substrate.
 
-use dagfl_tensor::{argmax, log_sum_exp, one_hot, softmax, Matrix, Summary};
+use dagfl_tensor::{
+    argmax, cross_entropy_from_probs, fused_softmax_cross_entropy, log_sum_exp, one_hot, softmax,
+    softmax_cross_entropy, Matrix, Summary,
+};
 use proptest::prelude::*;
 
 /// Strategy producing a matrix with bounded dimensions and finite entries.
@@ -74,6 +77,85 @@ proptest! {
         let fast = m.matmul_transpose(&n).unwrap();
         let slow = m.matmul(&n.transpose()).unwrap();
         prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-1);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_oracle(
+        // Dimensions deliberately straddle the kernel's 8-row tile, so
+        // partial tiles (non-multiple-of-block sizes) are exercised.
+        (a, b) in (1usize..=20, 1usize..=20, 1usize..=20).prop_flat_map(|(m, k, n)| {
+            let lhs = proptest::collection::vec(-100.0f32..100.0, m * k);
+            let rhs = proptest::collection::vec(-100.0f32..100.0, k * n);
+            (lhs, rhs).prop_map(move |(a, b)| {
+                (
+                    Matrix::from_vec(m, k, a).expect("sized"),
+                    Matrix::from_vec(k, n, b).expect("sized"),
+                )
+            })
+        })
+    ) {
+        let naive = a.matmul(&b).unwrap();
+        let mut blocked = Matrix::filled(1, 3, 42.0); // dirty buffer on purpose
+        a.matmul_into(&b, &mut blocked).unwrap();
+        prop_assert_eq!(blocked.shape(), naive.shape());
+        prop_assert!(blocked.max_abs_diff(&naive).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn blocked_transposed_rhs_matmul_matches_naive_oracle(
+        (a, b) in (1usize..=20, 1usize..=20, 1usize..=20).prop_flat_map(|(m, k, n)| {
+            let lhs = proptest::collection::vec(-100.0f32..100.0, m * k);
+            let rhs = proptest::collection::vec(-100.0f32..100.0, n * k);
+            (lhs, rhs).prop_map(move |(a, b)| {
+                (
+                    Matrix::from_vec(m, k, a).expect("sized"),
+                    Matrix::from_vec(n, k, b).expect("sized"),
+                )
+            })
+        })
+    ) {
+        // `matmul_transpose` delegates to the blocked kernel, so the
+        // reference oracle is the naive dot-product loop itself.
+        let mut naive = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut acc = 0.0f32;
+                for (&x, &y) in a.row(i).iter().zip(b.row(j)) {
+                    acc += x * y;
+                }
+                naive[(i, j)] = acc;
+            }
+        }
+        let mut blocked = Matrix::default();
+        a.matmul_transpose_into(&b, &mut blocked).unwrap();
+        prop_assert_eq!(blocked.shape(), naive.shape());
+        prop_assert!(blocked.max_abs_diff(&naive).unwrap() < 1e-5);
+        prop_assert!(a.matmul_transpose(&b).unwrap().max_abs_diff(&naive).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn fused_softmax_cross_entropy_matches_naive_oracle(
+        (logits, labels) in (1usize..=12, 1usize..=12).prop_flat_map(|(rows, classes)| {
+            let data = proptest::collection::vec(-50.0f32..50.0, rows * classes);
+            let labels = proptest::collection::vec(0usize..classes, rows);
+            (data, labels).prop_map(move |(d, l)| {
+                (Matrix::from_vec(rows, classes, d).expect("sized"), l)
+            })
+        })
+    ) {
+        let (probs, naive_loss) = softmax_cross_entropy(&logits, &labels);
+        let oracle_loss = cross_entropy_from_probs(&probs, &labels);
+        let naive_correct = labels
+            .iter()
+            .enumerate()
+            .filter(|&(r, &label)| argmax(probs.row(r)) == label)
+            .count();
+        let mut fused = logits.clone();
+        let (loss, correct) = fused_softmax_cross_entropy(&mut fused, &labels);
+        prop_assert!((loss - naive_loss).abs() < 1e-5);
+        prop_assert!((loss - oracle_loss).abs() < 1e-5);
+        prop_assert_eq!(correct, naive_correct);
+        prop_assert!(fused.max_abs_diff(&probs).unwrap() < 1e-5);
     }
 
     #[test]
