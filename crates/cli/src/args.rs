@@ -28,6 +28,10 @@ pub enum Command {
     Scenarios,
     /// Walk-evaluation performance smoke; writes `BENCH_walk.json`.
     Perf,
+    /// Networked DAG-FL peer (gossip over TCP, tracker discovery).
+    Peer,
+    /// Peer-discovery tracker for the networked mode.
+    Tracker,
     /// Print usage.
     Help,
 }
@@ -44,6 +48,8 @@ impl Command {
             "sweep" => Some(Command::Sweep),
             "scenarios" => Some(Command::Scenarios),
             "perf" => Some(Command::Perf),
+            "peer" => Some(Command::Peer),
+            "tracker" => Some(Command::Tracker),
             "help" | "--help" | "-h" => Some(Command::Help),
             _ => None,
         }
@@ -222,6 +228,9 @@ COMMANDS:
     local     local-only training (no communication)
     async     event-driven asynchronous DAG simulation
     perf      walk-evaluation performance smoke (writes BENCH_walk.json)
+    peer      networked DAG-FL peer: gossip over TCP, tracker discovery,
+              snapshot sync for late joiners
+    tracker   peer-discovery tracker for the networked mode
     help      print this message
 
 SCENARIOS:
@@ -282,6 +291,20 @@ ASYNC FLAGS:
                         with cohorts delays the same clients are network-slow)
     --train-time        logical training duration             (0.0)
     --stale-policy      publish | reselect | discard          (publish)
+
+PEER FLAGS (networked mode; dataset/DAG flags above also apply):
+    --client            this peer's client id                 (0)
+    --peers             total peers in the session            (1)
+    --tracker           tracker address                       (127.0.0.1:7878)
+    --listen            gossip listen address, port 0 = any   (127.0.0.1:0)
+    --activations       local training activations            (4)
+    --interarrival-ms   pause between activations, ms         (50)
+    --settle-ms         quiet period before exiting, ms       (300)
+    --timeout           session timeout, seconds              (120)
+
+TRACKER FLAGS:
+    --listen            tracker listen address                (127.0.0.1:7878)
+    --expect            exit after this many peers join+leave (serve forever)
 ";
 
 #[cfg(test)]
@@ -317,6 +340,8 @@ mod tests {
             ("sweep", Command::Sweep),
             ("scenarios", Command::Scenarios),
             ("perf", Command::Perf),
+            ("peer", Command::Peer),
+            ("tracker", Command::Tracker),
             ("help", Command::Help),
             ("--help", Command::Help),
         ] {
@@ -403,6 +428,8 @@ mod tests {
             "sweep",
             "scenarios",
             "perf",
+            "peer",
+            "tracker",
         ] {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");
         }

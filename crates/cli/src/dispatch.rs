@@ -106,6 +106,30 @@ fn build_task(
     Ok((dataset, factory))
 }
 
+/// Dataset + factory from the common `--dataset`/`--clients`/...
+/// flags, shared with the networked subcommands.
+pub(crate) fn build_cli_task(
+    args: &ParsedArgs,
+) -> Result<(FederatedDataset, ModelFactory), Box<dyn Error>> {
+    let dataset_word = args.get_or("dataset", "fmnist").to_string();
+    let kind = DatasetKind::parse(&dataset_word).ok_or_else(|| {
+        Box::new(ParseError::InvalidValue {
+            flag: "dataset".into(),
+            value: dataset_word,
+        }) as Box<dyn Error>
+    })?;
+    Ok(build_task(kind, args)?)
+}
+
+/// [`dag_config`] for sibling modules (the peer session shares the
+/// DAG/hyperparameter flags).
+pub(crate) fn cli_dag_config(
+    args: &ParsedArgs,
+    num_clients: usize,
+) -> Result<DagConfig, ParseError> {
+    dag_config(args, num_clients)
+}
+
 /// The CLI flag a core config field is populated from, so validation
 /// errors name what the user actually typed.
 fn flag_for_field(field: &str) -> &str {
@@ -283,16 +307,11 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         Command::Sweep => return sweep_command(args),
         Command::Scenarios => return scenarios_command(args),
         Command::Perf => return crate::perf::perf_command(args),
+        Command::Peer => return crate::net::peer_command(args),
+        Command::Tracker => return crate::net::tracker_command(args),
         _ => {}
     }
-    let dataset_word = args.get_or("dataset", "fmnist").to_string();
-    let kind = DatasetKind::parse(&dataset_word).ok_or_else(|| {
-        Box::new(ParseError::InvalidValue {
-            flag: "dataset".into(),
-            value: dataset_word,
-        }) as Box<dyn Error>
-    })?;
-    let (dataset, factory) = build_task(kind, args)?;
+    let (dataset, factory) = build_cli_task(args)?;
     let n = dataset.num_clients();
     eprintln!(
         "# dataset={} clients={} classes={} base_pureness={:.3}",
@@ -405,7 +424,13 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
                 sim.approval_pureness()
             );
         }
-        Command::Help | Command::Run | Command::Sweep | Command::Scenarios | Command::Perf => {
+        Command::Help
+        | Command::Run
+        | Command::Sweep
+        | Command::Scenarios
+        | Command::Perf
+        | Command::Peer
+        | Command::Tracker => {
             unreachable!("handled above")
         }
     }

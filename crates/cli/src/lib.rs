@@ -14,6 +14,8 @@
 //! dagfl fedprox --dataset fedprox-synthetic --mu 0.1 --stragglers 0.5
 //! dagfl local   --dataset fmnist --rounds 10
 //! dagfl async   --dataset fmnist --activations 200 --delay 2.0
+//! dagfl tracker --listen 127.0.0.1:7878 --expect 3
+//! dagfl peer    --client 0 --peers 3 --tracker 127.0.0.1:7878
 //! dagfl help
 //! ```
 
@@ -22,6 +24,7 @@
 
 pub mod args;
 pub mod dispatch;
+pub mod net;
 pub mod perf;
 
 pub use args::{Command, ParseError, ParsedArgs, USAGE};

@@ -8,12 +8,17 @@
 //! (§5.3.3). This simulator drops the rounds entirely and models what the
 //! round simulator abstracts away:
 //!
-//! * **Per-client replicas.** Every client maintains its own copy of the
-//!   tangle, exactly like a node in a real gossip network. A publication
-//!   reaches each peer individually, after a per-link delay drawn from the
-//!   configured [`DelayModel`]; out-of-order arrivals wait in a
-//!   solidification buffer until their parents are known. Model payloads
-//!   are `Arc`-shared, so replicas cost edges, not weights.
+//! * **Message-passing replicas.** Every client maintains its own
+//!   [`Replica`] of the tangle, exactly like a node in a real gossip
+//!   network, and *all* inter-client effects travel as
+//!   [`GossipMessage`]s through a [`Transport`]: a publication is
+//!   broadcast once, reaches each peer individually after a per-link
+//!   delay drawn from the configured [`DelayModel`], and out-of-order
+//!   arrivals wait in the replica's solidification buffer until their
+//!   parents are known. Model payloads are `Arc`-shared, so replicas
+//!   cost edges, not weights. The default [`LoopbackTransport`] keeps
+//!   everything in-process and deterministic; the same seam carries a
+//!   real network in `dagfl peer`.
 //! * **Poisson activations with compute heterogeneity.** Each client
 //!   activates on its own exponential clock whose rate is scaled by its
 //!   [`ComputeProfile`] speed factor, and training occupies
@@ -28,11 +33,12 @@
 //!   quantities that distinguish deployable designs beyond accuracy.
 //!
 //! The simulation is a deterministic discrete-event loop: a single seeded
-//! RNG drives all sampling, and events are totally ordered by
-//! `(time, sequence number)`.
+//! RNG drives all sampling (the loopback transport samples its link
+//! delays from the same stream, in fixed peer order), and events are
+//! totally ordered by `(time, sequence number)`.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,8 +49,9 @@ use dagfl_nn::average_parameters;
 use dagfl_tangle::{Tangle, TxId};
 
 use crate::{
-    ComputeProfile, CoreError, DagClient, DagConfig, DelayModel, ModelFactory, ModelPayload,
-    ModelTangle, StaleTipPolicy, TrainOutcome,
+    ComputeProfile, CoreError, DagClient, DagConfig, DelayModel, GossipMessage, LoopbackTransport,
+    ModelFactory, ModelPayload, ModelTangle, Replica, StaleTipPolicy, TrainOutcome, Transport,
+    TxMessage,
 };
 
 /// Configuration of an asynchronous simulation.
@@ -272,136 +279,6 @@ impl AsyncMetrics {
     }
 }
 
-/// A not-yet-delivered transaction on its way to one replica.
-#[derive(Debug, Clone, Copy)]
-struct Arrival {
-    at: f64,
-    global: TxId,
-}
-
-/// One client's view of the network: its own tangle replica plus the
-/// id maps linking it to the simulator's global (omniscient) tangle.
-struct Replica {
-    tangle: ModelTangle,
-    /// Global id → id in this replica.
-    to_local: HashMap<TxId, TxId>,
-    /// Replica id (by index) → global id.
-    to_global: Vec<TxId>,
-    /// Scheduled deliveries (including arrivals waiting for parents).
-    inbox: Vec<Arrival>,
-}
-
-impl Replica {
-    fn new(genesis: ModelPayload) -> Self {
-        let tangle = Tangle::new(genesis);
-        let g = tangle.genesis();
-        let mut to_local = HashMap::new();
-        to_local.insert(g, g);
-        Self {
-            tangle,
-            to_local,
-            to_global: vec![g],
-            inbox: Vec::new(),
-        }
-    }
-
-    /// Attaches a transaction from the global tangle to this replica,
-    /// translating parent ids. The caller guarantees all parents are
-    /// present.
-    fn attach(&mut self, global: &ModelTangle, id: TxId) {
-        let tx = global.get(id).expect("global transaction exists");
-        let parents: Vec<TxId> = tx
-            .parents()
-            .iter()
-            .map(|p| *self.to_local.get(p).expect("parent present"))
-            .collect();
-        let local = self
-            .tangle
-            .attach_with_meta(tx.payload().clone(), &parents, tx.issuer(), tx.round())
-            .expect("replica attach cannot fail");
-        self.to_local.insert(id, local);
-        debug_assert_eq!(local.index() as usize, self.to_global.len());
-        self.to_global.push(id);
-    }
-
-    /// Delivers every due arrival whose parents are already known;
-    /// arrivals that are due but not yet solid stay queued and are
-    /// retried on the next drain.
-    fn drain(&mut self, now: f64, global: &ModelTangle) {
-        let mut due: Vec<Arrival> = Vec::new();
-        self.inbox.retain(|a| {
-            if a.at <= now {
-                due.push(*a);
-                false
-            } else {
-                true
-            }
-        });
-        if due.is_empty() {
-            return;
-        }
-        // Deterministic delivery order: by arrival time, then global id.
-        due.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.global.cmp(&b.global)));
-        loop {
-            let mut progressed = false;
-            due.retain(|a| {
-                let solid = global
-                    .get(a.global)
-                    .expect("global transaction exists")
-                    .parents()
-                    .iter()
-                    .all(|p| self.to_local.contains_key(p));
-                if solid {
-                    self.attach(global, a.global);
-                    progressed = true;
-                    false
-                } else {
-                    true
-                }
-            });
-            if !progressed {
-                break;
-            }
-        }
-        // Not yet solid: wait for the parents to arrive.
-        self.inbox.extend(due);
-    }
-
-    /// How many inbox entries would *not* attach on a drain at `now`:
-    /// future arrivals plus due arrivals that are not yet solid (their
-    /// parents are neither attached nor deliverable).
-    fn undelivered(&self, now: f64, global: &ModelTangle) -> usize {
-        use std::collections::HashSet;
-        let future = self.inbox.iter().filter(|a| a.at > now).count();
-        let mut known: HashSet<TxId> = self.to_local.keys().copied().collect();
-        let mut due: Vec<TxId> = self
-            .inbox
-            .iter()
-            .filter(|a| a.at <= now)
-            .map(|a| a.global)
-            .collect();
-        loop {
-            let before = due.len();
-            due.retain(|&id| {
-                let solid = global
-                    .get(id)
-                    .expect("global transaction exists")
-                    .parents()
-                    .iter()
-                    .all(|p| known.contains(p));
-                if solid {
-                    known.insert(id);
-                }
-                !solid
-            });
-            if due.len() == before {
-                break;
-            }
-        }
-        future + due.len()
-    }
-}
-
 /// A discrete event: a client starting an activation or finishing one.
 #[derive(Debug)]
 struct Event {
@@ -446,17 +323,27 @@ struct PendingActivation {
 /// The asynchronous, event-driven counterpart of
 /// [`Simulation`](crate::Simulation).
 ///
-/// The simulator keeps one omniscient *global* tangle — every
-/// publication is attached there immediately, for analysis — plus one
-/// replica per client holding exactly the transactions that client has
-/// received so far. Clients always select tips and train against their
-/// own replica.
+/// Every inter-client effect is a message: when a client publishes, the
+/// transaction is broadcast through the [`Transport`] as a
+/// [`GossipMessage`], and each peer's [`Replica`] attaches it only when
+/// the delivery arrives (and its parents are solid). The simulator
+/// additionally keeps one omniscient *global* tangle — every
+/// publication is attached there immediately, for analysis only; no
+/// client ever reads from it. Clients always select tips and train
+/// against their own replica.
+///
+/// With the default [`LoopbackTransport`] the whole exchange stays
+/// in-process and deterministic; `dagfl peer` runs the same replica
+/// machinery over TCP.
 pub struct AsyncSimulation {
     config: AsyncConfig,
     dataset: FederatedDataset,
     global: ModelTangle,
+    /// Network id (dense, loopback) → id in the global tangle.
+    net_to_global: Vec<TxId>,
     clients: Vec<DagClient>,
     replicas: Vec<Replica>,
+    transport: Box<dyn Transport>,
     speeds: Vec<f64>,
     slow_cohort: Vec<bool>,
     pending: Vec<Option<PendingActivation>>,
@@ -467,9 +354,6 @@ pub struct AsyncSimulation {
     publications: usize,
     discarded_stale: usize,
     reselections: usize,
-    latency_sum: f64,
-    latency_count: usize,
-    latency_max: f64,
     staleness_histogram: [usize; 3],
     rng: StdRng,
     history: Vec<ActivationRecord>,
@@ -481,13 +365,37 @@ impl AsyncSimulation {
     /// # Panics
     ///
     /// Panics if the dataset has no clients or the configuration fails
-    /// [`AsyncConfig::validate`] (call it first to get a `Result`
-    /// instead).
+    /// [`AsyncConfig::validate`] (use [`AsyncSimulation::try_new`] to
+    /// get a `Result` instead).
     pub fn new(config: AsyncConfig, dataset: FederatedDataset, factory: ModelFactory) -> Self {
         assert!(dataset.num_clients() > 0, "dataset has no clients");
-        if let Err(e) = config.validate() {
-            panic!("invalid async configuration: {e}");
+        match Self::try_new(config, dataset, factory) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid async configuration: {e}"),
         }
+    }
+
+    /// Creates an asynchronous simulation, reporting configuration
+    /// problems as values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidField`] if the dataset has no
+    /// clients or any configuration field fails
+    /// [`AsyncConfig::validate`].
+    pub fn try_new(
+        config: AsyncConfig,
+        dataset: FederatedDataset,
+        factory: ModelFactory,
+    ) -> Result<Self, CoreError> {
+        if dataset.num_clients() == 0 {
+            return Err(CoreError::invalid_field(
+                "dataset.num_clients",
+                0,
+                "dataset has no clients",
+            ));
+        }
+        config.validate()?;
         let mut rng = StdRng::seed_from_u64(config.dag.seed ^ 0xA57C);
         let genesis_model = factory(&mut rng);
         let genesis = ModelPayload::new(genesis_model.parameters());
@@ -504,12 +412,16 @@ impl AsyncSimulation {
         let replicas = (0..n).map(|_| Replica::new(genesis.clone())).collect();
         let slow_cohort = config.delay.assign_cohorts(n, &mut rng);
         let speeds = config.compute.speeds(&slow_cohort, &mut rng);
+        let transport = Box::new(LoopbackTransport::new(config.delay, slow_cohort.clone()));
+        let global = Tangle::new(genesis);
         let mut sim = Self {
             config,
             dataset,
-            global: Tangle::new(genesis),
+            net_to_global: vec![global.genesis()],
+            global,
             clients,
             replicas,
+            transport,
             speeds,
             slow_cohort,
             pending: (0..n).map(|_| None).collect(),
@@ -520,9 +432,6 @@ impl AsyncSimulation {
             publications: 0,
             discarded_stale: 0,
             reselections: 0,
-            latency_sum: 0.0,
-            latency_count: 0,
-            latency_max: 0.0,
             staleness_histogram: [0; 3],
             rng,
             history: Vec::new(),
@@ -532,7 +441,7 @@ impl AsyncSimulation {
             let gap = sim.sample_interarrival(idx);
             sim.schedule(gap, EventKind::Activate(idx));
         }
-        sim
+        Ok(sim)
     }
 
     /// The logical clock (time of the last processed event).
@@ -556,11 +465,11 @@ impl AsyncSimulation {
     ///
     /// Panics if `client` is out of range.
     pub fn replica(&self, client: usize) -> &ModelTangle {
-        &self.replicas[client].tangle
+        self.replicas[client].tangle()
     }
 
     /// Deliveries that have not reached their destination replica yet:
-    /// arrivals scheduled beyond the current clock, plus due arrivals
+    /// envelopes scheduled beyond the current clock, plus due arrivals
     /// still waiting in the solidification buffer for a parent.
     /// (Arrivals that are due and solid but unobserved — the receiver
     /// has not activated since — do not count; they are delivered,
@@ -568,7 +477,8 @@ impl AsyncSimulation {
     pub fn pending_deliveries(&self) -> usize {
         self.replicas
             .iter()
-            .map(|r| r.undelivered(self.clock, &self.global))
+            .enumerate()
+            .map(|(peer, replica)| replica.backlog(self.transport.in_flight(peer), self.clock))
             .sum()
     }
 
@@ -600,7 +510,8 @@ impl AsyncSimulation {
     }
 
     /// A snapshot of the throughput/staleness metrics (confirmation
-    /// depth and tip counts are computed from the global tangle).
+    /// depth and tip counts are computed from the global tangle,
+    /// latency from the transport's accounting).
     pub fn metrics(&self) -> AsyncMetrics {
         let depths = self.global.depths_from_tips();
         let mean_depth = if depths.is_empty() {
@@ -609,6 +520,7 @@ impl AsyncSimulation {
             depths.iter().map(|&d| d as f64).sum::<f64>() / depths.len() as f64
         };
         let stats = self.global.stats();
+        let transport = self.transport.stats();
         // Evaluation counters live on the per-client evaluators, so the
         // totals cover walks, publish gates and stale-tip re-selections
         // alike.
@@ -623,12 +535,8 @@ impl AsyncSimulation {
             discarded_stale: self.discarded_stale,
             reselections: self.reselections,
             elapsed: self.clock,
-            mean_publish_latency: if self.latency_count > 0 {
-                self.latency_sum / self.latency_count as f64
-            } else {
-                0.0
-            },
-            max_publish_latency: self.latency_max,
+            mean_publish_latency: transport.mean_latency(),
+            max_publish_latency: transport.latency_max,
             staleness_histogram: self.staleness_histogram,
             mean_confirmation_depth: mean_depth,
             tips: stats.tips,
@@ -655,13 +563,20 @@ impl AsyncSimulation {
         -u.ln() * self.config.mean_interarrival / self.speeds[client]
     }
 
-    /// Starts an activation: drain the client's inbox, select tips and
-    /// train against the replica, then schedule the finish event.
+    /// Receives this client's due deliveries from the transport and
+    /// applies them to its replica (solidification included).
+    fn deliver(&mut self, idx: usize, now: f64) {
+        let due = self.transport.receive(idx, now);
+        self.replicas[idx].apply(due);
+    }
+
+    /// Starts an activation: deliver the client's gossip, select tips
+    /// and train against the replica, then schedule the finish event.
     fn process_activate(&mut self, idx: usize, now: f64) -> Result<(), CoreError> {
-        self.replicas[idx].drain(now, &self.global);
+        self.deliver(idx, now);
         let data = &self.dataset.clients()[idx];
         let outcome =
-            self.clients[idx].train_round(&self.replicas[idx].tangle, data, &self.config.dag)?;
+            self.clients[idx].train_round(self.replicas[idx].tangle(), data, &self.config.dag)?;
         let duration = self.config.train_time / self.speeds[idx];
         self.pending[idx] = Some(PendingActivation {
             started: now,
@@ -677,11 +592,11 @@ impl AsyncSimulation {
     fn process_finish(&mut self, idx: usize, now: f64) -> Result<ActivationRecord, CoreError> {
         let PendingActivation { started, outcome } =
             self.pending[idx].take().expect("finish without activation");
-        self.replicas[idx].drain(now, &self.global);
+        self.deliver(idx, now);
         let (tip1, tip2) = outcome.parents;
         let mut stale_parents = [tip1, tip2]
             .iter()
-            .filter(|&&t| !self.replicas[idx].tangle.is_tip(t))
+            .filter(|&&t| !self.replicas[idx].tangle().is_tip(t))
             .count();
         if tip1 == tip2 && stale_parents > 0 {
             stale_parents = 1;
@@ -699,7 +614,7 @@ impl AsyncSimulation {
                 StaleTipPolicy::Reselect => {
                     self.reselections += 1;
                     let data = &self.dataset.clients()[idx];
-                    let replica = &self.replicas[idx].tangle;
+                    let replica = self.replicas[idx].tangle();
                     let (fresh, _, _) =
                         self.clients[idx].select_tips(replica, data, &self.config.dag)?;
                     let p1 = replica.get(fresh.0)?.payload().share();
@@ -749,8 +664,10 @@ impl AsyncSimulation {
         Ok(record)
     }
 
-    /// Attaches a publication to the global tangle and the publisher's
-    /// own replica, and schedules per-link deliveries to every peer.
+    /// Publishes one transaction: attach to the omniscient global
+    /// tangle (analysis) and the publisher's own replica, then
+    /// broadcast the [`GossipMessage`] so the transport delivers it to
+    /// every peer.
     fn publish(
         &mut self,
         idx: usize,
@@ -759,37 +676,41 @@ impl AsyncSimulation {
         parents: (TxId, TxId),
     ) -> Result<(), CoreError> {
         let replica = &self.replicas[idx];
-        let global_parents = [
-            replica.to_global[parents.0.index() as usize],
-            replica.to_global[parents.1.index() as usize],
+        let net_parents = [
+            replica
+                .network_id(parents.0)
+                .expect("selected tip is in the replica"),
+            replica
+                .network_id(parents.1)
+                .expect("selected tip is in the replica"),
         ];
-        let global_id = self.global.attach_with_meta(
-            ModelPayload::new(params),
-            &global_parents,
-            Some(idx as u32),
-            now as u32,
-        )?;
-        // The publisher sees its own transaction immediately.
-        self.replicas[idx].attach(&self.global, global_id);
+        let global_parents = [
+            self.net_to_global[net_parents[0] as usize],
+            self.net_to_global[net_parents[1] as usize],
+        ];
+        let payload = ModelPayload::new(params);
+        let shared = payload.share();
+        let global_id =
+            self.global
+                .attach_with_meta(payload, &global_parents, Some(idx as u32), now as u32)?;
+        // Loopback network ids are the dense indices of the global
+        // tangle, so id assignment needs no coordination.
+        let net_id = global_id.index();
+        debug_assert_eq!(net_id as usize, self.net_to_global.len());
+        self.net_to_global.push(global_id);
+        let message = TxMessage {
+            id: net_id,
+            parents: net_parents.to_vec(),
+            params: shared,
+            issuer: Some(idx as u32),
+            round: now as u32,
+        };
+        // The publisher sees its own transaction immediately; everyone
+        // else when the transport delivers it.
+        self.replicas[idx].insert(&message)?;
         self.publications += 1;
-        let publisher_slow = self.slow_cohort[idx];
-        let model = self.config.delay;
-        for (peer, replica) in self.replicas.iter_mut().enumerate() {
-            if peer == idx {
-                continue;
-            }
-            let delay = model.sample(publisher_slow, self.slow_cohort[peer], &mut self.rng);
-            self.latency_sum += delay;
-            self.latency_count += 1;
-            if delay > self.latency_max {
-                self.latency_max = delay;
-            }
-            replica.inbox.push(Arrival {
-                at: now + delay,
-                global: global_id,
-            });
-        }
-        Ok(())
+        self.transport
+            .broadcast(idx, now, GossipMessage::Transaction(message), &mut self.rng)
     }
 
     /// Processes events until the next activation completes and returns
@@ -1261,6 +1182,44 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("learning_rate"));
+    }
+
+    #[test]
+    fn try_new_reports_errors_as_values() {
+        let dataset = fmnist_clustered(&FmnistConfig {
+            num_clients: 3,
+            samples_per_client: 20,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let err = AsyncSimulation::try_new(
+            AsyncConfig {
+                mean_interarrival: 0.0,
+                ..AsyncConfig::default()
+            },
+            dataset,
+            small_factory(features),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("mean_interarrival"));
+    }
+
+    #[test]
+    fn replica_contents_match_the_messages_delivered() {
+        // The transport seam must be the only channel into a replica:
+        // every replica transaction is one the global tangle also holds
+        // with identical weights, and its local attachment respects the
+        // delivery + solidification order (parents before children).
+        let mut sim = setup(40, 3.0);
+        sim.run().unwrap();
+        for c in 0..6 {
+            let replica = sim.replica(c);
+            for tx in replica.iter() {
+                for p in tx.parents() {
+                    assert!(p.index() < tx.id().index(), "parents attach first");
+                }
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub enum CoreError {
         /// Human-readable constraint the value violated.
         constraint: &'static str,
     },
+    /// A networked-transport operation failed (socket or wire format).
+    Network(crate::WireError),
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +41,7 @@ impl fmt::Display for CoreError {
             } => {
                 write!(f, "invalid value `{value}` for `{field}`: {constraint}")
             }
+            CoreError::Network(e) => write!(f, "network error: {e}"),
         }
     }
 }
@@ -48,6 +51,7 @@ impl Error for CoreError {
         match self {
             CoreError::Nn(e) => Some(e),
             CoreError::Tangle(e) => Some(e),
+            CoreError::Network(e) => Some(e),
             CoreError::Config(_) | CoreError::InvalidField { .. } => None,
         }
     }
@@ -77,6 +81,12 @@ impl From<NnError> for CoreError {
 impl From<TangleError> for CoreError {
     fn from(e: TangleError) -> Self {
         CoreError::Tangle(e)
+    }
+}
+
+impl From<crate::WireError> for CoreError {
+    fn from(e: crate::WireError) -> Self {
+        CoreError::Network(e)
     }
 }
 

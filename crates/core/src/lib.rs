@@ -30,6 +30,12 @@
 //! 5. **Poisoning scenarios** ([`PoisoningScenario`]): flipped-label
 //!    attacks with clean warm-up, mid-run dataset manipulation and the
 //!    misprediction / approved-poison metrics of §5.3.4.
+//! 6. **The transport seam** ([`Transport`], [`GossipMessage`],
+//!    [`Replica`]): every inter-client effect travels as an explicit
+//!    message. The deterministic [`LoopbackTransport`] drives the
+//!    simulator bit-identically; the std-only [`TcpTransport`] with the
+//!    versioned [`wire`] format and tangle snapshot sync drives the real
+//!    networked mode behind `dagfl peer` / `dagfl tracker`.
 //!
 //! # Quickstart
 //!
@@ -83,11 +89,16 @@ mod error;
 mod evaluator;
 mod exec;
 mod metrics;
+mod net;
 mod payload;
+mod peer;
 mod poisoning;
+mod replica;
 mod seed;
 mod simulation;
 mod tip_selection;
+mod transport;
+pub mod wire;
 
 pub use async_sim::{ActivationRecord, AsyncConfig, AsyncMetrics, AsyncSimulation};
 pub use attackers::{GarbageAttackConfig, GarbageAttackScenario, GarbageRoundMetrics};
@@ -98,10 +109,19 @@ pub use error::CoreError;
 pub use evaluator::{EvalCounters, ModelEvaluator};
 pub use exec::{ExecutionMode, TangleView};
 pub use metrics::{approval_pureness_of, client_graph_of, RoundMetrics, SpecializationMetrics};
+pub use net::{
+    have_set, tracker_join, tracker_leave, ControlEvent, TcpTransport, Tracker, TrackerSummary,
+};
 pub use payload::{
     perturbed_model_tangle, ModelFactory, ModelPayload, ModelTangle, SharedModelTangle,
 };
+pub use peer::{run_peer, PeerConfig, PeerReport};
 pub use poisoning::{mean_accuracy_series, PoisonRoundMetrics, PoisoningConfig, PoisoningScenario};
+pub use replica::{Replica, GENESIS_NET_ID};
 pub use seed::derive_seed;
 pub use simulation::{ReferenceEvaluation, Simulation};
 pub use tip_selection::AccuracyBias;
+pub use transport::{
+    Envelope, GossipMessage, LoopbackTransport, Transport, TransportStats, TxMessage,
+};
+pub use wire::{PeerInfo, WireError, WireMessage};

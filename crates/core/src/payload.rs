@@ -23,6 +23,12 @@ impl ModelPayload {
         }
     }
 
+    /// Wraps an already-shared parameter vector without copying — the
+    /// payload and every other holder of the `Arc` stay one allocation.
+    pub fn from_shared(params: Arc<Vec<f32>>) -> Self {
+        Self { params }
+    }
+
     /// The model weights.
     pub fn params(&self) -> &[f32] {
         &self.params

@@ -1,0 +1,408 @@
+//! The networked peer session: one DAG-FL client speaking the real
+//! [`TcpTransport`] instead of the simulator's loopback.
+//!
+//! A peer session is the event loop behind `dagfl peer`:
+//!
+//! 1. bind a gossip listener, register with the [`Tracker`] and dial
+//!    every peer the tracker already knows;
+//! 2. request a tangle snapshot from each of them (a late joiner is
+//!    just a peer whose snapshots are non-trivial);
+//! 3. repeatedly train on the local shard against the local
+//!    [`Replica`], publish improved models as gossip, and apply
+//!    whatever arrives;
+//! 4. after the last local publication, announce `Done` and linger —
+//!    still serving snapshots and applying gossip — until every peer
+//!    of the session has announced `Done` and the link has settled.
+//!
+//! Every peer prints the same order-independent digest of its replica
+//! at exit, so a harness (the CI `network-smoke` job) can assert that
+//! the session converged to one transaction set.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dagfl_datasets::FederatedDataset;
+
+use crate::wire::WireMessage;
+use crate::{
+    have_set, tracker_join, tracker_leave, ControlEvent, CoreError, DagClient, DagConfig,
+    GossipMessage, ModelFactory, ModelPayload, Replica, TcpTransport, Transport, TxMessage,
+    WireError,
+};
+
+/// Configuration of one networked peer session.
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// This peer's client id (also selects its dataset shard).
+    pub client: u32,
+    /// Total peers expected in the session (the session ends when this
+    /// many distinct clients have announced `Done`).
+    pub peers: usize,
+    /// Gossip listen address (use port 0 for an ephemeral port).
+    pub listen: String,
+    /// Tracker address to register with.
+    pub tracker: String,
+    /// Training activations to run before announcing `Done`.
+    pub activations: usize,
+    /// Wall-clock pause between consecutive activations.
+    pub interarrival: Duration,
+    /// Hyperparameters and tip selection (shared by all peers; the
+    /// seed also derives the shared genesis model).
+    pub dag: DagConfig,
+    /// How long the session must stay quiet (no new gossip) after
+    /// everyone is done before the peer exits.
+    pub settle: Duration,
+    /// Abort the session with an error after this much wall-clock time
+    /// (a crashed peer would otherwise hang everyone forever).
+    pub timeout: Duration,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        Self {
+            client: 0,
+            peers: 1,
+            listen: "127.0.0.1:0".to_string(),
+            tracker: "127.0.0.1:7878".to_string(),
+            activations: 4,
+            interarrival: Duration::from_millis(50),
+            dag: DagConfig::default(),
+            settle: Duration::from_millis(300),
+            timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What one peer session observed, for convergence checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerReport {
+    /// This peer's client id.
+    pub client: u32,
+    /// Training activations completed.
+    pub activations: usize,
+    /// Transactions this peer published.
+    pub published: usize,
+    /// Transactions received from the network (gossip + snapshots).
+    pub received: usize,
+    /// Transactions in the final replica, including the genesis.
+    pub transactions: usize,
+    /// Order-independent digest of the final replica; equal digests
+    /// mean equal transaction sets.
+    pub digest: u64,
+    /// Distinct clients seen to announce `Done` (including this one).
+    pub peers_done: usize,
+}
+
+/// Network ids must be unique without coordination, so each peer owns
+/// a disjoint range: the client id in the high bits, a local sequence
+/// number in the low bits. (The loopback transport instead uses dense
+/// global-tangle indices; both leave 0 for the genesis.)
+fn net_id(client: u32, seq: u64) -> u64 {
+    ((u64::from(client) + 1) << 40) | seq
+}
+
+/// Runs one peer session to completion (see the module docs for the
+/// protocol). The dataset is the *whole* federated dataset — the peer
+/// trains on shard `config.client % dataset.num_clients()` — and the
+/// factory plus `config.dag.seed` reproduce the same genesis model on
+/// every peer, which is what makes the replicas compatible.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Network`] for socket/tracker failures,
+/// [`CoreError::Config`] on timeout, and propagates training errors.
+pub fn run_peer(
+    config: &PeerConfig,
+    dataset: &FederatedDataset,
+    factory: &ModelFactory,
+) -> Result<PeerReport, CoreError> {
+    if dataset.num_clients() == 0 {
+        return Err(CoreError::invalid_field(
+            "dataset.num_clients",
+            0,
+            "dataset has no clients",
+        ));
+    }
+    config.dag.validate()?;
+    // Reproduce the simulator's model derivation: the first factory
+    // call on the session seed is the shared genesis, the (i+1)-th is
+    // client i's working model.
+    let mut rng = StdRng::seed_from_u64(config.dag.seed ^ 0xA57C);
+    let genesis = ModelPayload::new(factory(&mut rng).parameters());
+    let mut model = factory(&mut rng);
+    for _ in 0..config.client {
+        model = factory(&mut rng);
+    }
+    let shard = &dataset.clients()[config.client as usize % dataset.num_clients()];
+    let mut client = DagClient::new(
+        config.client,
+        model,
+        config.dag.seed.wrapping_add(u64::from(config.client)),
+    );
+    let mut replica = Replica::new(genesis);
+
+    let mut transport =
+        TcpTransport::bind(&config.listen, config.client).map_err(WireError::from)?;
+    let listen_addr = transport.local_addr().to_string();
+    let known = tracker_join(&config.tracker, config.client, &listen_addr)?;
+    // Dial everyone already registered and ask each for a snapshot: a
+    // late joiner catches up on everything published before it
+    // existed; publications after the dial arrive as live gossip.
+    for peer in &known {
+        match transport.connect(&peer.addr) {
+            Ok(conn) => {
+                let _ = transport.send_to_conn(
+                    conn,
+                    &WireMessage::SnapshotRequest {
+                        have: replica.network_ids().to_vec(),
+                    },
+                );
+            }
+            Err(_) => {
+                // A stale registration (the peer died); the Done
+                // accounting below still needs its announcement, so a
+                // vanished peer eventually times the session out —
+                // which is the honest outcome.
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let mut done: HashSet<u32> = HashSet::new();
+    let mut activations = 0usize;
+    let mut published = 0usize;
+    let mut received = 0usize;
+    let mut seq = 0u64;
+    let mut next_activation = Instant::now();
+    let mut settle_until: Option<Instant> = None;
+    loop {
+        if started.elapsed() > config.timeout {
+            let _ = tracker_leave(&config.tracker, config.client);
+            return Err(CoreError::Config(format!(
+                "peer {} timed out after {:?} ({}/{} peers done)",
+                config.client,
+                config.timeout,
+                done.len(),
+                config.peers
+            )));
+        }
+        let mut activity = false;
+        for event in transport.take_control() {
+            match event {
+                ControlEvent::Hello { conn, .. } => {
+                    activity = true;
+                    // A later joiner missed our earlier Done broadcast;
+                    // re-announcing is idempotent (Done is a set).
+                    if done.contains(&config.client) {
+                        let _ = transport.send_to_conn(
+                            conn,
+                            &WireMessage::Done {
+                                client: config.client,
+                            },
+                        );
+                    }
+                }
+                ControlEvent::SnapshotRequest { conn, have } => {
+                    activity = true;
+                    let transactions = replica.snapshot_messages(&have_set(&have));
+                    let _ = transport.send_to_conn(conn, &WireMessage::Snapshot { transactions });
+                }
+                ControlEvent::Done { client } => {
+                    activity = true;
+                    done.insert(client);
+                }
+                ControlEvent::Disconnected { .. } => {}
+            }
+        }
+        let incoming = transport.receive(0, 0.0);
+        if !incoming.is_empty() {
+            activity = true;
+            received += incoming
+                .iter()
+                .map(|e| match &e.message {
+                    GossipMessage::Transaction(_) => 1,
+                    GossipMessage::Snapshot(batch) => batch.len(),
+                })
+                .sum::<usize>();
+            replica.apply(incoming);
+        }
+        if activations < config.activations && Instant::now() >= next_activation {
+            activity = true;
+            next_activation = Instant::now() + config.interarrival;
+            let outcome = client.train_round(replica.tangle(), shard, &config.dag)?;
+            activations += 1;
+            if let Some(params) = outcome.published {
+                let net_parents = vec![
+                    replica
+                        .network_id(outcome.parents.0)
+                        .expect("selected tip is in the replica"),
+                    replica
+                        .network_id(outcome.parents.1)
+                        .expect("selected tip is in the replica"),
+                ];
+                seq += 1;
+                let message = TxMessage {
+                    id: net_id(config.client, seq),
+                    parents: net_parents,
+                    params: Arc::new(params),
+                    issuer: Some(config.client),
+                    round: activations as u32,
+                };
+                replica.insert(&message)?;
+                published += 1;
+                let mut unused = StdRng::seed_from_u64(0);
+                transport.broadcast(0, 0.0, GossipMessage::Transaction(message), &mut unused)?;
+            }
+            if activations == config.activations {
+                transport.broadcast_wire(&WireMessage::Done {
+                    client: config.client,
+                });
+                done.insert(config.client);
+            }
+        }
+        let finished = activations >= config.activations
+            && done.len() >= config.peers
+            && replica.buffered() == 0;
+        if finished {
+            // Stay up through a quiet period: peers may still be
+            // fetching our transactions, and stragglers may still be
+            // in flight to us. Any activity re-arms the timer.
+            match settle_until {
+                Some(at) if !activity && Instant::now() >= at => break,
+                Some(_) if activity => {
+                    settle_until = Some(Instant::now() + config.settle);
+                }
+                Some(_) => {}
+                None => settle_until = Some(Instant::now() + config.settle),
+            }
+        } else {
+            settle_until = None;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = tracker_leave(&config.tracker, config.client);
+    Ok(PeerReport {
+        client: config.client,
+        activations,
+        published,
+        received,
+        transactions: replica.tangle().len(),
+        digest: replica.digest(),
+        peers_done: done.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracker;
+    use dagfl_datasets::{fmnist_clustered, FmnistConfig};
+    use dagfl_nn::{Dense, Model, Relu, Sequential};
+    use std::thread;
+
+    fn session_task(num_clients: usize) -> (FederatedDataset, ModelFactory) {
+        let dataset = fmnist_clustered(&FmnistConfig {
+            num_clients,
+            samples_per_client: 30,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let factory: ModelFactory = Arc::new(move |rng: &mut StdRng| {
+            Box::new(Sequential::new(vec![
+                Box::new(Dense::new(rng, features, 8)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(rng, 8, 10)),
+            ])) as Box<dyn Model>
+        });
+        (dataset, factory)
+    }
+
+    fn peer_config(client: u32, peers: usize, tracker: &str) -> PeerConfig {
+        PeerConfig {
+            client,
+            peers,
+            listen: "127.0.0.1:0".to_string(),
+            tracker: tracker.to_string(),
+            activations: 3,
+            interarrival: Duration::from_millis(10),
+            dag: DagConfig {
+                local_batches: 2,
+                ..DagConfig::default()
+            },
+            settle: Duration::from_millis(200),
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Three peers (one joining late, synced via snapshot) converge to
+    /// the same transaction set — the in-process version of the CI
+    /// `network-smoke` job.
+    #[test]
+    fn three_peers_converge_including_a_late_joiner() {
+        let tracker = Tracker::bind("127.0.0.1:0").unwrap();
+        let tracker_addr = tracker.local_addr().unwrap().to_string();
+        let tracker_handle = {
+            let mut tracker = tracker;
+            thread::spawn(move || tracker.run(Some(3)).unwrap())
+        };
+        let (dataset, factory) = session_task(3);
+        let mut handles = Vec::new();
+        for client in 0..3u32 {
+            let config = peer_config(client, 3, &tracker_addr);
+            let dataset = dataset.clone();
+            let factory = Arc::clone(&factory);
+            handles.push(thread::spawn(move || {
+                if client == 2 {
+                    // The late joiner: by now the others have likely
+                    // published; it must catch up via snapshot sync.
+                    thread::sleep(Duration::from_millis(150));
+                }
+                run_peer(&config, &dataset, &factory).unwrap()
+            }));
+        }
+        let reports: Vec<PeerReport> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let summary = tracker_handle.join().unwrap();
+        assert_eq!(summary.joined, 3);
+        assert_eq!(summary.left, 3);
+        let total_published: usize = reports.iter().map(|r| r.published).sum();
+        assert!(total_published > 0, "nobody published anything");
+        for r in &reports {
+            assert_eq!(r.peers_done, 3, "peer {} missed a Done", r.client);
+            assert_eq!(
+                r.transactions,
+                total_published + 1,
+                "peer {} did not converge",
+                r.client
+            );
+        }
+        let digest = reports[0].digest;
+        for r in &reports[1..] {
+            assert_eq!(r.digest, digest, "peer {} diverged", r.client);
+        }
+    }
+
+    #[test]
+    fn net_ids_are_disjoint_across_clients_and_never_genesis() {
+        assert_ne!(net_id(0, 1), crate::GENESIS_NET_ID);
+        assert_ne!(net_id(0, 1), net_id(1, 1));
+        // 2^40 sequence numbers per client before ranges could touch.
+        assert!(net_id(0, (1 << 40) - 1) < net_id(1, 0));
+    }
+
+    #[test]
+    fn peer_without_tracker_errors_instead_of_hanging() {
+        let (dataset, factory) = session_task(3);
+        // Nothing listens on this port (bound but never accepted-from
+        // would hang; a closed port errors immediately).
+        let config = PeerConfig {
+            tracker: "127.0.0.1:1".to_string(),
+            ..peer_config(0, 2, "127.0.0.1:1")
+        };
+        let err = run_peer(&config, &dataset, &factory).unwrap_err();
+        assert!(matches!(err, CoreError::Network(_)), "{err}");
+    }
+}

@@ -1,0 +1,453 @@
+//! One client's view of the network: a local tangle replica fed
+//! exclusively by [`GossipMessage`]s, with a solidification buffer for
+//! out-of-order arrivals.
+
+use std::collections::{HashMap, HashSet};
+
+use dagfl_tangle::{Tangle, TxId};
+
+use crate::{CoreError, Envelope, GossipMessage, ModelPayload, ModelTangle, TxMessage};
+
+/// A client's tangle replica plus the id maps linking local ids to
+/// network ids.
+///
+/// All mutation goes through messages: the owner inserts its own
+/// publications with [`Replica::insert`] and everything received from
+/// the transport with [`Replica::apply`]. A transaction whose parents
+/// are still unknown waits in the solidification buffer and attaches
+/// automatically once they arrive — in a gossip network nothing
+/// guarantees causal delivery order.
+///
+/// # Example
+///
+/// ```
+/// use dagfl_core::{ModelPayload, Replica, TxMessage};
+/// use std::sync::Arc;
+///
+/// let mut replica = Replica::new(ModelPayload::new(vec![0.0]));
+/// let msg = TxMessage {
+///     id: 7,
+///     parents: vec![0],
+///     params: Arc::new(vec![1.0]),
+///     issuer: Some(2),
+///     round: 1,
+/// };
+/// replica.insert(&msg).unwrap();
+/// assert!(replica.contains(7));
+/// assert_eq!(replica.tangle().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Replica {
+    tangle: ModelTangle,
+    /// Network id → id in this replica.
+    to_local: HashMap<u64, TxId>,
+    /// Replica id (by index) → network id.
+    to_network: Vec<u64>,
+    /// Received but not yet solid: `(arrival time, message)`.
+    buffered: Vec<(f64, TxMessage)>,
+}
+
+/// The genesis always carries network id 0, in every transport.
+pub const GENESIS_NET_ID: u64 = 0;
+
+impl Replica {
+    /// Creates a replica holding only the genesis (network id 0).
+    pub fn new(genesis: ModelPayload) -> Self {
+        let tangle = Tangle::new(genesis);
+        let g = tangle.genesis();
+        let mut to_local = HashMap::new();
+        to_local.insert(GENESIS_NET_ID, g);
+        Self {
+            tangle,
+            to_local,
+            to_network: vec![GENESIS_NET_ID],
+            buffered: Vec::new(),
+        }
+    }
+
+    /// The local tangle.
+    pub fn tangle(&self) -> &ModelTangle {
+        &self.tangle
+    }
+
+    /// Whether a transaction with this network id has been attached.
+    pub fn contains(&self, net_id: u64) -> bool {
+        self.to_local.contains_key(&net_id)
+    }
+
+    /// The local id of a network id, if attached.
+    pub fn local_id(&self, net_id: u64) -> Option<TxId> {
+        self.to_local.get(&net_id).copied()
+    }
+
+    /// The network id of a local transaction.
+    pub fn network_id(&self, local: TxId) -> Option<u64> {
+        self.to_network.get(local.index() as usize).copied()
+    }
+
+    /// All known network ids in local attachment order (starts with
+    /// the genesis).
+    pub fn network_ids(&self) -> &[u64] {
+        &self.to_network
+    }
+
+    /// Messages waiting in the solidification buffer.
+    pub fn buffered(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Attaches one transaction whose parents are all known. This is
+    /// how a peer records its *own* publication; received messages go
+    /// through [`Replica::apply`] instead. Re-inserting a known id is
+    /// a no-op returning the existing local id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] if a parent is unknown (the
+    /// message belongs in the solidification buffer, not here).
+    pub fn insert(&mut self, msg: &TxMessage) -> Result<TxId, CoreError> {
+        if let Some(&existing) = self.to_local.get(&msg.id) {
+            return Ok(existing);
+        }
+        let parents: Vec<TxId> = msg
+            .parents
+            .iter()
+            .map(|p| {
+                self.to_local.get(p).copied().ok_or_else(|| {
+                    CoreError::Config(format!(
+                        "transaction {} references unknown parent {p}",
+                        msg.id
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let local = self.tangle.attach_with_meta(
+            ModelPayload::from_shared(msg.params.clone()),
+            &parents,
+            msg.issuer,
+            msg.round,
+        )?;
+        self.to_local.insert(msg.id, local);
+        debug_assert_eq!(local.index() as usize, self.to_network.len());
+        self.to_network.push(msg.id);
+        Ok(local)
+    }
+
+    fn is_solid(&self, msg: &TxMessage) -> bool {
+        msg.parents.iter().all(|p| self.to_local.contains_key(p))
+    }
+
+    /// Applies delivered envelopes: merges them with the
+    /// solidification buffer, orders everything by `(arrival time,
+    /// network id)` for determinism, attaches every message whose
+    /// parents are known (repeating until a fixpoint, since one
+    /// attachment can solidify others) and buffers the rest. Duplicate
+    /// deliveries of known transactions are dropped. Returns the
+    /// number of transactions attached.
+    pub fn apply(&mut self, incoming: Vec<Envelope>) -> usize {
+        let mut due = std::mem::take(&mut self.buffered);
+        for envelope in incoming {
+            let at = envelope.at;
+            match envelope.message {
+                GossipMessage::Transaction(msg) => due.push((at, msg)),
+                GossipMessage::Snapshot(batch) => due.extend(batch.into_iter().map(|m| (at, m))),
+            }
+        }
+        if due.is_empty() {
+            return 0;
+        }
+        due.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)));
+        let mut attached = 0;
+        loop {
+            let mut progressed = false;
+            due.retain(|(_, msg)| {
+                if self.contains(msg.id) {
+                    return false; // duplicate (e.g. snapshot overlap)
+                }
+                if self.is_solid(msg) {
+                    self.insert(msg).expect("solid message attaches");
+                    attached += 1;
+                    progressed = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if !progressed {
+                break;
+            }
+        }
+        // Not yet solid: wait for the parents to arrive.
+        self.buffered = due;
+        attached
+    }
+
+    /// How many deliveries would *not* attach right now: envelopes
+    /// still in flight (`at > now`), plus due and buffered messages
+    /// whose parents are neither attached nor deliverable.
+    pub fn backlog(&self, in_flight: &[Envelope], now: f64) -> usize {
+        let future = in_flight.iter().filter(|e| e.at > now).count();
+        let mut known: HashSet<u64> = self.to_local.keys().copied().collect();
+        let mut due: Vec<(u64, &[u64])> = self
+            .buffered
+            .iter()
+            .map(|(_, m)| (m.id, m.parents.as_slice()))
+            .collect();
+        for envelope in in_flight.iter().filter(|e| e.at <= now) {
+            match &envelope.message {
+                GossipMessage::Transaction(m) => due.push((m.id, &m.parents)),
+                GossipMessage::Snapshot(batch) => {
+                    due.extend(batch.iter().map(|m| (m.id, m.parents.as_slice())));
+                }
+            }
+        }
+        loop {
+            let before = due.len();
+            due.retain(|(id, parents)| {
+                let solid = parents.iter().all(|p| known.contains(p));
+                if solid {
+                    known.insert(*id);
+                }
+                !solid
+            });
+            if due.len() == before {
+                break;
+            }
+        }
+        future + due.len()
+    }
+
+    /// The transactions a peer that already holds `have` is missing,
+    /// in topological order — the answer to a snapshot request. The
+    /// genesis is never included (every replica is born with it).
+    pub fn snapshot_messages(&self, have: &HashSet<u64>) -> Vec<TxMessage> {
+        let snapshot = self.tangle.snapshot();
+        snapshot
+            .records()
+            .iter()
+            .enumerate()
+            .filter_map(|(index, record)| {
+                let net_id = self.to_network[index];
+                if record.parents.is_empty() || have.contains(&net_id) {
+                    return None;
+                }
+                Some(TxMessage {
+                    id: net_id,
+                    parents: record
+                        .parents
+                        .iter()
+                        .map(|&p| self.to_network[p as usize])
+                        .collect(),
+                    params: record.payload.share(),
+                    issuer: record.issuer,
+                    round: record.round,
+                })
+            })
+            .collect()
+    }
+
+    /// An order-independent digest of the replica's contents (ids,
+    /// approvals, weights, metadata). Two replicas hold the same
+    /// transaction set if and only if their digests match — the
+    /// convergence check of the networked mode.
+    pub fn digest(&self) -> u64 {
+        let mut total: u64 = 0;
+        for (index, tx) in self.tangle.iter().enumerate() {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+            let mut mix = |value: u64| {
+                for byte in value.to_le_bytes() {
+                    h ^= byte as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+            };
+            mix(self.to_network[index]);
+            mix(tx.parents().len() as u64);
+            for p in tx.parents() {
+                mix(self.to_network[p.index() as usize]);
+            }
+            for w in tx.payload().params() {
+                mix(w.to_bits() as u64);
+            }
+            mix(tx.issuer().map_or(u64::MAX, |i| i as u64));
+            mix(tx.round() as u64);
+            total = total.wrapping_add(h);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn msg(id: u64, parents: &[u64]) -> TxMessage {
+        TxMessage {
+            id,
+            parents: parents.to_vec(),
+            params: Arc::new(vec![id as f32, 0.5]),
+            issuer: Some((id % 4) as u32),
+            round: id as u32,
+        }
+    }
+
+    fn envelope(at: f64, m: TxMessage) -> Envelope {
+        Envelope {
+            at,
+            message: GossipMessage::Transaction(m),
+        }
+    }
+
+    fn fresh() -> Replica {
+        Replica::new(ModelPayload::new(vec![0.0, 0.0]))
+    }
+
+    #[test]
+    fn new_replica_holds_only_genesis() {
+        let r = fresh();
+        assert_eq!(r.tangle().len(), 1);
+        assert!(r.contains(GENESIS_NET_ID));
+        assert_eq!(r.network_ids(), &[GENESIS_NET_ID]);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn insert_translates_parents_and_records_maps() {
+        let mut r = fresh();
+        let local = r.insert(&msg(5, &[0])).unwrap();
+        assert_eq!(r.local_id(5), Some(local));
+        assert_eq!(r.network_id(local), Some(5));
+        let child = r.insert(&msg(9, &[5, 0])).unwrap();
+        assert_eq!(r.tangle().get(child).unwrap().parents().len(), 2);
+    }
+
+    #[test]
+    fn insert_rejects_unknown_parent() {
+        let mut r = fresh();
+        let err = r.insert(&msg(5, &[3])).unwrap_err();
+        assert!(err.to_string().contains("unknown parent"));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut r = fresh();
+        let a = r.insert(&msg(5, &[0])).unwrap();
+        let b = r.insert(&msg(5, &[0])).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(r.tangle().len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_child_waits_then_attaches() {
+        // Satellite: a child delivered before its parent sits in the
+        // solidification buffer, then attaches when the parent lands.
+        let mut r = fresh();
+        let attached = r.apply(vec![envelope(1.0, msg(7, &[5]))]);
+        assert_eq!(attached, 0);
+        assert_eq!(r.buffered(), 1);
+        assert!(!r.contains(7));
+        let attached = r.apply(vec![envelope(2.0, msg(5, &[0]))]);
+        assert_eq!(attached, 2, "parent arrival must solidify the child");
+        assert_eq!(r.buffered(), 0);
+        assert!(r.contains(5) && r.contains(7));
+        // Parent precedes child in the local order.
+        assert!(r.local_id(5).unwrap() < r.local_id(7).unwrap());
+    }
+
+    #[test]
+    fn apply_orders_by_arrival_time_then_id() {
+        let mut a = fresh();
+        a.apply(vec![
+            envelope(2.0, msg(5, &[0])),
+            envelope(1.0, msg(6, &[0])),
+        ]);
+        assert!(a.local_id(6).unwrap() < a.local_id(5).unwrap());
+
+        let mut b = fresh();
+        b.apply(vec![
+            envelope(1.0, msg(5, &[0])),
+            envelope(1.0, msg(6, &[0])),
+        ]);
+        assert!(b.local_id(5).unwrap() < b.local_id(6).unwrap());
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_dropped() {
+        let mut r = fresh();
+        r.apply(vec![envelope(1.0, msg(5, &[0]))]);
+        let attached = r.apply(vec![envelope(2.0, msg(5, &[0]))]);
+        assert_eq!(attached, 0);
+        assert_eq!(r.tangle().len(), 2);
+    }
+
+    #[test]
+    fn backlog_counts_future_and_unsolid() {
+        let mut r = fresh();
+        r.apply(vec![envelope(1.0, msg(9, &[5]))]); // buffered, parent missing
+        let in_flight = [
+            envelope(10.0, msg(5, &[0])), // future: would solidify 9
+            envelope(1.5, msg(11, &[9])), // due but chain not solid
+        ];
+        assert_eq!(r.backlog(&in_flight, 2.0), 3);
+        // Once 5 is due, the whole chain becomes deliverable.
+        assert_eq!(r.backlog(&in_flight, 10.0), 0);
+        assert_eq!(r.backlog(&[], 0.0), 1, "buffered child alone");
+    }
+
+    #[test]
+    fn snapshot_messages_exclude_genesis_and_known() {
+        let mut r = fresh();
+        r.insert(&msg(5, &[0])).unwrap();
+        r.insert(&msg(9, &[5])).unwrap();
+        let all = r.snapshot_messages(&HashSet::new());
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].id, 5);
+        assert_eq!(all[1].id, 9);
+        assert_eq!(all[1].parents, vec![5]);
+        let have: HashSet<u64> = [5u64].into_iter().collect();
+        let missing = r.snapshot_messages(&have);
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].id, 9);
+    }
+
+    #[test]
+    fn late_join_snapshot_equals_replayed_gossip() {
+        // Satellite: a replica synced from a snapshot must equal one
+        // built from the original gossip stream, message by message.
+        let stream = [
+            msg(5, &[0]),
+            msg(6, &[0, 5]),
+            msg(9, &[6, 5]),
+            msg(12, &[9, 9]),
+        ];
+        let mut replayed = fresh();
+        for (i, m) in stream.iter().enumerate() {
+            replayed.apply(vec![envelope(i as f64, m.clone())]);
+        }
+        let mut synced = fresh();
+        let batch = replayed.snapshot_messages(&HashSet::new());
+        synced.apply(vec![Envelope {
+            at: 0.0,
+            message: GossipMessage::Snapshot(batch),
+        }]);
+        assert_eq!(synced.tangle().len(), replayed.tangle().len());
+        assert_eq!(synced.digest(), replayed.digest());
+        assert_eq!(synced.network_ids(), replayed.network_ids());
+        assert_eq!(synced.tangle().edges(), replayed.tangle().edges());
+    }
+
+    #[test]
+    fn digest_is_order_independent_but_content_sensitive() {
+        let mut a = fresh();
+        a.insert(&msg(5, &[0])).unwrap();
+        a.insert(&msg(6, &[0])).unwrap();
+        let mut b = fresh();
+        b.insert(&msg(6, &[0])).unwrap();
+        b.insert(&msg(5, &[0])).unwrap();
+        assert_eq!(a.digest(), b.digest(), "same set, different order");
+
+        let mut c = fresh();
+        c.insert(&msg(5, &[0])).unwrap();
+        assert_ne!(a.digest(), c.digest(), "different sets must differ");
+    }
+}

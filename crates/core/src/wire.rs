@@ -1,0 +1,598 @@
+//! The networked mode's wire format: length-prefixed, versioned binary
+//! frames over any `Read`/`Write` stream — std only, no serialization
+//! dependency.
+//!
+//! Every frame is
+//!
+//! ```text
+//! [ length: u32 LE ][ version: u8 ][ kind: u8 ][ body ... ]
+//! ```
+//!
+//! where `length` covers everything after itself. Integers are
+//! little-endian, floats are IEEE-754 bit patterns, strings are
+//! u32-length-prefixed UTF-8, vectors are u32-count-prefixed. Decoding
+//! rejects truncated frames, version mismatches, unknown kinds,
+//! oversized lengths and trailing bytes, so a peer can never be pushed
+//! into reading garbage as weights.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use crate::TxMessage;
+
+/// Protocol version of this build; bumped on any frame-layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame body (64 MiB) — a sanity valve against
+/// corrupt length prefixes, not a protocol limit.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A peer known to the tracker: client id plus gossip listen address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerInfo {
+    /// The peer's client id.
+    pub client: u32,
+    /// The address its gossip listener is bound to.
+    pub addr: String,
+}
+
+/// Everything peers and the tracker exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// First message on a gossip connection: who is calling.
+    Hello {
+        /// The connecting peer's client id.
+        client: u32,
+    },
+    /// One published transaction.
+    Transaction(TxMessage),
+    /// "Send me everything I do not have" — `have` lists the network
+    /// ids the requester already holds.
+    SnapshotRequest {
+        /// Network ids already held by the requester.
+        have: Vec<u64>,
+    },
+    /// The answer to a snapshot request: missing transactions in
+    /// topological order.
+    Snapshot {
+        /// The transactions the requester was missing.
+        transactions: Vec<TxMessage>,
+    },
+    /// Tracker: a peer announces itself and its listen address.
+    Join {
+        /// The joining peer's client id.
+        client: u32,
+        /// Address other peers can dial for gossip.
+        addr: String,
+    },
+    /// Tracker's reply to a join: everyone already registered.
+    PeerList {
+        /// The previously registered peers.
+        peers: Vec<PeerInfo>,
+    },
+    /// Tracker: a peer is leaving the session.
+    Leave {
+        /// The departing peer's client id.
+        client: u32,
+    },
+    /// Gossip: the sender has published its last transaction and will
+    /// exit once everyone else is done too.
+    Done {
+        /// The finished peer's client id.
+        client: u32,
+    },
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_TRANSACTION: u8 = 2;
+const KIND_SNAPSHOT_REQUEST: u8 = 3;
+const KIND_SNAPSHOT: u8 = 4;
+const KIND_JOIN: u8 = 5;
+const KIND_PEER_LIST: u8 = 6;
+const KIND_LEAVE: u8 = 7;
+const KIND_DONE: u8 = 8;
+
+/// Decoding/transport failures of the wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended inside a frame, or a body was shorter than its
+    /// fields claim.
+    Truncated,
+    /// A frame decoded fine but left unread bytes in its body.
+    TrailingBytes,
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Version this build speaks.
+        expected: u8,
+        /// Version found in the frame.
+        found: u8,
+    },
+    /// The frame kind byte is not one this build knows.
+    UnknownKind(u8),
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// A structurally invalid body (e.g. a non-UTF-8 string).
+    Malformed(&'static str),
+    /// An I/O error from the underlying stream.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::TrailingBytes => write!(f, "frame has trailing bytes"),
+            WireError::VersionMismatch { expected, found } => {
+                write!(f, "wire version mismatch: expected {expected}, got {found}")
+            }
+            WireError::UnknownKind(kind) => write!(f, "unknown frame kind {kind}"),
+            WireError::Oversized(len) => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            WireError::Malformed(why) => write!(f, "malformed frame: {why}"),
+            WireError::Io(why) => write!(f, "wire i/o: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e.to_string())
+        }
+    }
+}
+
+/// Encodes a message as one complete frame (length prefix included).
+pub fn encode(message: &WireMessage) -> Vec<u8> {
+    let mut body = Vec::new();
+    let kind = match message {
+        WireMessage::Hello { client } => {
+            put_u32(&mut body, *client);
+            KIND_HELLO
+        }
+        WireMessage::Transaction(tx) => {
+            put_tx(&mut body, tx);
+            KIND_TRANSACTION
+        }
+        WireMessage::SnapshotRequest { have } => {
+            put_u32(&mut body, have.len() as u32);
+            for id in have {
+                put_u64(&mut body, *id);
+            }
+            KIND_SNAPSHOT_REQUEST
+        }
+        WireMessage::Snapshot { transactions } => {
+            put_u32(&mut body, transactions.len() as u32);
+            for tx in transactions {
+                put_tx(&mut body, tx);
+            }
+            KIND_SNAPSHOT
+        }
+        WireMessage::Join { client, addr } => {
+            put_u32(&mut body, *client);
+            put_str(&mut body, addr);
+            KIND_JOIN
+        }
+        WireMessage::PeerList { peers } => {
+            put_u32(&mut body, peers.len() as u32);
+            for peer in peers {
+                put_u32(&mut body, peer.client);
+                put_str(&mut body, &peer.addr);
+            }
+            KIND_PEER_LIST
+        }
+        WireMessage::Leave { client } => {
+            put_u32(&mut body, *client);
+            KIND_LEAVE
+        }
+        WireMessage::Done { client } => {
+            put_u32(&mut body, *client);
+            KIND_DONE
+        }
+    };
+    let mut frame = Vec::with_capacity(body.len() + 6);
+    frame.extend_from_slice(&((body.len() as u32 + 2).to_le_bytes()));
+    frame.push(WIRE_VERSION);
+    frame.push(kind);
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Decodes one complete frame (as produced by [`encode`]).
+///
+/// # Errors
+///
+/// Any [`WireError`] variant except `Io`.
+pub fn decode(frame: &[u8]) -> Result<WireMessage, WireError> {
+    if frame.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized(len));
+    }
+    if frame.len() < 4 + len {
+        return Err(WireError::Truncated);
+    }
+    if frame.len() > 4 + len {
+        return Err(WireError::TrailingBytes);
+    }
+    decode_payload(&frame[4..])
+}
+
+/// Writes one frame to a stream.
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] on write failure.
+pub fn write_message(w: &mut impl Write, message: &WireMessage) -> Result<(), WireError> {
+    w.write_all(&encode(message))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from a stream (blocking until complete).
+///
+/// # Errors
+///
+/// Any [`WireError`] variant; a clean EOF before the length prefix
+/// reads as [`WireError::Truncated`].
+pub fn read_message(r: &mut impl Read) -> Result<WireMessage, WireError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized(len));
+    }
+    if len < 2 {
+        return Err(WireError::Truncated);
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    decode_payload(&payload)
+}
+
+/// Decodes version + kind + body (everything after the length prefix).
+fn decode_payload(payload: &[u8]) -> Result<WireMessage, WireError> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let version = c.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::VersionMismatch {
+            expected: WIRE_VERSION,
+            found: version,
+        });
+    }
+    let kind = c.u8()?;
+    let message = match kind {
+        KIND_HELLO => WireMessage::Hello { client: c.u32()? },
+        KIND_TRANSACTION => WireMessage::Transaction(c.tx()?),
+        KIND_SNAPSHOT_REQUEST => {
+            let count = c.counted(8)?;
+            let mut have = Vec::with_capacity(count);
+            for _ in 0..count {
+                have.push(c.u64()?);
+            }
+            WireMessage::SnapshotRequest { have }
+        }
+        KIND_SNAPSHOT => {
+            let count = c.counted(1)?;
+            let mut transactions = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                transactions.push(c.tx()?);
+            }
+            WireMessage::Snapshot { transactions }
+        }
+        KIND_JOIN => WireMessage::Join {
+            client: c.u32()?,
+            addr: c.string()?,
+        },
+        KIND_PEER_LIST => {
+            let count = c.counted(5)?;
+            let mut peers = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                peers.push(PeerInfo {
+                    client: c.u32()?,
+                    addr: c.string()?,
+                });
+            }
+            WireMessage::PeerList { peers }
+        }
+        KIND_LEAVE => WireMessage::Leave { client: c.u32()? },
+        KIND_DONE => WireMessage::Done { client: c.u32()? },
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    if c.pos != c.buf.len() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(message)
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_tx(buf: &mut Vec<u8>, tx: &TxMessage) {
+    put_u64(buf, tx.id);
+    put_u32(buf, tx.parents.len() as u32);
+    for p in &tx.parents {
+        put_u64(buf, *p);
+    }
+    match tx.issuer {
+        Some(issuer) => {
+            buf.push(1);
+            put_u32(buf, issuer);
+        }
+        None => buf.push(0),
+    }
+    put_u32(buf, tx.round);
+    put_u32(buf, tx.params.len() as u32);
+    for w in tx.params.iter() {
+        put_u32(buf, w.to_bits());
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a count whose elements occupy at least `min_size` bytes
+    /// each, rejecting counts the remaining body cannot possibly hold
+    /// (prevents huge pre-allocations from a corrupt prefix).
+    fn counted(&mut self, min_size: usize) -> Result<usize, WireError> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(min_size) > self.buf.len() - self.pos {
+            return Err(WireError::Truncated);
+        }
+        Ok(count)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.counted(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+    }
+
+    fn tx(&mut self) -> Result<TxMessage, WireError> {
+        let id = self.u64()?;
+        let parent_count = self.counted(8)?;
+        let mut parents = Vec::with_capacity(parent_count);
+        for _ in 0..parent_count {
+            parents.push(self.u64()?);
+        }
+        let issuer = match self.u8()? {
+            0 => None,
+            1 => Some(self.u32()?),
+            _ => return Err(WireError::Malformed("bad issuer tag")),
+        };
+        let round = self.u32()?;
+        let param_count = self.counted(4)?;
+        let mut params = Vec::with_capacity(param_count);
+        for _ in 0..param_count {
+            params.push(f32::from_bits(self.u32()?));
+        }
+        Ok(TxMessage {
+            id,
+            parents,
+            params: Arc::new(params),
+            issuer,
+            round,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tx() -> TxMessage {
+        TxMessage {
+            id: 0x0100_0000_0007,
+            parents: vec![0, 0x0100_0000_0003],
+            params: Arc::new(vec![1.5, -0.25, f32::MIN_POSITIVE]),
+            issuer: Some(3),
+            round: 42,
+        }
+    }
+
+    fn all_kinds() -> Vec<WireMessage> {
+        vec![
+            WireMessage::Hello { client: 2 },
+            WireMessage::Transaction(sample_tx()),
+            WireMessage::SnapshotRequest {
+                have: vec![0, 7, 9],
+            },
+            WireMessage::SnapshotRequest { have: vec![] },
+            WireMessage::Snapshot {
+                transactions: vec![sample_tx()],
+            },
+            WireMessage::Snapshot {
+                transactions: vec![],
+            },
+            WireMessage::Join {
+                client: 1,
+                addr: "127.0.0.1:7878".into(),
+            },
+            WireMessage::PeerList {
+                peers: vec![PeerInfo {
+                    client: 0,
+                    addr: "127.0.0.1:9000".into(),
+                }],
+            },
+            WireMessage::PeerList { peers: vec![] },
+            WireMessage::Leave { client: 1 },
+            WireMessage::Done { client: 0 },
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        for msg in all_kinds() {
+            let frame = encode(&msg);
+            assert_eq!(decode(&frame).unwrap(), msg, "{msg:?}");
+            let mut stream = frame.as_slice();
+            assert_eq!(read_message(&mut stream).unwrap(), msg);
+            assert!(stream.is_empty());
+        }
+    }
+
+    #[test]
+    fn stream_round_trips_back_to_back_frames() {
+        let mut buf = Vec::new();
+        for msg in all_kinds() {
+            write_message(&mut buf, &msg).unwrap();
+        }
+        let mut stream = buf.as_slice();
+        for msg in all_kinds() {
+            assert_eq!(read_message(&mut stream).unwrap(), msg);
+        }
+        assert!(matches!(
+            read_message(&mut stream),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let frame = encode(&WireMessage::Transaction(sample_tx()));
+        for cut in 0..frame.len() {
+            assert!(
+                decode(&frame[..cut]).is_err(),
+                "decode accepted a {cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut frame = encode(&WireMessage::Hello { client: 1 });
+        frame[4] = WIRE_VERSION + 1;
+        assert_eq!(
+            decode(&frame),
+            Err(WireError::VersionMismatch {
+                expected: WIRE_VERSION,
+                found: WIRE_VERSION + 1,
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut frame = encode(&WireMessage::Hello { client: 1 });
+        frame[5] = 200;
+        assert_eq!(decode(&frame), Err(WireError::UnknownKind(200)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut frame = encode(&WireMessage::Done { client: 0 });
+        let len = (frame.len() as u32 - 4 + 1).to_le_bytes();
+        frame[..4].copy_from_slice(&len);
+        frame.push(0xAB);
+        assert_eq!(decode(&frame), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut frame = encode(&WireMessage::Done { client: 0 });
+        frame[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(decode(&frame), Err(WireError::Oversized(_))));
+        let mut stream = frame.as_slice();
+        assert!(matches!(
+            read_message(&mut stream),
+            Err(WireError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_count_cannot_force_huge_allocation() {
+        // A SnapshotRequest claiming 2^31 ids in a 10-byte body must
+        // fail fast instead of allocating gigabytes.
+        let mut frame = encode(&WireMessage::SnapshotRequest { have: vec![1] });
+        // Overwrite the count field (starts right after version+kind).
+        frame[6..10].copy_from_slice(&(1u32 << 31).to_le_bytes());
+        assert!(decode(&frame).is_err());
+    }
+
+    #[test]
+    fn nan_weights_round_trip_bitwise() {
+        let tx = TxMessage {
+            id: 1,
+            parents: vec![0],
+            params: Arc::new(vec![f32::NAN, f32::INFINITY, -0.0]),
+            issuer: None,
+            round: 0,
+        };
+        let frame = encode(&WireMessage::Transaction(tx.clone()));
+        let WireMessage::Transaction(back) = decode(&frame).unwrap() else {
+            panic!("wrong kind");
+        };
+        let bits: Vec<u32> = back.params.iter().map(|w| w.to_bits()).collect();
+        let expected: Vec<u32> = tx.params.iter().map(|w| w.to_bits()).collect();
+        assert_eq!(bits, expected);
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        for (err, needle) in [
+            (WireError::Truncated, "truncated"),
+            (WireError::TrailingBytes, "trailing"),
+            (
+                WireError::VersionMismatch {
+                    expected: 1,
+                    found: 2,
+                },
+                "version",
+            ),
+            (WireError::UnknownKind(9), "kind 9"),
+            (WireError::Oversized(1 << 30), "exceeds"),
+            (WireError::Malformed("bad"), "bad"),
+            (WireError::Io("broken pipe".into()), "broken pipe"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err:?}");
+        }
+    }
+}

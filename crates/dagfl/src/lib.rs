@@ -87,13 +87,15 @@ pub use dagfl_tensor as tensor;
 
 pub use dagfl_baselines::{FedConfig, FederatedServer};
 pub use dagfl_core::{
-    AsyncConfig, AsyncMetrics, AsyncSimulation, ComputeProfile, DagConfig, DelayModel,
-    EvalCounters, ExecutionMode, Hyperparameters, ModelEvaluator, Normalization, PoisoningConfig,
-    PoisoningScenario, PublishGate, Simulation, StaleTipPolicy, TangleView, TipSelector,
+    run_peer, AsyncConfig, AsyncMetrics, AsyncSimulation, ComputeProfile, DagConfig, DelayModel,
+    EvalCounters, ExecutionMode, GossipMessage, Hyperparameters, LoopbackTransport, ModelEvaluator,
+    Normalization, PeerConfig, PeerReport, PoisoningConfig, PoisoningScenario, PublishGate,
+    Replica, Simulation, StaleTipPolicy, TangleView, TcpTransport, TipSelector, Tracker, Transport,
+    TxMessage,
 };
 pub use dagfl_scenario::{
     AttackSpec, DatasetSpec, ExecutionSpec, ModelSpec, RunReport, Scenario, ScenarioRunner,
-    SweepReport, SweepRunner, SweepSpec,
+    SweepReport, SweepRunner, SweepSpec, TransportSpec,
 };
 
 #[cfg(test)]
@@ -104,5 +106,6 @@ mod tests {
         let _ = crate::FedConfig::default();
         let _ = crate::TipSelector::default();
         let _ = crate::Normalization::default();
+        assert_eq!(crate::TransportSpec::default().mode(), "loopback");
     }
 }

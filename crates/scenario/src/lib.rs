@@ -67,6 +67,7 @@ pub use presets::{Scale, PRESET_NAMES};
 pub use runner::{DatasetSummary, PoisoningSummary, RunReport, ScenarioRunner};
 pub use spec::{
     AttackSpec, DatasetSpec, ExecutionSpec, ModelSpec, OutputSpec, Scenario, ScenarioError,
+    TransportSpec,
 };
 pub use sweep::{
     is_sweep_toml, SweepAxis, SweepBase, SweepCell, SweepCellReport, SweepField, SweepReport,

@@ -313,7 +313,7 @@ fn build(name: &str, scale: Scale) -> Option<Scenario> {
                     jitter: 1.0,
                 },
             );
-            if let crate::spec::ExecutionSpec::Async(config) = &mut scenario.execution {
+            if let crate::spec::ExecutionSpec::Async { config, .. } = &mut scenario.execution {
                 // The same clients are network-slow and 4x compute-slow
                 // (the realistic straggler regime), training takes
                 // logical time, and superseded tips are re-selected.
@@ -431,7 +431,7 @@ mod tests {
     fn async_presets_match_the_round_budget() {
         let scenario = Scenario::preset_at("async-delay2", Scale::Quick).unwrap();
         match &scenario.execution {
-            ExecutionSpec::Async(config) => {
+            ExecutionSpec::Async { config, .. } => {
                 assert_eq!(config.total_activations, 30 * 6);
                 assert_eq!(config.delay, DelayModel::constant(2.0));
             }
@@ -439,7 +439,7 @@ mod tests {
         }
         let cohorts = Scenario::preset_at("async-cohorts", Scale::Quick).unwrap();
         match &cohorts.execution {
-            ExecutionSpec::Async(config) => {
+            ExecutionSpec::Async { config, .. } => {
                 assert_eq!(
                     config.compute,
                     ComputeProfile::MatchNetworkCohort { slowdown: 4.0 }

@@ -282,7 +282,16 @@ impl ScenarioRunner {
                     csv_path: None,
                 }
             }
-            (ExecutionSpec::Async(config), _) => {
+            (ExecutionSpec::Async { config, transport }, _) => {
+                // The in-process runner can only drive the loopback
+                // transport; a tcp scenario is a recipe for separate
+                // processes.
+                if let crate::TransportSpec::Tcp { tracker, .. } = transport {
+                    return Err(ScenarioError::Invalid(format!(
+                        "transport = \"tcp\" (tracker {tracker}) cannot run in-process: start a \
+                         `dagfl tracker` and one `dagfl peer` per client instead"
+                    )));
+                }
                 let mut sim = AsyncSimulation::new(*config, dataset, factory);
                 sim.run()?;
                 let metrics = sim.metrics();

@@ -353,6 +353,36 @@ impl ModelSpec {
     }
 }
 
+/// How the gossip of an asynchronous execution travels between
+/// clients (`transport = ...` in scenario files).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TransportSpec {
+    /// Deterministic in-process delivery: messages travel through
+    /// [`dagfl_core::LoopbackTransport`] with sampled link delays.
+    #[default]
+    Loopback,
+    /// Real TCP gossip between `dagfl peer` processes. The scenario
+    /// runner refuses to execute these in-process — the spec exists so
+    /// one file can describe a networked experiment end to end.
+    Tcp {
+        /// Tracker address (`host:port`) the peers register with.
+        tracker: String,
+        /// Gossip listen port of the first peer (0 = ephemeral;
+        /// subsequent peers use consecutive ports).
+        port: u16,
+    },
+}
+
+impl TransportSpec {
+    /// The `transport` word used in scenario files.
+    pub fn mode(&self) -> &'static str {
+        match self {
+            TransportSpec::Loopback => "loopback",
+            TransportSpec::Tcp { .. } => "tcp",
+        }
+    }
+}
+
 /// How the scenario is executed: the paper's comparison rounds or the
 /// round-free event-driven deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -360,8 +390,13 @@ pub enum ExecutionSpec {
     /// Discrete rounds (§5.3), driven by [`dagfl_core::Simulation`].
     Rounds(DagConfig),
     /// Event-driven asynchronous execution (§5.3.3), driven by
-    /// [`dagfl_core::AsyncSimulation`].
-    Async(AsyncConfig),
+    /// [`dagfl_core::AsyncSimulation`] over the chosen transport.
+    Async {
+        /// The event-driven simulation's configuration.
+        config: AsyncConfig,
+        /// How inter-client messages travel.
+        transport: TransportSpec,
+    },
 }
 
 impl ExecutionSpec {
@@ -369,7 +404,7 @@ impl ExecutionSpec {
     pub fn mode(&self) -> &'static str {
         match self {
             ExecutionSpec::Rounds(_) => "rounds",
-            ExecutionSpec::Async(_) => "async",
+            ExecutionSpec::Async { .. } => "async",
         }
     }
 
@@ -378,7 +413,7 @@ impl ExecutionSpec {
     pub fn dag(&self) -> &DagConfig {
         match self {
             ExecutionSpec::Rounds(dag) => dag,
-            ExecutionSpec::Async(config) => &config.dag,
+            ExecutionSpec::Async { config, .. } => &config.dag,
         }
     }
 
@@ -386,7 +421,7 @@ impl ExecutionSpec {
     pub fn dag_mut(&mut self) -> &mut DagConfig {
         match self {
             ExecutionSpec::Rounds(dag) => dag,
-            ExecutionSpec::Async(config) => &mut config.dag,
+            ExecutionSpec::Async { config, .. } => &mut config.dag,
         }
     }
 }
@@ -529,9 +564,21 @@ impl Scenario {
     }
 
     /// Switches to asynchronous execution with the given configuration
-    /// (builder style).
+    /// over the loopback transport (builder style).
     pub fn asynchronous(mut self, config: AsyncConfig) -> Self {
-        self.execution = ExecutionSpec::Async(config);
+        self.execution = ExecutionSpec::Async {
+            config,
+            transport: TransportSpec::default(),
+        };
+        self
+    }
+
+    /// Replaces the async transport (builder style; a no-op in rounds
+    /// mode, which has no message transport).
+    pub fn with_transport(mut self, spec: TransportSpec) -> Self {
+        if let ExecutionSpec::Async { transport, .. } = &mut self.execution {
+            *transport = spec;
+        }
         self
     }
 
@@ -623,7 +670,7 @@ impl Scenario {
                     )));
                 }
             }
-            ExecutionSpec::Async(config) => {
+            ExecutionSpec::Async { config, transport } => {
                 config.validate()?;
                 if self.attack.is_some() {
                     return Err(ScenarioError::Invalid(
@@ -634,6 +681,13 @@ impl Scenario {
                     return Err(ScenarioError::Invalid(
                         "specialization tracking requires rounds mode".into(),
                     ));
+                }
+                if let TransportSpec::Tcp { tracker, .. } = transport {
+                    if !tracker.contains(':') || tracker.trim().is_empty() {
+                        return Err(ScenarioError::Invalid(format!(
+                            "transport.tracker (`{tracker}`) must be a host:port address"
+                        )));
+                    }
                 }
             }
         }
@@ -1044,7 +1098,12 @@ fn write_dag(table: &mut Table, dag: &DagConfig) {
 fn write_execution(table: &mut Table, execution: &ExecutionSpec) {
     table.set("mode", Value::Str(execution.mode().into()));
     write_dag(table, execution.dag());
-    if let ExecutionSpec::Async(config) = execution {
+    if let ExecutionSpec::Async { config, transport } = execution {
+        table.set("transport", Value::Str(transport.mode().into()));
+        if let TransportSpec::Tcp { tracker, port } = transport {
+            table.set("tracker", Value::Str(tracker.clone()));
+            table.set("port", Value::Number(port.to_string()));
+        }
         table.set("activations", usize_value(config.total_activations));
         table.set("interarrival", f64_value(config.mean_interarrival));
         table.set("train_time", f64_value(config.train_time));
@@ -1448,20 +1507,58 @@ fn read_execution(
                     })
                 }
             };
-            Ok(ExecutionSpec::Async(AsyncConfig {
-                dag,
-                total_activations: reader.usize_or("activations", defaults.total_activations)?,
-                mean_interarrival: reader.f64_or("interarrival", defaults.mean_interarrival)?,
-                delay,
-                compute,
-                train_time: reader.f64_or("train_time", defaults.train_time)?,
-                stale_policy,
-            }))
+            let transport = read_transport(reader)?;
+            Ok(ExecutionSpec::Async {
+                config: AsyncConfig {
+                    dag,
+                    total_activations: reader
+                        .usize_or("activations", defaults.total_activations)?,
+                    mean_interarrival: reader.f64_or("interarrival", defaults.mean_interarrival)?,
+                    delay,
+                    compute,
+                    train_time: reader.f64_or("train_time", defaults.train_time)?,
+                    stale_policy,
+                },
+                transport,
+            })
         }
         other => Err(ScenarioError::InvalidValue {
             key: "execution.mode".into(),
             value: other.into(),
             expected: "rounds or async".into(),
+        }),
+    }
+}
+
+/// Reads `transport` / `tracker` / `port` from an async execution
+/// section. The tcp-only keys are rejected explicitly under loopback,
+/// so a file that forgets `transport = "tcp"` fails with a pointed
+/// message instead of a generic unknown-key error.
+fn read_transport(reader: &Reader<'_>) -> Result<TransportSpec, ScenarioError> {
+    let mode = reader.str("transport")?;
+    let tracker = reader.str("tracker")?;
+    let port: Option<u16> = reader.number("port", "a port number (0-65535)")?;
+    match mode.as_deref() {
+        None | Some("loopback") => {
+            if tracker.is_some() || port.is_some() {
+                return Err(ScenarioError::Invalid(format!(
+                    "`{}` and `{}` are only valid with transport = \"tcp\"",
+                    reader.path("tracker"),
+                    reader.path("port"),
+                )));
+            }
+            Ok(TransportSpec::Loopback)
+        }
+        Some("tcp") => Ok(TransportSpec::Tcp {
+            tracker: tracker.ok_or_else(|| ScenarioError::MissingKey {
+                key: reader.path("tracker"),
+            })?,
+            port: port.unwrap_or(0),
+        }),
+        Some(other) => Err(ScenarioError::InvalidValue {
+            key: reader.path("transport"),
+            value: other.into(),
+            expected: "loopback or tcp".into(),
         }),
     }
 }
@@ -1585,6 +1682,12 @@ mod tests {
                 stale_policy: StaleTipPolicy::Reselect,
                 ..AsyncConfig::default()
             }),
+            tiny()
+                .asynchronous(AsyncConfig::default())
+                .with_transport(TransportSpec::Tcp {
+                    tracker: "127.0.0.1:7878".into(),
+                    port: 9000,
+                }),
         ];
         for scenario in cases {
             let text = scenario.to_toml();
@@ -1612,6 +1715,61 @@ mod tests {
             Scenario::from_toml("name = \"x\"\n[dataset]\nkind = \"fmnist\"\n[extra]\nk = 1\n")
                 .unwrap_err();
         assert!(matches!(err, ScenarioError::UnknownKey { ref key } if key == "[extra]"));
+    }
+
+    #[test]
+    fn transport_keys_parse_and_reject_inapplicable_combos() {
+        let base = "name = \"x\"\n[dataset]\nkind = \"fmnist\"\n[execution]\nmode = \"async\"\n";
+        // Default is loopback.
+        let s = Scenario::from_toml(base).unwrap();
+        assert!(matches!(
+            s.execution,
+            ExecutionSpec::Async {
+                transport: TransportSpec::Loopback,
+                ..
+            }
+        ));
+        // Explicit tcp with tracker and port.
+        let s = Scenario::from_toml(&format!(
+            "{base}transport = \"tcp\"\ntracker = \"127.0.0.1:7878\"\nport = 9000\n"
+        ))
+        .unwrap();
+        match &s.execution {
+            ExecutionSpec::Async {
+                transport: TransportSpec::Tcp { tracker, port },
+                ..
+            } => {
+                assert_eq!(tracker, "127.0.0.1:7878");
+                assert_eq!(*port, 9000);
+            }
+            other => panic!("unexpected execution {other:?}"),
+        }
+        // tcp without a tracker is incomplete.
+        let err = Scenario::from_toml(&format!("{base}transport = \"tcp\"\n")).unwrap_err();
+        assert!(matches!(err, ScenarioError::MissingKey { ref key } if key == "execution.tracker"));
+        // tracker/port under loopback are explicitly inapplicable.
+        let err =
+            Scenario::from_toml(&format!("{base}tracker = \"127.0.0.1:7878\"\n")).unwrap_err();
+        assert!(err.to_string().contains("tcp"), "{err}");
+        // An unknown transport word names the alternatives.
+        let err =
+            Scenario::from_toml(&format!("{base}transport = \"carrier-pigeon\"\n")).unwrap_err();
+        assert!(err.to_string().contains("loopback or tcp"), "{err}");
+        // A tcp tracker that is not host:port fails validation.
+        let s = tiny()
+            .asynchronous(AsyncConfig::default())
+            .with_transport(TransportSpec::Tcp {
+                tracker: "localhost".into(),
+                port: 0,
+            });
+        assert!(s.validate().unwrap_err().to_string().contains("host:port"));
+        // Transport is irrelevant to (and ignored by) rounds mode.
+        let s = tiny().with_transport(TransportSpec::Tcp {
+            tracker: "127.0.0.1:1".into(),
+            port: 0,
+        });
+        assert!(matches!(s.execution, ExecutionSpec::Rounds(_)));
+        assert!(s.validate().is_ok());
     }
 
     #[test]

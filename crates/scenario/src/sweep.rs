@@ -240,7 +240,7 @@ impl SweepField {
                 }
             }
             SweepField::Rounds | SweepField::ClientsPerRound => {
-                if matches!(base.execution, ExecutionSpec::Async(_)) {
+                if matches!(base.execution, ExecutionSpec::Async { .. }) {
                     return fail(format!(
                         "`{path}` needs rounds mode, the base scenario is async"
                     ));
@@ -365,22 +365,22 @@ impl SweepField {
                 }
             }
             SweepField::Activations => {
-                if let ExecutionSpec::Async(config) = &mut scenario.execution {
+                if let ExecutionSpec::Async { config, .. } = &mut scenario.execution {
                     config.total_activations = int() as usize;
                 }
             }
             SweepField::Interarrival => {
-                if let ExecutionSpec::Async(config) = &mut scenario.execution {
+                if let ExecutionSpec::Async { config, .. } = &mut scenario.execution {
                     config.mean_interarrival = float();
                 }
             }
             SweepField::TrainTime => {
-                if let ExecutionSpec::Async(config) = &mut scenario.execution {
+                if let ExecutionSpec::Async { config, .. } = &mut scenario.execution {
                     config.train_time = float();
                 }
             }
             SweepField::Delay => {
-                if let ExecutionSpec::Async(config) = &mut scenario.execution {
+                if let ExecutionSpec::Async { config, .. } = &mut scenario.execution {
                     match &mut config.delay {
                         DelayModel::Constant { delay } => *delay = float(),
                         DelayModel::UniformJitter { base, .. } => *base = float(),
@@ -1772,7 +1772,7 @@ mod tests {
         let delays: Vec<f64> = cells
             .iter()
             .map(|c| match &c.scenario.execution {
-                ExecutionSpec::Async(config) => match config.delay {
+                ExecutionSpec::Async { config, .. } => match config.delay {
                     DelayModel::Constant { delay } => delay,
                     ref other => panic!("unexpected delay model {other:?}"),
                 },

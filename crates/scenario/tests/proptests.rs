@@ -113,15 +113,18 @@ fn build_scenario(
             },
             _ => ComputeProfile::MatchNetworkCohort { slowdown: 2.5 },
         };
-        ExecutionSpec::Async(AsyncConfig {
-            dag,
-            total_activations: rounds * cpr.max(1),
-            mean_interarrival: delay.max(0.1),
-            delay: delay_model,
-            compute,
-            train_time: delay / 4.0,
-            stale_policy,
-        })
+        ExecutionSpec::Async {
+            config: AsyncConfig {
+                dag,
+                total_activations: rounds * cpr.max(1),
+                mean_interarrival: delay.max(0.1),
+                delay: delay_model,
+                compute,
+                train_time: delay / 4.0,
+                stale_policy,
+            },
+            transport: Default::default(),
+        }
     };
     let mut scenario = Scenario::new("generated", dataset).with_execution(execution);
     if rounds_mode && attack_on {

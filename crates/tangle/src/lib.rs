@@ -13,6 +13,9 @@
 //!   tracking and past/future-cone queries,
 //! * [`SharedTangle`] — a cheap-to-clone, thread-safe handle used by the
 //!   concurrent round simulation,
+//! * [`TangleSnapshot`] — order-preserving export/import of a tangle's
+//!   state with deltas ([`TangleSnapshot::delta_since`]) so late-joining
+//!   replicas can catch up,
 //! * cumulative weights and depth-from-tips ([`Tangle::cumulative_weights`],
 //!   [`Tangle::depths_from_tips`]) as used by classic tangle tip selection
 //!   and by Popov's walk-start sampling,
@@ -47,6 +50,7 @@
 mod error;
 mod export;
 mod shared;
+mod snapshot;
 mod tangle;
 mod transaction;
 mod walk;
@@ -55,6 +59,7 @@ mod weights;
 pub use error::TangleError;
 pub use export::TangleStats;
 pub use shared::SharedTangle;
+pub use snapshot::{SnapshotRecord, TangleSnapshot};
 pub use tangle::Tangle;
 pub use transaction::{Transaction, TxId};
 pub use walk::{

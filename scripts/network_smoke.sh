@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the networked mode: one tracker plus three
+# `dagfl peer` processes on 127.0.0.1 — the third joining late so it
+# has to catch up through the snapshot protocol — must all exit with
+# the same tangle digest (same transaction set on every replica).
+#
+# Usage: scripts/network_smoke.sh [path-to-dagfl-binary]
+set -euo pipefail
+
+DAGFL="${1:-./target/release/dagfl}"
+PORT="${NETWORK_SMOKE_PORT:-7979}"
+TRACKER="127.0.0.1:${PORT}"
+OUT="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+    local pid
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+peer_flags=(
+    --peers 3 --tracker "$TRACKER"
+    --clients 3 --samples 30
+    --activations 4 --interarrival-ms 40 --settle-ms 500 --timeout 60
+)
+
+"$DAGFL" tracker --listen "$TRACKER" --expect 3 >"$OUT/tracker.log" 2>&1 &
+PIDS+=($!)
+sleep 0.3
+
+"$DAGFL" peer --client 0 "${peer_flags[@]}" >"$OUT/peer0.log" 2>&1 &
+PIDS+=($!)
+"$DAGFL" peer --client 1 "${peer_flags[@]}" >"$OUT/peer1.log" 2>&1 &
+PIDS+=($!)
+
+# The late joiner: by now peers 0 and 1 have been gossiping for a
+# while, so client 2 must sync their history via a snapshot.
+sleep 1
+"$DAGFL" peer --client 2 "${peer_flags[@]}" >"$OUT/peer2.log" 2>&1 &
+PIDS+=($!)
+
+status=0
+for pid in "${PIDS[@]}"; do
+    wait "$pid" || status=$?
+done
+PIDS=()
+
+echo "--- tracker ---"
+cat "$OUT/tracker.log"
+for i in 0 1 2; do
+    echo "--- peer $i ---"
+    cat "$OUT/peer$i.log"
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: a process exited with status $status" >&2
+    exit "$status"
+fi
+
+digests="$(grep -h -o 'digest=[0-9a-f]*' "$OUT"/peer[0-2].log | sort)"
+count="$(echo "$digests" | wc -l)"
+unique="$(echo "$digests" | sort -u | wc -l)"
+
+if [ "$count" -ne 3 ]; then
+    echo "FAIL: expected 3 digest lines, got $count" >&2
+    exit 1
+fi
+if [ "$unique" -ne 1 ]; then
+    echo "FAIL: peers disagree on the tangle digest:" >&2
+    echo "$digests" >&2
+    exit 1
+fi
+
+echo "OK: all 3 peers converged on $(echo "$digests" | head -n1)"

@@ -68,7 +68,7 @@ fn different_seeds_change_the_report() {
 #[test]
 fn async_preset_runs_deterministically_behind_the_same_api() {
     let shrink = |mut s: Scenario| {
-        if let ExecutionSpec::Async(config) = &mut s.execution {
+        if let ExecutionSpec::Async { config, .. } = &mut s.execution {
             config.total_activations = 12;
             config.dag.local_batches = 2;
         }
