@@ -125,6 +125,7 @@ fn main() {
                     compute,
                     train_time,
                     stale_policy,
+                    gossip_fanout: 0,
                 },
                 dataset,
                 fmnist_model_factory(features, 10),

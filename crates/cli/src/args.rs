@@ -94,7 +94,7 @@ impl Error for ParseError {}
 
 /// Flags that take no value (their presence means `true`), so
 /// `dagfl run --preset smoke --full` parses without a dangling token.
-const BOOLEAN_FLAGS: &[&str] = &["full", "dry-run"];
+const BOOLEAN_FLAGS: &[&str] = &["full", "dry-run", "reconnect"];
 
 /// A parsed command line: the subcommand plus `--key value` options and
 /// (for `sweep`) one optional positional argument.
@@ -291,6 +291,20 @@ ASYNC FLAGS:
                         with cohorts delays the same clients are network-slow)
     --train-time        logical training duration             (0.0)
     --stale-policy      publish | reselect | discard          (publish)
+    --fanout            gossip targets per publish, 0 = all   (0)
+
+FAULT FLAGS (async only; deterministic per --seed, defaults are inert):
+    --drop              per-envelope drop probability         (0.0)
+    --duplicate         per-envelope duplication probability  (0.0)
+    --reorder           per-envelope reorder probability      (0.0)
+    --extra-delay       per-envelope latency-spike probability(0.0)
+    --delay-boost       magnitude of delay-based faults       (1.0)
+    --partition-start   partition window opens (logical time)
+    --partition-heal    partition window heals (logical time)
+    --partition-split   peers 0..split vs split..n            (1)
+    --crash-at          crash one peer at this logical time
+    --crash-peer        which peer crashes                    (0)
+    --crash-restart     restart time (omit: stays down)
 
 PEER FLAGS (networked mode; dataset/DAG flags above also apply):
     --client            this peer's client id                 (0)
@@ -301,6 +315,8 @@ PEER FLAGS (networked mode; dataset/DAG flags above also apply):
     --interarrival-ms   pause between activations, ms         (50)
     --settle-ms         quiet period before exiting, ms       (300)
     --timeout           session timeout, seconds              (120)
+    --reconnect         retry lost connections with backoff   (off)
+    --fanout            gossip targets per publish, 0 = all   (0)
 
 TRACKER FLAGS:
     --listen            tracker listen address                (127.0.0.1:7878)

@@ -5,8 +5,9 @@ use std::path::Path;
 
 use dagfl_baselines::{FedConfig, FederatedServer, LocalOnly};
 use dagfl_core::{
-    AsyncConfig, AsyncSimulation, ComputeProfile, CoreError, DagConfig, DelayModel, ModelFactory,
-    Normalization, Simulation, StaleTipPolicy, TipSelector,
+    AsyncConfig, AsyncSimulation, ComputeProfile, CoreError, CrashWindow, DagConfig, DelayModel,
+    FaultPlan, ModelFactory, Normalization, PartitionWindow, Simulation, StaleTipPolicy,
+    TipSelector,
 };
 use dagfl_datasets::{
     cifar100_like, fedprox_synthetic, fmnist_by_author, fmnist_clustered, poets, Cifar100Config,
@@ -148,6 +149,13 @@ fn flag_for_field(field: &str) -> &str {
         "local_batches" => "batches",
         "batch_size" => "batch-size",
         "walk_stop_margin" => "stop-margin",
+        "faults.drop" => "drop",
+        "faults.duplicate" => "duplicate",
+        "faults.reorder" => "reorder",
+        "faults.extra_delay" => "extra-delay",
+        "faults.delay_boost" => "delay-boost",
+        "faults.partition" => "partition-start",
+        "faults.crash" => "crash-at",
         // `rounds`, `alpha`, `seed`, ... already match their flags.
         other => other,
     }
@@ -269,11 +277,58 @@ fn async_config(args: &ParsedArgs, num_clients: usize) -> Result<AsyncConfig, Pa
         compute,
         train_time: args.get_parsed_or("train-time", 0.0)?,
         stale_policy,
+        gossip_fanout: args.get_parsed_or("fanout", 0)?,
     };
     // Core validation covers the rest (delays, slowdown, inter-arrival,
     // training time and the embedded DAG config).
     config.validate().map_err(config_error)?;
     Ok(config)
+}
+
+/// Optional float flag: `None` when absent, an error when unparsable.
+fn opt_f64(args: &ParsedArgs, flag: &str) -> Result<Option<f64>, ParseError> {
+    args.get(flag)
+        .map(|raw| {
+            raw.parse().map_err(|_| ParseError::InvalidValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+            })
+        })
+        .transpose()
+}
+
+/// Builds the fault-injection plan for `dagfl async` from `--drop`,
+/// `--partition-start` and friends. All defaults are zero, so a command
+/// line without fault flags yields an inert plan and the unfaulted
+/// loopback transport.
+fn fault_plan(args: &ParsedArgs) -> Result<FaultPlan, ParseError> {
+    let mut plan = FaultPlan {
+        drop: args.get_parsed_or("drop", 0.0)?,
+        duplicate: args.get_parsed_or("duplicate", 0.0)?,
+        reorder: args.get_parsed_or("reorder", 0.0)?,
+        extra_delay: args.get_parsed_or("extra-delay", 0.0)?,
+        delay_boost: args.get_parsed_or("delay-boost", 1.0)?,
+        ..FaultPlan::default()
+    };
+    if let (Some(start), Some(heal)) = (
+        opt_f64(args, "partition-start")?,
+        opt_f64(args, "partition-heal")?,
+    ) {
+        plan.partitions.push(PartitionWindow {
+            start,
+            heal,
+            split: args.get_parsed_or("partition-split", 1)?,
+        });
+    }
+    if let Some(at) = opt_f64(args, "crash-at")? {
+        plan.crashes.push(CrashWindow {
+            peer: args.get_parsed_or("crash-peer", 0)?,
+            at,
+            restart: opt_f64(args, "crash-restart")?.unwrap_or(f64::INFINITY),
+        });
+    }
+    plan.validate().map_err(config_error)?;
+    Ok(plan)
 }
 
 fn fed_config(args: &ParsedArgs, num_clients: usize, mu: f32) -> Result<FedConfig, ParseError> {
@@ -380,7 +435,8 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         }
         Command::Async => {
             let config = async_config(args, n)?;
-            let mut sim = AsyncSimulation::new(config, dataset, factory);
+            let plan = fault_plan(args)?;
+            let mut sim = AsyncSimulation::try_new_with_faults(config, dataset, factory, plan)?;
             println!("activation,started,completed,client,accuracy,published,stale_parents");
             for i in 0..config.total_activations {
                 let r = sim.step()?;
@@ -423,6 +479,13 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
                 sim.pending_deliveries(),
                 sim.approval_pureness()
             );
+            let stats = sim.transport_stats();
+            if stats.has_faults() {
+                eprintln!(
+                    "# faults delivered={} dropped={} duplicated={}",
+                    stats.delivered, stats.dropped, stats.duplicated
+                );
+            }
         }
         Command::Help
         | Command::Run

@@ -53,6 +53,8 @@ pub fn peer_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         dag: cli_dag_config(args, dataset.num_clients())?,
         settle: Duration::from_millis(args.get_parsed_or("settle-ms", 300u64)?),
         timeout: Duration::from_secs(args.get_parsed_or("timeout", 120u64)?),
+        reconnect: args.flag("reconnect"),
+        fanout: args.get_parsed_or("fanout", 0)?,
     };
     eprintln!(
         "# peer client={} peers={} tracker={} dataset={}",
@@ -63,13 +65,17 @@ pub fn peer_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     );
     let report = run_peer(&config, &dataset, &factory)?;
     println!(
-        "peer {} digest={:016x} transactions={} published={} received={} peers_done={}",
+        "peer {} digest={:016x} transactions={} published={} received={} peers_done={} \
+         delivered={} dropped={} reconnects={}",
         report.client,
         report.digest,
         report.transactions,
         report.published,
         report.received,
-        report.peers_done
+        report.peers_done,
+        report.delivered,
+        report.dropped,
+        report.reconnects
     );
     Ok(())
 }

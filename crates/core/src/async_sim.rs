@@ -49,9 +49,9 @@ use dagfl_nn::average_parameters;
 use dagfl_tangle::{Tangle, TxId};
 
 use crate::{
-    ComputeProfile, CoreError, DagClient, DagConfig, DelayModel, GossipMessage, LoopbackTransport,
-    ModelFactory, ModelPayload, ModelTangle, Replica, StaleTipPolicy, TrainOutcome, Transport,
-    TxMessage,
+    ComputeProfile, CoreError, DagClient, DagConfig, DelayModel, Envelope, FaultPlan,
+    FaultyTransport, GossipMessage, LoopbackTransport, ModelFactory, ModelPayload, ModelTangle,
+    Replica, StaleTipPolicy, TrainOutcome, Transport, TxMessage,
 };
 
 /// Configuration of an asynchronous simulation.
@@ -101,6 +101,11 @@ pub struct AsyncConfig {
     pub train_time: f64,
     /// What to do when a selected tip was superseded during training.
     pub stale_policy: StaleTipPolicy,
+    /// Receivers per broadcast: `0` (or anything at least the peer
+    /// count minus one) gossips to everyone; a smaller value samples
+    /// that many peers per publication — deterministically, from the
+    /// simulation's RNG stream.
+    pub gossip_fanout: usize,
 }
 
 impl Default for AsyncConfig {
@@ -113,6 +118,7 @@ impl Default for AsyncConfig {
             compute: ComputeProfile::default(),
             train_time: 0.0,
             stale_policy: StaleTipPolicy::default(),
+            gossip_fanout: 0,
         }
     }
 }
@@ -235,6 +241,13 @@ pub struct AsyncMetrics {
     pub fresh_evaluations: usize,
     /// Candidate evaluations answered from per-client accuracy caches.
     pub cached_evaluations: usize,
+    /// Envelopes the transport handed to a receiver.
+    pub delivered: usize,
+    /// Envelopes lost before delivery (zero without fault injection).
+    pub dropped: usize,
+    /// Extra copies created by duplication faults (zero without fault
+    /// injection).
+    pub duplicated: usize,
 }
 
 impl AsyncMetrics {
@@ -388,6 +401,25 @@ impl AsyncSimulation {
         dataset: FederatedDataset,
         factory: ModelFactory,
     ) -> Result<Self, CoreError> {
+        Self::try_new_with_faults(config, dataset, factory, FaultPlan::default())
+    }
+
+    /// Creates an asynchronous simulation whose loopback transport is
+    /// wrapped in a [`FaultyTransport`] running `plan`. An inert plan
+    /// (the default) skips the decorator entirely, so this is exactly
+    /// [`AsyncSimulation::try_new`] — same structure, same RNG stream,
+    /// bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidField`] if the dataset has no
+    /// clients or any configuration or fault-plan field is invalid.
+    pub fn try_new_with_faults(
+        config: AsyncConfig,
+        dataset: FederatedDataset,
+        factory: ModelFactory,
+        plan: FaultPlan,
+    ) -> Result<Self, CoreError> {
         if dataset.num_clients() == 0 {
             return Err(CoreError::invalid_field(
                 "dataset.num_clients",
@@ -396,6 +428,7 @@ impl AsyncSimulation {
             ));
         }
         config.validate()?;
+        plan.validate()?;
         let mut rng = StdRng::seed_from_u64(config.dag.seed ^ 0xA57C);
         let genesis_model = factory(&mut rng);
         let genesis = ModelPayload::new(genesis_model.parameters());
@@ -412,7 +445,15 @@ impl AsyncSimulation {
         let replicas = (0..n).map(|_| Replica::new(genesis.clone())).collect();
         let slow_cohort = config.delay.assign_cohorts(n, &mut rng);
         let speeds = config.compute.speeds(&slow_cohort, &mut rng);
-        let transport = Box::new(LoopbackTransport::new(config.delay, slow_cohort.clone()));
+        let loopback = LoopbackTransport::new(config.delay, slow_cohort.clone())
+            .with_fanout(config.gossip_fanout);
+        // An inert plan skips the decorator: fault-free simulations
+        // are structurally identical to pre-fault builds.
+        let transport: Box<dyn Transport> = if plan.is_inert() {
+            Box::new(loopback)
+        } else {
+            Box::new(FaultyTransport::new(loopback, plan, config.dag.seed))
+        };
         let global = Tangle::new(genesis);
         let mut sim = Self {
             config,
@@ -482,6 +523,67 @@ impl AsyncSimulation {
             .sum()
     }
 
+    /// Order-independent digest of one client's replica (equal digests
+    /// mean equal transaction sets) — the loopback counterpart of the
+    /// digest `dagfl peer` prints at exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn replica_digest(&self, client: usize) -> u64 {
+        self.replicas[client].digest()
+    }
+
+    /// The transport's delivery accounting so far.
+    pub fn transport_stats(&self) -> crate::TransportStats {
+        self.transport.stats()
+    }
+
+    /// Anti-entropy after a faulted run: flushes every in-flight
+    /// envelope, then lets each replica pull every transaction it is
+    /// missing from each other replica as a snapshot batch, to a
+    /// fixpoint. This is the loopback analogue of the networked
+    /// `SnapshotRequest`/`delta_since` rejoin — after it, all replica
+    /// digests agree unless a transaction was lost from *every*
+    /// replica (impossible: the publisher always holds its own).
+    ///
+    /// Partitions heal on their own (held envelopes arrive at the heal
+    /// time); dropped and crash-lost deliveries do not, which is what
+    /// this repairs.
+    pub fn reconcile_replicas(&mut self) {
+        for idx in 0..self.replicas.len() {
+            let due = self.transport.receive(idx, f64::INFINITY);
+            self.replicas[idx].apply(due);
+        }
+        loop {
+            let mut changed = false;
+            for i in 0..self.replicas.len() {
+                for j in 0..self.replicas.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let have: std::collections::HashSet<u64> =
+                        self.replicas[i].network_ids().iter().copied().collect();
+                    let missing = self.replicas[j].snapshot_messages(&have);
+                    if missing.is_empty() {
+                        continue;
+                    }
+                    let before = self.replicas[i].tangle().len();
+                    self.replicas[i].apply(vec![Envelope {
+                        at: self.clock,
+                        message: GossipMessage::Snapshot(missing),
+                    }]);
+                    if self.replicas[i].tangle().len() != before {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
     /// The per-client compute-speed factors sampled at construction.
     pub fn speeds(&self) -> &[f64] {
         &self.speeds
@@ -543,6 +645,9 @@ impl AsyncSimulation {
             transactions: stats.transactions,
             fresh_evaluations: fresh,
             cached_evaluations: cached,
+            delivered: transport.delivered,
+            dropped: transport.dropped,
+            duplicated: transport.duplicated,
         }
     }
 

@@ -36,6 +36,11 @@
 //!    simulator bit-identically; the std-only [`TcpTransport`] with the
 //!    versioned [`wire`] format and tangle snapshot sync drives the real
 //!    networked mode behind `dagfl peer` / `dagfl tracker`.
+//! 7. **Deterministic fault injection** ([`FaultyTransport`],
+//!    [`FaultPlan`]): a transport decorator that drops, duplicates,
+//!    reorders and delays deliveries, opens scripted partitions and
+//!    crashes peers — all sampled from a seed-derived RNG stream, so
+//!    chaos runs are exactly reproducible.
 //!
 //! # Quickstart
 //!
@@ -88,6 +93,7 @@ mod delay;
 mod error;
 mod evaluator;
 mod exec;
+mod fault;
 mod metrics;
 mod net;
 mod payload;
@@ -108,6 +114,7 @@ pub use delay::{ComputeProfile, DelayModel, StaleTipPolicy};
 pub use error::CoreError;
 pub use evaluator::{EvalCounters, ModelEvaluator};
 pub use exec::{ExecutionMode, TangleView};
+pub use fault::{CrashWindow, FaultPlan, FaultyTransport, PartitionWindow, FAULT_STREAM};
 pub use metrics::{approval_pureness_of, client_graph_of, RoundMetrics, SpecializationMetrics};
 pub use net::{
     have_set, tracker_join, tracker_leave, ControlEvent, TcpTransport, Tracker, TrackerSummary,

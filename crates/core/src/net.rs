@@ -176,38 +176,50 @@ impl TcpTransport {
     ///
     /// Returns [`WireError::Io`] if the connection is gone.
     pub fn send_to_conn(&mut self, conn: usize, message: &WireMessage) -> Result<(), WireError> {
-        let mut conns = lock(&self.conns);
-        let peer = conns
-            .get_mut(conn)
-            .filter(|p| p.alive)
-            .ok_or_else(|| WireError::Io(format!("connection {conn} is closed")))?;
-        let result = write_message(&mut peer.stream, message);
+        let result = {
+            let mut conns = lock(&self.conns);
+            let peer = conns
+                .get_mut(conn)
+                .filter(|p| p.alive)
+                .ok_or_else(|| WireError::Io(format!("connection {conn} is closed")))?;
+            let result = write_message(&mut peer.stream, message);
+            if result.is_err() {
+                peer.alive = false;
+            }
+            result
+        };
         if result.is_err() {
-            peer.alive = false;
+            self.stats.dropped += 1;
         }
         result
     }
 
     /// Writes one frame on every live connection; returns how many
     /// received it. Write failures mark the connection dead instead of
-    /// erroring — a departed peer must not abort the survivors.
+    /// erroring — a departed peer must not abort the survivors — and
+    /// count as dropped deliveries in [`Transport::stats`].
     pub fn broadcast_wire(&mut self, message: &WireMessage) -> usize {
         let frame = crate::wire::encode(message);
         let mut sent = 0;
-        let mut conns = lock(&self.conns);
-        for peer in conns.iter_mut().filter(|p| p.alive) {
-            use std::io::Write;
-            if peer
-                .stream
-                .write_all(&frame)
-                .and_then(|()| peer.stream.flush())
-                .is_ok()
-            {
-                sent += 1;
-            } else {
-                peer.alive = false;
+        let mut failed = 0;
+        {
+            let mut conns = lock(&self.conns);
+            for peer in conns.iter_mut().filter(|p| p.alive) {
+                use std::io::Write;
+                if peer
+                    .stream
+                    .write_all(&frame)
+                    .and_then(|()| peer.stream.flush())
+                    .is_ok()
+                {
+                    sent += 1;
+                } else {
+                    peer.alive = false;
+                    failed += 1;
+                }
             }
         }
+        self.stats.dropped += failed;
         sent
     }
 
@@ -218,6 +230,23 @@ impl TcpTransport {
             .filter(|p| p.alive)
             .filter_map(|p| p.client)
             .collect()
+    }
+
+    /// Indices of every live connection, for callers that address
+    /// peers individually (partial-fanout gossip).
+    pub fn live_connections(&self) -> Vec<usize> {
+        lock(&self.conns)
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.alive)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Records one successful connection re-establishment in
+    /// [`Transport::stats`].
+    pub fn note_reconnect(&mut self) {
+        self.stats.reconnects += 1;
     }
 
     /// Drains connection-level events (polls the reader threads
@@ -296,10 +325,13 @@ impl Transport for TcpTransport {
 
     fn receive(&mut self, _peer: usize, now: f64) -> Vec<Envelope> {
         self.poll();
-        self.gossip
+        let out: Vec<Envelope> = self
+            .gossip
             .drain(..)
             .map(|message| Envelope { at: now, message })
-            .collect()
+            .collect();
+        self.stats.delivered += out.len();
+        out
     }
 
     fn in_flight(&self, _peer: usize) -> &[Envelope] {
@@ -684,5 +716,80 @@ mod tests {
         let set = have_set(&[0, 3, 3, 9]);
         assert_eq!(set.len(), 3);
         assert!(set.contains(&9));
+    }
+
+    #[test]
+    fn tracker_expect_one_exits_after_a_single_peer() {
+        let tracker = Tracker::bind("127.0.0.1:0").unwrap();
+        let addr = tracker.local_addr().unwrap().to_string();
+        let handle = {
+            let mut tracker = tracker;
+            thread::spawn(move || tracker.run(Some(1)).unwrap())
+        };
+        assert!(tracker_join(&addr, 0, "127.0.0.1:9100").unwrap().is_empty());
+        tracker_leave(&addr, 0).unwrap();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary, TrackerSummary { joined: 1, left: 1 });
+    }
+
+    #[test]
+    fn duplicate_join_registers_once_but_counts_toward_expect() {
+        let tracker = Tracker::bind("127.0.0.1:0").unwrap();
+        let addr = tracker.local_addr().unwrap().to_string();
+        let handle = {
+            let mut tracker = tracker;
+            thread::spawn(move || tracker.run(Some(2)).unwrap())
+        };
+        tracker_join(&addr, 0, "127.0.0.1:9100").unwrap();
+        // The same client joins again (e.g. a retry after a flaky
+        // link): the registration is replaced, never duplicated, and
+        // the joiner is not offered its own old address.
+        let second = tracker_join(&addr, 0, "127.0.0.1:9200").unwrap();
+        assert!(second.is_empty(), "a rejoiner must not see itself");
+        tracker_leave(&addr, 0).unwrap();
+        tracker_leave(&addr, 0).unwrap();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.joined, 2, "every join counts toward --expect");
+        assert_eq!(summary.left, 2);
+    }
+
+    #[test]
+    fn tcp_stats_count_deliveries_and_dead_connection_drops() {
+        let mut a = TcpTransport::bind("127.0.0.1:0", 0).unwrap();
+        let mut b = TcpTransport::bind("127.0.0.1:0", 1).unwrap();
+        b.connect(&a.local_addr().to_string()).unwrap();
+        wait_for(
+            || {
+                let _ = a.take_control();
+                !a.connected_clients().is_empty()
+            },
+            "hello",
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let msg = GossipMessage::Transaction(TxMessage {
+            id: 7,
+            parents: vec![0],
+            params: StdArc::new(vec![0.0]),
+            issuer: Some(1),
+            round: 0,
+        });
+        b.broadcast(0, 0.0, msg, &mut rng).unwrap();
+        wait_for(|| !a.receive(0, 0.0).is_empty(), "gossip");
+        assert_eq!(a.stats().delivered, 1);
+        b.note_reconnect();
+        assert_eq!(b.stats().reconnects, 1);
+        // Kill the remote end; the next two writes flush into the dead
+        // socket until the OS notices, after which sends count as
+        // dropped.
+        drop(a);
+        wait_for(
+            || {
+                let _ = b.take_control();
+                b.broadcast_wire(&WireMessage::Done { client: 1 });
+                b.live_connections().is_empty()
+            },
+            "dead connection",
+        );
+        assert!(b.stats().dropped > 0 || b.live_connections().is_empty());
     }
 }

@@ -18,21 +18,32 @@
 //! at exit, so a harness (the CI `network-smoke` job) can assert that
 //! the session converged to one transaction set.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use dagfl_datasets::FederatedDataset;
 
 use crate::wire::WireMessage;
 use crate::{
-    have_set, tracker_join, tracker_leave, ControlEvent, CoreError, DagClient, DagConfig,
-    GossipMessage, ModelFactory, ModelPayload, Replica, TcpTransport, Transport, TxMessage,
-    WireError,
+    derive_seed, have_set, tracker_join, tracker_leave, ControlEvent, CoreError, DagClient,
+    DagConfig, GossipMessage, ModelFactory, ModelPayload, Replica, TcpTransport, Transport,
+    TxMessage, WireError,
 };
+
+/// RNG stream id of the peer's gossip fan-out sampling (see
+/// [`derive_seed`]); kept separate from training and fault streams.
+const GOSSIP_STREAM: u64 = 0x605_51b;
+
+/// First retry delay after a dropped connection; doubles per failed
+/// attempt up to [`MAX_BACKOFF`].
+const BASE_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Ceiling of the reconnect backoff.
+const MAX_BACKOFF: Duration = Duration::from_secs(5);
 
 /// Configuration of one networked peer session.
 #[derive(Debug, Clone)]
@@ -59,6 +70,17 @@ pub struct PeerConfig {
     /// Abort the session with an error after this much wall-clock time
     /// (a crashed peer would otherwise hang everyone forever).
     pub timeout: Duration,
+    /// Re-dial dropped connections with exponential backoff, looking
+    /// the peer's current address up at the tracker each attempt (so a
+    /// peer that restarted on a new port is found) and requesting a
+    /// snapshot delta to catch up on anything missed while the link
+    /// was down.
+    pub reconnect: bool,
+    /// Gossip each publication to this many randomly sampled live
+    /// connections instead of all of them (`0` = full broadcast).
+    /// `Done` announcements and snapshot replies always go to
+    /// everyone.
+    pub fanout: usize,
 }
 
 impl Default for PeerConfig {
@@ -73,6 +95,8 @@ impl Default for PeerConfig {
             dag: DagConfig::default(),
             settle: Duration::from_millis(300),
             timeout: Duration::from_secs(120),
+            reconnect: false,
+            fanout: 0,
         }
     }
 }
@@ -95,6 +119,12 @@ pub struct PeerReport {
     pub digest: u64,
     /// Distinct clients seen to announce `Done` (including this one).
     pub peers_done: usize,
+    /// Envelopes the transport handed to this peer.
+    pub delivered: usize,
+    /// Sends that failed on a dead connection.
+    pub dropped: usize,
+    /// Connections successfully re-established after a drop.
+    pub reconnects: usize,
 }
 
 /// Network ids must be unique without coordination, so each peer owns
@@ -103,6 +133,88 @@ pub struct PeerReport {
 /// global-tangle indices; both leave 0 for the genesis.)
 fn net_id(client: u32, seq: u64) -> u64 {
     ((u64::from(client) + 1) << 40) | seq
+}
+
+/// The next unused sequence number in this client's id range, derived
+/// from the replica rather than a counter: a peer that crashed and
+/// rejoined recovers its pre-crash publications through the snapshot
+/// delta, and must resume *after* them — reusing a sequence number
+/// would collide with a different transaction of the same id and
+/// silently diverge the session.
+fn next_own_seq(replica: &Replica, client: u32) -> u64 {
+    let range = u64::from(client) + 1;
+    replica
+        .network_ids()
+        .iter()
+        .filter(|&&id| id >> 40 == range)
+        .map(|&id| id & ((1u64 << 40) - 1))
+        .max()
+        .map_or(1, |seq| seq + 1)
+}
+
+/// Picks the gossip receivers for one publication: all live
+/// connections when `fanout` is 0 (or not smaller than the live
+/// count), otherwise a partial Fisher–Yates sample of `fanout` of
+/// them from the peer's dedicated gossip RNG stream.
+fn gossip_targets(mut live: Vec<usize>, fanout: usize, rng: &mut StdRng) -> Vec<usize> {
+    if fanout == 0 || fanout >= live.len() {
+        return live;
+    }
+    for i in 0..fanout {
+        let j = rng.gen_range(i..live.len());
+        live.swap(i, j);
+    }
+    live.truncate(fanout);
+    live
+}
+
+/// Per-peer reconnect bookkeeping: when to try next, and how long to
+/// wait after another failure.
+struct Backoff {
+    next: Instant,
+    delay: Duration,
+}
+
+impl Backoff {
+    fn new() -> Self {
+        Self {
+            next: Instant::now() + BASE_BACKOFF,
+            delay: BASE_BACKOFF,
+        }
+    }
+
+    fn failed(&mut self) {
+        self.delay = (self.delay * 2).min(MAX_BACKOFF);
+        self.next = Instant::now() + self.delay;
+    }
+}
+
+/// One reconnect attempt: look the target up at the tracker (its
+/// address may have changed across a restart; re-joining is idempotent
+/// for us), dial it, and request the snapshot delta of everything we
+/// missed while the link was down.
+fn try_reconnect(
+    transport: &mut TcpTransport,
+    config: &PeerConfig,
+    listen_addr: &str,
+    target: u32,
+    replica: &Replica,
+) -> Result<(), CoreError> {
+    let known = tracker_join(&config.tracker, config.client, listen_addr)?;
+    let peer = known
+        .iter()
+        .find(|p| p.client == target)
+        .ok_or_else(|| WireError::Io(format!("peer {target} is not registered")))?;
+    let conn = transport.connect(&peer.addr).map_err(WireError::from)?;
+    transport
+        .send_to_conn(
+            conn,
+            &WireMessage::SnapshotRequest {
+                have: replica.network_ids().to_vec(),
+            },
+        )
+        .map_err(CoreError::from)?;
+    Ok(())
 }
 
 /// Runs one peer session to completion (see the module docs for the
@@ -176,7 +288,11 @@ pub fn run_peer(
     let mut activations = 0usize;
     let mut published = 0usize;
     let mut received = 0usize;
-    let mut seq = 0u64;
+    let mut gossip_rng = StdRng::seed_from_u64(derive_seed(
+        config.dag.seed ^ u64::from(config.client),
+        GOSSIP_STREAM,
+    ));
+    let mut reconnects: HashMap<u32, Backoff> = HashMap::new();
     let mut next_activation = Instant::now();
     let mut settle_until: Option<Instant> = None;
     loop {
@@ -193,8 +309,10 @@ pub fn run_peer(
         let mut activity = false;
         for event in transport.take_control() {
             match event {
-                ControlEvent::Hello { conn, .. } => {
+                ControlEvent::Hello { conn, client } => {
                     activity = true;
+                    // The peer found its own way back; stop redialing.
+                    reconnects.remove(&client);
                     // A later joiner missed our earlier Done broadcast;
                     // re-announcing is idempotent (Done is a set).
                     if done.contains(&config.client) {
@@ -215,7 +333,35 @@ pub fn run_peer(
                     activity = true;
                     done.insert(client);
                 }
-                ControlEvent::Disconnected { .. } => {}
+                ControlEvent::Disconnected { client, .. } => {
+                    if config.reconnect {
+                        if let Some(client) = client {
+                            reconnects.entry(client).or_insert_with(Backoff::new);
+                        }
+                    }
+                }
+            }
+        }
+        // Reconnect-with-backoff: a failed attempt is not activity (it
+        // must not hold the settle grace open forever against a peer
+        // that is gone for good), a successful one is.
+        let due: Vec<u32> = reconnects
+            .iter()
+            .filter(|(_, b)| Instant::now() >= b.next)
+            .map(|(&client, _)| client)
+            .collect();
+        for target in due {
+            match try_reconnect(&mut transport, config, &listen_addr, target, &replica) {
+                Ok(()) => {
+                    reconnects.remove(&target);
+                    transport.note_reconnect();
+                    activity = true;
+                }
+                Err(_) => {
+                    if let Some(b) = reconnects.get_mut(&target) {
+                        b.failed();
+                    }
+                }
             }
         }
         let incoming = transport.receive(0, 0.0);
@@ -244,7 +390,7 @@ pub fn run_peer(
                         .network_id(outcome.parents.1)
                         .expect("selected tip is in the replica"),
                 ];
-                seq += 1;
+                let seq = next_own_seq(&replica, config.client);
                 let message = TxMessage {
                     id: net_id(config.client, seq),
                     parents: net_parents,
@@ -254,8 +400,12 @@ pub fn run_peer(
                 };
                 replica.insert(&message)?;
                 published += 1;
-                let mut unused = StdRng::seed_from_u64(0);
-                transport.broadcast(0, 0.0, GossipMessage::Transaction(message), &mut unused)?;
+                let wire = WireMessage::Transaction(message);
+                let targets =
+                    gossip_targets(transport.live_connections(), config.fanout, &mut gossip_rng);
+                for conn in targets {
+                    let _ = transport.send_to_conn(conn, &wire);
+                }
             }
             if activations == config.activations {
                 transport.broadcast_wire(&WireMessage::Done {
@@ -285,6 +435,7 @@ pub fn run_peer(
         std::thread::sleep(Duration::from_millis(2));
     }
     let _ = tracker_leave(&config.tracker, config.client);
+    let stats = transport.stats();
     Ok(PeerReport {
         client: config.client,
         activations,
@@ -293,6 +444,9 @@ pub fn run_peer(
         transactions: replica.tangle().len(),
         digest: replica.digest(),
         peers_done: done.len(),
+        delivered: stats.delivered,
+        dropped: stats.dropped,
+        reconnects: stats.reconnects,
     })
 }
 
@@ -335,6 +489,8 @@ mod tests {
             },
             settle: Duration::from_millis(200),
             timeout: Duration::from_secs(60),
+            reconnect: false,
+            fanout: 0,
         }
     }
 
@@ -391,6 +547,108 @@ mod tests {
         assert_ne!(net_id(0, 1), net_id(1, 1));
         // 2^40 sequence numbers per client before ranges could touch.
         assert!(net_id(0, (1 << 40) - 1) < net_id(1, 0));
+    }
+
+    #[test]
+    fn next_own_seq_resumes_after_recovered_publications() {
+        let (dataset, factory) = session_task(3);
+        let _ = dataset;
+        let mut rng = StdRng::seed_from_u64(1);
+        let genesis = ModelPayload::new(factory(&mut rng).parameters());
+        let mut replica = Replica::new(genesis);
+        assert_eq!(next_own_seq(&replica, 3), 1, "fresh replica starts at 1");
+        // The replica holds this client's own pre-crash publications
+        // (recovered via snapshot) plus another client's.
+        for (client, seq) in [(3u32, 1u64), (3, 2), (5, 9)] {
+            replica
+                .insert(&TxMessage {
+                    id: net_id(client, seq),
+                    parents: vec![0],
+                    params: Arc::new(vec![0.0]),
+                    issuer: Some(client),
+                    round: 0,
+                })
+                .unwrap();
+        }
+        assert_eq!(next_own_seq(&replica, 3), 3, "resumes after own max");
+        assert_eq!(next_own_seq(&replica, 5), 10);
+        assert_eq!(next_own_seq(&replica, 0), 1, "other ranges don't bleed");
+    }
+
+    #[test]
+    fn gossip_targets_sample_exactly_fanout_connections() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let live = vec![0, 1, 2, 3, 4];
+        assert_eq!(gossip_targets(live.clone(), 0, &mut rng), live);
+        assert_eq!(gossip_targets(live.clone(), 5, &mut rng), live);
+        assert_eq!(gossip_targets(live.clone(), 99, &mut rng), live);
+        let picked = gossip_targets(live.clone(), 2, &mut rng);
+        assert_eq!(picked.len(), 2);
+        let distinct: HashSet<usize> = picked.iter().copied().collect();
+        assert_eq!(distinct.len(), 2, "no duplicate targets");
+        assert!(picked.iter().all(|c| live.contains(c)));
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let mut b = Backoff::new();
+        assert_eq!(b.delay, BASE_BACKOFF);
+        for _ in 0..12 {
+            b.failed();
+        }
+        assert_eq!(b.delay, MAX_BACKOFF);
+        assert!(b.next > Instant::now());
+    }
+
+    /// A one-peer session is its own Done quorum: it publishes, waits
+    /// out the settle grace, and exits cleanly — the smallest exercise
+    /// of the quorum/settle exit path.
+    #[test]
+    fn single_peer_session_satisfies_its_own_quorum() {
+        let tracker = Tracker::bind("127.0.0.1:0").unwrap();
+        let tracker_addr = tracker.local_addr().unwrap().to_string();
+        let tracker_handle = {
+            let mut tracker = tracker;
+            thread::spawn(move || tracker.run(Some(1)).unwrap())
+        };
+        let (dataset, factory) = session_task(3);
+        let config = PeerConfig {
+            settle: Duration::from_millis(50),
+            ..peer_config(0, 1, &tracker_addr)
+        };
+        let report = run_peer(&config, &dataset, &factory).unwrap();
+        tracker_handle.join().unwrap();
+        assert_eq!(report.peers_done, 1);
+        assert_eq!(report.activations, config.activations);
+        assert_eq!(report.received, 0, "nobody to gossip with");
+        assert_eq!(report.reconnects, 0);
+    }
+
+    /// A session whose quorum never completes must exit through the
+    /// timeout guard, not hang.
+    #[test]
+    fn missing_peer_times_the_session_out() {
+        let tracker = Tracker::bind("127.0.0.1:0").unwrap();
+        let tracker_addr = tracker.local_addr().unwrap().to_string();
+        {
+            let mut tracker = tracker;
+            // Detached: the expectation never completes, the thread
+            // dies with the test process.
+            thread::spawn(move || {
+                let _ = tracker.run(Some(99));
+            });
+        }
+        let (dataset, factory) = session_task(3);
+        let config = PeerConfig {
+            timeout: Duration::from_millis(700),
+            settle: Duration::from_millis(50),
+            ..peer_config(0, 2, &tracker_addr)
+        };
+        let err = run_peer(&config, &dataset, &factory).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Config(ref msg) if msg.contains("timed out")),
+            "{err}"
+        );
     }
 
     #[test]

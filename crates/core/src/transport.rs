@@ -20,6 +20,7 @@
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::{CoreError, DelayModel};
 
@@ -77,7 +78,8 @@ pub struct Envelope {
     pub message: GossipMessage,
 }
 
-/// Delivery-latency accounting of a transport.
+/// Delivery accounting of a transport: latency of scheduled links plus
+/// the fault/health counters a chaos harness asserts on.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TransportStats {
     /// Sum of all sampled per-link delays.
@@ -86,6 +88,15 @@ pub struct TransportStats {
     pub latency_count: usize,
     /// Largest sampled per-link delay.
     pub latency_max: f64,
+    /// Envelopes actually handed to a receiver.
+    pub delivered: usize,
+    /// Envelopes discarded before delivery (injected drops, crashed
+    /// endpoints, dead sockets).
+    pub dropped: usize,
+    /// Extra copies created by duplication faults.
+    pub duplicated: usize,
+    /// Successful connection re-establishments (networked mode only).
+    pub reconnects: usize,
 }
 
 impl TransportStats {
@@ -105,6 +116,12 @@ impl TransportStats {
         } else {
             0.0
         }
+    }
+
+    /// `true` when any fault counter is non-zero — the gate for the
+    /// extra report line, so fault-free runs print byte-identically.
+    pub fn has_faults(&self) -> bool {
+        self.dropped > 0 || self.duplicated > 0 || self.reconnects > 0
     }
 }
 
@@ -177,6 +194,7 @@ pub struct LoopbackTransport {
     slow_cohort: Vec<bool>,
     inboxes: Vec<Vec<Envelope>>,
     stats: TransportStats,
+    fanout: usize,
 }
 
 impl LoopbackTransport {
@@ -189,7 +207,36 @@ impl LoopbackTransport {
             slow_cohort,
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             stats: TransportStats::default(),
+            fanout: 0,
         }
+    }
+
+    /// Restricts each broadcast to a deterministic random sample of
+    /// `fanout` receivers (builder style). `0` — or any value at least
+    /// the peer count minus one — keeps full broadcast, and in that
+    /// case the RNG stream is untouched: fanout-free simulations stay
+    /// bit-identical.
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.fanout = fanout;
+        self
+    }
+
+    /// The peers a broadcast from `from` reaches, in ascending order.
+    /// With fanout active this consumes `fanout` draws from `rng` (a
+    /// partial Fisher–Yates over the other peers); otherwise it is
+    /// everyone but the sender with zero draws.
+    fn receivers(&self, from: usize, rng: &mut StdRng) -> Vec<usize> {
+        let mut others: Vec<usize> = (0..self.inboxes.len()).filter(|&p| p != from).collect();
+        if self.fanout == 0 || self.fanout >= others.len() {
+            return others;
+        }
+        for i in 0..self.fanout {
+            let j = rng.gen_range(i..others.len());
+            others.swap(i, j);
+        }
+        others.truncate(self.fanout);
+        others.sort_unstable();
+        others
     }
 }
 
@@ -208,11 +255,10 @@ impl Transport for LoopbackTransport {
         let publisher_slow = self.slow_cohort[from];
         // Ascending peer order: the delay samples consume the caller's
         // RNG in a fixed, documented sequence — this is what keeps
-        // whole-simulation determinism across refactors.
-        for peer in 0..self.inboxes.len() {
-            if peer == from {
-                continue;
-            }
+        // whole-simulation determinism across refactors. (Fanout
+        // sampling, when active, draws first, then delays follow in
+        // the same ascending order over the selected subset.)
+        for peer in self.receivers(from, rng) {
             let delay = self
                 .delay
                 .sample(publisher_slow, self.slow_cohort[peer], rng);
@@ -227,8 +273,10 @@ impl Transport for LoopbackTransport {
 
     fn receive(&mut self, peer: usize, now: f64) -> Vec<Envelope> {
         let inbox = std::mem::take(&mut self.inboxes[peer]);
-        let (due, keep) = inbox.into_iter().partition(|e| e.at <= now);
+        let (due, keep): (Vec<Envelope>, Vec<Envelope>) =
+            inbox.into_iter().partition(|e| e.at <= now);
         self.inboxes[peer] = keep;
+        self.stats.delivered += due.len();
         due
     }
 
@@ -316,5 +364,52 @@ mod tests {
     #[test]
     fn stats_default_mean_is_zero() {
         assert_eq!(TransportStats::default().mean_latency(), 0.0);
+        assert!(!TransportStats::default().has_faults());
+    }
+
+    #[test]
+    fn receive_counts_deliveries() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = LoopbackTransport::new(DelayModel::constant(0.0), vec![false; 3]);
+        t.broadcast(0, 0.0, tx(1, &[0]), &mut rng).unwrap();
+        t.receive(1, 1.0);
+        t.receive(2, 1.0);
+        assert_eq!(t.stats().delivered, 2);
+    }
+
+    #[test]
+    fn fanout_limits_receivers_and_is_seed_deterministic() {
+        let deliveries = |seed: u64| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t =
+                LoopbackTransport::new(DelayModel::constant(0.0), vec![false; 6]).with_fanout(2);
+            t.broadcast(0, 0.0, tx(1, &[0]), &mut rng).unwrap();
+            (0..6).filter(|&p| !t.receive(p, 10.0).is_empty()).collect()
+        };
+        let reached = deliveries(9);
+        assert_eq!(reached.len(), 2, "fanout 2 must reach exactly 2 peers");
+        assert!(!reached.contains(&0), "the sender never receives");
+        assert_eq!(reached, deliveries(9), "same seed, same sample");
+    }
+
+    #[test]
+    fn saturating_fanout_is_full_broadcast_with_identical_rng_stream() {
+        let run = |fanout: usize| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut t = LoopbackTransport::new(
+                DelayModel::UniformJitter {
+                    base: 1.0,
+                    jitter: 0.5,
+                },
+                vec![false; 4],
+            )
+            .with_fanout(fanout);
+            t.broadcast(0, 0.0, tx(1, &[0]), &mut rng).unwrap();
+            (1..4).map(|p| t.in_flight(p)[0].at).collect::<Vec<f64>>()
+        };
+        // fanout >= n-1 must not consume sampling draws: the delay
+        // sequence matches full broadcast exactly.
+        assert_eq!(run(0), run(3));
+        assert_eq!(run(0), run(99));
     }
 }

@@ -90,6 +90,16 @@ proptest! {
         assert_bitwise_round_trip(&msg);
     }
 
+    /// Fully arbitrary byte strings — not derived from any encoded
+    /// message — must be *rejected*, never panic the decoder or the
+    /// stream reader (a hostile or corrupted peer controls these bytes).
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in vec(any::<u8>(), 0..512)) {
+        let _ = decode(&bytes);
+        let mut stream = bytes.as_slice();
+        while let Ok(_msg) = read_message(&mut stream) {}
+    }
+
     #[test]
     fn framed_streams_round_trip_back_to_back(msgs in vec(arb_message(), 0..6)) {
         let mut buf = Vec::new();

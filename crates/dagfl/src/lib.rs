@@ -87,15 +87,15 @@ pub use dagfl_tensor as tensor;
 
 pub use dagfl_baselines::{FedConfig, FederatedServer};
 pub use dagfl_core::{
-    run_peer, AsyncConfig, AsyncMetrics, AsyncSimulation, ComputeProfile, DagConfig, DelayModel,
-    EvalCounters, ExecutionMode, GossipMessage, Hyperparameters, LoopbackTransport, ModelEvaluator,
-    Normalization, PeerConfig, PeerReport, PoisoningConfig, PoisoningScenario, PublishGate,
-    Replica, Simulation, StaleTipPolicy, TangleView, TcpTransport, TipSelector, Tracker, Transport,
-    TxMessage,
+    run_peer, AsyncConfig, AsyncMetrics, AsyncSimulation, ComputeProfile, CrashWindow, DagConfig,
+    DelayModel, EvalCounters, ExecutionMode, FaultPlan, FaultyTransport, GossipMessage,
+    Hyperparameters, LoopbackTransport, ModelEvaluator, Normalization, PartitionWindow, PeerConfig,
+    PeerReport, PoisoningConfig, PoisoningScenario, PublishGate, Replica, Simulation,
+    StaleTipPolicy, TangleView, TcpTransport, TipSelector, Tracker, Transport, TxMessage,
 };
 pub use dagfl_scenario::{
-    AttackSpec, DatasetSpec, ExecutionSpec, ModelSpec, RunReport, Scenario, ScenarioRunner,
-    SweepReport, SweepRunner, SweepSpec, TransportSpec,
+    AttackSpec, DatasetSpec, ExecutionSpec, FaultSpec, ModelSpec, RunReport, Scenario,
+    ScenarioRunner, SweepReport, SweepRunner, SweepSpec, TransportSpec,
 };
 
 #[cfg(test)]

@@ -66,8 +66,8 @@ pub mod text;
 pub use presets::{Scale, PRESET_NAMES};
 pub use runner::{DatasetSummary, PoisoningSummary, RunReport, ScenarioRunner};
 pub use spec::{
-    AttackSpec, DatasetSpec, ExecutionSpec, ModelSpec, OutputSpec, Scenario, ScenarioError,
-    TransportSpec,
+    AttackSpec, DatasetSpec, ExecutionSpec, FaultSpec, ModelSpec, OutputSpec, Scenario,
+    ScenarioError, TransportSpec,
 };
 pub use sweep::{
     is_sweep_toml, SweepAxis, SweepBase, SweepCell, SweepCellReport, SweepField, SweepReport,

@@ -11,7 +11,7 @@ use dagfl_core::{
     AsyncConfig, ComputeProfile, DagConfig, DelayModel, Normalization, StaleTipPolicy, TipSelector,
 };
 
-use crate::spec::{AttackSpec, DatasetSpec, Scenario, ScenarioError};
+use crate::spec::{AttackSpec, DatasetSpec, FaultSpec, Scenario, ScenarioError};
 
 /// Experiment scale: quick (default) or the paper's full scale
 /// (`DAGFL_FULL=1`).
@@ -86,6 +86,10 @@ pub const PRESET_NAMES: &[(&str, &str)] = &[
     (
         "async-cohorts",
         "asynchronous run, slow/fast cohorts with matched compute stragglers",
+    ),
+    (
+        "chaos-smoke",
+        "fault-injected async run: drops, duplicates, reorders, a partition and a crash",
     ),
 ];
 
@@ -299,6 +303,42 @@ fn build(name: &str, scale: Scale) -> Option<Scenario> {
         "poisoning-p0.2" => Some(poisoning_scenario(name, scale, 0.2, TipSelector::default())),
         "poisoning-p0.3" => Some(poisoning_scenario(name, scale, 0.3, TipSelector::default())),
         "poisoning-random-p0.2" => Some(poisoning_scenario(name, scale, 0.2, TipSelector::Random)),
+        "chaos-smoke" => Some(
+            // Deliberately scale-independent: a correctness harness for
+            // the fault-injection seam, not a paper figure. Every fault
+            // kind is active at once, yet the run stays seconds-fast.
+            Scenario::new(
+                name,
+                DatasetSpec::Fmnist {
+                    clients: 6,
+                    samples: 30,
+                    relaxation: 0.0,
+                    seed: 42,
+                },
+            )
+            .asynchronous(AsyncConfig {
+                dag: DagConfig {
+                    clients_per_round: 3,
+                    local_batches: 2,
+                    ..DagConfig::default()
+                },
+                total_activations: 60,
+                mean_interarrival: 1.0,
+                delay: DelayModel::constant(1.0),
+                gossip_fanout: 2,
+                ..AsyncConfig::default()
+            })
+            .with_faults(FaultSpec {
+                drop: 0.15,
+                duplicate: 0.1,
+                reorder: 0.1,
+                extra_delay: 0.1,
+                delay_boost: 2.0,
+                partition: Some((10.0, 20.0, 3)),
+                crash: Some((5, 25.0, 35.0)),
+            })
+            .with_recent_window(15),
+        ),
         "async-delay0" => Some(async_scenario(name, scale, DelayModel::constant(0.0))),
         "async-delay2" => Some(async_scenario(name, scale, DelayModel::constant(2.0))),
         "async-delay10" => Some(async_scenario(name, scale, DelayModel::constant(10.0))),

@@ -137,6 +137,15 @@ impl RunReport {
                 m.stale_fraction(),
                 m.mean_confirmation_depth
             );
+            // Only fault-injected runs print this line, so unfaulted
+            // golden outputs stay byte-identical.
+            if m.dropped > 0 || m.duplicated > 0 {
+                let _ = writeln!(
+                    out,
+                    "faults: delivered {} dropped {} duplicated {}",
+                    m.delivered, m.dropped, m.duplicated
+                );
+            }
         }
         if let Some(p) = &self.poisoning {
             let last = p.measurements.last();
@@ -292,7 +301,13 @@ impl ScenarioRunner {
                          `dagfl tracker` and one `dagfl peer` per client instead"
                     )));
                 }
-                let mut sim = AsyncSimulation::new(*config, dataset, factory);
+                let plan = self
+                    .scenario
+                    .faults
+                    .as_ref()
+                    .map_or_else(Default::default, crate::FaultSpec::to_plan);
+                let mut sim =
+                    AsyncSimulation::try_new_with_faults(*config, dataset, factory, plan)?;
                 sim.run()?;
                 let metrics = sim.metrics();
                 RunReport {
@@ -345,6 +360,9 @@ impl ScenarioRunner {
                     "pureness",
                     "fresh_evals",
                     "cached_evals",
+                    "delivered",
+                    "dropped",
+                    "duplicated",
                 ],
                 vec![vec![
                     m.activations.to_string(),
@@ -357,6 +375,9 @@ impl ScenarioRunner {
                     format!("{:.4}", report.specialization.approval_pureness),
                     m.fresh_evaluations.to_string(),
                     m.cached_evaluations.to_string(),
+                    m.delivered.to_string(),
+                    m.dropped.to_string(),
+                    m.duplicated.to_string(),
                 ]],
             )
         } else {

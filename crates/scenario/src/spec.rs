@@ -7,8 +7,8 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 
 use dagfl_core::{
-    AsyncConfig, ComputeProfile, CoreError, DagConfig, DelayModel, ModelFactory, Normalization,
-    PublishGate, StaleTipPolicy, TipSelector,
+    AsyncConfig, ComputeProfile, CoreError, CrashWindow, DagConfig, DelayModel, FaultPlan,
+    ModelFactory, Normalization, PartitionWindow, PublishGate, StaleTipPolicy, TipSelector,
 };
 use dagfl_datasets::{
     cifar100_like, fedprox_synthetic, fmnist_by_author, fmnist_clustered, poets, Cifar100Config,
@@ -525,8 +525,59 @@ pub struct Scenario {
     pub execution: ExecutionSpec,
     /// Optional flipped-label poisoning attack (rounds mode only).
     pub attack: Option<AttackSpec>,
+    /// Optional deterministic fault injection (async loopback only).
+    pub faults: Option<FaultSpec>,
     /// Output options.
     pub output: OutputSpec,
+}
+
+/// Deterministic fault-injection settings: the scenario-file projection
+/// of [`dagfl_core::FaultPlan`], restricted to a single partition
+/// window and a single crash window so it fits the flat `[faults]`
+/// TOML section. Probabilities default to 0 and `delay_boost` to 1, so
+/// an empty `[faults]` section is inert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Probability that a gossiped envelope is silently lost.
+    pub drop: f64,
+    /// Probability that an envelope is delivered twice.
+    pub duplicate: f64,
+    /// Probability that an envelope is held behind later sends.
+    pub reorder: f64,
+    /// Probability of an extra latency spike without reordering.
+    pub extra_delay: f64,
+    /// Magnitude (logical time) of the delay-based faults.
+    pub delay_boost: f64,
+    /// Optional partition window as `(start, heal, split)`: peers
+    /// `0..split` are cut off from `split..n` while it is open.
+    pub partition: Option<(f64, f64, usize)>,
+    /// Optional crash window as `(peer, at, restart)`; an absent
+    /// `crash_restart` key means the peer never comes back.
+    pub crash: Option<(usize, f64, f64)>,
+}
+
+impl FaultSpec {
+    /// Expands into the core [`FaultPlan`] consumed by
+    /// [`dagfl_core::FaultyTransport`].
+    pub fn to_plan(&self) -> FaultPlan {
+        FaultPlan {
+            drop: self.drop,
+            duplicate: self.duplicate,
+            reorder: self.reorder,
+            extra_delay: self.extra_delay,
+            delay_boost: self.delay_boost,
+            partitions: self
+                .partition
+                .iter()
+                .map(|&(start, heal, split)| PartitionWindow { start, heal, split })
+                .collect(),
+            crashes: self
+                .crash
+                .iter()
+                .map(|&(peer, at, restart)| CrashWindow { peer, at, restart })
+                .collect(),
+        }
+    }
 }
 
 impl Scenario {
@@ -546,6 +597,7 @@ impl Scenario {
             model: dataset.default_model(),
             execution: ExecutionSpec::Rounds(dag),
             attack: None,
+            faults: None,
             output: OutputSpec::default(),
             dataset,
         }
@@ -623,6 +675,13 @@ impl Scenario {
         self
     }
 
+    /// Attaches deterministic fault injection (builder style; async
+    /// loopback only).
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Requests a CSV series under the results directory (builder
     /// style).
     pub fn with_csv(mut self, name: impl Into<String>) -> Self {
@@ -669,6 +728,11 @@ impl Scenario {
                         self.dataset.num_clients()
                     )));
                 }
+                if self.faults.is_some() {
+                    return Err(ScenarioError::Invalid(
+                        "fault injection requires async mode".into(),
+                    ));
+                }
             }
             ExecutionSpec::Async { config, transport } => {
                 config.validate()?;
@@ -688,6 +752,16 @@ impl Scenario {
                             "transport.tracker (`{tracker}`) must be a host:port address"
                         )));
                     }
+                }
+                if let Some(faults) = &self.faults {
+                    if !matches!(transport, TransportSpec::Loopback) {
+                        return Err(ScenarioError::Invalid(
+                            "[faults] applies to the loopback transport; networked peers \
+                             experience real faults instead"
+                                .into(),
+                        ));
+                    }
+                    faults.to_plan().validate().map_err(ScenarioError::Core)?;
                 }
             }
         }
@@ -835,6 +909,9 @@ impl Scenario {
         if let Some(attack) = &self.attack {
             write_attack(doc.section_mut("attack"), attack);
         }
+        if let Some(faults) = &self.faults {
+            write_faults(doc.section_mut("faults"), faults);
+        }
         write_output(doc.section_mut("output"), &self.output);
         doc.to_text()
     }
@@ -856,7 +933,7 @@ impl Scenario {
         for section in doc.section_names() {
             if !matches!(
                 section,
-                "dataset" | "model" | "execution" | "attack" | "output"
+                "dataset" | "model" | "execution" | "attack" | "faults" | "output"
             ) {
                 return Err(ScenarioError::UnknownKey {
                     key: format!("[{section}]"),
@@ -896,6 +973,15 @@ impl Scenario {
             }
             None => None,
         };
+        let faults = match doc.section("faults") {
+            Some(table) => {
+                let reader = Reader::new("faults", Some(table));
+                let faults = read_faults(&reader)?;
+                reader.finish()?;
+                Some(faults)
+            }
+            None => None,
+        };
         let output = match doc.section("output") {
             Some(table) => {
                 let reader = Reader::new("output", Some(table));
@@ -911,6 +997,7 @@ impl Scenario {
             model,
             execution,
             attack,
+            faults,
             output,
         })
     }
@@ -1107,6 +1194,9 @@ fn write_execution(table: &mut Table, execution: &ExecutionSpec) {
         table.set("activations", usize_value(config.total_activations));
         table.set("interarrival", f64_value(config.mean_interarrival));
         table.set("train_time", f64_value(config.train_time));
+        if config.gossip_fanout != 0 {
+            table.set("fanout", usize_value(config.gossip_fanout));
+        }
         table.set(
             "stale_policy",
             Value::Str(
@@ -1157,6 +1247,26 @@ fn write_execution(table: &mut Table, execution: &ExecutionSpec) {
                 table.set("compute", Value::Str("match-network".into()));
                 table.set("slowdown", f64_value(slowdown));
             }
+        }
+    }
+}
+
+fn write_faults(table: &mut Table, faults: &FaultSpec) {
+    table.set("drop", f64_value(faults.drop));
+    table.set("duplicate", f64_value(faults.duplicate));
+    table.set("reorder", f64_value(faults.reorder));
+    table.set("extra_delay", f64_value(faults.extra_delay));
+    table.set("delay_boost", f64_value(faults.delay_boost));
+    if let Some((start, heal, split)) = faults.partition {
+        table.set("partition_start", f64_value(start));
+        table.set("partition_heal", f64_value(heal));
+        table.set("partition_split", usize_value(split));
+    }
+    if let Some((peer, at, restart)) = faults.crash {
+        table.set("crash_peer", usize_value(peer));
+        table.set("crash_at", f64_value(at));
+        if restart.is_finite() {
+            table.set("crash_restart", f64_value(restart));
         }
     }
 }
@@ -1449,6 +1559,49 @@ fn read_dag(reader: &Reader<'_>, dataset: &DatasetSpec) -> Result<DagConfig, Sce
     })
 }
 
+fn read_faults(reader: &Reader<'_>) -> Result<FaultSpec, ScenarioError> {
+    let partition = match (
+        reader.number::<f64>("partition_start", "a number")?,
+        reader.number::<f64>("partition_heal", "a number")?,
+        reader.number::<usize>("partition_split", "a non-negative integer")?,
+    ) {
+        (None, None, None) => None,
+        (Some(start), Some(heal), Some(split)) => Some((start, heal, split)),
+        _ => {
+            return Err(ScenarioError::Invalid(format!(
+                "`{}`, `{}` and `{}` must be given together",
+                reader.path("partition_start"),
+                reader.path("partition_heal"),
+                reader.path("partition_split"),
+            )))
+        }
+    };
+    let crash = match (
+        reader.number::<usize>("crash_peer", "a non-negative integer")?,
+        reader.number::<f64>("crash_at", "a number")?,
+        reader.number::<f64>("crash_restart", "a number")?,
+    ) {
+        (None, None, None) => None,
+        (Some(peer), Some(at), restart) => Some((peer, at, restart.unwrap_or(f64::INFINITY))),
+        _ => {
+            return Err(ScenarioError::Invalid(format!(
+                "`{}` and `{}` must be given together",
+                reader.path("crash_peer"),
+                reader.path("crash_at"),
+            )))
+        }
+    };
+    Ok(FaultSpec {
+        drop: reader.f64_or("drop", 0.0)?,
+        duplicate: reader.f64_or("duplicate", 0.0)?,
+        reorder: reader.f64_or("reorder", 0.0)?,
+        extra_delay: reader.f64_or("extra_delay", 0.0)?,
+        delay_boost: reader.f64_or("delay_boost", 1.0)?,
+        partition,
+        crash,
+    })
+}
+
 fn read_execution(
     reader: &Reader<'_>,
     dataset: &DatasetSpec,
@@ -1518,6 +1671,7 @@ fn read_execution(
                     compute,
                     train_time: reader.f64_or("train_time", defaults.train_time)?,
                     stale_policy,
+                    gossip_fanout: reader.usize_or("fanout", defaults.gossip_fanout)?,
                 },
                 transport,
             })
@@ -1695,6 +1849,86 @@ mod tests {
                 .unwrap_or_else(|e| panic!("reparsing `{}` failed: {e}\n{text}", scenario.name));
             assert_eq!(scenario, reparsed, "{text}");
         }
+    }
+
+    fn chaos_faults() -> FaultSpec {
+        FaultSpec {
+            drop: 0.2,
+            duplicate: 0.1,
+            reorder: 0.05,
+            extra_delay: 0.1,
+            delay_boost: 2.0,
+            partition: Some((5.0, 9.0, 2)),
+            crash: Some((3, 10.0, f64::INFINITY)),
+        }
+    }
+
+    #[test]
+    fn faults_round_trip_including_an_infinite_restart() {
+        let s = tiny()
+            .asynchronous(AsyncConfig {
+                gossip_fanout: 2,
+                ..AsyncConfig::default()
+            })
+            .with_faults(chaos_faults());
+        let text = s.to_toml();
+        assert!(text.contains("[faults]"), "{text}");
+        assert!(text.contains("fanout = 2"), "{text}");
+        // A never-restarting crash serializes by *omitting* the key.
+        assert!(!text.contains("crash_restart"), "{text}");
+        let reparsed = Scenario::from_toml(&text).unwrap();
+        assert_eq!(s, reparsed, "{text}");
+        assert!(s.validate().is_ok());
+        // The expanded core plan carries both scripted windows.
+        let plan = s.faults.as_ref().unwrap().to_plan();
+        assert_eq!(plan.partitions.len(), 1);
+        assert_eq!(plan.crashes.len(), 1);
+        assert_eq!(plan.crashes[0].restart, f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_faults_section_parses_to_an_inert_plan() {
+        let s = Scenario::from_toml(
+            "name = \"x\"\n\n[dataset]\nkind = \"fmnist\"\n\n[execution]\nmode = \"async\"\n\n\
+             [faults]\n",
+        )
+        .unwrap();
+        let faults = s.faults.expect("section present");
+        assert!(faults.to_plan().is_inert());
+        assert_eq!(faults.delay_boost, 1.0);
+    }
+
+    #[test]
+    fn faults_are_rejected_outside_async_loopback() {
+        let rounds = tiny().with_faults(chaos_faults());
+        assert!(matches!(rounds.validate(), Err(ScenarioError::Invalid(_))));
+        let tcp = tiny()
+            .asynchronous(AsyncConfig::default())
+            .with_transport(TransportSpec::Tcp {
+                tracker: "127.0.0.1:7878".into(),
+                port: 0,
+            })
+            .with_faults(chaos_faults());
+        assert!(matches!(tcp.validate(), Err(ScenarioError::Invalid(_))));
+        let bad_prob = tiny()
+            .asynchronous(AsyncConfig::default())
+            .with_faults(FaultSpec {
+                drop: 1.5,
+                ..chaos_faults()
+            });
+        assert!(matches!(bad_prob.validate(), Err(ScenarioError::Core(_))));
+    }
+
+    #[test]
+    fn partial_partition_or_crash_keys_are_rejected() {
+        let base =
+            "name = \"x\"\n\n[dataset]\nkind = \"fmnist\"\n\n[execution]\nmode = \"async\"\n\n";
+        let err =
+            Scenario::from_toml(&format!("{base}[faults]\npartition_start = 2.0\n")).unwrap_err();
+        assert!(matches!(err, ScenarioError::Invalid(_)), "{err:?}");
+        let err =
+            Scenario::from_toml(&format!("{base}[faults]\ncrash_restart = 9.0\n")).unwrap_err();
+        assert!(matches!(err, ScenarioError::Invalid(_)), "{err:?}");
     }
 
     #[test]

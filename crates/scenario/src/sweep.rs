@@ -945,6 +945,9 @@ impl SweepReport {
                 "publish_fraction",
                 "stale_fraction",
                 "mean_publish_latency",
+                "delivered",
+                "dropped",
+                "duplicated",
                 "fresh_evals",
                 "cached_evals",
             ]
@@ -986,8 +989,11 @@ impl SweepReport {
                         row.push(format!("{:.4}", m.publish_fraction()));
                         row.push(format!("{:.4}", m.stale_fraction()));
                         row.push(format!("{:.4}", m.mean_publish_latency));
+                        row.push(m.delivered.to_string());
+                        row.push(m.dropped.to_string());
+                        row.push(m.duplicated.to_string());
                     }
-                    None => row.extend(std::iter::repeat(String::new()).take(4)),
+                    None => row.extend(std::iter::repeat(String::new()).take(7)),
                 }
                 row.push(r.fresh_evaluations.to_string());
                 row.push(r.cached_evaluations.to_string());
@@ -1685,6 +1691,9 @@ mod tests {
             transactions: 1,
             fresh_evaluations: 0,
             cached_evaluations: 0,
+            delivered: 0,
+            dropped: 0,
+            duplicated: 0,
         };
         assert_eq!(metrics.fresh_eval_ratio(), 0.0);
         assert_eq!(metrics.activation_rate(), 0.0);

@@ -122,6 +122,7 @@ fn build_scenario(
                 compute,
                 train_time: delay / 4.0,
                 stale_policy,
+                gossip_fanout: 0,
             },
             transport: Default::default(),
         }

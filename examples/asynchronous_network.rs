@@ -45,6 +45,7 @@ fn run(label: &str, delay: DelayModel, compute: ComputeProfile) -> Result<(), Bo
             compute,
             train_time: 0.5,
             stale_policy: StaleTipPolicy::Reselect,
+            gossip_fanout: 0,
         },
         dataset,
         factory,
