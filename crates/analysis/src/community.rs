@@ -1,0 +1,165 @@
+//! The approval-graph view of specialization: affinity matrices and
+//! deterministic label-propagation community detection.
+//!
+//! `G_clients` (one node per client, edge weight = pairwise approval
+//! count) is the structure the paper eyeballs for Figure 4. This module
+//! quantifies it: [`affinity_matrix`] materialises the pairwise
+//! approval counts, [`label_propagation`] finds communities, and
+//! [`modularity`](dagfl_graphs::modularity) (re-used from
+//! `dagfl-graphs`) scores them.
+//!
+//! Label propagation (Raghavan et al. 2007) is normally randomised;
+//! this implementation is deterministic so the community columns in
+//! sweep CSVs are reproducible: nodes update in index order, each node
+//! adopts the incident-weight-maximal neighbour label with the
+//! *smallest label id* winning ties, and the sweep loop is capped so it
+//! terminates on any input (oscillating labelings included).
+
+use dagfl_graphs::{compact_labels, Graph};
+
+/// The dense symmetric affinity matrix of a graph: `matrix[a][b]` is
+/// the accumulated edge weight between `a` and `b` (pairwise approval
+/// counts for `G_clients`), with self-loop weight on the diagonal.
+pub fn affinity_matrix(graph: &Graph) -> Vec<Vec<f64>> {
+    let n = graph.num_nodes();
+    let mut matrix = vec![vec![0.0; n]; n];
+    for (a, b, w) in graph.edges() {
+        matrix[a][b] += w;
+        if a != b {
+            matrix[b][a] += w;
+        }
+    }
+    matrix
+}
+
+/// Deterministic label propagation over a weighted graph; returns one
+/// community label per node, compacted to `0..count`.
+///
+/// Every node starts in its own community. In each sweep (ascending
+/// node order) a node adopts the label with the largest total incident
+/// edge weight among its neighbours, keeping its current label when no
+/// neighbour label strictly beats it and breaking weight ties toward
+/// the smallest label id. The loop stops at the first sweep that
+/// changes nothing, or after `max_sweeps` — so it terminates on every
+/// input, which the crate's proptests assert.
+pub fn label_propagation(graph: &Graph, max_sweeps: usize) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut labels: Vec<usize> = (0..n).collect();
+    for _ in 0..max_sweeps {
+        let mut changed = false;
+        for node in 0..n {
+            // `Graph::neighbors` iterates a HashMap; sort so the
+            // accumulated tallies (and their float rounding) are in a
+            // fixed order regardless of hash state.
+            let mut neighbors: Vec<(usize, f64)> = graph
+                .neighbors(node)
+                .filter(|&(other, _)| other != node)
+                .collect();
+            if neighbors.is_empty() {
+                continue;
+            }
+            neighbors.sort_by_key(|&(other, _)| other);
+            // Tally incident weight per neighbour label.
+            let mut tallies: Vec<(usize, f64)> = Vec::new();
+            for (other, weight) in neighbors {
+                let label = labels[other];
+                match tallies.iter_mut().find(|(l, _)| *l == label) {
+                    Some((_, w)) => *w += weight,
+                    None => tallies.push((label, weight)),
+                }
+            }
+            let (mut best_label, mut best_weight) = tallies[0];
+            for &(label, weight) in &tallies[1..] {
+                if weight > best_weight || (weight == best_weight && label < best_label) {
+                    best_label = label;
+                    best_weight = weight;
+                }
+            }
+            // Keep the current label unless a neighbour label strictly
+            // dominates it — the damping that lets the loop converge.
+            let own_weight = tallies
+                .iter()
+                .find(|(l, _)| *l == labels[node])
+                .map_or(0.0, |(_, w)| *w);
+            if best_weight > own_weight && best_label != labels[node] {
+                labels[node] = best_label;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    compact_labels(&labels)
+}
+
+/// Default sweep cap for [`label_propagation`]: far beyond the 2–5
+/// sweeps real approval graphs need, small enough that adversarial
+/// inputs still return promptly.
+pub const DEFAULT_LABEL_PROPAGATION_SWEEPS: usize = 100;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques() -> Graph {
+        // Nodes 0–2 and 3–5 densely connected, one weak bridge.
+        let mut g = Graph::new(6);
+        for &(a, b) in &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)] {
+            g.add_edge(a, b, 5.0);
+        }
+        g.add_edge(2, 3, 0.5);
+        g
+    }
+
+    #[test]
+    fn finds_the_two_cliques() {
+        let labels = label_propagation(&two_cliques(), DEFAULT_LABEL_PROPAGATION_SWEEPS);
+        assert_eq!(labels.len(), 6);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[3], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn is_deterministic_across_calls() {
+        let g = two_cliques();
+        let a = label_propagation(&g, DEFAULT_LABEL_PROPAGATION_SWEEPS);
+        let b = label_propagation(&g, DEFAULT_LABEL_PROPAGATION_SWEEPS);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_their_own_community() {
+        let labels = label_propagation(&Graph::new(3), DEFAULT_LABEL_PROPAGATION_SWEEPS);
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        assert!(label_propagation(&Graph::new(0), DEFAULT_LABEL_PROPAGATION_SWEEPS).is_empty());
+    }
+
+    #[test]
+    fn affinity_matrix_is_symmetric_with_loop_diagonal() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 3.0);
+        g.add_edge(2, 2, 1.5);
+        let m = affinity_matrix(&g);
+        assert_eq!(m[0][1], 2.0);
+        assert_eq!(m[1][0], 2.0);
+        assert_eq!(m[1][2], 3.0);
+        assert_eq!(m[2][2], 1.5);
+        assert_eq!(m[0][2], 0.0);
+    }
+
+    #[test]
+    fn communities_score_positive_modularity_on_cliques() {
+        let g = two_cliques();
+        let labels = label_propagation(&g, DEFAULT_LABEL_PROPAGATION_SWEEPS);
+        assert!(dagfl_graphs::modularity(&g, &labels) > 0.3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the analytics subsystem's determinism and
+//! metric-range contracts.
+
+use dagfl_analysis::{
+    adjusted_rand_index, kmeans, label_propagation, silhouette_score, KMeansConfig,
+    DEFAULT_LABEL_PROPAGATION_SWEEPS,
+};
+use dagfl_graphs::Graph;
+use proptest::prelude::*;
+
+/// A set of same-length points with bounded coordinates.
+fn arbitrary_points(max_points: usize, max_dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    (1..=max_points, 1..=max_dim).prop_flat_map(|(n, dim)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, dim..=dim),
+            n..=n,
+        )
+    })
+}
+
+fn arbitrary_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (1..=max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, 0.1f64..5.0), 0..max_edges).prop_map(move |edges| {
+            let mut g = Graph::new(n);
+            for (a, b, w) in edges {
+                g.add_edge(a, b, w);
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn kmeans_same_seed_is_deterministic(
+        points in arbitrary_points(12, 4),
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let config = KMeansConfig { k, seed, ..KMeansConfig::default() };
+        let a = kmeans(&points, &config);
+        let b = kmeans(&points, &config);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kmeans_assignments_are_permutation_invariant_up_to_relabeling(
+        k in 2usize..5,
+        per_blob in 2usize..5,
+        dim in 1usize..4,
+        jitter in proptest::collection::vec(-0.5f32..0.5, 0..64),
+        priorities in proptest::collection::vec(any::<u32>(), 16..=16),
+        seed in any::<u64>(),
+    ) {
+        // On separable data, clustering the clients in any order must
+        // induce the same partition of the *clients* — cluster ids may
+        // differ, so equality is checked as ARI == 1.0. Blobs are spaced
+        // far enough apart that k-means++ recovers them from every
+        // permutation of the input; only an order-dependence bug in the
+        // init, assignment or update loops could break the property.
+        let n = k * per_blob;
+        let points: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let blob = i % k;
+                (0..dim)
+                    .map(|d| {
+                        let j = jitter.get((i * dim + d) % jitter.len().max(1)).copied().unwrap_or(0.0);
+                        (blob as f32) * 1.0e4 + j
+                    })
+                    .collect()
+            })
+            .collect();
+        // A permutation from the random priorities: argsort with index
+        // tie-break.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (priorities[i % priorities.len()], i));
+        let permuted: Vec<Vec<f32>> = order.iter().map(|&i| points[i].clone()).collect();
+        let config = KMeansConfig { k, seed, ..KMeansConfig::default() };
+        let base = kmeans(&points, &config);
+        let shuffled = kmeans(&permuted, &config);
+        // Map the permuted assignment back onto original client indices.
+        let mut unpermuted = vec![0usize; n];
+        for (j, &c) in shuffled.assignments.iter().enumerate() {
+            unpermuted[order[j]] = c;
+        }
+        let ari = adjusted_rand_index(&base.assignments, &unpermuted);
+        prop_assert!((ari - 1.0).abs() < 1e-12, "ari = {ari}");
+    }
+
+    #[test]
+    fn silhouette_stays_in_unit_interval(
+        points in arbitrary_points(12, 4),
+        labels in proptest::collection::vec(0usize..5, 1..12),
+    ) {
+        let n = points.len().min(labels.len());
+        let score = silhouette_score(&points[..n], &labels[..n]);
+        prop_assert!((-1.0..=1.0).contains(&score), "score = {score}");
+    }
+
+    #[test]
+    fn label_propagation_terminates_and_labels_every_node(
+        g in arbitrary_graph(14, 40),
+    ) {
+        // The sweep cap bounds the loop on any input; the call returning
+        // at all is the termination property.
+        let labels = label_propagation(&g, DEFAULT_LABEL_PROPAGATION_SWEEPS);
+        prop_assert_eq!(labels.len(), g.num_nodes());
+        // Labels are compacted to 0..count.
+        let count = labels.iter().copied().max().map_or(0, |m| m + 1);
+        prop_assert!(labels.iter().all(|&l| l < count || count == 0));
+    }
+
+    #[test]
+    fn label_propagation_is_deterministic(g in arbitrary_graph(10, 25)) {
+        let a = label_propagation(&g, DEFAULT_LABEL_PROPAGATION_SWEEPS);
+        let b = label_propagation(&g, DEFAULT_LABEL_PROPAGATION_SWEEPS);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ari_of_identical_partitions_is_one(
+        labels in proptest::collection::vec(0usize..6, 1..20),
+        offset in 1usize..9,
+    ) {
+        let relabeled: Vec<usize> = labels.iter().map(|&l| l + offset).collect();
+        let ari = adjusted_rand_index(&labels, &relabeled);
+        prop_assert!((ari - 1.0).abs() < 1e-12, "ari = {ari}");
+    }
+}

@@ -20,12 +20,24 @@ fn main() {
     for cell in &sweep.cells {
         let alpha = axis_f64(cell, "execution.alpha");
         for (round, m) in &cell.report.specialization_track {
+            // The base preset runs the analytics pipeline on the same
+            // cadence as the tracking, so each row can carry the
+            // unsupervised purity next to the graph metrics (empty when
+            // no snapshot landed on this round).
+            let purity = cell
+                .report
+                .analysis_track
+                .iter()
+                .find(|s| s.round == *round)
+                .and_then(|s| s.parameters.as_ref())
+                .map_or_else(String::new, |p| f(p.purity));
             rows.push(vec![
                 f(alpha),
                 int(*round),
                 f(m.modularity),
                 int(m.partitions),
                 f(m.misclassification),
+                purity,
             ]);
         }
     }
@@ -37,6 +49,7 @@ fn main() {
             "modularity",
             "partitions",
             "misclassification",
+            "analysis_purity",
         ],
         &rows,
     );

@@ -20,6 +20,9 @@ pub enum Command {
     /// Run a declarative scenario (`--scenario <file>` or
     /// `--preset <name>`).
     Run,
+    /// Run a scenario's specialization analytics and print the cluster
+    /// assignment table (`--scenario <file>` or `--preset <name>`).
+    Analyze,
     /// Expand and run a parameter-grid sweep (`dagfl sweep <file>` or
     /// `--preset-base <name> --axes <spec>`).
     Sweep,
@@ -45,6 +48,7 @@ impl Command {
             "local" => Some(Command::Local),
             "async" => Some(Command::Async),
             "run" => Some(Command::Run),
+            "analyze" => Some(Command::Analyze),
             "sweep" => Some(Command::Sweep),
             "scenarios" => Some(Command::Scenarios),
             "perf" => Some(Command::Perf),
@@ -220,6 +224,9 @@ COMMANDS:
     run       run a declarative scenario (--scenario <file> | --preset <name>)
     sweep     expand and run a parameter grid over a base scenario
               (sweep <file|sweep-preset> | --preset-base <name> --axes <spec>)
+    analyze   cluster client models and the approval graph of a scenario
+              run, print assignments and quality metrics
+              (--scenario <file> | --preset <name>)
     scenarios list scenario and sweep presets; --check <dir> validates
               scenario and sweep files, --dump <dir> writes every preset
     dag       Specializing-DAG simulation (the paper's algorithm)
@@ -248,6 +255,16 @@ SWEEP FLAGS:
     --dry-run           list the expanded cells without running
     --csv               comparison CSV name             (spec default)
     --full              resolve preset bases at the paper's scale
+
+ANALYZE FLAGS (mirror the [analysis] scenario section):
+    --scenario          scenario file to run and analyse
+    --preset            scenario preset to run and analyse
+    --k                 fixed cluster count        (auto-k by silhouette)
+    --k-min             auto-k sweep lower bound              (2)
+    --k-max             auto-k sweep upper bound              (6)
+    --cadence           analyse every N rounds     (0 = final round only)
+    --source            parameters | approvals | both         (both)
+    --full              resolve presets at the paper's scale
 
 COMMON FLAGS (defaults in parentheses):
     --dataset           fmnist | fmnist-relaxed | fmnist-author | poets |
@@ -353,6 +370,7 @@ mod tests {
             ("local", Command::Local),
             ("async", Command::Async),
             ("run", Command::Run),
+            ("analyze", Command::Analyze),
             ("sweep", Command::Sweep),
             ("scenarios", Command::Scenarios),
             ("perf", Command::Perf),
@@ -441,6 +459,7 @@ mod tests {
             "local",
             "async",
             "run",
+            "analyze",
             "sweep",
             "scenarios",
             "perf",

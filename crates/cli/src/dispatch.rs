@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::path::Path;
 
+use dagfl_analysis::AnalysisSource;
 use dagfl_baselines::{FedConfig, FederatedServer, LocalOnly};
 use dagfl_core::{
     AsyncConfig, AsyncSimulation, ComputeProfile, CoreError, CrashWindow, DagConfig, DelayModel,
@@ -359,6 +360,7 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             return Ok(());
         }
         Command::Run => return run_scenario(args),
+        Command::Analyze => return analyze_command(args),
         Command::Sweep => return sweep_command(args),
         Command::Scenarios => return scenarios_command(args),
         Command::Perf => return crate::perf::perf_command(args),
@@ -489,6 +491,7 @@ pub fn run_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         }
         Command::Help
         | Command::Run
+        | Command::Analyze
         | Command::Sweep
         | Command::Scenarios
         | Command::Perf
@@ -530,6 +533,90 @@ fn run_scenario(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         runner.scenario().execution.mode()
     );
     let report = runner.run()?;
+    print!("{}", report.summary());
+    Ok(())
+}
+
+/// `dagfl analyze --scenario <file>` / `--preset <name>`: run the
+/// scenario with analytics force-enabled (flags override the scenario's
+/// own `[analysis]` section) and print the cluster assignment table
+/// plus the quality metrics.
+fn analyze_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    let mut scenario = match (args.get("scenario"), args.get("preset")) {
+        (Some(path), None) => Scenario::load(path)?,
+        (None, Some(name)) => Scenario::preset_at(name, requested_scale(args))?,
+        _ => {
+            return Err(
+                "`dagfl analyze` needs exactly one of --scenario <file> or --preset <name>".into(),
+            )
+        }
+    };
+    // Start from the scenario's own [analysis] section (or the
+    // defaults), then let flags override it, mirroring the file schema.
+    let mut spec = scenario.analysis.take().unwrap_or_default();
+    spec.enabled = true;
+    let k: Option<usize> = match args.get("k") {
+        Some(raw) => Some(raw.parse().map_err(|_| ParseError::InvalidValue {
+            flag: "k".into(),
+            value: raw.to_string(),
+        })?),
+        None => None,
+    };
+    if k.is_some() && (args.get("k-min").is_some() || args.get("k-max").is_some()) {
+        return Err(
+            "`--k` fixes the cluster count; it cannot be combined with --k-min/--k-max".into(),
+        );
+    }
+    if let Some(k) = k {
+        spec.k = Some(k);
+    } else if args.get("k-min").is_some() || args.get("k-max").is_some() {
+        spec.k = None;
+        spec.k_min = args.get_parsed_or("k-min", spec.k_min)?;
+        spec.k_max = args.get_parsed_or("k-max", spec.k_max)?;
+    }
+    spec.cadence = args.get_parsed_or("cadence", spec.cadence)?;
+    if let Some(word) = args.get("source") {
+        spec.source = AnalysisSource::parse(word).ok_or_else(|| {
+            format!("invalid --source `{word}`: expected parameters, approvals or both")
+        })?;
+    }
+    scenario = scenario.with_analysis(spec);
+    let runner = ScenarioRunner::new(scenario)?;
+    eprintln!(
+        "# scenario={} mode={}",
+        runner.scenario().name,
+        runner.scenario().execution.mode()
+    );
+    let report = runner.run()?;
+    let snapshot = report
+        .analysis
+        .as_ref()
+        .expect("analytics were force-enabled");
+    println!(
+        "analysis of {} after {} rounds:",
+        report.scenario, snapshot.round
+    );
+    println!();
+    // The assignment table: one row per client, ground truth next to
+    // the unsupervised views. Rebuilding the dataset is deterministic
+    // and cheap next to the training run that just finished.
+    let truth = runner.scenario().dataset.build().cluster_labels();
+    println!(
+        "{:>6}  {:>5}  {:>6}  {:>5}",
+        "client", "truth", "params", "graph"
+    );
+    for (idx, label) in truth.iter().enumerate() {
+        let params_cell = snapshot
+            .parameters
+            .as_ref()
+            .map_or_else(|| "-".into(), |p| p.assignments[idx].to_string());
+        let graph_cell = snapshot
+            .graph
+            .as_ref()
+            .map_or_else(|| "-".into(), |g| g.communities[idx].to_string());
+        println!("{idx:>6}  {label:>5}  {params_cell:>6}  {graph_cell:>5}");
+    }
+    println!();
     print!("{}", report.summary());
     Ok(())
 }

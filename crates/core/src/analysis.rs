@@ -70,7 +70,15 @@ impl ClusterSpecialization {
 
     /// The *specialization gap*: own-cluster minus foreign-cluster mean
     /// accuracy. Positive once models have specialised.
+    ///
+    /// Defined as 0 for degenerate single-cluster matrices: with no
+    /// foreign cluster to compare against, a 1×1 accuracy matrix would
+    /// otherwise report its sole entry as a "gap" and make an
+    /// unclustered dataset look maximally specialised.
     pub fn specialization_gap(&self) -> f32 {
+        if self.clusters.len() < 2 {
+            return 0.0;
+        }
         self.mean_own_accuracy() - self.mean_foreign_accuracy()
     }
 }
@@ -80,7 +88,11 @@ impl ClusterSpecialization {
 ///
 /// # Errors
 ///
-/// Propagates model/tangle errors.
+/// Propagates model/tangle errors, and returns [`CoreError::Config`]
+/// for datasets with fewer than two ground-truth clusters: the
+/// cross-cluster matrices degenerate to 1×1 and every derived statistic
+/// (gap, foreign accuracy) silently reads as "specialised" when there
+/// is nothing to specialise against.
 ///
 /// # Panics
 ///
@@ -94,6 +106,13 @@ pub fn cluster_specialization(sim: &mut Simulation) -> Result<ClusterSpecializat
     let mut clusters: Vec<usize> = cluster_labels.clone();
     clusters.sort_unstable();
     clusters.dedup();
+    if clusters.len() < 2 {
+        return Err(CoreError::Config(format!(
+            "cluster specialization needs at least 2 ground-truth clusters, dataset `{}` has {}",
+            sim.dataset().name(),
+            clusters.len()
+        )));
+    }
 
     // Reference parameters per client.
     let config = sim.config;
@@ -224,6 +243,57 @@ mod tests {
                 assert!((spec.divergence[a][b] - spec.divergence[b][a]).abs() < 1e-4);
             }
         }
+    }
+
+    #[test]
+    fn single_cluster_dataset_is_rejected_not_reported_as_specialized() {
+        use dagfl_datasets::fmnist_by_author;
+        // Every by-author client carries all classes in one ground-truth
+        // cluster: the 1×1 matrices would read as a positive
+        // "specialization gap" if they were computed.
+        let dataset = fmnist_by_author(&FmnistConfig {
+            num_clients: 4,
+            samples_per_client: 30,
+            ..FmnistConfig::default()
+        });
+        let features = dataset.feature_len();
+        let factory: ModelFactory = Arc::new(move |rng: &mut StdRng| {
+            Box::new(Sequential::new(vec![
+                Box::new(Dense::new(rng, features, 8)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(rng, 8, 10)),
+            ])) as Box<dyn Model>
+        });
+        let mut sim = Simulation::new(
+            DagConfig {
+                rounds: 1,
+                clients_per_round: 2,
+                local_batches: 2,
+                ..DagConfig::default()
+            },
+            dataset,
+            factory,
+        );
+        sim.run().expect("simulation runs");
+        let err = cluster_specialization(&mut sim).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Config(_)),
+            "expected Config error, got {err:?}"
+        );
+        assert!(err.to_string().contains("at least 2"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_gap_is_zero_not_specialized() {
+        // A hand-built 1×1 matrix must not report its sole accuracy
+        // entry as a specialization gap.
+        let spec = ClusterSpecialization {
+            clusters: vec![0],
+            accuracy: vec![vec![0.9]],
+            divergence: vec![vec![0.0]],
+        };
+        assert_eq!(spec.specialization_gap(), 0.0);
+        assert_eq!(spec.mean_foreign_accuracy(), 0.0);
     }
 
     #[test]

@@ -305,6 +305,31 @@ impl Simulation {
         }
         Ok(out)
     }
+
+    /// Every client's walk-selected reference parameter vector, in
+    /// client-id order — the flat points the analysis layer clusters.
+    ///
+    /// Like [`Simulation::reference_evaluations`], the walks draw from
+    /// each client's own RNG stream, so calling this advances those
+    /// streams deterministically (the same call sites always see the
+    /// same state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/tangle errors.
+    pub fn reference_parameters(&mut self) -> Result<Vec<Vec<f32>>, CoreError> {
+        let config = self.config;
+        let tangle = self.tangle.clone();
+        let mut out = Vec::with_capacity(self.clients.len());
+        for (idx, client) in self.clients.iter_mut().enumerate() {
+            let data = &self.dataset.clients()[idx];
+            let guard = tangle.read();
+            let (params, _) = client.reference_model(&guard, data, &config)?;
+            drop(guard);
+            out.push(params);
+        }
+        Ok(out)
+    }
 }
 
 impl std::fmt::Debug for Simulation {

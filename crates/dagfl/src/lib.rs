@@ -16,6 +16,7 @@
 //! | [`dag`] | the Specializing DAG itself: biased tip selection, simulation, poisoning scenarios |
 //! | [`baselines`] | FedAvg and FedProx |
 //! | [`scenario`] | the declarative layer: one spec to build, validate, run and report any experiment |
+//! | [`analysis`] | specialization analytics: seeded k-means, silhouette/purity/ARI, community detection |
 //!
 //! The most common entry points are re-exported at the crate root.
 //!
@@ -76,6 +77,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub use dagfl_analysis as analysis;
 pub use dagfl_baselines as baselines;
 pub use dagfl_core as dag;
 pub use dagfl_datasets as datasets;
@@ -85,6 +87,10 @@ pub use dagfl_scenario as scenario;
 pub use dagfl_tangle as tangle;
 pub use dagfl_tensor as tensor;
 
+pub use dagfl_analysis::{
+    adjusted_rand_index, analyze, auto_k, cluster_purity, kmeans, label_propagation,
+    silhouette_score, AnalysisConfig, AnalysisSnapshot, AnalysisSource, KMeansConfig, KSelection,
+};
 pub use dagfl_baselines::{FedConfig, FederatedServer};
 pub use dagfl_core::{
     run_peer, AsyncConfig, AsyncMetrics, AsyncSimulation, ComputeProfile, CrashWindow, DagConfig,
@@ -94,8 +100,8 @@ pub use dagfl_core::{
     StaleTipPolicy, TangleView, TcpTransport, TipSelector, Tracker, Transport, TxMessage,
 };
 pub use dagfl_scenario::{
-    AttackSpec, DatasetSpec, ExecutionSpec, FaultSpec, ModelSpec, RunReport, Scenario,
-    ScenarioRunner, SweepReport, SweepRunner, SweepSpec, TransportSpec,
+    AnalysisSpec, AttackSpec, DatasetSpec, ExecutionSpec, FaultSpec, ModelSpec, RunReport,
+    Scenario, ScenarioRunner, SweepReport, SweepRunner, SweepSpec, TransportSpec,
 };
 
 #[cfg(test)]
@@ -106,6 +112,9 @@ mod tests {
         let _ = crate::FedConfig::default();
         let _ = crate::TipSelector::default();
         let _ = crate::Normalization::default();
+        let _ = crate::KMeansConfig::default();
+        let _ = crate::AnalysisSpec::default();
+        assert_eq!(crate::AnalysisSource::Both.as_str(), "both");
         assert_eq!(crate::TransportSpec::default().mode(), "loopback");
     }
 }

@@ -3,6 +3,12 @@
 
 use crate::NnError;
 
+/// The wide and narrow element-tile widths of the chunked accumulator.
+/// 32 `f32` lanes fill four AVX2 registers, matching the matmul kernels'
+/// register-tiling; the 8-wide tile shortens the tail.
+const AVG_TILE_WIDE: usize = 32;
+const AVG_TILE_NARROW: usize = 8;
+
 /// Element-wise mean of several parameter vectors.
 ///
 /// This is the aggregation primitive of both FedAvg (over all client
@@ -22,15 +28,50 @@ use crate::NnError;
 pub fn average_parameters(vectors: &[&[f32]]) -> Vec<f32> {
     assert!(!vectors.is_empty(), "cannot average zero parameter vectors");
     let len = vectors[0].len();
-    let mut out = vec![0.0f32; len];
-    let scale = 1.0 / vectors.len() as f32;
     for v in vectors {
         assert_eq!(v.len(), len, "parameter vectors differ in length");
-        for (o, &x) in out.iter_mut().zip(*v) {
-            *o += x * scale;
+    }
+    let scale = 1.0 / vectors.len() as f32;
+    let mut out = vec![0.0f32; len];
+    // Chunked accumulation on the tensor kernels' tile pattern: a
+    // fixed-width accumulator array stays in vector registers across the
+    // whole `vectors` loop, so the compiler emits one fused
+    // multiply-accumulate per lane instead of a scalar read-modify-write
+    // of `out` per element. Bit-identical to the scalar loop: each
+    // output element still accumulates `v[e] * scale` over the vectors
+    // in exactly the same order, only across-element grouping changes —
+    // and f32 addition order *per element* is what determines the bits.
+    let mut j0 = 0;
+    while j0 + AVG_TILE_WIDE <= len {
+        average_tile::<AVG_TILE_WIDE>(vectors, scale, j0, &mut out);
+        j0 += AVG_TILE_WIDE;
+    }
+    while j0 + AVG_TILE_NARROW <= len {
+        average_tile::<AVG_TILE_NARROW>(vectors, scale, j0, &mut out);
+        j0 += AVG_TILE_NARROW;
+    }
+    for j in j0..len {
+        let mut acc = 0.0f32;
+        for v in vectors {
+            acc += v[j] * scale;
         }
+        out[j] = acc;
     }
     out
+}
+
+/// One `W`-wide element tile of [`average_parameters`]: `W` accumulators
+/// held in registers over the full vector loop.
+#[inline]
+fn average_tile<const W: usize>(vectors: &[&[f32]], scale: f32, j0: usize, out: &mut [f32]) {
+    let mut acc = [0.0f32; W];
+    for v in vectors {
+        let tile = &v[j0..j0 + W];
+        for (a, &x) in acc.iter_mut().zip(tile) {
+            *a += x * scale;
+        }
+    }
+    out[j0..j0 + W].copy_from_slice(&acc);
 }
 
 /// Weighted element-wise mean of parameter vectors.
@@ -149,6 +190,43 @@ mod tests {
         let a = vec![1.0];
         let b = vec![1.0, 2.0];
         average_parameters(&[&a, &b]);
+    }
+
+    #[test]
+    fn tiled_average_is_bit_identical_to_the_scalar_oracle() {
+        // The scalar reference the tiled path must reproduce bit for
+        // bit, across lengths hitting the wide tile, the narrow tile and
+        // the scalar tail in every combination.
+        fn oracle(vectors: &[&[f32]]) -> Vec<f32> {
+            let len = vectors[0].len();
+            let scale = 1.0 / vectors.len() as f32;
+            let mut out = vec![0.0f32; len];
+            for v in vectors {
+                for (o, &x) in out.iter_mut().zip(*v) {
+                    *o += x * scale;
+                }
+            }
+            out
+        }
+        for &len in &[1usize, 7, 8, 9, 31, 32, 33, 40, 64, 71, 100] {
+            for &count in &[1usize, 2, 3, 7] {
+                // Deterministic, sign-varying, non-dyadic values so
+                // reordered additions would actually change bits.
+                let vectors: Vec<Vec<f32>> = (0..count)
+                    .map(|v| {
+                        (0..len)
+                            .map(|e| ((v * 31 + e * 17) as f32 * 0.3057).sin() * 1.7)
+                            .collect()
+                    })
+                    .collect();
+                let refs: Vec<&[f32]> = vectors.iter().map(Vec::as_slice).collect();
+                let tiled = average_parameters(&refs);
+                let scalar = oracle(&refs);
+                let tiled_bits: Vec<u32> = tiled.iter().map(|x| x.to_bits()).collect();
+                let scalar_bits: Vec<u32> = scalar.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(tiled_bits, scalar_bits, "len {len} count {count}");
+            }
+        }
     }
 
     #[test]

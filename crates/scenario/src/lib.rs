@@ -9,9 +9,10 @@
 //! * [`Scenario`] — a complete experiment as a value: dataset
 //!   ([`DatasetSpec`]), model architecture ([`ModelSpec`]), execution
 //!   mode ([`ExecutionSpec`]: rounds or async, with the full core
-//!   config), optional poisoning attack ([`AttackSpec`]) and output
-//!   options ([`OutputSpec`]), with a fluent builder and a single
-//!   [`Scenario::validate`].
+//!   config), optional poisoning attack ([`AttackSpec`]), optional
+//!   specialization analytics ([`AnalysisSpec`], driving
+//!   [`dagfl_analysis`]) and output options ([`OutputSpec`]), with a
+//!   fluent builder and a single [`Scenario::validate`].
 //! * **Text round-trip** — [`Scenario::to_toml`] /
 //!   [`Scenario::from_toml`] serialize scenarios through a
 //!   dependency-free TOML subset, so experiments live in version
@@ -66,8 +67,8 @@ pub mod text;
 pub use presets::{Scale, PRESET_NAMES};
 pub use runner::{DatasetSummary, PoisoningSummary, RunReport, ScenarioRunner};
 pub use spec::{
-    AttackSpec, DatasetSpec, ExecutionSpec, FaultSpec, ModelSpec, OutputSpec, Scenario,
-    ScenarioError, TransportSpec,
+    AnalysisSpec, AttackSpec, DatasetSpec, ExecutionSpec, FaultSpec, ModelSpec, OutputSpec,
+    Scenario, ScenarioError, TransportSpec,
 };
 pub use sweep::{
     is_sweep_toml, SweepAxis, SweepBase, SweepCell, SweepCellReport, SweepField, SweepReport,

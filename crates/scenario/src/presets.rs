@@ -11,7 +11,7 @@ use dagfl_core::{
     AsyncConfig, ComputeProfile, DagConfig, DelayModel, Normalization, StaleTipPolicy, TipSelector,
 };
 
-use crate::spec::{AttackSpec, DatasetSpec, FaultSpec, Scenario, ScenarioError};
+use crate::spec::{AnalysisSpec, AttackSpec, DatasetSpec, FaultSpec, Scenario, ScenarioError};
 
 /// Experiment scale: quick (default) or the paper's full scale
 /// (`DAGFL_FULL=1`).
@@ -90,6 +90,10 @@ pub const PRESET_NAMES: &[(&str, &str)] = &[
     (
         "chaos-smoke",
         "fault-injected async run: drops, duplicates, reorders, a partition and a crash",
+    ),
+    (
+        "analysis-smoke",
+        "tiny clustered run with the full analytics pipeline (CI smoke test, seconds)",
     ),
 ];
 
@@ -176,7 +180,15 @@ fn build(name: &str, scale: Scale) -> Option<Scenario> {
         let alpha: f32 = alpha.parse().ok().filter(|a| *a > 0.0)?;
         return Some(
             alpha_scenario(name, scale, alpha, Normalization::Simple, 0.0)
-                .tracking(scale.pick(3, 10)),
+                .tracking(scale.pick(3, 10))
+                // The analytics counterpart of the tracked §4.3 metrics:
+                // k-means at the ground-truth cluster count, so the
+                // sweep's purity column reads directly against alpha.
+                .with_analysis(AnalysisSpec {
+                    k: Some(3),
+                    cadence: scale.pick(3, 10),
+                    ..AnalysisSpec::default()
+                }),
         );
     }
     if let Some(alpha) = name.strip_prefix("fig06-alpha") {
@@ -339,6 +351,28 @@ fn build(name: &str, scale: Scale) -> Option<Scenario> {
             })
             .with_recent_window(15),
         ),
+        "analysis-smoke" => Some(
+            // Deliberately scale-independent: a correctness harness for
+            // the analytics pipeline, not a paper figure. Auto-k, both
+            // views and a mid-run cadence are all active, yet the run
+            // stays seconds-fast.
+            Scenario::new(
+                name,
+                DatasetSpec::Fmnist {
+                    clients: 6,
+                    samples: 30,
+                    relaxation: 0.0,
+                    seed: 42,
+                },
+            )
+            .rounds(4)
+            .clients_per_round(3)
+            .local_batches(2)
+            .with_analysis(AnalysisSpec {
+                cadence: 2,
+                ..AnalysisSpec::default()
+            }),
+        ),
         "async-delay0" => Some(async_scenario(name, scale, DelayModel::constant(0.0))),
         "async-delay2" => Some(async_scenario(name, scale, DelayModel::constant(2.0))),
         "async-delay10" => Some(async_scenario(name, scale, DelayModel::constant(10.0))),
@@ -488,6 +522,22 @@ mod tests {
             }
             other => panic!("unexpected execution {other:?}"),
         }
+    }
+
+    #[test]
+    fn analysis_presets_carry_the_analytics() {
+        let smoke = Scenario::preset_at("analysis-smoke", Scale::Quick).unwrap();
+        let analysis = smoke.analysis.clone().expect("analysis configured");
+        assert!(analysis.enabled);
+        assert!(analysis.k.is_none(), "auto-k exercises the sweep");
+        assert_eq!(analysis.cadence, 2);
+        // Scale-independent, like chaos-smoke.
+        assert_eq!(
+            smoke,
+            Scenario::preset_at("analysis-smoke", Scale::Full).unwrap()
+        );
+        let fig05 = Scenario::preset_at("fig05-alpha10", Scale::Quick).unwrap();
+        assert_eq!(fig05.analysis.expect("analysis configured").k, Some(3));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::path::PathBuf;
 
+use dagfl_analysis::AnalysisSnapshot;
 use dagfl_core::csv::write_csv;
 use dagfl_core::{
     AsyncMetrics, AsyncSimulation, ExecutionMode, PoisonRoundMetrics, PoisoningConfig,
@@ -9,7 +10,7 @@ use dagfl_core::{
 };
 use dagfl_tangle::TangleStats;
 
-use crate::spec::{ExecutionSpec, Scenario, ScenarioError};
+use crate::spec::{AnalysisSpec, ExecutionSpec, Scenario, ScenarioError};
 
 /// Dataset facts the report carries so downstream tables (e.g. Table 2)
 /// need no second dataset build.
@@ -76,6 +77,11 @@ pub struct RunReport {
     pub specialization: SpecializationMetrics,
     /// `(round, metrics)` pairs when `output.track_every > 0`.
     pub specialization_track: Vec<(usize, SpecializationMetrics)>,
+    /// Final analytics snapshot when the scenario enables `[analysis]`.
+    pub analysis: Option<AnalysisSnapshot>,
+    /// Per-round analytics snapshots when `analysis.cadence > 0` (the
+    /// final snapshot is repeated in `analysis`).
+    pub analysis_track: Vec<AnalysisSnapshot>,
     /// Structural statistics of the final (globally visible) tangle.
     pub tangle: TangleStats,
     /// Throughput metrics (async mode only).
@@ -145,6 +151,27 @@ impl RunReport {
                     "faults: delivered {} dropped {} duplicated {}",
                     m.delivered, m.dropped, m.duplicated
                 );
+            }
+        }
+        // Only analysis-enabled runs print these lines, so pre-analysis
+        // golden outputs stay byte-identical.
+        if let Some(a) = &self.analysis {
+            if let Some(p) = &a.parameters {
+                let _ = writeln!(
+                    out,
+                    "analysis/parameters: k {} silhouette {:.3} purity {:.3} ari {:.3}",
+                    p.k, p.silhouette, p.purity, p.ari
+                );
+            }
+            if let Some(g) = &a.graph {
+                let _ = writeln!(
+                    out,
+                    "analysis/graph: {} communities modularity {:.3} purity {:.3} ari {:.3}",
+                    g.community_count, g.modularity, g.purity, g.ari
+                );
+            }
+            if let Some(agreement) = a.agreement_ari {
+                let _ = writeln!(out, "analysis/agreement: ari {agreement:.3}");
             }
         }
         if let Some(p) = &self.poisoning {
@@ -244,6 +271,8 @@ impl ScenarioRunner {
                     dataset: summary,
                     specialization: sim.specialization_metrics(),
                     specialization_track: Vec::new(),
+                    analysis: None,
+                    analysis_track: Vec::new(),
                     tangle: ExecutionMode::tangle_stats(sim),
                     async_metrics: None,
                     poisoning: Some(PoisoningSummary {
@@ -255,18 +284,43 @@ impl ScenarioRunner {
                 }
             }
             (ExecutionSpec::Rounds(dag), None) => {
+                let analysis_spec = self.scenario.analysis.as_ref().filter(|a| a.enabled);
+                let cadence = analysis_spec.map_or(0, |a| a.cadence);
                 let mut sim = Simulation::new(*dag, dataset, factory);
                 let mut track = Vec::new();
-                if self.scenario.output.track_every > 0 {
+                let mut analysis_track = Vec::new();
+                if self.scenario.output.track_every > 0 || cadence > 0 {
                     for round in 0..dag.rounds {
                         sim.run_round()?;
-                        if (round + 1) % self.scenario.output.track_every == 0 {
+                        if self.scenario.output.track_every > 0
+                            && (round + 1) % self.scenario.output.track_every == 0
+                        {
                             track.push((round + 1, sim.specialization_metrics()));
+                        }
+                        if cadence > 0 && (round + 1) % cadence == 0 {
+                            let spec = analysis_spec.expect("cadence implies analysis");
+                            analysis_track.push(analysis_snapshot(
+                                &mut sim,
+                                round + 1,
+                                spec,
+                                dag.seed,
+                            )?);
                         }
                     }
                 } else {
                     sim.run()?;
                 }
+                // The final snapshot: reuse the last tracked one when the
+                // cadence already landed on the final round, so the walk
+                // RNG streams are not advanced a second time.
+                let final_round = sim.round();
+                let analysis = match analysis_spec {
+                    Some(spec) => Some(match analysis_track.last() {
+                        Some(last) if last.round == final_round => last.clone(),
+                        _ => analysis_snapshot(&mut sim, final_round, spec, dag.seed)?,
+                    }),
+                    None => None,
+                };
                 RunReport {
                     scenario: self.scenario.name.clone(),
                     mode: "rounds",
@@ -285,6 +339,8 @@ impl ScenarioRunner {
                     dataset: summary,
                     specialization: sim.specialization_metrics(),
                     specialization_track: track,
+                    analysis,
+                    analysis_track,
                     tangle: ExecutionMode::tangle_stats(&sim),
                     async_metrics: None,
                     poisoning: None,
@@ -325,6 +381,8 @@ impl ScenarioRunner {
                     specialization: sim
                         .specialization_metrics_seeded(config.dag.seed ^ 0xC0FF_EE00),
                     specialization_track: Vec::new(),
+                    analysis: None,
+                    analysis_track: Vec::new(),
                     tangle: ExecutionMode::tangle_stats(&sim),
                     async_metrics: Some(metrics),
                     poisoning: None,
@@ -381,41 +439,134 @@ impl ScenarioRunner {
                 ]],
             )
         } else {
-            (
-                vec![
-                    "round",
-                    "mean_accuracy",
-                    "mean_loss",
-                    "fresh_evals",
-                    "cached_evals",
-                ],
-                report
-                    .round_accuracy
-                    .iter()
-                    .zip(&report.round_loss)
-                    .zip(
-                        report
-                            .round_fresh_evals
+            // The analysis column group exists only for analysis-enabled
+            // scenarios, so pre-analysis CSVs stay byte-identical.
+            let mut header = vec![
+                "round",
+                "mean_accuracy",
+                "mean_loss",
+                "fresh_evals",
+                "cached_evals",
+            ];
+            if report.analysis.is_some() {
+                header.extend([
+                    "analysis_k",
+                    "analysis_silhouette",
+                    "analysis_purity",
+                    "analysis_ari",
+                    "analysis_communities",
+                    "analysis_modularity",
+                    "analysis_agreement",
+                ]);
+            }
+            let rows = report
+                .round_accuracy
+                .iter()
+                .zip(&report.round_loss)
+                .zip(
+                    report
+                        .round_fresh_evals
+                        .iter()
+                        .zip(&report.round_cached_evals),
+                )
+                .enumerate()
+                .map(|(i, ((acc, loss), (fresh, cached)))| {
+                    let mut row = vec![
+                        (i + 1).to_string(),
+                        format!("{acc:.4}"),
+                        format!("{loss:.4}"),
+                        fresh.to_string(),
+                        cached.to_string(),
+                    ];
+                    if report.analysis.is_some() {
+                        // Rounds between cadence points carry empty cells,
+                        // like the async-only columns of sweep CSVs.
+                        let snapshot = report
+                            .analysis_track
                             .iter()
-                            .zip(&report.round_cached_evals),
-                    )
-                    .enumerate()
-                    .map(|(i, ((acc, loss), (fresh, cached)))| {
-                        vec![
-                            (i + 1).to_string(),
-                            format!("{acc:.4}"),
-                            format!("{loss:.4}"),
-                            fresh.to_string(),
-                            cached.to_string(),
-                        ]
-                    })
-                    .collect(),
-            )
+                            .chain(&report.analysis)
+                            .find(|s| s.round == i + 1);
+                        row.extend(analysis_cells(snapshot));
+                    }
+                    row
+                })
+                .collect();
+            (header, rows)
         };
         write_csv(&path, &header, &rows)
             .map_err(|e| ScenarioError::Io(format!("writing {}: {e}", path.display())))?;
         Ok(path)
     }
+}
+
+/// Runs the configured analytics over the simulation's current state:
+/// parameter-space k-means over each client's walk-selected reference
+/// model and/or community detection over the client approval graph.
+///
+/// Collecting reference models advances the clients' walk RNG streams
+/// (like specialization tracking), deterministically: the same
+/// `(seed, scenario)` still produces identical reports.
+fn analysis_snapshot(
+    sim: &mut Simulation,
+    round: usize,
+    spec: &AnalysisSpec,
+    seed: u64,
+) -> Result<AnalysisSnapshot, ScenarioError> {
+    let config = spec.to_config(seed);
+    let params = if config.source.wants_parameters() {
+        Some(sim.reference_parameters().map_err(ScenarioError::Core)?)
+    } else {
+        None
+    };
+    let graph = if config.source.wants_approvals() {
+        Some(sim.client_graph())
+    } else {
+        None
+    };
+    let truth = sim.dataset().cluster_labels();
+    Ok(dagfl_analysis::analyze(
+        round,
+        params.as_deref(),
+        graph.as_ref(),
+        &truth,
+        &config,
+    ))
+}
+
+/// The run-CSV analysis column group for one round: empty cells when no
+/// snapshot landed on that round or a view was not requested.
+fn analysis_cells(snapshot: Option<&AnalysisSnapshot>) -> Vec<String> {
+    let Some(s) = snapshot else {
+        return vec![String::new(); 7];
+    };
+    let (k, silhouette, purity, ari) = match &s.parameters {
+        Some(p) => (
+            p.k.to_string(),
+            format!("{:.4}", p.silhouette),
+            format!("{:.4}", p.purity),
+            format!("{:.4}", p.ari),
+        ),
+        None => Default::default(),
+    };
+    let (communities, modularity) = match &s.graph {
+        Some(g) => (
+            g.community_count.to_string(),
+            format!("{:.4}", g.modularity),
+        ),
+        None => Default::default(),
+    };
+    let agreement = s
+        .agreement_ari
+        .map_or_else(String::new, |a| format!("{a:.4}"));
+    vec![
+        k,
+        silhouette,
+        purity,
+        ari,
+        communities,
+        modularity,
+        agreement,
+    ]
 }
 
 #[cfg(test)]
@@ -490,6 +641,81 @@ mod tests {
         assert_eq!(report.specialization_track.len(), 2);
         assert_eq!(report.specialization_track[0].0, 2);
         assert_eq!(report.specialization_track[1].0, 4);
+    }
+
+    #[test]
+    fn analysis_scenario_reports_snapshots_on_cadence() {
+        use crate::spec::AnalysisSpec;
+        let scenario = tiny().rounds(4).with_analysis(AnalysisSpec {
+            k: Some(2),
+            cadence: 2,
+            ..AnalysisSpec::default()
+        });
+        let report = ScenarioRunner::new(scenario).unwrap().run().unwrap();
+        assert_eq!(report.analysis_track.len(), 2);
+        assert_eq!(report.analysis_track[0].round, 2);
+        assert_eq!(report.analysis_track[1].round, 4);
+        let last = report.analysis.as_ref().expect("final snapshot");
+        assert_eq!(last, &report.analysis_track[1]);
+        let params = last.parameters.as_ref().expect("parameter view");
+        assert_eq!(params.assignments.len(), 4);
+        assert_eq!(params.k, 2);
+        let graph = last.graph.as_ref().expect("graph view");
+        assert_eq!(graph.communities.len(), 4);
+        assert!(last.agreement_ari.is_some());
+        let summary = report.summary();
+        assert!(summary.contains("analysis/parameters:"), "{summary}");
+        assert!(summary.contains("analysis/graph:"), "{summary}");
+        assert!(summary.contains("analysis/agreement:"), "{summary}");
+    }
+
+    #[test]
+    fn analysis_columns_appear_only_for_analysis_runs() {
+        use crate::spec::AnalysisSpec;
+        let plain = tiny().with_csv("runner_csv_no_analysis_test");
+        let report = ScenarioRunner::new(plain).unwrap().run().unwrap();
+        let path = report.csv_path.expect("csv written");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("round,mean_accuracy,mean_loss,fresh_evals,cached_evals\n"));
+        let _ = std::fs::remove_file(&path);
+
+        let analysed = tiny()
+            .with_csv("runner_csv_analysis_test")
+            .with_analysis(AnalysisSpec {
+                k: Some(2),
+                cadence: 1,
+                ..AnalysisSpec::default()
+            });
+        let report = ScenarioRunner::new(analysed).unwrap().run().unwrap();
+        let path = report.csv_path.expect("csv written");
+        let content = std::fs::read_to_string(&path).unwrap();
+        let header = content.lines().next().unwrap();
+        assert!(
+            header.ends_with(
+                "analysis_k,analysis_silhouette,analysis_purity,analysis_ari,\
+                 analysis_communities,analysis_modularity,analysis_agreement"
+            ),
+            "{header}"
+        );
+        // Cadence 1: every round carries filled analysis cells.
+        for line in content.lines().skip(1) {
+            assert!(!line.ends_with(','), "{line}");
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(path.parent().expect("results dir"));
+    }
+
+    #[test]
+    fn disabled_analysis_is_inert() {
+        use crate::spec::AnalysisSpec;
+        let scenario = tiny().with_analysis(AnalysisSpec {
+            enabled: false,
+            ..AnalysisSpec::default()
+        });
+        let report = ScenarioRunner::new(scenario).unwrap().run().unwrap();
+        assert!(report.analysis.is_none());
+        assert!(report.analysis_track.is_empty());
+        assert!(!report.summary().contains("analysis/"));
     }
 
     #[test]

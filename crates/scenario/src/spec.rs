@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
+use dagfl_analysis::{AnalysisConfig, AnalysisSource, KSelection};
 use dagfl_core::{
     AsyncConfig, ComputeProfile, CoreError, CrashWindow, DagConfig, DelayModel, FaultPlan,
     ModelFactory, Normalization, PartitionWindow, PublishGate, StaleTipPolicy, TipSelector,
@@ -527,6 +528,8 @@ pub struct Scenario {
     pub attack: Option<AttackSpec>,
     /// Optional deterministic fault injection (async loopback only).
     pub faults: Option<FaultSpec>,
+    /// Optional specialization analytics (rounds mode without attack).
+    pub analysis: Option<AnalysisSpec>,
     /// Output options.
     pub output: OutputSpec,
 }
@@ -554,6 +557,61 @@ pub struct FaultSpec {
     /// Optional crash window as `(peer, at, restart)`; an absent
     /// `crash_restart` key means the peer never comes back.
     pub crash: Option<(usize, f64, f64)>,
+}
+
+/// Specialization-analytics settings: the scenario-file projection of
+/// [`dagfl_analysis::AnalysisConfig`] plus a cadence. An empty
+/// `[analysis]` section enables the default auto-k analysis over both
+/// views at the final round only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisSpec {
+    /// Master toggle, so a checked-in `[analysis]` section can be
+    /// switched off without deleting it.
+    pub enabled: bool,
+    /// Fixed cluster count for parameter-space k-means; `None` selects
+    /// k by silhouette sweep over `k_min..=k_max`.
+    pub k: Option<usize>,
+    /// Lower bound of the auto-k silhouette sweep (ignored with `k`).
+    pub k_min: usize,
+    /// Upper bound of the auto-k silhouette sweep (ignored with `k`).
+    pub k_max: usize,
+    /// Analyse every this many rounds (`0` = only at the end).
+    pub cadence: usize,
+    /// Which view(s) to cluster: parameter space, the approval graph,
+    /// or both.
+    pub source: AnalysisSource,
+}
+
+impl Default for AnalysisSpec {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            k: None,
+            k_min: 2,
+            k_max: 6,
+            cadence: 0,
+            source: AnalysisSource::Both,
+        }
+    }
+}
+
+impl AnalysisSpec {
+    /// Expands into the [`AnalysisConfig`] consumed by
+    /// [`dagfl_analysis::analyze`], seeding k-means from the
+    /// simulation's master seed.
+    pub fn to_config(&self, seed: u64) -> AnalysisConfig {
+        AnalysisConfig {
+            k: match self.k {
+                Some(k) => KSelection::Fixed(k),
+                None => KSelection::Auto {
+                    min: self.k_min,
+                    max: self.k_max,
+                },
+            },
+            source: self.source,
+            seed,
+        }
+    }
 }
 
 impl FaultSpec {
@@ -598,6 +656,7 @@ impl Scenario {
             execution: ExecutionSpec::Rounds(dag),
             attack: None,
             faults: None,
+            analysis: None,
             output: OutputSpec::default(),
             dataset,
         }
@@ -682,6 +741,13 @@ impl Scenario {
         self
     }
 
+    /// Attaches specialization analytics (builder style; rounds mode
+    /// without attack only).
+    pub fn with_analysis(mut self, analysis: AnalysisSpec) -> Self {
+        self.analysis = Some(analysis);
+        self
+    }
+
     /// Requests a CSV series under the results directory (builder
     /// style).
     pub fn with_csv(mut self, name: impl Into<String>) -> Self {
@@ -746,6 +812,11 @@ impl Scenario {
                         "specialization tracking requires rounds mode".into(),
                     ));
                 }
+                if self.analysis.as_ref().is_some_and(|a| a.enabled) {
+                    return Err(ScenarioError::Invalid(
+                        "specialization analytics require rounds mode".into(),
+                    ));
+                }
                 if let TransportSpec::Tcp { tracker, .. } = transport {
                     if !tracker.contains(':') || tracker.trim().is_empty() {
                         return Err(ScenarioError::Invalid(format!(
@@ -791,6 +862,25 @@ impl Scenario {
                 return Err(ScenarioError::Invalid(
                     "specialization tracking is not supported together with an attack".into(),
                 ));
+            }
+            if self.analysis.as_ref().is_some_and(|a| a.enabled) {
+                return Err(ScenarioError::Invalid(
+                    "specialization analytics are not supported together with an attack".into(),
+                ));
+            }
+        }
+        if let Some(analysis) = &self.analysis {
+            if let Some(k) = analysis.k {
+                if k == 0 {
+                    return Err(ScenarioError::Invalid(
+                        "analysis.k must be at least 1".into(),
+                    ));
+                }
+            } else if analysis.k_min < 1 || analysis.k_min > analysis.k_max {
+                return Err(ScenarioError::Invalid(format!(
+                    "analysis.k_min ({}) must be at least 1 and at most k_max ({})",
+                    analysis.k_min, analysis.k_max
+                )));
             }
         }
         if self.output.recent_window == 0 {
@@ -912,6 +1002,9 @@ impl Scenario {
         if let Some(faults) = &self.faults {
             write_faults(doc.section_mut("faults"), faults);
         }
+        if let Some(analysis) = &self.analysis {
+            write_analysis(doc.section_mut("analysis"), analysis);
+        }
         write_output(doc.section_mut("output"), &self.output);
         doc.to_text()
     }
@@ -933,7 +1026,7 @@ impl Scenario {
         for section in doc.section_names() {
             if !matches!(
                 section,
-                "dataset" | "model" | "execution" | "attack" | "faults" | "output"
+                "dataset" | "model" | "execution" | "attack" | "faults" | "analysis" | "output"
             ) {
                 return Err(ScenarioError::UnknownKey {
                     key: format!("[{section}]"),
@@ -982,6 +1075,15 @@ impl Scenario {
             }
             None => None,
         };
+        let analysis = match doc.section("analysis") {
+            Some(table) => {
+                let reader = Reader::new("analysis", Some(table));
+                let analysis = read_analysis(&reader)?;
+                reader.finish()?;
+                Some(analysis)
+            }
+            None => None,
+        };
         let output = match doc.section("output") {
             Some(table) => {
                 let reader = Reader::new("output", Some(table));
@@ -998,6 +1100,7 @@ impl Scenario {
             execution,
             attack,
             faults,
+            analysis,
             output,
         })
     }
@@ -1269,6 +1372,20 @@ fn write_faults(table: &mut Table, faults: &FaultSpec) {
             table.set("crash_restart", f64_value(restart));
         }
     }
+}
+
+fn write_analysis(table: &mut Table, analysis: &AnalysisSpec) {
+    if !analysis.enabled {
+        table.set("enabled", Value::Bool(false));
+    }
+    if let Some(k) = analysis.k {
+        table.set("k", usize_value(k));
+    } else {
+        table.set("k_min", usize_value(analysis.k_min));
+        table.set("k_max", usize_value(analysis.k_max));
+    }
+    table.set("cadence", usize_value(analysis.cadence));
+    table.set("source", Value::Str(analysis.source.as_str().into()));
 }
 
 fn write_attack(table: &mut Table, attack: &AttackSpec) {
@@ -1729,6 +1846,37 @@ fn read_attack(reader: &Reader<'_>) -> Result<AttackSpec, ScenarioError> {
     })
 }
 
+fn read_analysis(reader: &Reader<'_>) -> Result<AnalysisSpec, ScenarioError> {
+    let defaults = AnalysisSpec::default();
+    let k = reader.number::<usize>("k", "a positive integer")?;
+    let k_min = reader.number::<usize>("k_min", "a positive integer")?;
+    let k_max = reader.number::<usize>("k_max", "a positive integer")?;
+    if k.is_some() && (k_min.is_some() || k_max.is_some()) {
+        return Err(ScenarioError::Invalid(format!(
+            "`{}` fixes the cluster count; it cannot be combined with `{}`/`{}`",
+            reader.path("k"),
+            reader.path("k_min"),
+            reader.path("k_max"),
+        )));
+    }
+    let source = match reader.str("source")?.as_deref() {
+        None => defaults.source,
+        Some(word) => AnalysisSource::parse(word).ok_or_else(|| ScenarioError::InvalidValue {
+            key: reader.path("source"),
+            value: word.into(),
+            expected: "parameters, approvals or both".into(),
+        })?,
+    };
+    Ok(AnalysisSpec {
+        enabled: reader.bool_or("enabled", defaults.enabled)?,
+        k,
+        k_min: k_min.unwrap_or(defaults.k_min),
+        k_max: k_max.unwrap_or(defaults.k_max),
+        cadence: reader.usize_or("cadence", defaults.cadence)?,
+        source,
+    })
+}
+
 fn read_output(reader: &Reader<'_>) -> Result<OutputSpec, ScenarioError> {
     let defaults = OutputSpec::default();
     Ok(OutputSpec {
@@ -1929,6 +2077,102 @@ mod tests {
         let err =
             Scenario::from_toml(&format!("{base}[faults]\ncrash_restart = 9.0\n")).unwrap_err();
         assert!(matches!(err, ScenarioError::Invalid(_)), "{err:?}");
+    }
+
+    #[test]
+    fn analysis_round_trips_in_both_k_shapes() {
+        let auto = tiny().with_analysis(AnalysisSpec {
+            cadence: 2,
+            source: AnalysisSource::Parameters,
+            ..AnalysisSpec::default()
+        });
+        let text = auto.to_toml();
+        assert!(text.contains("[analysis]"), "{text}");
+        assert!(text.contains("k_min = 2"), "{text}");
+        assert!(!text.contains("\nk = "), "{text}");
+        assert_eq!(Scenario::from_toml(&text).unwrap(), auto, "{text}");
+        assert!(auto.validate().is_ok());
+
+        let fixed = tiny().with_analysis(AnalysisSpec {
+            k: Some(3),
+            enabled: false,
+            ..AnalysisSpec::default()
+        });
+        let text = fixed.to_toml();
+        assert!(text.contains("k = 3"), "{text}");
+        assert!(!text.contains("k_min"), "{text}");
+        assert!(text.contains("enabled = false"), "{text}");
+        assert_eq!(Scenario::from_toml(&text).unwrap(), fixed, "{text}");
+    }
+
+    #[test]
+    fn empty_analysis_section_parses_to_the_defaults() {
+        let s = Scenario::from_toml("name = \"x\"\n\n[dataset]\nkind = \"fmnist\"\n\n[analysis]\n")
+            .unwrap();
+        let analysis = s.analysis.clone().expect("section present");
+        assert_eq!(analysis, AnalysisSpec::default());
+        assert!(analysis.enabled);
+        assert!(matches!(
+            analysis.to_config(42).k,
+            KSelection::Auto { min: 2, max: 6 }
+        ));
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn analysis_rejects_conflicting_and_invalid_shapes() {
+        // k together with a sweep bound is ambiguous — parse error.
+        let err = Scenario::from_toml(
+            "name = \"x\"\n[dataset]\nkind = \"fmnist\"\n[analysis]\nk = 3\nk_min = 2\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::Invalid(_)), "{err:?}");
+        // Unknown source word.
+        let err = Scenario::from_toml(
+            "name = \"x\"\n[dataset]\nkind = \"fmnist\"\n[analysis]\nsource = \"vibes\"\n",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::InvalidValue { ref key, .. } if key == "analysis.source"),
+            "{err:?}"
+        );
+        // Degenerate ranges and k = 0 fail validation.
+        let zero_k = tiny().with_analysis(AnalysisSpec {
+            k: Some(0),
+            ..AnalysisSpec::default()
+        });
+        assert!(matches!(zero_k.validate(), Err(ScenarioError::Invalid(_))));
+        let inverted = tiny().with_analysis(AnalysisSpec {
+            k_min: 5,
+            k_max: 2,
+            ..AnalysisSpec::default()
+        });
+        assert!(matches!(
+            inverted.validate(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        // Analytics need rounds mode without an attack — unless disabled.
+        let asynchronous = tiny()
+            .asynchronous(AsyncConfig::default())
+            .with_analysis(AnalysisSpec::default());
+        assert!(matches!(
+            asynchronous.validate(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        let disabled = tiny()
+            .asynchronous(AsyncConfig::default())
+            .with_analysis(AnalysisSpec {
+                enabled: false,
+                ..AnalysisSpec::default()
+            });
+        assert!(disabled.validate().is_ok());
+        let attacked = tiny()
+            .with_attack(AttackSpec::default())
+            .with_analysis(AnalysisSpec::default());
+        assert!(matches!(
+            attacked.validate(),
+            Err(ScenarioError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -704,7 +704,14 @@ impl SweepSpec {
         if let SweepBase::Inline(scenario) = &self.base {
             let base_doc =
                 Document::parse(&scenario.to_toml()).expect("scenario TOML always reparses");
-            for section in ["dataset", "model", "execution", "attack", "output"] {
+            for section in [
+                "dataset",
+                "model",
+                "execution",
+                "attack",
+                "analysis",
+                "output",
+            ] {
                 if let Some(table) = base_doc.section(section) {
                     *doc.section_mut(section) = table.clone();
                 }
@@ -737,7 +744,14 @@ impl SweepSpec {
         for section in doc.section_names() {
             if !matches!(
                 section,
-                "sweep" | "axes" | "dataset" | "model" | "execution" | "attack" | "output"
+                "sweep"
+                    | "axes"
+                    | "dataset"
+                    | "model"
+                    | "execution"
+                    | "attack"
+                    | "analysis"
+                    | "output"
             ) {
                 return Err(ScenarioError::UnknownKey {
                     key: format!("[{section}]"),
@@ -758,9 +772,16 @@ impl SweepSpec {
         let comparison_csv = reader.str("comparison_csv")?;
         let cell_csv = reader.bool_or("cell_csv", false)?;
         reader.finish()?;
-        let has_scenario_sections = ["dataset", "model", "execution", "attack", "output"]
-            .iter()
-            .any(|s| doc.section(s).is_some());
+        let has_scenario_sections = [
+            "dataset",
+            "model",
+            "execution",
+            "attack",
+            "analysis",
+            "output",
+        ]
+        .iter()
+        .any(|s| doc.section(s).is_some());
         let base = match (preset, file, inline_name) {
             (Some(preset), None, None) => {
                 if has_scenario_sections {
@@ -783,7 +804,14 @@ impl SweepSpec {
             (None, None, Some(scenario_name)) => {
                 let mut base_doc = Document::default();
                 base_doc.root.set("name", Value::Str(scenario_name));
-                for section in ["dataset", "model", "execution", "attack", "output"] {
+                for section in [
+                    "dataset",
+                    "model",
+                    "execution",
+                    "attack",
+                    "analysis",
+                    "output",
+                ] {
                     if let Some(table) = doc.section(section) {
                         *base_doc.section_mut(section) = table.clone();
                     }
@@ -953,7 +981,30 @@ impl SweepReport {
             ]
             .map(String::from),
         );
+        // The analysis column group exists only when at least one cell
+        // ran with `[analysis]`, so pre-analysis sweep CSVs stay
+        // byte-identical.
+        if self.has_analysis() {
+            header.extend(
+                [
+                    "analysis_k",
+                    "analysis_silhouette",
+                    "analysis_purity",
+                    "analysis_ari",
+                    "analysis_communities",
+                    "analysis_modularity",
+                    "analysis_agreement",
+                ]
+                .map(String::from),
+            );
+        }
         header
+    }
+
+    /// Whether any cell carries an analytics snapshot (and the
+    /// comparison table therefore its analysis column group).
+    pub fn has_analysis(&self) -> bool {
+        self.cells.iter().any(|c| c.report.analysis.is_some())
     }
 
     /// The comparison-table rows, one per cell in expansion order. All
@@ -997,6 +1048,33 @@ impl SweepReport {
                 }
                 row.push(r.fresh_evaluations.to_string());
                 row.push(r.cached_evaluations.to_string());
+                if self.has_analysis() {
+                    match &r.analysis {
+                        Some(s) => {
+                            match &s.parameters {
+                                Some(p) => {
+                                    row.push(p.k.to_string());
+                                    row.push(format!("{:.4}", p.silhouette));
+                                    row.push(format!("{:.4}", p.purity));
+                                    row.push(format!("{:.4}", p.ari));
+                                }
+                                None => row.extend(std::iter::repeat(String::new()).take(4)),
+                            }
+                            match &s.graph {
+                                Some(g) => {
+                                    row.push(g.community_count.to_string());
+                                    row.push(format!("{:.4}", g.modularity));
+                                }
+                                None => row.extend(std::iter::repeat(String::new()).take(2)),
+                            }
+                            row.push(
+                                s.agreement_ari
+                                    .map_or_else(String::new, |a| format!("{a:.4}")),
+                            );
+                        }
+                        None => row.extend(std::iter::repeat(String::new()).take(7)),
+                    }
+                }
                 row
             })
             .collect()
@@ -1725,6 +1803,8 @@ mod tests {
                 partition: vec![0; 4],
             },
             specialization_track: Vec::new(),
+            analysis: None,
+            analysis_track: Vec::new(),
             tangle: TangleStats {
                 transactions: 1,
                 tips: 1,
