@@ -33,7 +33,7 @@ fn main() {
     let features = dataset.feature_len();
     let sim = run_dag(spec, dataset, fmnist_model_factory(features, 10));
     let clusters = sim.dataset().cluster_labels();
-    let tangle = sim.tangle().read();
+    let tangle = sim.tangle().to_tangle();
     let dot = tangle.to_dot(|tx| match tx.issuer() {
         Some(issuer) => {
             let cluster = clusters[issuer as usize];

@@ -126,6 +126,7 @@ fn main() {
                     train_time,
                     stale_policy,
                     gossip_fanout: 0,
+                    workers: 1,
                 },
                 dataset,
                 fmnist_model_factory(features, 10),

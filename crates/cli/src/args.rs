@@ -98,7 +98,7 @@ impl Error for ParseError {}
 
 /// Flags that take no value (their presence means `true`), so
 /// `dagfl run --preset smoke --full` parses without a dangling token.
-const BOOLEAN_FLAGS: &[&str] = &["full", "dry-run", "reconnect"];
+const BOOLEAN_FLAGS: &[&str] = &["full", "dry-run", "reconnect", "digest"];
 
 /// A parsed command line: the subcommand plus `--key value` options and
 /// (for `sweep`) one optional positional argument.
@@ -245,7 +245,10 @@ SCENARIOS:
     execution mode, attack, output) as TOML; see scenarios/*.toml.
     Presets resolve at quick scale by default; pass --full (or set
     DAGFL_FULL=1) for the paper's scale — the flag wins over the
-    environment.
+    environment. `run --digest` also prints the tangle digest, a
+    backend- and worker-count-independent hash of the final DAG, and
+    `run --workers N` overrides an async scenario's event-loop worker
+    count (results are byte-identical at any count).
 
 SWEEP FLAGS:
     <file>              sweep file (scenarios/sweep-*.toml) or sweep preset name
@@ -294,6 +297,9 @@ PERF FLAGS:
     --walks             walks per phase (cold + warm cache)   (20)
     --samples           samples per synthetic client          (240)
     --alpha             walk randomness parameter             (10)
+    --clients           async-phase client count, min 3       (64)
+    --workers           async-phase training threads          (4)
+    --activations       async-phase total activations         (--clients)
     --out               output JSON path   (results/BENCH_walk.json)
 
 ASYNC FLAGS:
@@ -309,6 +315,8 @@ ASYNC FLAGS:
     --train-time        logical training duration             (0.0)
     --stale-policy      publish | reselect | discard          (publish)
     --fanout            gossip targets per publish, 0 = all   (0)
+    --workers           training threads; batching is decided by event
+                        times, so any count is byte-identical (1)
 
 FAULT FLAGS (async only; deterministic per --seed, defaults are inert):
     --drop              per-envelope drop probability         (0.0)
@@ -438,6 +446,8 @@ mod tests {
         let args = ParsedArgs::parse(["sweep", "x.toml", "--dry-run", "--jobs", "4"]).unwrap();
         assert!(args.flag("dry-run"));
         assert_eq!(args.get_parsed_or("jobs", 1usize).unwrap(), 4);
+        let args = ParsedArgs::parse(["run", "--preset", "smoke", "--digest"]).unwrap();
+        assert!(args.flag("digest"));
         assert!(!ParsedArgs::parse(["run"]).unwrap().flag("full"));
     }
 

@@ -279,6 +279,7 @@ fn async_config(args: &ParsedArgs, num_clients: usize) -> Result<AsyncConfig, Pa
         train_time: args.get_parsed_or("train-time", 0.0)?,
         stale_policy,
         gossip_fanout: args.get_parsed_or("fanout", 0)?,
+        workers: args.get_parsed_or("workers", 1)?,
     };
     // Core validation covers the rest (delays, slowdown, inter-arrival,
     // training time and the embedded DAG config).
@@ -517,7 +518,7 @@ fn requested_scale(args: &ParsedArgs) -> Scale {
 /// `dagfl run --scenario <file>` / `dagfl run --preset <name>`: resolve,
 /// validate and execute one declarative scenario, printing the report.
 fn run_scenario(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    let scenario = match (args.get("scenario"), args.get("preset")) {
+    let mut scenario = match (args.get("scenario"), args.get("preset")) {
         (Some(path), None) => Scenario::load(path)?,
         (None, Some(name)) => Scenario::preset_at(name, requested_scale(args))?,
         _ => {
@@ -526,6 +527,21 @@ fn run_scenario(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             )
         }
     };
+    // Worker-count override for async scenarios: results are
+    // byte-identical at any count, so CI runs the same scenario at
+    // --workers 1 and --workers N and diffs the digests.
+    if let Some(raw) = args.get("workers") {
+        let workers: usize = args.get_parsed_or("workers", 1)?;
+        if workers == 0 {
+            return Err(format!("`--workers {raw}` is out of range (need >= 1)").into());
+        }
+        match &mut scenario.execution {
+            dagfl_scenario::ExecutionSpec::Async { config, .. } => config.workers = workers,
+            dagfl_scenario::ExecutionSpec::Rounds(_) => {
+                return Err("`--workers` only applies to async-mode scenarios".into())
+            }
+        }
+    }
     let runner = ScenarioRunner::new(scenario)?;
     eprintln!(
         "# scenario={} mode={}",
@@ -534,6 +550,11 @@ fn run_scenario(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     );
     let report = runner.run()?;
     print!("{}", report.summary());
+    // Opt-in so existing golden outputs stay byte-identical; CI's
+    // scale-smoke job diffs this line between worker counts.
+    if args.flag("digest") {
+        println!("tangle digest {:#018x}", report.tangle_digest);
+    }
     Ok(())
 }
 

@@ -15,9 +15,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dagfl_core::{
-    perturbed_model_tangle, AccuracyBias, EvalCounters, ModelEvaluator, ModelTangle, Normalization,
+    perturbed_model_tangle, tangle_digest, AccuracyBias, AsyncConfig, AsyncSimulation, DagConfig,
+    DelayModel, EvalCounters, ModelEvaluator, ModelTangle, Normalization,
 };
-use dagfl_datasets::{fmnist_clustered, ClientDataset, FmnistConfig};
+use dagfl_datasets::{fmnist_clustered, fmnist_clustered_streamed, ClientDataset, FmnistConfig};
 use dagfl_scenario::ModelSpec;
 use dagfl_tangle::RandomWalker;
 
@@ -92,19 +93,101 @@ fn run_phase(
     }
 }
 
+/// One measured run of the async scaling phase.
+struct AsyncPhase {
+    wall: Duration,
+    activations: usize,
+    digest: u64,
+}
+
+impl AsyncPhase {
+    /// Completed activations per second of wall time.
+    fn activations_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.activations as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the sharded async event loop end to end with `workers` training
+/// threads and returns wall time plus the final tangle digest.
+fn run_async_phase(
+    clients: usize,
+    activations: usize,
+    samples: usize,
+    workers: usize,
+    seed: u64,
+) -> Result<AsyncPhase, Box<dyn Error>> {
+    let dataset = fmnist_clustered_streamed(
+        &FmnistConfig {
+            num_clients: clients,
+            samples_per_client: samples,
+            seed,
+            ..FmnistConfig::default()
+        },
+        workers.max(1),
+    );
+    let features = dataset.feature_len();
+    let factory = ModelSpec::Mlp { hidden: vec![64] }.build_factory(features, 10);
+    let config = AsyncConfig {
+        dag: DagConfig {
+            local_batches: 10,
+            batch_size: 10,
+            seed,
+            ..DagConfig::default()
+        },
+        total_activations: activations,
+        mean_interarrival: 1.0,
+        delay: DelayModel::constant(1.0),
+        // Long logical training keeps many activations below the finish
+        // barrier, so batches are wide enough for the workers to matter.
+        train_time: 4.0,
+        gossip_fanout: 8,
+        workers,
+        ..AsyncConfig::default()
+    };
+    let mut sim = AsyncSimulation::new(config, dataset, factory);
+    let started = Instant::now();
+    sim.run()?;
+    let wall = started.elapsed();
+    Ok(AsyncPhase {
+        wall,
+        activations,
+        digest: tangle_digest(sim.tangle()),
+    })
+}
+
 /// Entry point for `dagfl perf`.
 ///
 /// # Errors
 ///
-/// Returns an error for unparsable flags or an unwritable output path.
+/// Returns an error for unparsable flags, out-of-range flag values, an
+/// unwritable output path, or an async phase whose worker counts
+/// disagree on the final tangle digest (a determinism bug).
 pub fn perf_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     let transactions: usize = args.get_parsed_or("transactions", 500)?;
     let walks: usize = args.get_parsed_or("walks", 20)?;
     let samples: usize = args.get_parsed_or("samples", 240)?;
     let alpha: f32 = args.get_parsed_or("alpha", 10.0)?;
     let seed: u64 = args.get_parsed_or("seed", 42)?;
+    // Default to one activation per client: the opening burst (no
+    // finishes queued yet) forms one maximally wide training batch, so
+    // the phase measures parallel training throughput rather than the
+    // narrow steady-state batches of a saturated schedule.
+    let clients: usize = args.get_parsed_or("clients", 64)?;
+    let workers: usize = args.get_parsed_or("workers", 4)?;
+    let activations: usize = args.get_parsed_or("activations", clients)?;
     if transactions == 0 || walks == 0 || samples < 10 {
         return Err("perf needs --transactions >= 1, --walks >= 1, --samples >= 10".into());
+    }
+    if clients < 3 || workers == 0 || activations == 0 {
+        return Err(
+            "perf needs --clients >= 3 (one per data cluster), --workers >= 1, --activations >= 1"
+                .into(),
+        );
     }
 
     let dataset = fmnist_clustered(&FmnistConfig {
@@ -150,10 +233,34 @@ pub fn perf_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         &mut walk_rng,
     );
 
+    // Async scaling phase: the same event schedule at one worker and at
+    // `workers` threads. The digests must agree — batching is decided by
+    // event times alone, never thread timing.
+    eprintln!(
+        "# perf async: {} clients, {} activations, 1 vs {} workers",
+        clients, activations, workers
+    );
+    let serial = run_async_phase(clients, activations, samples, 1, seed)?;
+    let parallel = run_async_phase(clients, activations, samples, workers, seed)?;
+    if serial.digest != parallel.digest {
+        return Err(format!(
+            "async digest mismatch: 1 worker {:#018x} vs {} workers {:#018x}",
+            serial.digest, workers, parallel.digest
+        )
+        .into());
+    }
+    let speedup = if parallel.wall.as_secs_f64() > 0.0 {
+        serial.wall.as_secs_f64() / parallel.wall.as_secs_f64()
+    } else {
+        0.0
+    };
+
     let json = format!(
         "{{\n  \"bench\": \"walk_eval\",\n  \"transactions\": {},\n  \"walks\": {},\n  \
          \"test_rows\": {},\n  \"model_parameters\": {},\n  \"alpha\": {},\n  \
-         \"cold\": {},\n  \"warm\": {}\n}}\n",
+         \"cold\": {},\n  \"warm\": {},\n  \"async\": {{\"clients\": {}, \"workers\": {}, \
+         \"activations\": {}, \"serial_wall_ms\": {:.3}, \"parallel_wall_ms\": {:.3}, \
+         \"activations_per_sec\": {:.1}, \"speedup\": {:.3}, \"digest\": \"{:#018x}\"}}\n}}\n",
         transactions,
         walks,
         client.test_y().len(),
@@ -161,6 +268,14 @@ pub fn perf_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         alpha,
         cold.json(),
         warm.json(),
+        clients,
+        workers,
+        activations,
+        serial.wall.as_secs_f64() * 1e3,
+        parallel.wall.as_secs_f64() * 1e3,
+        parallel.activations_per_sec(),
+        speedup,
+        serial.digest,
     );
     let path = match args.get("out") {
         Some(path) => PathBuf::from(path),
@@ -191,6 +306,14 @@ pub fn perf_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         warm.wall.as_secs_f64() * 1e3,
         warm.counters.fresh_ratio()
     );
+    println!(
+        "async: {:.1} activations/sec at {} workers ({:.3} ms vs {:.3} ms serial, {:.2}x)",
+        parallel.activations_per_sec(),
+        workers,
+        parallel.wall.as_secs_f64() * 1e3,
+        serial.wall.as_secs_f64() * 1e3,
+        speedup
+    );
     println!("wrote {}", path.display());
     Ok(())
 }
@@ -215,6 +338,12 @@ mod tests {
             "2",
             "--samples",
             "30",
+            "--clients",
+            "6",
+            "--workers",
+            "2",
+            "--activations",
+            "10",
             "--out",
             out.to_str().unwrap(),
         ])
@@ -229,6 +358,12 @@ mod tests {
             "evals_per_sec",
             "fresh_eval_ratio",
             "wall_ms",
+            "\"async\"",
+            "\"clients\": 6",
+            "\"workers\": 2",
+            "\"activations\": 10",
+            "speedup",
+            "digest",
         ] {
             assert!(json.contains(key), "missing `{key}` in {json}");
         }
@@ -241,11 +376,21 @@ mod tests {
             ["perf", "--transactions", "0"],
             ["perf", "--walks", "0"],
             ["perf", "--samples", "5"],
+            ["perf", "--clients", "2"],
+            ["perf", "--workers", "0"],
+            ["perf", "--activations", "0"],
+        ] {
+            let args = ParsedArgs::parse(flags).unwrap();
+            let err = perf_command(&args).unwrap_err().to_string();
+            assert!(err.contains("perf needs"), "{flags:?}: {err}");
+        }
+        for flags in [
+            ["perf", "--walks", "many"],
+            ["perf", "--clients", "lots"],
+            ["perf", "--workers", "-1"],
         ] {
             let args = ParsedArgs::parse(flags).unwrap();
             assert!(perf_command(&args).is_err(), "{flags:?} should fail");
         }
-        let args = ParsedArgs::parse(["perf", "--walks", "many"]).unwrap();
-        assert!(perf_command(&args).is_err());
     }
 }

@@ -116,14 +116,12 @@ pub fn cluster_specialization(sim: &mut Simulation) -> Result<ClusterSpecializat
 
     // Reference parameters per client.
     let config = sim.config;
-    let tangle = sim.tangle.clone();
+    let tangle = &sim.tangle;
     let mut per_cluster_params: HashMap<usize, Vec<Vec<f32>>> = HashMap::new();
     for idx in 0..sim.dataset.num_clients() {
         let data = &sim.dataset.clients()[idx];
         let client = &mut sim.clients[idx];
-        let guard = tangle.read();
-        let (params, _) = client.reference_model(&guard, data, &config)?;
-        drop(guard);
+        let (params, _) = client.reference_model(tangle, data, &config)?;
         per_cluster_params
             .entry(cluster_labels[idx])
             .or_default()

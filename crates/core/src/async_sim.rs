@@ -39,19 +39,22 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dagfl_datasets::FederatedDataset;
 use dagfl_graphs::Graph;
 use dagfl_nn::average_parameters;
-use dagfl_tangle::{Tangle, TxId};
+use dagfl_tangle::{TangleRead, TxId};
 
 use crate::{
-    ComputeProfile, CoreError, DagClient, DagConfig, DelayModel, Envelope, FaultPlan,
-    FaultyTransport, GossipMessage, LoopbackTransport, ModelFactory, ModelPayload, ModelTangle,
-    Replica, StaleTipPolicy, TrainOutcome, Transport, TxMessage,
+    ClientGraphTracker, ComputeProfile, CoreError, DagClient, DagConfig, DelayModel, Envelope,
+    FaultPlan, FaultyTransport, GossipMessage, LoopbackTransport, ModelFactory, ModelPayload,
+    Replica, ReplicaTangle, SegmentRegistry, ShardedModelTangle, StaleTipPolicy, TrainOutcome,
+    Transport, TxMessage,
 };
 
 /// Configuration of an asynchronous simulation.
@@ -106,6 +109,11 @@ pub struct AsyncConfig {
     /// that many peers per publication — deterministically, from the
     /// simulation's RNG stream.
     pub gossip_fanout: usize,
+    /// Worker threads training concurrently activated clients (`1` =
+    /// serial). Which activations train together is decided by event
+    /// times alone, never by thread timing, so results are
+    /// byte-identical at any worker count.
+    pub workers: usize,
 }
 
 impl Default for AsyncConfig {
@@ -119,6 +127,7 @@ impl Default for AsyncConfig {
             train_time: 0.0,
             stale_policy: StaleTipPolicy::default(),
             gossip_fanout: 0,
+            workers: 1,
         }
     }
 }
@@ -176,6 +185,13 @@ impl AsyncConfig {
                 "train_time",
                 self.train_time,
                 "must be non-negative and finite",
+            ));
+        }
+        if self.workers == 0 {
+            return Err(CoreError::invalid_field(
+                "workers",
+                self.workers,
+                "must be at least 1",
             ));
         }
         self.delay.validate()?;
@@ -351,7 +367,9 @@ struct PendingActivation {
 pub struct AsyncSimulation {
     config: AsyncConfig,
     dataset: FederatedDataset,
-    global: ModelTangle,
+    global: ShardedModelTangle,
+    /// Incrementally maintained client graph and pureness counters.
+    graph: ClientGraphTracker,
     /// Network id (dense, loopback) → id in the global tangle.
     net_to_global: Vec<TxId>,
     clients: Vec<DagClient>,
@@ -442,7 +460,12 @@ impl AsyncSimulation {
                 )
             })
             .collect();
-        let replicas = (0..n).map(|_| Replica::new(genesis.clone())).collect();
+        // All replicas share one record store: a transaction gossiped to
+        // every peer is materialized once, not once per replica.
+        let registry = SegmentRegistry::new();
+        let replicas = (0..n)
+            .map(|_| Replica::with_registry(genesis.clone(), registry.clone()))
+            .collect();
         let slow_cohort = config.delay.assign_cohorts(n, &mut rng);
         let speeds = config.compute.speeds(&slow_cohort, &mut rng);
         let loopback = LoopbackTransport::new(config.delay, slow_cohort.clone())
@@ -454,12 +477,14 @@ impl AsyncSimulation {
         } else {
             Box::new(FaultyTransport::new(loopback, plan, config.dag.seed))
         };
-        let global = Tangle::new(genesis);
+        let global = ShardedModelTangle::new(genesis);
+        let graph = ClientGraphTracker::new(dataset.cluster_labels());
         let mut sim = Self {
             config,
             dataset,
             net_to_global: vec![global.genesis()],
             global,
+            graph,
             clients,
             replicas,
             transport,
@@ -496,7 +521,7 @@ impl AsyncSimulation {
     }
 
     /// The omniscient global tangle containing every publication.
-    pub fn tangle(&self) -> &ModelTangle {
+    pub fn tangle(&self) -> &ShardedModelTangle {
         &self.global
     }
 
@@ -505,7 +530,7 @@ impl AsyncSimulation {
     /// # Panics
     ///
     /// Panics if `client` is out of range.
-    pub fn replica(&self, client: usize) -> &ModelTangle {
+    pub fn replica(&self, client: usize) -> &ReplicaTangle {
         self.replicas[client].tangle()
     }
 
@@ -675,20 +700,134 @@ impl AsyncSimulation {
         self.replicas[idx].apply(due);
     }
 
-    /// Starts an activation: deliver the client's gossip, select tips
-    /// and train against the replica, then schedule the finish event.
-    fn process_activate(&mut self, idx: usize, now: f64) -> Result<(), CoreError> {
-        self.deliver(idx, now);
-        let data = &self.dataset.clients()[idx];
-        let outcome =
-            self.clients[idx].train_round(self.replicas[idx].tangle(), data, &self.config.dag)?;
-        let duration = self.config.train_time / self.speeds[idx];
-        self.pending[idx] = Some(PendingActivation {
-            started: now,
-            outcome,
-        });
-        self.schedule(now + duration, EventKind::Finish(idx));
+    /// Pops the maximal batch of activations that may train together
+    /// without changing the serial event order: a run of consecutive
+    /// `Activate` events from the top of the heap, stopping at the
+    /// first `Finish` and at any activation later than the earliest
+    /// training-finish time of the batch collected so far (a serial
+    /// loop would process that finish — and its publication — first).
+    /// Ties are safe to include: an already-queued activation always
+    /// carries a smaller sequence number than a finish scheduled now,
+    /// so at equal times the serial loop pops the activation first.
+    ///
+    /// Each client has at most one outstanding activation, so a batch
+    /// never contains the same client twice.
+    fn pop_activation_batch(&mut self) -> Vec<(usize, f64)> {
+        let mut batch: Vec<(usize, f64)> = Vec::new();
+        let mut barrier = f64::INFINITY;
+        while let Some(Reverse(top)) = self.events.peek() {
+            let idx = match top.kind {
+                EventKind::Activate(idx) => idx,
+                EventKind::Finish(_) => break,
+            };
+            let time = top.time;
+            if time > barrier {
+                break;
+            }
+            self.events.pop();
+            barrier = barrier.min(time + self.config.train_time / self.speeds[idx]);
+            batch.push((idx, time));
+        }
+        batch
+    }
+
+    /// Starts a batch of activations: deliver each client's gossip in
+    /// event order, select tips and train every client against its own
+    /// replica (in parallel across `workers` threads), then schedule
+    /// the finish events in batch order — the same sequence numbers a
+    /// serial loop would assign.
+    fn process_activation_batch(&mut self, batch: &[(usize, f64)]) -> Result<(), CoreError> {
+        // Deliveries mutate per-client replicas and the (stateful)
+        // transport, so they stay serial, in event order.
+        for &(idx, at) in batch {
+            self.clock = at;
+            self.deliver(idx, at);
+        }
+        let outcomes = self.train_batch(batch);
+        for (&(idx, at), outcome) in batch.iter().zip(outcomes) {
+            let outcome = outcome?;
+            let duration = self.config.train_time / self.speeds[idx];
+            self.pending[idx] = Some(PendingActivation {
+                started: at,
+                outcome,
+            });
+            self.schedule(at + duration, EventKind::Finish(idx));
+        }
         Ok(())
+    }
+
+    /// Trains every batched activation, returning outcomes in batch
+    /// order. Which thread trains which client never matters: training
+    /// only touches per-client state (the client itself, its replica
+    /// view and its data shard), so any worker count produces the same
+    /// outcomes.
+    fn train_batch(&mut self, batch: &[(usize, f64)]) -> Vec<Result<TrainOutcome, CoreError>> {
+        let config = self.config;
+        let dataset = &self.dataset;
+        let replicas = &self.replicas;
+        // Collect disjoint &mut borrows of the batched clients: sort the
+        // (distinct) indices, split the slice, place each borrow back at
+        // its batch position.
+        let mut order: Vec<(usize, usize)> = batch
+            .iter()
+            .enumerate()
+            .map(|(pos, &(idx, _))| (idx, pos))
+            .collect();
+        order.sort_unstable();
+        let mut slots: Vec<Option<&mut DagClient>> = (0..batch.len()).map(|_| None).collect();
+        let mut remaining: &mut [DagClient] = &mut self.clients;
+        let mut taken = 0usize;
+        for &(idx, pos) in &order {
+            let offset = idx - taken;
+            let (_, rest) = remaining.split_at_mut(offset);
+            let (client, rest) = rest.split_first_mut().expect("index in range");
+            slots[pos] = Some(client);
+            remaining = rest;
+            taken = idx + 1;
+        }
+        let workers = config.workers.min(batch.len());
+        if workers <= 1 {
+            return slots
+                .into_iter()
+                .zip(batch)
+                .map(|(client, &(idx, _))| {
+                    client.expect("slot filled").train_round(
+                        replicas[idx].tangle(),
+                        &dataset.clients()[idx],
+                        &config.dag,
+                    )
+                })
+                .collect();
+        }
+        let jobs: Vec<Mutex<Option<(usize, &mut DagClient)>>> = slots
+            .into_iter()
+            .zip(batch)
+            .map(|(client, &(idx, _))| Mutex::new(Some((idx, client.expect("slot filled")))))
+            .collect();
+        let results: Vec<Mutex<Option<Result<TrainOutcome, CoreError>>>> =
+            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let (idx, client) = jobs[i].lock().take().expect("each job taken once");
+                    let outcome = client.train_round(
+                        replicas[idx].tangle(),
+                        &dataset.clients()[idx],
+                        &config.dag,
+                    );
+                    *results[i].lock() = Some(outcome);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker stored a result"))
+            .collect()
     }
 
     /// Completes an activation: staleness check against the updated
@@ -722,8 +861,8 @@ impl AsyncSimulation {
                     let replica = self.replicas[idx].tangle();
                     let (fresh, _, _) =
                         self.clients[idx].select_tips(replica, data, &self.config.dag)?;
-                    let p1 = replica.get(fresh.0)?.payload().share();
-                    let p2 = replica.get(fresh.1)?.payload().share();
+                    let p1 = replica.payload_of(fresh.0)?.share();
+                    let p2 = replica.payload_of(fresh.1)?.share();
                     let reference = average_parameters(&[&p1, &p2]);
                     let eval = self.clients[idx].evaluate_with(
                         &reference,
@@ -795,9 +934,16 @@ impl AsyncSimulation {
         ];
         let payload = ModelPayload::new(params);
         let shared = payload.share();
+        // The tangle dedups parents on attach; mirror that here so the
+        // incremental client graph matches a full re-scan exactly.
+        let mut parent_issuers = vec![self.global.get(global_parents[0])?.issuer()];
+        if global_parents[1] != global_parents[0] {
+            parent_issuers.push(self.global.get(global_parents[1])?.issuer());
+        }
         let global_id =
             self.global
                 .attach_with_meta(payload, &global_parents, Some(idx as u32), now as u32)?;
+        self.graph.record(idx as u32, &parent_issuers);
         // Loopback network ids are the dense indices of the global
         // tangle, so id assignment needs no coordination.
         let net_id = global_id.index();
@@ -826,11 +972,24 @@ impl AsyncSimulation {
     /// Propagates model/tangle errors.
     pub fn step(&mut self) -> Result<ActivationRecord, CoreError> {
         loop {
-            let Reverse(event) = self.events.pop().expect("event queue never empties");
-            self.clock = event.time;
-            match event.kind {
-                EventKind::Activate(idx) => self.process_activate(idx, event.time)?,
-                EventKind::Finish(idx) => return self.process_finish(idx, event.time),
+            let top_is_activate = matches!(
+                self.events
+                    .peek()
+                    .expect("event queue never empties")
+                    .0
+                    .kind,
+                EventKind::Activate(_)
+            );
+            if top_is_activate {
+                let batch = self.pop_activation_batch();
+                self.process_activation_batch(&batch)?;
+            } else {
+                let Reverse(event) = self.events.pop().expect("event queue never empties");
+                self.clock = event.time;
+                match event.kind {
+                    EventKind::Finish(idx) => return self.process_finish(idx, event.time),
+                    EventKind::Activate(_) => unreachable!("peeked a non-activate"),
+                }
             }
         }
     }
@@ -849,14 +1008,16 @@ impl AsyncSimulation {
         Ok(())
     }
 
-    /// The derived client graph of the global tangle (§4.3).
+    /// The derived client graph of the global tangle (§4.3),
+    /// maintained incrementally at publish time.
     pub fn client_graph(&self) -> Graph {
-        crate::client_graph_of(&self.global, self.dataset.num_clients())
+        self.graph.graph().clone()
     }
 
-    /// Approval pureness of the global tangle (Table 2).
+    /// Approval pureness of the global tangle (Table 2), maintained
+    /// incrementally at publish time.
     pub fn approval_pureness(&self) -> f64 {
-        crate::approval_pureness_of(&self.global, &self.dataset.cluster_labels())
+        self.graph.approval_pureness()
     }
 
     /// Mean accuracy over the last `n` activations.
@@ -1319,11 +1480,103 @@ mod tests {
         sim.run().unwrap();
         for c in 0..6 {
             let replica = sim.replica(c);
-            for tx in replica.iter() {
-                for p in tx.parents() {
-                    assert!(p.index() < tx.id().index(), "parents attach first");
+            let mut parents = Vec::new();
+            for index in 0..replica.len() as u64 {
+                let id = TxId::from_index(index);
+                replica.parents_into(id, &mut parents).unwrap();
+                for p in &parents {
+                    assert!(p.index() < index, "parents attach first");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        // Tentpole invariant: the batched event loop partitions work by
+        // event times alone, so any worker count replays the exact
+        // serial schedule — same metrics, clocks, histories, replicas.
+        let run = |workers: usize| {
+            let mut sim = setup_with(
+                AsyncConfig {
+                    dag: DagConfig {
+                        local_batches: 3,
+                        ..DagConfig::default()
+                    },
+                    total_activations: 40,
+                    mean_interarrival: 0.5,
+                    delay: DelayModel::UniformJitter {
+                        base: 1.0,
+                        jitter: 2.0,
+                    },
+                    compute: ComputeProfile::TwoSpeed {
+                        slow_fraction: 0.5,
+                        slowdown: 3.0,
+                    },
+                    train_time: 1.5,
+                    stale_policy: StaleTipPolicy::Reselect,
+                    workers,
+                    ..AsyncConfig::default()
+                },
+                6,
+            );
+            sim.run().unwrap();
+            sim
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.metrics(), parallel.metrics());
+        assert_eq!(serial.clock(), parallel.clock());
+        assert_eq!(serial.tangle().len(), parallel.tangle().len());
+        let acc_a: Vec<f32> = serial.history().iter().map(|r| r.accuracy).collect();
+        let acc_b: Vec<f32> = parallel.history().iter().map(|r| r.accuracy).collect();
+        assert_eq!(acc_a, acc_b);
+        for c in 0..6 {
+            assert_eq!(serial.replica_digest(c), parallel.replica_digest(c));
+        }
+    }
+
+    #[test]
+    fn concurrent_activations_do_batch_under_training_time() {
+        // With six Poisson clocks and a long training time, the heap
+        // regularly holds several activations below the finish barrier;
+        // the run above only proves equality, this proves the batched
+        // path is actually exercised (tips go stale, which requires
+        // overlapping activations).
+        let mut sim = setup_with(
+            AsyncConfig {
+                dag: DagConfig {
+                    local_batches: 2,
+                    ..DagConfig::default()
+                },
+                total_activations: 40,
+                mean_interarrival: 0.5,
+                delay: DelayModel::constant(0.0),
+                train_time: 2.0,
+                workers: 2,
+                ..AsyncConfig::default()
+            },
+            6,
+        );
+        sim.run().unwrap();
+        assert!(
+            sim.history().iter().any(|r| r.stale_parents > 0),
+            "long training must overlap activations"
+        );
+    }
+
+    #[test]
+    fn incremental_client_graph_matches_full_rescan() {
+        // Satellite: the publish-time tracker must agree with a full
+        // re-scan of the global tangle at every horizon.
+        let mut sim = setup(30, 1.0);
+        for _ in 0..30 {
+            sim.step().unwrap();
+            let oracle = crate::client_graph_of(sim.tangle(), sim.dataset().num_clients());
+            assert_eq!(sim.client_graph().edges(), oracle.edges());
+            let oracle_pureness =
+                crate::approval_pureness_of(sim.tangle(), &sim.dataset().cluster_labels());
+            assert!((sim.approval_pureness() - oracle_pureness).abs() < 1e-12);
         }
     }
 

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dagfl_datasets::FederatedDataset;
-use dagfl_tangle::{RandomWalker, TxId, UniformBias};
+use dagfl_tangle::{RandomWalker, TangleRead, TxId, UniformBias};
 
 use crate::{CoreError, DagConfig, ModelFactory, ModelPayload, Simulation};
 
@@ -123,20 +123,20 @@ impl GarbageAttackScenario {
                 })
                 .collect();
             let (p1, p2) = {
-                let tangle = self.simulation.tangle.read();
+                let tangle = &self.simulation.tangle;
                 let walker = RandomWalker::new();
                 let start1 = tangle.sample_walk_start(
                     self.config.dag.walk_depth.0,
                     self.config.dag.walk_depth.1,
                     &mut self.attacker_rng,
                 );
-                let r1 = walker.walk(&tangle, start1, &mut UniformBias, &mut self.attacker_rng)?;
+                let r1 = walker.walk(tangle, start1, &mut UniformBias, &mut self.attacker_rng)?;
                 let start2 = tangle.sample_walk_start(
                     self.config.dag.walk_depth.0,
                     self.config.dag.walk_depth.1,
                     &mut self.attacker_rng,
                 );
-                let r2 = walker.walk(&tangle, start2, &mut UniformBias, &mut self.attacker_rng)?;
+                let r2 = walker.walk(tangle, start2, &mut UniformBias, &mut self.attacker_rng)?;
                 (r1.tip, r2.tip)
             };
             let id = self.simulation.tangle.attach_with_meta(
@@ -170,14 +170,16 @@ impl GarbageAttackScenario {
     /// Propagates model/tangle errors.
     pub fn measure(&mut self) -> Result<GarbageRoundMetrics, CoreError> {
         let evals = self.simulation.reference_evaluations()?;
-        let tangle = self.simulation.tangle.clone();
+        // Materialize a single-owner snapshot once: `past_cone` is an
+        // inherent `Tangle` traversal, and payloads are `Arc`-shared so
+        // the copy is cheap.
+        let tangle = self.simulation.tangle.to_tangle();
         let mut cone_counts = Vec::with_capacity(evals.len());
         let mut garbage_tips = 0usize;
         let mut tips_seen = 0usize;
         for (_, _, (tip1, tip2)) in &evals {
-            let guard = tangle.read();
-            let mut cone = guard.past_cone(*tip1)?;
-            cone.extend(guard.past_cone(*tip2)?);
+            let mut cone = tangle.past_cone(*tip1)?;
+            cone.extend(tangle.past_cone(*tip2)?);
             cone_counts.push(cone.intersection(&self.garbage).count() as f64);
             for tip in [tip1, tip2] {
                 tips_seen += 1;
@@ -269,7 +271,7 @@ mod tests {
         s.run().unwrap();
         assert_eq!(s.garbage_transactions().len(), 10);
         // All tracked ids exist in the tangle and are anonymous.
-        let tangle = s.simulation().tangle().read();
+        let tangle = s.simulation().tangle();
         for &id in s.garbage_transactions() {
             assert!(tangle.get(id).unwrap().issuer().is_none());
         }

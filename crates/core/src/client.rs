@@ -7,11 +7,11 @@ use rand::SeedableRng;
 
 use dagfl_datasets::ClientDataset;
 use dagfl_nn::{average_parameters, Evaluation, Model, SgdConfig};
-use dagfl_tangle::{CumulativeWeightBias, RandomWalker, TxId, UniformBias};
+use dagfl_tangle::{CumulativeWeightBias, RandomWalker, TangleRead, TxId, UniformBias};
 use dagfl_tensor::Matrix;
 
 use crate::{
-    AccuracyBias, CoreError, DagConfig, EvalCounters, ModelEvaluator, ModelTangle, PublishGate,
+    AccuracyBias, CoreError, DagConfig, EvalCounters, ModelEvaluator, ModelPayload, PublishGate,
     TipSelector,
 };
 
@@ -88,9 +88,9 @@ impl DagClient {
     }
 
     /// Runs one biased random walk and returns `(tip, steps, evaluations)`.
-    fn walk_once(
+    fn walk_once<T: TangleRead<ModelPayload>>(
         &mut self,
-        tangle: &ModelTangle,
+        tangle: &T,
         data: &ClientDataset,
         cfg: &DagConfig,
     ) -> Result<(TxId, usize, usize), CoreError> {
@@ -131,9 +131,9 @@ impl DagClient {
     /// # Errors
     ///
     /// Propagates tangle errors (cannot happen for well-formed tangles).
-    pub fn select_tips(
+    pub fn select_tips<T: TangleRead<ModelPayload>>(
         &mut self,
-        tangle: &ModelTangle,
+        tangle: &T,
         data: &ClientDataset,
         cfg: &DagConfig,
     ) -> Result<((TxId, TxId), usize, usize), CoreError> {
@@ -149,15 +149,15 @@ impl DagClient {
     /// # Errors
     ///
     /// Propagates tangle errors.
-    pub fn reference_model(
+    pub fn reference_model<T: TangleRead<ModelPayload>>(
         &mut self,
-        tangle: &ModelTangle,
+        tangle: &T,
         data: &ClientDataset,
         cfg: &DagConfig,
     ) -> Result<(Vec<f32>, (TxId, TxId)), CoreError> {
         let ((tip1, tip2), _, _) = self.select_tips(tangle, data, cfg)?;
-        let p1 = tangle.get(tip1)?.payload().share();
-        let p2 = tangle.get(tip2)?.payload().share();
+        let p1 = tangle.payload_of(tip1)?.share();
+        let p2 = tangle.payload_of(tip2)?.share();
         Ok((average_parameters(&[&p1, &p2]), (tip1, tip2)))
     }
 
@@ -198,9 +198,9 @@ impl DagClient {
     ///
     /// Returns an error if the model architecture does not match the
     /// tangle's payloads or the dataset shape.
-    pub fn train_round(
+    pub fn train_round<T: TangleRead<ModelPayload>>(
         &mut self,
-        tangle: &ModelTangle,
+        tangle: &T,
         data: &ClientDataset,
         cfg: &DagConfig,
     ) -> Result<TrainOutcome, CoreError> {
@@ -215,8 +215,8 @@ impl DagClient {
         // current consensus view): this keeps a client from publishing a
         // model that only improved relative to a bad average — e.g. one
         // contaminated by a random-weight attacker (§4.4).
-        let p1 = tangle.get(tip1)?.payload().share();
-        let p2 = tangle.get(tip2)?.payload().share();
+        let p1 = tangle.payload_of(tip1)?.share();
+        let p2 = tangle.payload_of(tip2)?.share();
         // `score` maps malformed payloads to accuracy 0.0 (an
         // unattractive walk target), so guard the averaging explicitly:
         // mismatched parent lengths must surface as an error, not as an
@@ -300,7 +300,7 @@ impl std::fmt::Debug for DagClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ModelPayload;
+    use crate::ModelTangle;
     use dagfl_datasets::{fmnist_clustered, FmnistConfig};
     use dagfl_nn::{Dense, Relu, Sequential};
     use dagfl_tangle::Tangle;

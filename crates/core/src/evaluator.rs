@@ -3,10 +3,10 @@
 use std::collections::HashMap;
 
 use dagfl_nn::{EvalScratch, Evaluation, Model};
-use dagfl_tangle::TxId;
+use dagfl_tangle::{TangleRead, TxId};
 use dagfl_tensor::Matrix;
 
-use crate::{CoreError, ModelTangle};
+use crate::{CoreError, ModelPayload};
 
 /// Fresh-vs-cached evaluation counts, cumulative per evaluator.
 ///
@@ -138,17 +138,27 @@ impl ModelEvaluator {
     /// Mirrors the walk-bias contract: a missing transaction or an
     /// architecture mismatch scores `0.0` instead of erroring, so a
     /// malformed payload merely becomes an unattractive walk target.
-    pub fn score(&mut self, tangle: &ModelTangle, id: TxId, x: &Matrix, y: &[usize]) -> f32 {
+    ///
+    /// Generic over the storage backend: plain [`crate::ModelTangle`]s,
+    /// [`crate::ShardedModelTangle`]s and replica views all score the
+    /// same way.
+    pub fn score<T: TangleRead<ModelPayload>>(
+        &mut self,
+        tangle: &T,
+        id: TxId,
+        x: &Matrix,
+        y: &[usize],
+    ) -> f32 {
         if let Some(entry) = self.cache.get(&id) {
             if entry.generation == self.generation {
                 self.counters.cached += 1;
                 return entry.accuracy;
             }
         }
-        let accuracy = match tangle.get(id) {
-            Ok(tx) => {
+        let accuracy = match tangle.payload_of(id) {
+            Ok(payload) => {
                 self.counters.fresh += 1;
-                let params = tx.payload().params();
+                let params = payload.params();
                 // Zero-copy path: evaluate straight from the payload
                 // slice; models without one get the parameters loaded.
                 let evaluation =
@@ -176,9 +186,9 @@ impl ModelEvaluator {
     }
 
     /// Scores a whole candidate slate in one call, in slate order.
-    pub fn score_slate(
+    pub fn score_slate<T: TangleRead<ModelPayload>>(
         &mut self,
-        tangle: &ModelTangle,
+        tangle: &T,
         candidates: &[TxId],
         x: &Matrix,
         y: &[usize],
@@ -231,7 +241,7 @@ impl std::fmt::Debug for ModelEvaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ModelPayload;
+    use crate::ModelTangle;
     use dagfl_nn::{Dense, Sequential};
     use dagfl_tangle::Tangle;
     use rand::rngs::StdRng;

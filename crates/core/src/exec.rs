@@ -13,7 +13,6 @@
 
 use std::ops::Deref;
 
-use parking_lot::RwLockReadGuard;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,33 +21,31 @@ use dagfl_graphs::{louvain, misclassification_fraction, modularity, partition_co
 use dagfl_tangle::TangleStats;
 
 use crate::{
-    AsyncSimulation, CoreError, ModelTangle, Simulation, SpecializationMetrics,
+    AsyncSimulation, CoreError, ShardedModelTangle, Simulation, SpecializationMetrics,
     {approval_pureness_of, client_graph_of},
 };
 
 /// A read-only view of a simulator's globally visible tangle.
 ///
-/// The round simulator shares its tangle behind a lock (clients mutate it
-/// concurrently) while the asynchronous simulator owns its global tangle
-/// directly; this guard abstracts over both so callers can simply deref
-/// to [`ModelTangle`] instead of threading `&mut dyn FnMut` callbacks
-/// with out-parameters. Hold it briefly — the `Guard` variant keeps the
-/// round simulator's read lock.
-pub enum TangleView<'a> {
-    /// A read-lock guard over a shared tangle (round simulator).
-    Guard(RwLockReadGuard<'a, ModelTangle>),
-    /// A plain borrow of a directly owned tangle (async simulator).
-    Borrowed(&'a ModelTangle),
+/// Both simulators now own a [`ShardedModelTangle`], whose read path is
+/// lock-free, so the view is a plain borrow: deref it to
+/// [`ShardedModelTangle`] (or use it through
+/// [`dagfl_tangle::TangleRead`]) — no guard is held and the view can be
+/// kept for as long as the simulator is borrowed.
+pub struct TangleView<'a>(&'a ShardedModelTangle);
+
+impl<'a> TangleView<'a> {
+    /// Wraps a borrow of a simulator's tangle.
+    pub fn new(tangle: &'a ShardedModelTangle) -> Self {
+        Self(tangle)
+    }
 }
 
 impl Deref for TangleView<'_> {
-    type Target = ModelTangle;
+    type Target = ShardedModelTangle;
 
-    fn deref(&self) -> &ModelTangle {
-        match self {
-            TangleView::Guard(guard) => guard,
-            TangleView::Borrowed(tangle) => tangle,
-        }
+    fn deref(&self) -> &ShardedModelTangle {
+        self.0
     }
 }
 
@@ -74,14 +71,14 @@ pub trait ExecutionMode {
     fn run_to_completion(&mut self) -> Result<(), CoreError>;
 
     /// A read-only view of the globally visible tangle; deref it to
-    /// [`ModelTangle`].
+    /// [`ShardedModelTangle`].
     fn tangle_view(&self) -> TangleView<'_>;
 
     /// Calls `f` with the globally visible tangle.
     ///
     /// Kept for callers written against the original callback shape;
     /// [`ExecutionMode::tangle_view`] is the preferred accessor.
-    fn with_tangle(&self, f: &mut dyn FnMut(&ModelTangle)) {
+    fn with_tangle(&self, f: &mut dyn FnMut(&ShardedModelTangle)) {
         f(&self.tangle_view());
     }
 
@@ -91,12 +88,12 @@ pub trait ExecutionMode {
 
     /// The derived client graph `G_clients` (§4.3).
     fn client_graph(&self) -> Graph {
-        client_graph_of(&self.tangle_view(), self.dataset().num_clients())
+        client_graph_of(&*self.tangle_view(), self.dataset().num_clients())
     }
 
     /// Approval pureness of the visible tangle (Table 2).
     fn approval_pureness(&self) -> f64 {
-        approval_pureness_of(&self.tangle_view(), &self.dataset().cluster_labels())
+        approval_pureness_of(&*self.tangle_view(), &self.dataset().cluster_labels())
     }
 
     /// Structural statistics of the visible tangle.
@@ -141,7 +138,7 @@ impl ExecutionMode for Simulation {
     }
 
     fn tangle_view(&self) -> TangleView<'_> {
-        TangleView::Guard(self.tangle().read())
+        TangleView::new(self.tangle())
     }
 
     fn recent_accuracy(&self, n: usize) -> f32 {
@@ -167,7 +164,7 @@ impl ExecutionMode for AsyncSimulation {
     }
 
     fn tangle_view(&self) -> TangleView<'_> {
-        TangleView::Borrowed(self.tangle())
+        TangleView::new(self.tangle())
     }
 
     fn recent_accuracy(&self, n: usize) -> f32 {

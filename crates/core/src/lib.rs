@@ -115,16 +115,20 @@ pub use error::CoreError;
 pub use evaluator::{EvalCounters, ModelEvaluator};
 pub use exec::{ExecutionMode, TangleView};
 pub use fault::{CrashWindow, FaultPlan, FaultyTransport, PartitionWindow, FAULT_STREAM};
-pub use metrics::{approval_pureness_of, client_graph_of, RoundMetrics, SpecializationMetrics};
+pub use metrics::{
+    approval_pureness_of, client_graph_of, tangle_digest, ClientGraphTracker, RoundMetrics,
+    SpecializationMetrics,
+};
 pub use net::{
     have_set, tracker_join, tracker_leave, ControlEvent, TcpTransport, Tracker, TrackerSummary,
 };
 pub use payload::{
-    perturbed_model_tangle, ModelFactory, ModelPayload, ModelTangle, SharedModelTangle,
+    perturbed_model_tangle, ModelFactory, ModelPayload, ModelTangle, ShardedModelTangle,
+    SharedModelTangle,
 };
 pub use peer::{run_peer, PeerConfig, PeerReport};
 pub use poisoning::{mean_accuracy_series, PoisonRoundMetrics, PoisoningConfig, PoisoningScenario};
-pub use replica::{Replica, GENESIS_NET_ID};
+pub use replica::{Replica, ReplicaTangle, SegmentRegistry, GENESIS_NET_ID};
 pub use seed::derive_seed;
 pub use simulation::{ReferenceEvaluation, Simulation};
 pub use tip_selection::AccuracyBias;

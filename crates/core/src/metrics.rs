@@ -3,22 +3,31 @@
 use std::time::Duration;
 
 use dagfl_graphs::Graph;
+use dagfl_tangle::{TangleRead, TxId};
 
-use crate::ModelTangle;
+use crate::ModelPayload;
 
 /// Builds the derived client graph `G_clients` (§4.3) from a tangle: the
 /// edge weight between two clients is the number of direct approvals
 /// between their transactions, in either direction. Genesis approvals and
 /// self-approvals are skipped.
-pub fn client_graph_of(tangle: &ModelTangle, num_clients: usize) -> Graph {
+///
+/// Generic over the storage backend; for the simulators' hot paths the
+/// graph is maintained incrementally (see [`ClientGraphTracker`]) and this
+/// full re-scan doubles as the regression oracle.
+pub fn client_graph_of<T: TangleRead<ModelPayload>>(tangle: &T, num_clients: usize) -> Graph {
     let mut graph = Graph::new(num_clients);
-    for tx in tangle.iter() {
-        let Some(a) = tx.issuer() else { continue };
-        for &parent in tx.parents() {
-            let Ok(parent_tx) = tangle.get(parent) else {
-                continue;
-            };
-            let Some(b) = parent_tx.issuer() else {
+    let mut parents = Vec::new();
+    for index in 0..tangle.len() as u64 {
+        let id = TxId::from_index(index);
+        let Ok(Some(a)) = tangle.issuer_of(id) else {
+            continue;
+        };
+        if tangle.parents_into(id, &mut parents).is_err() {
+            continue;
+        }
+        for &parent in &parents {
+            let Ok(Some(b)) = tangle.issuer_of(parent) else {
                 continue;
             };
             if a != b {
@@ -32,16 +41,20 @@ pub fn client_graph_of(tangle: &ModelTangle, num_clients: usize) -> Graph {
 /// The approval pureness (Table 2) of a tangle: the fraction of approval
 /// edges whose endpoints were published by clients of the same
 /// ground-truth cluster. Returns 1.0 when no qualifying approvals exist.
-pub fn approval_pureness_of(tangle: &ModelTangle, clusters: &[usize]) -> f64 {
+pub fn approval_pureness_of<T: TangleRead<ModelPayload>>(tangle: &T, clusters: &[usize]) -> f64 {
     let mut total = 0usize;
     let mut pure = 0usize;
-    for tx in tangle.iter() {
-        let Some(a) = tx.issuer() else { continue };
-        for &parent in tx.parents() {
-            let Ok(parent_tx) = tangle.get(parent) else {
-                continue;
-            };
-            let Some(b) = parent_tx.issuer() else {
+    let mut parents = Vec::new();
+    for index in 0..tangle.len() as u64 {
+        let id = TxId::from_index(index);
+        let Ok(Some(a)) = tangle.issuer_of(id) else {
+            continue;
+        };
+        if tangle.parents_into(id, &mut parents).is_err() {
+            continue;
+        }
+        for &parent in &parents {
+            let Ok(Some(b)) = tangle.issuer_of(parent) else {
                 continue;
             };
             total += 1;
@@ -54,6 +67,126 @@ pub fn approval_pureness_of(tangle: &ModelTangle, clusters: &[usize]) -> f64 {
         1.0
     } else {
         pure as f64 / total as f64
+    }
+}
+
+/// FNV-1a over a sequence of little-endian `u64` words.
+fn fnv_mix(h: &mut u64, v: u64) {
+    for byte in v.to_le_bytes() {
+        *h = (*h ^ u64::from(byte)).wrapping_mul(0x1000_0000_01b3);
+    }
+}
+
+/// A deterministic digest of a tangle's full contents — parameter bits,
+/// issuers, rounds and the approval structure — for cheap equality
+/// checks between runs (e.g. `--jobs 1` vs `--jobs N`, or any two
+/// worker counts of the async event loop).
+///
+/// The digest is *content-addressed*: each transaction hashes to an
+/// FNV-1a over its own payload/issuer/round plus an order-independent
+/// combination of its parents' content hashes, and the per-transaction
+/// hashes are summed with wrapping addition. Dense ids never enter the
+/// hash, so the digest is independent of the storage backend, the
+/// iteration order *and the insertion order* — any two
+/// dependency-respecting interleavings of the same transactions agree
+/// (up to hash collisions).
+pub fn tangle_digest<T: TangleRead<ModelPayload>>(tangle: &T) -> u64 {
+    let len = tangle.len();
+    // Pass 1: per-transaction content hashes (payload, issuer, round).
+    let mut content = vec![0u64; len];
+    for index in 0..len as u64 {
+        let id = TxId::from_index(index);
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        if let Ok(payload) = tangle.payload_of(id) {
+            for &p in payload.params() {
+                fnv_mix(&mut h, u64::from(p.to_bits()));
+            }
+        }
+        if let Ok(issuer) = tangle.issuer_of(id) {
+            fnv_mix(&mut h, issuer.map_or(u64::MAX, u64::from));
+        }
+        if let Ok(round) = tangle.round_of(id) {
+            fnv_mix(&mut h, u64::from(round));
+        }
+        content[index as usize] = h;
+    }
+    // Pass 2: fold in the approval structure. Parents always precede
+    // children (the `TangleRead` contract), so their content hashes are
+    // ready; combining them by wrapping sum keeps the digest independent
+    // of parent order within a transaction.
+    let mut digest = 0u64;
+    let mut parents = Vec::new();
+    for index in 0..len as u64 {
+        let id = TxId::from_index(index);
+        let mut h = content[index as usize];
+        if tangle.parents_into(id, &mut parents).is_ok() {
+            fnv_mix(&mut h, parents.len() as u64);
+            let mut combined = 0u64;
+            for parent in &parents {
+                combined = combined.wrapping_add(content[parent.index() as usize]);
+            }
+            fnv_mix(&mut h, combined);
+        }
+        digest = digest.wrapping_add(h);
+    }
+    digest
+}
+
+/// Incrementally-maintained client graph and pureness counters: the
+/// adjacency that [`client_graph_of`] and [`approval_pureness_of`] derive
+/// by re-scanning the whole tangle, updated in `O(parents)` per published
+/// transaction instead.
+///
+/// Both simulators record every attached transaction here at publish
+/// time; the full re-scans stay available as regression oracles.
+#[derive(Debug, Clone)]
+pub struct ClientGraphTracker {
+    graph: Graph,
+    clusters: Vec<usize>,
+    approvals: usize,
+    pure_approvals: usize,
+}
+
+impl ClientGraphTracker {
+    /// An empty tracker for `clusters.len()` clients with the given
+    /// ground-truth cluster labels.
+    pub fn new(clusters: Vec<usize>) -> Self {
+        Self {
+            graph: Graph::new(clusters.len()),
+            clusters,
+            approvals: 0,
+            pure_approvals: 0,
+        }
+    }
+
+    /// Records one published transaction: `issuer` approving the
+    /// transactions issued by `parent_issuers` (use `None` for the
+    /// genesis, which carries no issuer).
+    pub fn record(&mut self, issuer: u32, parent_issuers: &[Option<u32>]) {
+        for parent in parent_issuers.iter().flatten() {
+            self.approvals += 1;
+            if self.clusters[issuer as usize] == self.clusters[*parent as usize] {
+                self.pure_approvals += 1;
+            }
+            if *parent != issuer {
+                self.graph.add_edge(issuer as usize, *parent as usize, 1.0);
+            }
+        }
+    }
+
+    /// The derived client graph accumulated so far.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The approval pureness accumulated so far (1.0 when no qualifying
+    /// approvals exist, matching [`approval_pureness_of`]).
+    pub fn approval_pureness(&self) -> f64 {
+        if self.approvals == 0 {
+            1.0
+        } else {
+            self.pure_approvals as f64 / self.approvals as f64
+        }
     }
 }
 

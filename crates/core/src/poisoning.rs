@@ -158,29 +158,30 @@ impl PoisoningScenario {
             .map(|r| r.poisoned_clients.clone())
             .unwrap_or_default();
         let config = self.simulation.config;
-        let tangle = self.simulation.tangle.clone();
+        // Materialize a single-owner snapshot once: `past_cone` is an
+        // inherent `Tangle` traversal, and payloads are `Arc`-shared so
+        // the copy is cheap.
+        let tangle = self.simulation.tangle.to_tangle();
         let mut flip_fractions = Vec::new();
         let mut approved_counts = Vec::new();
         for idx in 0..self.simulation.dataset.num_clients() {
             let data = &self.simulation.dataset.clients()[idx];
             let client = &mut self.simulation.clients[idx];
-            let guard = tangle.read();
-            let (params, (tip1, tip2)) = client.reference_model(&guard, data, &config)?;
+            let (params, (tip1, tip2)) = client.reference_model(&tangle, data, &config)?;
             // Poisoned transactions in the union of the reference past
             // cones.
-            let mut cone = guard.past_cone(tip1)?;
-            cone.extend(guard.past_cone(tip2)?);
+            let mut cone = tangle.past_cone(tip1)?;
+            cone.extend(tangle.past_cone(tip2)?);
             let poisoned_in_cone = cone
                 .iter()
                 .filter(|&&id| {
-                    guard
+                    tangle
                         .get(id)
                         .ok()
                         .and_then(|tx| tx.issuer())
                         .is_some_and(|issuer| poisoned.contains(&issuer))
                 })
                 .count();
-            drop(guard);
             approved_counts.push(poisoned_in_cone as f64);
             // Flipped predictions on the client's class-a/b test samples.
             // Labels are the *clean* ground truth: for poisoned clients the

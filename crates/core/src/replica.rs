@@ -1,12 +1,250 @@
 //! One client's view of the network: a local tangle replica fed
 //! exclusively by [`GossipMessage`]s, with a solidification buffer for
 //! out-of-order arrivals.
+//!
+//! # Memory model
+//!
+//! At 10k+ clients the dominant cost of per-client replicas is no longer
+//! the model parameters (those were always behind an `Arc`) but the
+//! per-transaction bookkeeping each replica used to copy: parent lists,
+//! issuer/round metadata and the payload wrapper. Replicas therefore
+//! share one [`SegmentRegistry`] — an append-only intern store of
+//! immutable [`Arc`]'d transaction records keyed by network id. Each
+//! [`Replica`] keeps only its *delta*: which records it has attached, in
+//! which local order, plus the derived children/tip indices that depend
+//! on that order. Attaching a transaction that any other replica already
+//! holds costs one `Arc` clone instead of a fresh allocation.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-use dagfl_tangle::{Tangle, TxId};
+use parking_lot::Mutex;
 
-use crate::{CoreError, Envelope, GossipMessage, ModelPayload, ModelTangle, TxMessage};
+use dagfl_tangle::{TangleError, TangleRead, TxId};
+
+use crate::{CoreError, Envelope, GossipMessage, ModelPayload, TxMessage};
+
+/// The genesis always carries network id 0, in every transport.
+pub const GENESIS_NET_ID: u64 = 0;
+
+/// One immutable transaction as gossiped over the network: the unit
+/// shared between replicas through the [`SegmentRegistry`].
+///
+/// Parents are stored as *network* ids, deduplicated but in approval
+/// order — local ids differ between replicas (they depend on arrival
+/// order), so they live in each replica's delta instead.
+#[derive(Debug)]
+struct TxRecord {
+    net_id: u64,
+    /// Deduplicated parent network ids, in approval order. Empty only
+    /// for the genesis.
+    parents: Box<[u64]>,
+    payload: ModelPayload,
+    issuer: Option<u32>,
+    round: u32,
+}
+
+/// A shared, append-only intern store of transaction records.
+///
+/// Cloning the registry is cheap and shares the underlying store; the
+/// simulator hands one clone to every replica so that a transaction
+/// gossiped to `n` clients is materialized once, not `n` times. Records
+/// are immutable once interned (first writer wins — network ids are
+/// unique per publication), so readers never contend beyond the brief
+/// lock taken on insert.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentRegistry {
+    records: Arc<Mutex<HashMap<u64, Arc<TxRecord>>>>,
+}
+
+impl SegmentRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct transactions interned so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether no transaction has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Returns the record for `net_id`, interning it from `msg` (with
+    /// the given deduplicated parents) if absent.
+    fn intern(&self, msg: &TxMessage, deduped_parents: &[u64]) -> Arc<TxRecord> {
+        let mut records = self.records.lock();
+        Arc::clone(records.entry(msg.id).or_insert_with(|| {
+            Arc::new(TxRecord {
+                net_id: msg.id,
+                parents: deduped_parents.into(),
+                payload: ModelPayload::from_shared(msg.params.clone()),
+                issuer: msg.issuer,
+                round: msg.round,
+            })
+        }))
+    }
+
+    /// Interns a genesis payload under [`GENESIS_NET_ID`].
+    fn intern_genesis(&self, genesis: ModelPayload) -> Arc<TxRecord> {
+        let mut records = self.records.lock();
+        Arc::clone(records.entry(GENESIS_NET_ID).or_insert_with(|| {
+            Arc::new(TxRecord {
+                net_id: GENESIS_NET_ID,
+                parents: Box::new([]),
+                payload: genesis,
+                issuer: None,
+                round: 0,
+            })
+        }))
+    }
+}
+
+/// One replica's ordered view over shared transaction records: the
+/// per-client delta of the segment-shared storage scheme.
+///
+/// Local ids are dense indices in attachment order (genesis is id 0,
+/// parents always precede children), exactly the contract of
+/// [`TangleRead`] — so tip selection, weights and metrics run on a
+/// replica view unchanged.
+#[derive(Debug, Clone)]
+pub struct ReplicaTangle {
+    /// Shared records in local attachment order.
+    records: Vec<Arc<TxRecord>>,
+    /// Direct approvers per local id, in attachment order.
+    children: Vec<Vec<TxId>>,
+    /// Local ids with no approvers yet.
+    tips: HashSet<TxId>,
+    /// Network id → local id.
+    to_local: HashMap<u64, TxId>,
+    /// Local id (by index) → network id.
+    to_network: Vec<u64>,
+}
+
+impl ReplicaTangle {
+    fn new(genesis: Arc<TxRecord>) -> Self {
+        let g = TxId::from_index(0);
+        let mut to_local = HashMap::new();
+        to_local.insert(genesis.net_id, g);
+        let to_network = vec![genesis.net_id];
+        let mut tips = HashSet::new();
+        tips.insert(g);
+        Self {
+            records: vec![genesis],
+            children: vec![Vec::new()],
+            tips,
+            to_local,
+            to_network,
+        }
+    }
+
+    /// Attaches an interned record whose parents are all present in
+    /// this view. Returns the assigned local id.
+    fn attach(&mut self, record: Arc<TxRecord>) -> TxId {
+        let id = TxId::from_index(self.records.len() as u64);
+        for net_parent in record.parents.iter() {
+            let parent = self.to_local[net_parent];
+            self.children[parent.index() as usize].push(id);
+            self.tips.remove(&parent);
+        }
+        self.to_local.insert(record.net_id, id);
+        self.to_network.push(record.net_id);
+        self.records.push(record);
+        self.children.push(Vec::new());
+        self.tips.insert(id);
+        id
+    }
+
+    fn record(&self, id: TxId) -> Result<&Arc<TxRecord>, TangleError> {
+        self.records
+            .get(id.index() as usize)
+            .ok_or(TangleError::UnknownTransaction(id))
+    }
+
+    /// Number of transactions, including the genesis.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Always `false`: a replica is born holding the genesis.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The local id of the genesis transaction.
+    pub fn genesis(&self) -> TxId {
+        TxId::from_index(0)
+    }
+
+    /// All approval edges as `(child, parent)` pairs of local ids, in
+    /// insertion order (the analogue of [`dagfl_tangle::Tangle::edges`]).
+    pub fn edges(&self) -> Vec<(TxId, TxId)> {
+        let mut edges = Vec::new();
+        for (index, record) in self.records.iter().enumerate() {
+            for net_parent in record.parents.iter() {
+                edges.push((TxId::from_index(index as u64), self.to_local[net_parent]));
+            }
+        }
+        edges
+    }
+}
+
+impl TangleRead<ModelPayload> for ReplicaTangle {
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    fn payload_of(&self, id: TxId) -> Result<&ModelPayload, TangleError> {
+        Ok(&self.record(id)?.payload)
+    }
+
+    fn issuer_of(&self, id: TxId) -> Result<Option<u32>, TangleError> {
+        Ok(self.record(id)?.issuer)
+    }
+
+    fn round_of(&self, id: TxId) -> Result<u32, TangleError> {
+        Ok(self.record(id)?.round)
+    }
+
+    fn parents_into(&self, id: TxId, out: &mut Vec<TxId>) -> Result<(), TangleError> {
+        let record = self.record(id)?;
+        out.clear();
+        for net_parent in record.parents.iter() {
+            // A record only attaches after all parents are local, so the
+            // translation cannot fail on a consistent view.
+            out.push(
+                self.to_local
+                    .get(net_parent)
+                    .copied()
+                    .ok_or(TangleError::UnknownParent(id))?,
+            );
+        }
+        Ok(())
+    }
+
+    fn children_into(&self, id: TxId, out: &mut Vec<TxId>) -> Result<(), TangleError> {
+        let children = self
+            .children
+            .get(id.index() as usize)
+            .ok_or(TangleError::UnknownTransaction(id))?;
+        out.clear();
+        out.extend_from_slice(children);
+        Ok(())
+    }
+
+    fn is_tip(&self, id: TxId) -> bool {
+        self.tips.contains(&id)
+    }
+
+    fn tips(&self) -> Vec<TxId> {
+        let mut tips: Vec<TxId> = self.tips.iter().copied().collect();
+        tips.sort();
+        tips
+    }
+}
 
 /// A client's tangle replica plus the id maps linking local ids to
 /// network ids.
@@ -17,6 +255,11 @@ use crate::{CoreError, Envelope, GossipMessage, ModelPayload, ModelTangle, TxMes
 /// are still unknown waits in the solidification buffer and attaches
 /// automatically once they arrive — in a gossip network nothing
 /// guarantees causal delivery order.
+///
+/// Transaction contents live in a [`SegmentRegistry`]; construct
+/// replicas with [`Replica::with_registry`] to share one store across a
+/// whole simulated network ([`Replica::new`] gives the replica a
+/// private store, which is what a real networked peer wants).
 ///
 /// # Example
 ///
@@ -38,57 +281,54 @@ use crate::{CoreError, Envelope, GossipMessage, ModelPayload, ModelTangle, TxMes
 /// ```
 #[derive(Debug, Clone)]
 pub struct Replica {
-    tangle: ModelTangle,
-    /// Network id → id in this replica.
-    to_local: HashMap<u64, TxId>,
-    /// Replica id (by index) → network id.
-    to_network: Vec<u64>,
+    view: ReplicaTangle,
+    registry: SegmentRegistry,
     /// Received but not yet solid: `(arrival time, message)`.
     buffered: Vec<(f64, TxMessage)>,
 }
 
-/// The genesis always carries network id 0, in every transport.
-pub const GENESIS_NET_ID: u64 = 0;
-
 impl Replica {
-    /// Creates a replica holding only the genesis (network id 0).
+    /// Creates a replica holding only the genesis (network id 0), with
+    /// a private record store.
     pub fn new(genesis: ModelPayload) -> Self {
-        let tangle = Tangle::new(genesis);
-        let g = tangle.genesis();
-        let mut to_local = HashMap::new();
-        to_local.insert(GENESIS_NET_ID, g);
+        Self::with_registry(genesis, SegmentRegistry::new())
+    }
+
+    /// Creates a replica holding only the genesis, interned into (and
+    /// sharing records with) the given registry.
+    pub fn with_registry(genesis: ModelPayload, registry: SegmentRegistry) -> Self {
+        let record = registry.intern_genesis(genesis);
         Self {
-            tangle,
-            to_local,
-            to_network: vec![GENESIS_NET_ID],
+            view: ReplicaTangle::new(record),
+            registry,
             buffered: Vec::new(),
         }
     }
 
-    /// The local tangle.
-    pub fn tangle(&self) -> &ModelTangle {
-        &self.tangle
+    /// The local tangle view.
+    pub fn tangle(&self) -> &ReplicaTangle {
+        &self.view
     }
 
     /// Whether a transaction with this network id has been attached.
     pub fn contains(&self, net_id: u64) -> bool {
-        self.to_local.contains_key(&net_id)
+        self.view.to_local.contains_key(&net_id)
     }
 
     /// The local id of a network id, if attached.
     pub fn local_id(&self, net_id: u64) -> Option<TxId> {
-        self.to_local.get(&net_id).copied()
+        self.view.to_local.get(&net_id).copied()
     }
 
     /// The network id of a local transaction.
     pub fn network_id(&self, local: TxId) -> Option<u64> {
-        self.to_network.get(local.index() as usize).copied()
+        self.view.to_network.get(local.index() as usize).copied()
     }
 
     /// All known network ids in local attachment order (starts with
     /// the genesis).
     pub fn network_ids(&self) -> &[u64] {
-        &self.to_network
+        &self.view.to_network
     }
 
     /// Messages waiting in the solidification buffer.
@@ -106,35 +346,36 @@ impl Replica {
     /// Returns [`CoreError::Config`] if a parent is unknown (the
     /// message belongs in the solidification buffer, not here).
     pub fn insert(&mut self, msg: &TxMessage) -> Result<TxId, CoreError> {
-        if let Some(&existing) = self.to_local.get(&msg.id) {
+        if let Some(&existing) = self.view.to_local.get(&msg.id) {
             return Ok(existing);
         }
-        let parents: Vec<TxId> = msg
-            .parents
-            .iter()
-            .map(|p| {
-                self.to_local.get(p).copied().ok_or_else(|| {
-                    CoreError::Config(format!(
-                        "transaction {} references unknown parent {p}",
-                        msg.id
-                    ))
-                })
-            })
-            .collect::<Result<_, _>>()?;
-        let local = self.tangle.attach_with_meta(
-            ModelPayload::from_shared(msg.params.clone()),
-            &parents,
-            msg.issuer,
-            msg.round,
-        )?;
-        self.to_local.insert(msg.id, local);
-        debug_assert_eq!(local.index() as usize, self.to_network.len());
-        self.to_network.push(msg.id);
+        if msg.parents.is_empty() {
+            return Err(TangleError::MissingParents.into());
+        }
+        // Validate and dedup (preserving order) before interning, so a
+        // record always stores resolvable, duplicate-free parents.
+        let mut deduped: Vec<u64> = Vec::with_capacity(msg.parents.len());
+        for p in &msg.parents {
+            if !self.view.to_local.contains_key(p) {
+                return Err(CoreError::Config(format!(
+                    "transaction {} references unknown parent {p}",
+                    msg.id
+                )));
+            }
+            if !deduped.contains(p) {
+                deduped.push(*p);
+            }
+        }
+        let record = self.registry.intern(msg, &deduped);
+        let local = self.view.attach(record);
+        debug_assert_eq!(local.index() as usize + 1, self.view.to_network.len());
         Ok(local)
     }
 
     fn is_solid(&self, msg: &TxMessage) -> bool {
-        msg.parents.iter().all(|p| self.to_local.contains_key(p))
+        msg.parents
+            .iter()
+            .all(|p| self.view.to_local.contains_key(p))
     }
 
     /// Applies delivered envelopes: merges them with the
@@ -187,7 +428,7 @@ impl Replica {
     /// whose parents are neither attached nor deliverable.
     pub fn backlog(&self, in_flight: &[Envelope], now: f64) -> usize {
         let future = in_flight.iter().filter(|e| e.at > now).count();
-        let mut known: HashSet<u64> = self.to_local.keys().copied().collect();
+        let mut known: HashSet<u64> = self.view.to_local.keys().copied().collect();
         let mut due: Vec<(u64, &[u64])> = self
             .buffered
             .iter()
@@ -221,23 +462,16 @@ impl Replica {
     /// in topological order — the answer to a snapshot request. The
     /// genesis is never included (every replica is born with it).
     pub fn snapshot_messages(&self, have: &HashSet<u64>) -> Vec<TxMessage> {
-        let snapshot = self.tangle.snapshot();
-        snapshot
-            .records()
+        self.view
+            .records
             .iter()
-            .enumerate()
-            .filter_map(|(index, record)| {
-                let net_id = self.to_network[index];
-                if record.parents.is_empty() || have.contains(&net_id) {
+            .filter_map(|record| {
+                if record.parents.is_empty() || have.contains(&record.net_id) {
                     return None;
                 }
                 Some(TxMessage {
-                    id: net_id,
-                    parents: record
-                        .parents
-                        .iter()
-                        .map(|&p| self.to_network[p as usize])
-                        .collect(),
+                    id: record.net_id,
+                    parents: record.parents.to_vec(),
                     params: record.payload.share(),
                     issuer: record.issuer,
                     round: record.round,
@@ -252,7 +486,7 @@ impl Replica {
     /// convergence check of the networked mode.
     pub fn digest(&self) -> u64 {
         let mut total: u64 = 0;
-        for (index, tx) in self.tangle.iter().enumerate() {
+        for record in &self.view.records {
             let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
             let mut mix = |value: u64| {
                 for byte in value.to_le_bytes() {
@@ -260,16 +494,16 @@ impl Replica {
                     h = h.wrapping_mul(0x1000_0000_01b3);
                 }
             };
-            mix(self.to_network[index]);
-            mix(tx.parents().len() as u64);
-            for p in tx.parents() {
-                mix(self.to_network[p.index() as usize]);
+            mix(record.net_id);
+            mix(record.parents.len() as u64);
+            for &p in record.parents.iter() {
+                mix(p);
             }
-            for w in tx.payload().params() {
+            for w in record.payload.params() {
                 mix(w.to_bits() as u64);
             }
-            mix(tx.issuer().map_or(u64::MAX, |i| i as u64));
-            mix(tx.round() as u64);
+            mix(record.issuer.map_or(u64::MAX, |i| i as u64));
+            mix(record.round as u64);
             total = total.wrapping_add(h);
         }
         total
@@ -318,7 +552,7 @@ mod tests {
         assert_eq!(r.local_id(5), Some(local));
         assert_eq!(r.network_id(local), Some(5));
         let child = r.insert(&msg(9, &[5, 0])).unwrap();
-        assert_eq!(r.tangle().get(child).unwrap().parents().len(), 2);
+        assert_eq!(r.tangle().parents_of(child).unwrap().len(), 2);
     }
 
     #[test]
@@ -449,5 +683,54 @@ mod tests {
         let mut c = fresh();
         c.insert(&msg(5, &[0])).unwrap();
         assert_ne!(a.digest(), c.digest(), "different sets must differ");
+    }
+
+    #[test]
+    fn shared_registry_interns_each_transaction_once() {
+        // Satellite: two replicas on one registry share records — the
+        // second attachment is an `Arc` clone, not a new allocation.
+        let registry = SegmentRegistry::new();
+        let genesis = ModelPayload::new(vec![0.0, 0.0]);
+        let mut a = Replica::with_registry(genesis.clone(), registry.clone());
+        let mut b = Replica::with_registry(genesis, registry.clone());
+        a.insert(&msg(5, &[0])).unwrap();
+        a.insert(&msg(9, &[5])).unwrap();
+        b.apply(vec![
+            envelope(0.5, msg(9, &[5])),
+            envelope(1.0, msg(5, &[0])),
+        ]);
+        assert_eq!(registry.len(), 3, "genesis + two transactions, once each");
+        assert_eq!(a.digest(), b.digest());
+        let ra = a.view.record(a.local_id(9).unwrap()).unwrap();
+        let rb = b.view.record(b.local_id(9).unwrap()).unwrap();
+        assert!(Arc::ptr_eq(ra, rb), "replicas must share the record");
+    }
+
+    #[test]
+    fn replica_view_implements_tangle_read() {
+        let mut r = fresh();
+        r.insert(&msg(5, &[0])).unwrap();
+        r.insert(&msg(9, &[5, 0])).unwrap();
+        let t = r.tangle();
+        assert_eq!(TangleRead::len(t), 3);
+        assert_eq!(t.issuer_of(TxId::from_index(1)).unwrap(), Some(1));
+        assert_eq!(t.round_of(TxId::from_index(2)).unwrap(), 9);
+        assert_eq!(
+            t.payload_of(TxId::from_index(1)).unwrap().params(),
+            &[5.0, 0.5]
+        );
+        assert_eq!(
+            t.parents_of(TxId::from_index(2)).unwrap(),
+            vec![TxId::from_index(1), TxId::from_index(0)]
+        );
+        assert_eq!(
+            t.children_of(TxId::from_index(0)).unwrap(),
+            vec![TxId::from_index(1), TxId::from_index(2)]
+        );
+        assert!(t.is_tip(TxId::from_index(2)) && !t.is_tip(TxId::from_index(1)));
+        assert_eq!(TangleRead::tips(t), vec![TxId::from_index(2)]);
+        assert!(t.payload_of(TxId::from_index(7)).is_err());
+        assert!(!t.is_empty());
+        assert_eq!(t.genesis(), TxId::from_index(0));
     }
 }

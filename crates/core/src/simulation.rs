@@ -12,8 +12,8 @@ use dagfl_nn::Evaluation;
 use dagfl_tangle::TxId;
 
 use crate::{
-    CoreError, DagClient, DagConfig, ModelFactory, ModelPayload, RoundMetrics, SharedModelTangle,
-    SpecializationMetrics, TrainOutcome,
+    ClientGraphTracker, CoreError, DagClient, DagConfig, ModelFactory, ModelPayload, RoundMetrics,
+    ShardedModelTangle, SpecializationMetrics, TrainOutcome,
 };
 
 /// A client's reference evaluation: `(client id, evaluation, selected tips)`.
@@ -30,11 +30,12 @@ pub type ReferenceEvaluation = (u32, Evaluation, (TxId, TxId));
 pub struct Simulation {
     pub(crate) config: DagConfig,
     pub(crate) dataset: FederatedDataset,
-    pub(crate) tangle: SharedModelTangle,
+    pub(crate) tangle: ShardedModelTangle,
     pub(crate) clients: Vec<DagClient>,
     pub(crate) rng: StdRng,
     pub(crate) history: Vec<RoundMetrics>,
     pub(crate) round: usize,
+    pub(crate) graph: ClientGraphTracker,
 }
 
 impl Simulation {
@@ -59,10 +60,11 @@ impl Simulation {
         );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let genesis_model = factory(&mut rng);
-        let tangle = SharedModelTangle::new(ModelPayload::new(genesis_model.parameters()));
-        let clients = (0..dataset.num_clients() as u32)
+        let tangle = ShardedModelTangle::new(ModelPayload::new(genesis_model.parameters()));
+        let clients: Vec<DagClient> = (0..dataset.num_clients() as u32)
             .map(|id| DagClient::new(id, factory(&mut rng), config.seed.wrapping_add(id as u64)))
             .collect();
+        let graph = ClientGraphTracker::new(dataset.cluster_labels());
         Self {
             config,
             dataset,
@@ -71,6 +73,7 @@ impl Simulation {
             rng,
             history: Vec::new(),
             round: 0,
+            graph,
         }
     }
 
@@ -84,8 +87,10 @@ impl Simulation {
         &self.dataset
     }
 
-    /// The shared tangle of model updates.
-    pub fn tangle(&self) -> &SharedModelTangle {
+    /// The shared tangle of model updates. Reads never take a global
+    /// lock, so the borrow can be handed straight to analysis code or
+    /// worker threads.
+    pub fn tangle(&self) -> &ShardedModelTangle {
         &self.tangle
     }
 
@@ -149,24 +154,28 @@ impl Simulation {
         // With failure injection enabled, some publications are lost on
         // the (simulated) network.
         let mut published = 0;
-        {
-            let mut tangle = self.tangle.write();
-            for outcome in &outcomes {
-                if let Some(params) = &outcome.published {
-                    if self.config.publication_dropout > 0.0
-                        && self.rng.gen::<f32>() < self.config.publication_dropout
-                    {
-                        continue;
-                    }
-                    let parents = [outcome.parents.0, outcome.parents.1];
-                    tangle.attach_with_meta(
-                        ModelPayload::new(params.clone()),
-                        &parents,
-                        Some(outcome.client),
-                        self.round as u32,
-                    )?;
-                    published += 1;
+        for outcome in &outcomes {
+            if let Some(params) = &outcome.published {
+                if self.config.publication_dropout > 0.0
+                    && self.rng.gen::<f32>() < self.config.publication_dropout
+                {
+                    continue;
                 }
+                let parents = [outcome.parents.0, outcome.parents.1];
+                // The tangle dedups parents on attach; mirror that here so
+                // the incremental graph matches a full re-scan exactly.
+                let mut parent_issuers = vec![self.tangle.get(parents[0])?.issuer()];
+                if parents[1] != parents[0] {
+                    parent_issuers.push(self.tangle.get(parents[1])?.issuer());
+                }
+                self.tangle.attach_with_meta(
+                    ModelPayload::new(params.clone()),
+                    &parents,
+                    Some(outcome.client),
+                    self.round as u32,
+                )?;
+                self.graph.record(outcome.client, &parent_issuers);
+                published += 1;
             }
         }
 
@@ -216,10 +225,9 @@ impl Simulation {
                     .zip(active)
                     .map(|(client, &idx)| {
                         let data = &dataset.clients()[idx];
-                        scope.spawn(move || {
-                            let guard = tangle.read();
-                            client.train_round(&guard, data, &config)
-                        })
+                        // Lock-free read path: every worker walks the
+                        // sharded store directly, no guard held.
+                        scope.spawn(move || client.train_round(tangle, data, &config))
                     })
                     .collect();
                 handles
@@ -228,11 +236,10 @@ impl Simulation {
                     .collect::<Result<Vec<_>, _>>()
             })
         } else {
-            let guard = tangle.read();
             client_refs
                 .into_iter()
                 .zip(active)
-                .map(|(client, &idx)| client.train_round(&guard, &dataset.clients()[idx], &config))
+                .map(|(client, &idx)| client.train_round(tangle, &dataset.clients()[idx], &config))
                 .collect()
         }
     }
@@ -251,21 +258,25 @@ impl Simulation {
         Ok(out)
     }
 
-    /// Builds the derived client graph `G_clients` (§4.3): the edge weight
+    /// The derived client graph `G_clients` (§4.3): the edge weight
     /// between two clients is the number of direct approvals between their
     /// transactions, in either direction. Genesis approvals and
     /// self-approvals are skipped.
+    ///
+    /// Maintained incrementally at publish time (`O(parents)` per
+    /// transaction); [`crate::client_graph_of`] re-derives the same graph
+    /// by a full scan and serves as the regression oracle.
     pub fn client_graph(&self) -> Graph {
-        crate::client_graph_of(&self.tangle.read(), self.dataset.num_clients())
+        self.graph.graph().clone()
     }
 
     /// The approval pureness (Table 2): the fraction of approval edges
     /// whose endpoints were published by clients of the same ground-truth
-    /// cluster.
+    /// cluster. Maintained incrementally at publish time.
     ///
     /// Returns 1.0 when no qualifying approvals exist yet.
     pub fn approval_pureness(&self) -> f64 {
-        crate::approval_pureness_of(&self.tangle.read(), &self.dataset.cluster_labels())
+        self.graph.approval_pureness()
     }
 
     /// Computes the §4.3 specialization metrics of the current tangle.
@@ -293,13 +304,12 @@ impl Simulation {
     /// Propagates model/tangle errors.
     pub fn reference_evaluations(&mut self) -> Result<Vec<ReferenceEvaluation>, CoreError> {
         let config = self.config;
-        let tangle = self.tangle.clone();
+        let tangle = &self.tangle;
+        let dataset = &self.dataset;
         let mut out = Vec::with_capacity(self.clients.len());
         for (idx, client) in self.clients.iter_mut().enumerate() {
-            let data = &self.dataset.clients()[idx];
-            let guard = tangle.read();
-            let (params, tips) = client.reference_model(&guard, data, &config)?;
-            drop(guard);
+            let data = &dataset.clients()[idx];
+            let (params, tips) = client.reference_model(tangle, data, &config)?;
             let eval = client.evaluate_with(&params, data.test_x(), data.test_y())?;
             out.push((client.id(), eval, tips));
         }
@@ -319,13 +329,12 @@ impl Simulation {
     /// Propagates model/tangle errors.
     pub fn reference_parameters(&mut self) -> Result<Vec<Vec<f32>>, CoreError> {
         let config = self.config;
-        let tangle = self.tangle.clone();
+        let tangle = &self.tangle;
+        let dataset = &self.dataset;
         let mut out = Vec::with_capacity(self.clients.len());
         for (idx, client) in self.clients.iter_mut().enumerate() {
-            let data = &self.dataset.clients()[idx];
-            let guard = tangle.read();
-            let (params, _) = client.reference_model(&guard, data, &config)?;
-            drop(guard);
+            let data = &dataset.clients()[idx];
+            let (params, _) = client.reference_model(tangle, data, &config)?;
             out.push(params);
         }
         Ok(out)
@@ -416,6 +425,21 @@ mod tests {
         assert_eq!(graph.num_nodes(), 6);
         // After a few rounds some inter-client approvals must exist.
         assert!(graph.total_weight() > 0.0);
+    }
+
+    /// Regression: the incrementally-maintained client graph and pureness
+    /// must agree with the full re-scan oracles after every round.
+    #[test]
+    fn incremental_client_graph_matches_full_rescan() {
+        let mut sim = small_sim(5, false);
+        for _ in 0..5 {
+            sim.run_round().unwrap();
+            let oracle = crate::client_graph_of(sim.tangle(), sim.dataset().num_clients());
+            assert_eq!(sim.client_graph().edges(), oracle.edges());
+            let oracle_pureness =
+                crate::approval_pureness_of(sim.tangle(), &sim.dataset().cluster_labels());
+            assert!((sim.approval_pureness() - oracle_pureness).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The paper's accuracy-aware walk bias (§4.2).
 
-use dagfl_tangle::{Tangle, TxId, WalkBias};
+use dagfl_tangle::{TangleRead, TxId, WalkBias};
 use dagfl_tensor::Matrix;
 
 use crate::{ModelEvaluator, ModelPayload, Normalization};
@@ -103,25 +103,15 @@ impl<'a> AccuracyBias<'a> {
     }
 }
 
-impl WalkBias<ModelPayload> for AccuracyBias<'_> {
-    fn weights(
-        &mut self,
-        tangle: &Tangle<ModelPayload>,
-        _current: TxId,
-        candidates: &[TxId],
-    ) -> Vec<f32> {
+impl<T: TangleRead<ModelPayload>> WalkBias<ModelPayload, T> for AccuracyBias<'_> {
+    fn weights(&mut self, tangle: &T, _current: TxId, candidates: &[TxId]) -> Vec<f32> {
         let accuracies = self
             .evaluator
             .score_slate(tangle, candidates, self.test_x, self.test_y);
         Self::normalize(&accuracies, self.alpha, self.normalization)
     }
 
-    fn should_stop(
-        &mut self,
-        tangle: &Tangle<ModelPayload>,
-        current: TxId,
-        candidates: &[TxId],
-    ) -> bool {
+    fn should_stop(&mut self, tangle: &T, current: TxId, candidates: &[TxId]) -> bool {
         let Some(margin) = self.stop_margin else {
             return false;
         };

@@ -240,6 +240,103 @@ pub fn fmnist_clustered(cfg: &FmnistConfig) -> FederatedDataset {
     FederatedDataset::new(name, NUM_CLASSES, clients)
 }
 
+/// Derives the independent RNG stream seed of one client (splitmix64),
+/// so every client's data depends only on `(master seed, client id)` —
+/// never on how many clients were rendered before it or on which thread
+/// rendered it.
+fn client_stream_seed(seed: u64, id: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(id.wrapping_add(1)))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Renders one client of the streamed clustered dataset from its own
+/// RNG stream.
+fn build_streamed_client(id: usize, cfg: &FmnistConfig, prototypes: &[Vec<f32>]) -> ClientDataset {
+    let cluster = id % CLASS_CLUSTERS.len();
+    let relaxation = cfg.relaxation;
+    let pick = move |rng: &mut StdRng| -> usize {
+        let own = CLASS_CLUSTERS[cluster];
+        if relaxation > 0.0 && rng.gen::<f32>() < relaxation {
+            loop {
+                let class = rng.gen_range(0..NUM_CLASSES);
+                if !own.contains(&class) {
+                    return class;
+                }
+            }
+        } else {
+            own[rng.gen_range(0..own.len())]
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(client_stream_seed(cfg.seed, id as u64));
+    build_client(id as u32, cluster, cfg, prototypes, &pick, &mut rng)
+}
+
+/// Generates the clustered dataset from *independent per-client RNG
+/// streams*, rendering clients on `threads` worker threads.
+///
+/// [`fmnist_clustered`] threads one sequential RNG through every client,
+/// which pins generation to a single core — prohibitive at the
+/// 10k-client scale. This variant seeds each client from
+/// `(cfg.seed, id)` instead, so clients can be rendered in any order on
+/// any number of threads and the dataset is **bit-identical for every
+/// `threads` value** (a regression test pins `threads == 1` against
+/// `threads == 4`). The price is a different (but equally deterministic)
+/// sample stream than `fmnist_clustered`, hence the separate dataset
+/// name `fmnist-streamed`.
+///
+/// # Panics
+///
+/// Panics if `num_clients < 3`, `samples_per_client < 10` or
+/// `threads == 0`.
+pub fn fmnist_clustered_streamed(cfg: &FmnistConfig, threads: usize) -> FederatedDataset {
+    assert!(cfg.num_clients >= 3, "need at least one client per cluster");
+    assert!(cfg.samples_per_client >= 10, "too few samples per client");
+    assert!(threads > 0, "need at least one rendering thread");
+    let prototypes: Vec<Vec<f32>> = (0..NUM_CLASSES)
+        .map(|c| class_prototype(c, cfg.seed))
+        .collect();
+    let clients = if threads == 1 {
+        (0..cfg.num_clients)
+            .map(|id| build_streamed_client(id, cfg, &prototypes))
+            .collect()
+    } else {
+        // Work-stealing over an atomic client index: each worker renders
+        // whichever clients it claims into its own bucket, and the
+        // buckets are merged back into id order afterwards. Scheduling
+        // only affects *who* renders a client, never its bytes.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut rendered: Vec<(usize, ClientDataset)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    let prototypes = &prototypes;
+                    scope.spawn(move || {
+                        let mut bucket = Vec::new();
+                        loop {
+                            let id = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if id >= cfg.num_clients {
+                                return bucket;
+                            }
+                            bucket.push((id, build_streamed_client(id, cfg, prototypes)));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("rendering thread panicked"))
+                .collect()
+        });
+        rendered.sort_by_key(|(id, _)| *id);
+        rendered.into_iter().map(|(_, c)| c).collect()
+    };
+    FederatedDataset::new("fmnist-streamed", NUM_CLASSES, clients)
+}
+
 /// Generates the by-author dataset used for the poisoning and scalability
 /// experiments (§5.3.4–5.3.5): every client holds all ten classes with its
 /// own rendering style, mirroring the original author-split FEMNIST.
@@ -423,6 +520,81 @@ mod tests {
             a.clients()[0].train_x().as_slice(),
             b.clients()[0].train_x().as_slice()
         );
+    }
+
+    #[test]
+    fn streamed_generation_is_thread_count_invariant() {
+        let cfg = FmnistConfig {
+            num_clients: 9,
+            samples_per_client: 20,
+            relaxation: 0.18,
+            ..FmnistConfig::default()
+        };
+        let sequential = fmnist_clustered_streamed(&cfg, 1);
+        for threads in [2, 4, 7] {
+            let parallel = fmnist_clustered_streamed(&cfg, threads);
+            for (a, b) in sequential.clients().iter().zip(parallel.clients()) {
+                assert_eq!(a.id(), b.id());
+                assert_eq!(a.cluster(), b.cluster());
+                assert_eq!(
+                    a.train_y(),
+                    b.train_y(),
+                    "labels differ at {threads} threads"
+                );
+                assert_eq!(
+                    a.train_x().as_slice(),
+                    b.train_x().as_slice(),
+                    "pixels differ at {threads} threads"
+                );
+                assert_eq!(a.test_y(), b.test_y());
+                assert_eq!(a.test_x().as_slice(), b.test_x().as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_clients_keep_the_cluster_structure() {
+        let cfg = FmnistConfig {
+            num_clients: 9,
+            samples_per_client: 30,
+            ..FmnistConfig::default()
+        };
+        let ds = fmnist_clustered_streamed(&cfg, 3);
+        assert_eq!(ds.name(), "fmnist-streamed");
+        for client in ds.clients() {
+            assert_eq!(client.cluster(), client.id() as usize % 3);
+            for &label in client.train_y().iter().chain(client.test_y()) {
+                assert_eq!(cluster_of_class(label), client.cluster());
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_clients_are_insertion_order_independent() {
+        // A client's bytes depend only on (seed, id): the same id in a
+        // smaller population renders identically.
+        let big = fmnist_clustered_streamed(
+            &FmnistConfig {
+                num_clients: 9,
+                samples_per_client: 20,
+                ..FmnistConfig::default()
+            },
+            2,
+        );
+        let small = fmnist_clustered_streamed(
+            &FmnistConfig {
+                num_clients: 3,
+                samples_per_client: 20,
+                ..FmnistConfig::default()
+            },
+            2,
+        );
+        for id in 0..3 {
+            assert_eq!(
+                big.clients()[id].train_x().as_slice(),
+                small.clients()[id].train_x().as_slice()
+            );
+        }
     }
 
     #[test]

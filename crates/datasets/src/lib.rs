@@ -36,7 +36,7 @@ mod rand_util;
 pub use cifar::{cifar100_like, Cifar100Config};
 pub use client::{ClientDataset, FederatedDataset};
 pub use fedprox::{fedprox_synthetic, FedProxConfig};
-pub use fmnist::{fmnist_by_author, fmnist_clustered, FmnistConfig};
+pub use fmnist::{fmnist_by_author, fmnist_clustered, fmnist_clustered_streamed, FmnistConfig};
 pub use poets::{poets, PoetsConfig, POETS_VOCAB};
 pub use poison::{flip_labels, PoisonReport};
 pub use rand_util::{sample_dirichlet, sample_normal};

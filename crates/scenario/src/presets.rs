@@ -95,6 +95,10 @@ pub const PRESET_NAMES: &[(&str, &str)] = &[
         "analysis-smoke",
         "tiny clustered run with the full analytics pipeline (CI smoke test, seconds)",
     ),
+    (
+        "scale-10k",
+        "10,000-client async run over the sharded store (4 workers; full scale deepens the DAG)",
+    ),
 ];
 
 /// The FMNIST-clustered dataset at the given scale.
@@ -372,6 +376,45 @@ fn build(name: &str, scale: Scale) -> Option<Scenario> {
                 cadence: 2,
                 ..AnalysisSpec::default()
             }),
+        ),
+        "scale-10k" => Some(
+            // The sharded-core scaling scenario: 10,000 clients at BOTH
+            // scales — the population is the point; `quick` only trims
+            // the activation budget and per-client data so the run
+            // finishes in CI minutes. Gossip keeps each replica's view
+            // (and memory) bounded, the shared segment registry stores
+            // every model exactly once, and four event-loop workers
+            // exercise the deterministic batch barrier.
+            Scenario::new(
+                name,
+                DatasetSpec::FmnistStreamed {
+                    clients: 10_000,
+                    samples: scale.pick(12, 60),
+                    relaxation: 0.0,
+                    seed: 42,
+                },
+            )
+            .asynchronous(AsyncConfig {
+                dag: DagConfig {
+                    local_batches: 2,
+                    batch_size: 5,
+                    ..DagConfig::default()
+                },
+                total_activations: scale.pick(2_000, 20_000),
+                // Slow per-client cadence: with 10k clients the *global*
+                // activation rate is still ~200/t, but the run now spans
+                // enough logical time for gossip (delay 1.0) to land, so
+                // later publications approve real tips instead of piling
+                // onto the genesis.
+                mean_interarrival: 50.0,
+                delay: DelayModel::constant(1.0),
+                train_time: 0.5,
+                gossip_fanout: 8,
+                workers: 4,
+                ..AsyncConfig::default()
+            })
+            .with_model(crate::spec::ModelSpec::Mlp { hidden: vec![16] })
+            .with_recent_window(200),
         ),
         "async-delay0" => Some(async_scenario(name, scale, DelayModel::constant(0.0))),
         "async-delay2" => Some(async_scenario(name, scale, DelayModel::constant(2.0))),

@@ -5,8 +5,8 @@ use std::path::PathBuf;
 use dagfl_analysis::AnalysisSnapshot;
 use dagfl_core::csv::write_csv;
 use dagfl_core::{
-    AsyncMetrics, AsyncSimulation, ExecutionMode, PoisonRoundMetrics, PoisoningConfig,
-    PoisoningScenario, Simulation, SpecializationMetrics,
+    tangle_digest, AsyncMetrics, AsyncSimulation, ExecutionMode, PoisonRoundMetrics,
+    PoisoningConfig, PoisoningScenario, Simulation, SpecializationMetrics,
 };
 use dagfl_tangle::TangleStats;
 
@@ -84,6 +84,11 @@ pub struct RunReport {
     pub analysis_track: Vec<AnalysisSnapshot>,
     /// Structural statistics of the final (globally visible) tangle.
     pub tangle: TangleStats,
+    /// Order-independent content digest of the final tangle
+    /// ([`dagfl_core::tangle_digest`]): two runs agree on approvals,
+    /// parameters, issuers and rounds iff the digests match, so CI can
+    /// compare worker counts without shipping whole reports around.
+    pub tangle_digest: u64,
     /// Throughput metrics (async mode only).
     pub async_metrics: Option<AsyncMetrics>,
     /// Poisoning metrics (attack scenarios only).
@@ -274,6 +279,7 @@ impl ScenarioRunner {
                     analysis: None,
                     analysis_track: Vec::new(),
                     tangle: ExecutionMode::tangle_stats(sim),
+                    tangle_digest: tangle_digest(sim.tangle()),
                     async_metrics: None,
                     poisoning: Some(PoisoningSummary {
                         measurements,
@@ -342,6 +348,7 @@ impl ScenarioRunner {
                     analysis,
                     analysis_track,
                     tangle: ExecutionMode::tangle_stats(&sim),
+                    tangle_digest: tangle_digest(sim.tangle()),
                     async_metrics: None,
                     poisoning: None,
                     csv_path: None,
@@ -384,6 +391,7 @@ impl ScenarioRunner {
                     analysis: None,
                     analysis_track: Vec::new(),
                     tangle: ExecutionMode::tangle_stats(&sim),
+                    tangle_digest: tangle_digest(sim.tangle()),
                     async_metrics: Some(metrics),
                     poisoning: None,
                     csv_path: None,

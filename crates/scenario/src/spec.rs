@@ -12,8 +12,9 @@ use dagfl_core::{
     ModelFactory, Normalization, PartitionWindow, PublishGate, StaleTipPolicy, TipSelector,
 };
 use dagfl_datasets::{
-    cifar100_like, fedprox_synthetic, fmnist_by_author, fmnist_clustered, poets, Cifar100Config,
-    FedProxConfig, FederatedDataset, FmnistConfig, PoetsConfig, POETS_VOCAB,
+    cifar100_like, fedprox_synthetic, fmnist_by_author, fmnist_clustered,
+    fmnist_clustered_streamed, poets, Cifar100Config, FedProxConfig, FederatedDataset,
+    FmnistConfig, PoetsConfig, POETS_VOCAB,
 };
 use dagfl_nn::{CharRnn, Dense, Model, Relu, Sequential};
 
@@ -106,6 +107,20 @@ pub enum DatasetSpec {
         /// Generator seed.
         seed: u64,
     },
+    /// Clustered synthetic digits rendered from *independent per-client
+    /// RNG streams* on multiple threads (bit-identical for any thread
+    /// count) — the only generator that builds 10k-client populations
+    /// in reasonable time.
+    FmnistStreamed {
+        /// Number of clients.
+        clients: usize,
+        /// Samples per client.
+        samples: usize,
+        /// Fraction of foreign-cluster data (`0.0` = strict clusters).
+        relaxation: f32,
+        /// Generator seed.
+        seed: u64,
+    },
     /// By-author digit split (all classes per client; poisoning and
     /// scalability experiments).
     FmnistAuthor {
@@ -149,11 +164,23 @@ pub enum DatasetSpec {
     },
 }
 
+/// Worker threads used to render streamed datasets. Generation is
+/// bit-identical for any thread count, so the machine's core count is
+/// purely a wall-clock choice (capped: rendering saturates memory
+/// bandwidth long before 8 threads).
+fn rendering_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
 impl DatasetSpec {
     /// The `kind` word used in scenario files.
     pub fn kind(&self) -> &'static str {
         match self {
             DatasetSpec::Fmnist { .. } => "fmnist",
+            DatasetSpec::FmnistStreamed { .. } => "fmnist-streamed",
             DatasetSpec::FmnistAuthor { .. } => "fmnist-author",
             DatasetSpec::Poets { .. } => "poets",
             DatasetSpec::Cifar { .. } => "cifar",
@@ -165,6 +192,7 @@ impl DatasetSpec {
     pub fn num_clients(&self) -> usize {
         match *self {
             DatasetSpec::Fmnist { clients, .. }
+            | DatasetSpec::FmnistStreamed { clients, .. }
             | DatasetSpec::FmnistAuthor { clients, .. }
             | DatasetSpec::Cifar { clients, .. }
             | DatasetSpec::FedProx { clients, .. } => clients,
@@ -178,7 +206,9 @@ impl DatasetSpec {
     /// Output classes of the task (vocabulary size for Poets).
     pub fn num_classes(&self) -> usize {
         match self {
-            DatasetSpec::Fmnist { .. } | DatasetSpec::FmnistAuthor { .. } => 10,
+            DatasetSpec::Fmnist { .. }
+            | DatasetSpec::FmnistStreamed { .. }
+            | DatasetSpec::FmnistAuthor { .. } => 10,
             DatasetSpec::Poets { .. } => POETS_VOCAB.len(),
             DatasetSpec::Cifar { .. } => 100,
             DatasetSpec::FedProx { .. } => 10,
@@ -189,6 +219,7 @@ impl DatasetSpec {
     pub fn seed(&self) -> u64 {
         match *self {
             DatasetSpec::Fmnist { seed, .. }
+            | DatasetSpec::FmnistStreamed { seed, .. }
             | DatasetSpec::FmnistAuthor { seed, .. }
             | DatasetSpec::Poets { seed, .. }
             | DatasetSpec::Cifar { seed, .. }
@@ -200,6 +231,7 @@ impl DatasetSpec {
     pub fn set_seed(&mut self, new_seed: u64) {
         match self {
             DatasetSpec::Fmnist { seed, .. }
+            | DatasetSpec::FmnistStreamed { seed, .. }
             | DatasetSpec::FmnistAuthor { seed, .. }
             | DatasetSpec::Poets { seed, .. }
             | DatasetSpec::Cifar { seed, .. }
@@ -222,6 +254,21 @@ impl DatasetSpec {
                 seed,
                 ..FmnistConfig::default()
             }),
+            DatasetSpec::FmnistStreamed {
+                clients,
+                samples,
+                relaxation,
+                seed,
+            } => fmnist_clustered_streamed(
+                &FmnistConfig {
+                    num_clients: clients,
+                    samples_per_client: samples,
+                    relaxation,
+                    seed,
+                    ..FmnistConfig::default()
+                },
+                rendering_threads(),
+            ),
             DatasetSpec::FmnistAuthor {
                 clients,
                 samples,
@@ -271,9 +318,9 @@ impl DatasetSpec {
     /// The model architecture conventionally paired with this dataset.
     pub fn default_model(&self) -> ModelSpec {
         match self {
-            DatasetSpec::Fmnist { .. } | DatasetSpec::FmnistAuthor { .. } => {
-                ModelSpec::Mlp { hidden: vec![64] }
-            }
+            DatasetSpec::Fmnist { .. }
+            | DatasetSpec::FmnistStreamed { .. }
+            | DatasetSpec::FmnistAuthor { .. } => ModelSpec::Mlp { hidden: vec![64] },
             DatasetSpec::Poets { .. } => ModelSpec::CharRnn {
                 embed: 8,
                 hidden: 32,
@@ -899,6 +946,12 @@ impl Scenario {
                 samples,
                 relaxation,
                 ..
+            }
+            | DatasetSpec::FmnistStreamed {
+                clients,
+                samples,
+                relaxation,
+                ..
             } => {
                 if clients == 0 || samples == 0 {
                     return err("dataset clients and samples must be at least 1".into());
@@ -1162,6 +1215,12 @@ fn write_dataset(table: &mut Table, dataset: &DatasetSpec) {
             samples,
             relaxation,
             seed,
+        }
+        | DatasetSpec::FmnistStreamed {
+            clients,
+            samples,
+            relaxation,
+            seed,
         } => {
             table.set("clients", usize_value(clients));
             table.set("samples", usize_value(samples));
@@ -1299,6 +1358,9 @@ fn write_execution(table: &mut Table, execution: &ExecutionSpec) {
         table.set("train_time", f64_value(config.train_time));
         if config.gossip_fanout != 0 {
             table.set("fanout", usize_value(config.gossip_fanout));
+        }
+        if config.workers != 1 {
+            table.set("workers", usize_value(config.workers));
         }
         table.set(
             "stale_policy",
@@ -1562,6 +1624,12 @@ fn read_dataset(reader: &Reader<'_>) -> Result<DatasetSpec, ScenarioError> {
             relaxation: reader.f32_or("relaxation", 0.0)?,
             seed,
         }),
+        "fmnist-streamed" => Ok(DatasetSpec::FmnistStreamed {
+            clients: reader.usize_or("clients", 15)?,
+            samples: reader.usize_or("samples", 60)?,
+            relaxation: reader.f32_or("relaxation", 0.0)?,
+            seed,
+        }),
         "fmnist-author" => Ok(DatasetSpec::FmnistAuthor {
             clients: reader.usize_or("clients", 12)?,
             samples: reader.usize_or("samples", 80)?,
@@ -1587,7 +1655,7 @@ fn read_dataset(reader: &Reader<'_>) -> Result<DatasetSpec, ScenarioError> {
         other => Err(ScenarioError::InvalidValue {
             key: "dataset.kind".into(),
             value: other.into(),
-            expected: "one of fmnist, fmnist-author, poets, cifar, fedprox".into(),
+            expected: "one of fmnist, fmnist-streamed, fmnist-author, poets, cifar, fedprox".into(),
         }),
     }
 }
@@ -1789,6 +1857,7 @@ fn read_execution(
                     train_time: reader.f64_or("train_time", defaults.train_time)?,
                     stale_policy,
                     gossip_fanout: reader.usize_or("fanout", defaults.gossip_fanout)?,
+                    workers: reader.usize_or("workers", defaults.workers)?,
                 },
                 transport,
             })

@@ -347,6 +347,7 @@ impl SweepField {
             }
             SweepField::Clients => match &mut scenario.dataset {
                 DatasetSpec::Fmnist { clients, .. }
+                | DatasetSpec::FmnistStreamed { clients, .. }
                 | DatasetSpec::FmnistAuthor { clients, .. }
                 | DatasetSpec::Cifar { clients, .. }
                 | DatasetSpec::FedProx { clients, .. } => *clients = int() as usize,
@@ -354,6 +355,7 @@ impl SweepField {
             },
             SweepField::Samples => match &mut scenario.dataset {
                 DatasetSpec::Fmnist { samples, .. }
+                | DatasetSpec::FmnistStreamed { samples, .. }
                 | DatasetSpec::FmnistAuthor { samples, .. }
                 | DatasetSpec::Poets { samples, .. }
                 | DatasetSpec::Cifar { samples, .. } => *samples = int() as usize,
@@ -1813,6 +1815,7 @@ mod tests {
                 mean_parents: 0.0,
                 mean_children: 0.0,
             },
+            tangle_digest: 0,
             async_metrics: Some(metrics),
             poisoning: None,
             csv_path: None,

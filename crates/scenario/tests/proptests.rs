@@ -123,6 +123,7 @@ fn build_scenario(
                 train_time: delay / 4.0,
                 stale_policy,
                 gossip_fanout: 0,
+                workers: usize::from(policy_kind) + 1,
             },
             transport: Default::default(),
         }

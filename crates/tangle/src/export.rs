@@ -20,20 +20,19 @@ pub struct TangleStats {
 }
 
 impl<P> Tangle<P> {
-    /// Computes structural summary statistics.
+    /// Structural summary statistics, read from counters maintained
+    /// incrementally on attach — `O(1)` instead of a full re-scan.
+    /// (`max_depth` uses the identity "longest path from the genesis ==
+    /// maximum depth-from-tips"; the regression tests pin every field
+    /// against a recomputed oracle.)
     pub fn stats(&self) -> TangleStats {
         let transactions = self.len();
-        let tips = self.tips().len();
-        let mut edges = 0usize;
-        let mut non_genesis = 0usize;
-        for tx in self.iter() {
-            edges += tx.parents().len();
-            if !tx.is_genesis() {
-                non_genesis += 1;
-            }
-        }
-        let depths = self.depths_from_tips();
-        let max_depth = depths.iter().copied().max().unwrap_or(0);
+        let tips = self.tip_count();
+        let edges = self.edge_count();
+        let max_depth = self.max_height();
+        // Only the genesis has no parents, so every other transaction is
+        // non-genesis.
+        let non_genesis = transactions - 1;
         let non_tips = transactions - tips;
         TangleStats {
             transactions,
@@ -167,6 +166,58 @@ mod tests {
         assert_eq!(s.tips, 1);
         assert_eq!(s.mean_parents, 1.0);
         assert_eq!(s.mean_children, 1.0);
+    }
+
+    /// Full re-scan oracle for the incremental counters behind `stats()`.
+    fn recomputed_stats<P>(t: &Tangle<P>) -> TangleStats {
+        let transactions = t.len();
+        let tips = t.tips().len();
+        let mut edges = 0usize;
+        let mut non_genesis = 0usize;
+        for tx in t.iter() {
+            edges += tx.parents().len();
+            if !tx.is_genesis() {
+                non_genesis += 1;
+            }
+        }
+        let max_depth = t.depths_from_tips().iter().copied().max().unwrap_or(0);
+        let non_tips = transactions - tips;
+        TangleStats {
+            transactions,
+            tips,
+            edges,
+            max_depth,
+            mean_parents: if non_genesis == 0 {
+                0.0
+            } else {
+                edges as f64 / non_genesis as f64
+            },
+            mean_children: if non_tips == 0 {
+                0.0
+            } else {
+                edges as f64 / non_tips as f64
+            },
+        }
+    }
+
+    /// Regression: the incremental counters must agree with a full
+    /// re-scan at every prefix of a randomly grown tangle.
+    #[test]
+    fn incremental_stats_match_recomputed_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = Tangle::new(0u64);
+            assert_eq!(t.stats(), recomputed_stats(&t));
+            for i in 1..120u64 {
+                let len = t.len() as u64;
+                let a = TxId(rng.gen_range(0..len));
+                let b = TxId(rng.gen_range(0..len));
+                t.attach(i, &[a, b]).unwrap();
+                assert_eq!(t.stats(), recomputed_stats(&t), "prefix {i}, seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //!
 //! * [`Tangle`] — append-only transaction store with approval edges, tip
 //!   tracking and past/future-cone queries,
+//! * [`ShardedTangle`] — a concurrent store with the same contract whose
+//!   read path never takes a global lock: transactions live in immutable
+//!   once-written segments, the children/tip index is split across
+//!   independently-locked shards, and appends go through `&self`,
+//! * [`TangleRead`] — the read-only view trait both stores implement, so
+//!   walks and metrics are generic over the storage backend,
 //! * [`SharedTangle`] — a cheap-to-clone, thread-safe handle used by the
 //!   concurrent round simulation,
 //! * [`TangleSnapshot`] — order-preserving export/import of a tangle's
@@ -49,6 +55,8 @@
 
 mod error;
 mod export;
+mod read;
+mod sharded;
 mod shared;
 mod snapshot;
 mod tangle;
@@ -58,6 +66,8 @@ mod weights;
 
 pub use error::TangleError;
 pub use export::TangleStats;
+pub use read::TangleRead;
+pub use sharded::ShardedTangle;
 pub use shared::SharedTangle;
 pub use snapshot::{SnapshotRecord, TangleSnapshot};
 pub use tangle::Tangle;

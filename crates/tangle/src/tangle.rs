@@ -33,6 +33,12 @@ pub struct Tangle<P> {
     transactions: Vec<Transaction<P>>,
     children: Vec<Vec<TxId>>,
     tips: HashSet<TxId>,
+    // Incremental structural counters maintained on attach so `stats()`
+    // needs no full-graph re-scan (the test suite pins them against a
+    // recomputed oracle).
+    heights: Vec<u32>,
+    edges: usize,
+    max_height: u32,
 }
 
 impl<P> Tangle<P> {
@@ -52,6 +58,9 @@ impl<P> Tangle<P> {
             transactions: vec![genesis],
             children: vec![Vec::new()],
             tips,
+            heights: vec![0],
+            edges: 0,
+            max_height: 0,
         }
     }
 
@@ -108,10 +117,16 @@ impl<P> Tangle<P> {
             }
         }
         let id = TxId(self.transactions.len() as u64);
+        let height = 1 + unique
+            .iter()
+            .map(|p| self.heights[p.0 as usize])
+            .max()
+            .expect("parents are non-empty");
         for &p in &unique {
             self.children[p.0 as usize].push(id);
             self.tips.remove(&p);
         }
+        self.edges += unique.len();
         self.transactions.push(Transaction {
             id,
             parents: unique,
@@ -121,7 +136,25 @@ impl<P> Tangle<P> {
         });
         self.children.push(Vec::new());
         self.tips.insert(id);
+        self.heights.push(height);
+        self.max_height = self.max_height.max(height);
         Ok(id)
+    }
+
+    /// Total approval edges, maintained incrementally.
+    pub(crate) fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Longest approval path from the genesis to any transaction —
+    /// equal to the maximum depth-from-tips — maintained incrementally.
+    pub(crate) fn max_height(&self) -> u32 {
+        self.max_height
+    }
+
+    /// Number of current tips, without sorting.
+    pub(crate) fn tip_count(&self) -> usize {
+        self.tips.len()
     }
 
     /// Looks up a transaction by id.

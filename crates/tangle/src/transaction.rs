@@ -17,6 +17,16 @@ impl TxId {
     pub fn index(self) -> u64 {
         self.0
     }
+
+    /// Builds an id from a dense index — the inverse of
+    /// [`TxId::index`]. Every [`TangleRead`](crate::TangleRead) backend
+    /// assigns ids `0..len()` in insertion order, so external storage
+    /// implementations (e.g. per-client replica views) need this to
+    /// mint ids under the same contract; accessors reject out-of-range
+    /// ids with `UnknownTransaction`.
+    pub fn from_index(index: u64) -> Self {
+        Self(index)
+    }
 }
 
 impl fmt::Display for TxId {

@@ -7,6 +7,7 @@
 
 use rand::Rng;
 
+use crate::read::TangleRead;
 use crate::{Tangle, TangleError, TxId};
 
 /// Outcome of a random walk.
@@ -26,12 +27,16 @@ pub struct WalkResult {
 
 /// A strategy assigning transition weights to the children reachable in one
 /// step of the walk.
-pub trait WalkBias<P> {
+///
+/// Generic over the storage backend `T` (defaulting to [`Tangle`]) so the
+/// same bias drives walks over the single-owner store, the concurrent
+/// [`ShardedTangle`](crate::ShardedTangle) and replica views alike.
+pub trait WalkBias<P, T: TangleRead<P> = Tangle<P>> {
     /// Returns one non-negative, unnormalised weight per candidate.
     ///
     /// Returning all zeros (or non-finite values) makes the walker fall
     /// back to a uniform choice.
-    fn weights(&mut self, tangle: &Tangle<P>, current: TxId, candidates: &[TxId]) -> Vec<f32>;
+    fn weights(&mut self, tangle: &T, current: TxId, candidates: &[TxId]) -> Vec<f32>;
 
     /// Whether the walk should terminate at `current` even though it has
     /// approvers.
@@ -41,7 +46,7 @@ pub trait WalkBias<P> {
     /// e.g. when every approver is a flooding attacker's garbage update —
     /// and approve the current transaction instead, which tangle semantics
     /// permit.
-    fn should_stop(&mut self, tangle: &Tangle<P>, current: TxId, candidates: &[TxId]) -> bool {
+    fn should_stop(&mut self, tangle: &T, current: TxId, candidates: &[TxId]) -> bool {
         let _ = (tangle, current, candidates);
         false
     }
@@ -54,8 +59,8 @@ pub trait WalkBias<P> {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct UniformBias;
 
-impl<P> WalkBias<P> for UniformBias {
-    fn weights(&mut self, _tangle: &Tangle<P>, _current: TxId, candidates: &[TxId]) -> Vec<f32> {
+impl<P, T: TangleRead<P>> WalkBias<P, T> for UniformBias {
+    fn weights(&mut self, _tangle: &T, _current: TxId, candidates: &[TxId]) -> Vec<f32> {
         vec![1.0; candidates.len()]
     }
 }
@@ -95,8 +100,8 @@ impl CumulativeWeightBias {
     }
 }
 
-impl<P> WalkBias<P> for CumulativeWeightBias {
-    fn weights(&mut self, tangle: &Tangle<P>, _current: TxId, candidates: &[TxId]) -> Vec<f32> {
+impl<P, T: TangleRead<P>> WalkBias<P, T> for CumulativeWeightBias {
+    fn weights(&mut self, tangle: &T, _current: TxId, candidates: &[TxId]) -> Vec<f32> {
         if self.cache.len() != tangle.len() {
             self.cache = tangle.cumulative_weights();
         }
@@ -164,28 +169,33 @@ impl RandomWalker {
     /// Walks from `start` towards the tips, choosing among approvers with
     /// `bias`, and returns the tip reached.
     ///
+    /// Generic over any [`TangleRead`] backend; the step sequence and RNG
+    /// draws are identical for equivalent tangle contents regardless of
+    /// the storage implementation.
+    ///
     /// # Errors
     ///
     /// Returns [`TangleError::InvalidWalkStart`] if `start` is not part of
     /// the tangle.
-    pub fn walk<P, B: WalkBias<P>, R: Rng>(
+    pub fn walk<P, T: TangleRead<P>, B: WalkBias<P, T>, R: Rng>(
         &self,
-        tangle: &Tangle<P>,
+        tangle: &T,
         start: TxId,
         bias: &mut B,
         rng: &mut R,
     ) -> Result<WalkResult, TangleError> {
-        tangle
-            .get(start)
-            .map_err(|_| TangleError::InvalidWalkStart(start))?;
+        if !tangle.contains(start) {
+            return Err(TangleError::InvalidWalkStart(start));
+        }
         let mut current = start;
         let mut steps = 0;
         let mut candidates_evaluated = 0;
+        let mut children: Vec<TxId> = Vec::new();
         loop {
-            let children = tangle.children(current)?;
+            tangle.children_into(current, &mut children)?;
             if children.is_empty()
                 || steps >= self.max_steps
-                || bias.should_stop(tangle, current, children)
+                || bias.should_stop(tangle, current, &children)
             {
                 return Ok(WalkResult {
                     tip: current,
@@ -193,7 +203,7 @@ impl RandomWalker {
                     candidates_evaluated,
                 });
             }
-            let weights = bias.weights(tangle, current, children);
+            let weights = bias.weights(tangle, current, &children);
             debug_assert_eq!(weights.len(), children.len());
             candidates_evaluated += children.len();
             let idx = weighted_choice(&weights, rng);

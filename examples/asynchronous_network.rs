@@ -46,6 +46,7 @@ fn run(label: &str, delay: DelayModel, compute: ComputeProfile) -> Result<(), Bo
             train_time: 0.5,
             stale_policy: StaleTipPolicy::Reselect,
             gossip_fanout: 0,
+            workers: 1,
         },
         dataset,
         factory,

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     sim.run()?;
 
     let clusters = sim.dataset().cluster_labels();
-    let tangle = sim.tangle().read();
+    let tangle = sim.tangle().to_tangle();
 
     // Structural statistics of the grown DAG.
     let stats = tangle.stats();

@@ -152,6 +152,7 @@ fn stale_tips_appear_and_discard_policy_prunes_them() {
                 train_time: 2.0,
                 stale_policy: policy,
                 gossip_fanout: 0,
+                workers: 1,
             },
             dataset,
             factory(features),

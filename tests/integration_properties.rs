@@ -45,7 +45,7 @@ proptest! {
         let p = sim.approval_pureness();
         prop_assert!((0.0..=1.0).contains(&p));
         // The tangle is acyclic and all issuers are valid client ids.
-        let tangle = sim.tangle().read();
+        let tangle = sim.tangle().to_tangle();
         for tx in tangle.iter() {
             for parent in tx.parents() {
                 prop_assert!(parent.index() < tx.id().index());
@@ -100,7 +100,7 @@ proptest! {
 #[test]
 fn genesis_always_remains_reachable() {
     let sim = tiny_sim(42, 10.0, 4);
-    let tangle = sim.tangle().read();
+    let tangle = sim.tangle().to_tangle();
     let genesis = tangle.genesis();
     for tx in tangle.iter() {
         let cone = tangle.past_cone(tx.id()).expect("cone exists");

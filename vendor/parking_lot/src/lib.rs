@@ -1,7 +1,8 @@
-//! Offline stand-in for the parts of `parking_lot` the workspace uses: a
-//! non-poisoning [`RwLock`] with `parking_lot`'s ergonomic API, implemented
-//! over `std::sync::RwLock` (poison errors are swallowed by taking the inner
-//! guard, matching `parking_lot`'s no-poisoning semantics).
+//! Offline stand-in for the parts of `parking_lot` the workspace uses:
+//! non-poisoning [`RwLock`] and [`Mutex`] types with `parking_lot`'s
+//! ergonomic API, implemented over their `std::sync` counterparts (poison
+//! errors are swallowed by taking the inner guard, matching
+//! `parking_lot`'s no-poisoning semantics).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -55,9 +56,57 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// Guard for exclusive mutex access.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion lock that never poisons.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns a mutable reference to the underlying data (no locking).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.try_lock() {
+            Ok(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            Err(_) => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mutex_lock_roundtrip() {
+        let lock = Mutex::new(1u32);
+        *lock.lock() += 1;
+        assert_eq!(*lock.lock(), 2);
+        assert_eq!(lock.into_inner(), 2);
+    }
 
     #[test]
     fn read_write_roundtrip() {
