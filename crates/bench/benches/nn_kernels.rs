@@ -1,12 +1,20 @@
 //! Neural-network kernel benchmarks: the per-round building blocks
 //! (training step, evaluation, model averaging).
+//!
+//! The `train_step_backend` group pits the two [`MatmulBackendKind`]
+//! arms against each other on the training shapes (forward, backward
+//! and SGD update); the final summary line compares the fastest of
+//! several alternating repetitions so host noise does not masquerade
+//! as (or hide) a speedup.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dagfl_bench::{fmnist_model_factory, poets_model_factory};
-use dagfl_nn::{average_parameters, SgdConfig};
+use dagfl_nn::{average_parameters, MatmulBackendKind, SgdConfig};
 use dagfl_tensor::Matrix;
 
 fn bench_train_batch(c: &mut Criterion) {
@@ -19,6 +27,60 @@ fn bench_train_batch(c: &mut Criterion) {
     c.bench_function("mlp_train_batch_10x196", |b| {
         b.iter(|| model.train_batch(&x, &y, &opt).expect("train"));
     });
+}
+
+fn bench_train_backends(c: &mut Criterion) {
+    // The paper-scale training shape: a 32-row mini-batch through the
+    // 196 -> 64 -> 10 MLP, full forward + backward + SGD update.
+    let factory = fmnist_model_factory(196, 10);
+    let x = Matrix::from_fn(32, 196, |r, c| ((r * 196 + c) % 11) as f32 * 0.1);
+    let y: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    let opt = SgdConfig::new(0.05);
+
+    let mut group = c.benchmark_group("train_step_backend");
+    for (name, kind) in [
+        ("naive", MatmulBackendKind::Naive),
+        ("tiled", MatmulBackendKind::Tiled),
+    ] {
+        let mut model = factory(&mut StdRng::seed_from_u64(0));
+        model.set_matmul_backend(kind);
+        group.bench_function(name, |b| {
+            b.iter(|| model.train_batch(&x, &y, &opt).expect("train"));
+        });
+    }
+    group.finish();
+
+    // Head-to-head summary: both arms start from the same seed-0 model
+    // and walk the same trajectory, alternating across repetitions;
+    // the fastest repetition of each is compared.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (steps, reps) = if test_mode { (1, 1) } else { (40, 7) };
+    let mut naive_best = f64::INFINITY;
+    let mut tiled_best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut model = factory(&mut StdRng::seed_from_u64(0));
+        model.set_matmul_backend(MatmulBackendKind::Naive);
+        let started = Instant::now();
+        for _ in 0..steps {
+            model.train_batch(&x, &y, &opt).expect("train");
+        }
+        naive_best = naive_best.min(started.elapsed().as_secs_f64());
+
+        let mut model = factory(&mut StdRng::seed_from_u64(0));
+        model.set_matmul_backend(MatmulBackendKind::Tiled);
+        let started = Instant::now();
+        for _ in 0..steps {
+            model.train_batch(&x, &y, &opt).expect("train");
+        }
+        tiled_best = tiled_best.min(started.elapsed().as_secs_f64());
+    }
+    println!(
+        "train_step summary (32x196 batch, {steps} steps, best of {reps}): \
+         naive {:.3}ms, tiled {:.3}ms, speedup {:.2}x",
+        naive_best * 1e3,
+        tiled_best * 1e3,
+        naive_best / tiled_best.max(1e-9),
+    );
 }
 
 fn bench_evaluate(c: &mut Criterion) {
@@ -65,6 +127,7 @@ fn bench_matmul(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_train_batch,
+    bench_train_backends,
     bench_evaluate,
     bench_char_rnn_train,
     bench_average_parameters,

@@ -281,6 +281,7 @@ COMMON FLAGS (defaults in parentheses):
     --batch-size        mini-batch size             (10)
     --lr                SGD learning rate           (0.05)
     --seed              master seed                 (42)
+    --backend           matmul backend: naive | tiled (tiled)
 
 DAG FLAGS:
     --alpha             walk randomness parameter   (10)
@@ -300,7 +301,9 @@ PERF FLAGS:
     --clients           async-phase client count, min 3       (64)
     --workers           async-phase training threads          (4)
     --activations       async-phase total activations         (--clients)
+    --train-steps       training-phase SGD steps per backend  (60)
     --out               output JSON path   (results/BENCH_walk.json)
+    --train-out         training JSON path (results/BENCH_train.json)
 
 ASYNC FLAGS:
     --activations       total client activations              (200)

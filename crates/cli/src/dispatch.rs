@@ -14,6 +14,7 @@ use dagfl_datasets::{
     cifar100_like, fedprox_synthetic, fmnist_by_author, fmnist_clustered, poets, Cifar100Config,
     FedProxConfig, FederatedDataset, FmnistConfig, PoetsConfig,
 };
+use dagfl_nn::MatmulBackendKind;
 use dagfl_scenario::{
     ModelSpec, Scale, Scenario, ScenarioRunner, SweepAxis, SweepRunner, SweepSpec,
 };
@@ -104,7 +105,17 @@ fn build_task(
         DatasetKind::FedProxSynthetic => ModelSpec::Linear,
         _ => ModelSpec::Mlp { hidden: vec![64] },
     };
-    let factory = spec.build_factory(dataset.feature_len(), dataset.num_classes());
+    let backend_word = args.get_or("backend", "tiled").to_string();
+    let backend = MatmulBackendKind::parse(&backend_word).ok_or(ParseError::InvalidValue {
+        flag: "backend".into(),
+        value: backend_word,
+    })?;
+    let inner = spec.build_factory(dataset.feature_len(), dataset.num_classes());
+    let factory: ModelFactory = std::sync::Arc::new(move |rng| {
+        let mut model = inner(rng);
+        model.set_matmul_backend(backend);
+        model
+    });
     Ok((dataset, factory))
 }
 

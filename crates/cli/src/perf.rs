@@ -1,4 +1,4 @@
-//! `dagfl perf`: the walk-evaluation performance smoke.
+//! `dagfl perf`: the walk-evaluation and training performance smoke.
 //!
 //! Runs accuracy-biased walks over a synthetic paper-scale model tangle
 //! with cold and warm caches, and writes the headline numbers
@@ -6,6 +6,12 @@
 //! `BENCH_walk.json` so CI can archive one data point per commit and the
 //! performance trajectory of the evaluation pipeline is diffable across
 //! PRs.
+//!
+//! A training phase times full SGD steps (forward + backward + update)
+//! over a paper-scale MLP on the naive and tiled matmul backends,
+//! cross-checks that both backends produce bit-identical parameters, and
+//! writes the step timings to `BENCH_train.json` alongside the walk
+//! numbers.
 
 use std::error::Error;
 use std::path::PathBuf;
@@ -19,6 +25,7 @@ use dagfl_core::{
     DelayModel, EvalCounters, ModelEvaluator, ModelTangle, Normalization,
 };
 use dagfl_datasets::{fmnist_clustered, fmnist_clustered_streamed, ClientDataset, FmnistConfig};
+use dagfl_nn::{MatmulBackendKind, SgdConfig};
 use dagfl_scenario::ModelSpec;
 use dagfl_tangle::RandomWalker;
 
@@ -160,6 +167,70 @@ fn run_async_phase(
     })
 }
 
+/// One measured training run: `steps` full SGD steps on one backend,
+/// best wall time across repetitions plus the final flat parameters.
+struct TrainPhase {
+    wall: Duration,
+    steps: usize,
+    params: Vec<f32>,
+}
+
+impl TrainPhase {
+    /// Full training steps per second of wall time.
+    fn steps_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.steps as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"wall_ms\": {:.3}, \"steps\": {}, \"steps_per_sec\": {:.1}}}",
+            self.wall.as_secs_f64() * 1e3,
+            self.steps,
+            self.steps_per_sec(),
+        )
+    }
+}
+
+/// Times `steps` training steps of the paper-scale MLP on `backend`,
+/// best-of-`reps`: every repetition rebuilds the model from the same
+/// seed, so all repetitions (and both backends) walk the exact same
+/// optimisation trajectory and the returned parameters are comparable
+/// bit-for-bit.
+fn run_train_phase(
+    client: &ClientDataset,
+    features: usize,
+    backend: MatmulBackendKind,
+    steps: usize,
+    reps: usize,
+    seed: u64,
+) -> Result<TrainPhase, Box<dyn Error>> {
+    let factory = ModelSpec::Mlp { hidden: vec![64] }.build_factory(features, 10);
+    let opt = SgdConfig::new(0.05);
+    let mut best = Duration::MAX;
+    let mut params = Vec::new();
+    for _ in 0..reps {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = factory(&mut rng);
+        model.set_matmul_backend(backend);
+        let started = Instant::now();
+        for _ in 0..steps {
+            model.train_batch(client.test_x(), client.test_y(), &opt)?;
+        }
+        best = best.min(started.elapsed());
+        params = model.parameters();
+    }
+    Ok(TrainPhase {
+        wall: best,
+        steps,
+        params,
+    })
+}
+
 /// Entry point for `dagfl perf`.
 ///
 /// # Errors
@@ -180,6 +251,7 @@ pub fn perf_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     let clients: usize = args.get_parsed_or("clients", 64)?;
     let workers: usize = args.get_parsed_or("workers", 4)?;
     let activations: usize = args.get_parsed_or("activations", clients)?;
+    let train_steps: usize = args.get_parsed_or("train-steps", 60)?;
     if transactions == 0 || walks == 0 || samples < 10 {
         return Err("perf needs --transactions >= 1, --walks >= 1, --samples >= 10".into());
     }
@@ -188,6 +260,9 @@ pub fn perf_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             "perf needs --clients >= 3 (one per data cluster), --workers >= 1, --activations >= 1"
                 .into(),
         );
+    }
+    if train_steps == 0 {
+        return Err("perf needs --train-steps >= 1".into());
     }
 
     let dataset = fmnist_clustered(&FmnistConfig {
@@ -255,6 +330,50 @@ pub fn perf_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         0.0
     };
 
+    // Training phase: the same model, batch and seed stepped on both
+    // matmul backends. The backends must agree bit-for-bit on the final
+    // parameters — the whole point of the tiled port is speed with zero
+    // numeric drift.
+    eprintln!(
+        "# perf train: {} steps x best-of-3, {} x {} batch, naive vs tiled",
+        train_steps,
+        client.test_y().len(),
+        dataset.feature_len(),
+    );
+    let naive = run_train_phase(
+        client,
+        dataset.feature_len(),
+        MatmulBackendKind::Naive,
+        train_steps,
+        3,
+        seed,
+    )?;
+    let tiled = run_train_phase(
+        client,
+        dataset.feature_len(),
+        MatmulBackendKind::Tiled,
+        train_steps,
+        3,
+        seed,
+    )?;
+    let identical = naive.params.len() == tiled.params.len()
+        && naive
+            .params
+            .iter()
+            .zip(&tiled.params)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !identical {
+        return Err(format!(
+            "train backend mismatch: naive and tiled parameters diverged after {train_steps} steps"
+        )
+        .into());
+    }
+    let train_speedup = if tiled.wall.as_secs_f64() > 0.0 {
+        naive.wall.as_secs_f64() / tiled.wall.as_secs_f64()
+    } else {
+        0.0
+    };
+
     let json = format!(
         "{{\n  \"bench\": \"walk_eval\",\n  \"transactions\": {},\n  \"walks\": {},\n  \
          \"test_rows\": {},\n  \"model_parameters\": {},\n  \"alpha\": {},\n  \
@@ -292,6 +411,35 @@ pub fn perf_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     }
     std::fs::write(&path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
 
+    let train_json = format!(
+        "{{\n  \"bench\": \"train_step\",\n  \"features\": {},\n  \"hidden\": 64,\n  \
+         \"classes\": 10,\n  \"batch_rows\": {},\n  \"model_parameters\": {},\n  \
+         \"train_steps\": {},\n  \"reps\": 3,\n  \"naive\": {},\n  \"tiled\": {},\n  \
+         \"train_speedup\": {:.3},\n  \"bit_identical\": true\n}}\n",
+        dataset.feature_len(),
+        client.test_y().len(),
+        params.len(),
+        train_steps,
+        naive.json(),
+        tiled.json(),
+        train_speedup,
+    );
+    let train_path = match args.get("train-out") {
+        Some(path) => PathBuf::from(path),
+        None => std::env::var("DAGFL_RESULTS")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"))
+            .join("BENCH_train.json"),
+    };
+    if let Some(parent) = train_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(&train_path, &train_json)
+        .map_err(|e| format!("writing {}: {e}", train_path.display()))?;
+
     println!(
         "cold: {:.1} evals/sec ({} fresh, {:.3} ms)",
         cold.evals_per_sec(),
@@ -314,7 +462,15 @@ pub fn perf_command(args: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         serial.wall.as_secs_f64() * 1e3,
         speedup
     );
-    println!("wrote {}", path.display());
+    println!(
+        "train: {:.1} steps/sec tiled vs {:.1} naive ({:.3} ms vs {:.3} ms, {:.2}x, bit-identical)",
+        tiled.steps_per_sec(),
+        naive.steps_per_sec(),
+        tiled.wall.as_secs_f64() * 1e3,
+        naive.wall.as_secs_f64() * 1e3,
+        train_speedup
+    );
+    println!("wrote {} and {}", path.display(), train_path.display());
     Ok(())
 }
 
@@ -329,7 +485,9 @@ mod tests {
     #[test]
     fn perf_smoke_writes_json() {
         let out = temp_out("dagfl_perf_smoke.json");
+        let train_out = temp_out("dagfl_perf_smoke_train.json");
         let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(&train_out);
         let args = ParsedArgs::parse([
             "perf",
             "--transactions",
@@ -344,8 +502,12 @@ mod tests {
             "2",
             "--activations",
             "10",
+            "--train-steps",
+            "3",
             "--out",
             out.to_str().unwrap(),
+            "--train-out",
+            train_out.to_str().unwrap(),
         ])
         .unwrap();
         perf_command(&args).unwrap();
@@ -367,7 +529,20 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing `{key}` in {json}");
         }
+        let train_json = std::fs::read_to_string(&train_out).unwrap();
+        for key in [
+            "\"bench\": \"train_step\"",
+            "\"train_steps\": 3",
+            "\"naive\"",
+            "\"tiled\"",
+            "steps_per_sec",
+            "train_speedup",
+            "\"bit_identical\": true",
+        ] {
+            assert!(train_json.contains(key), "missing `{key}` in {train_json}");
+        }
         let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(&train_out);
     }
 
     #[test]
@@ -379,6 +554,7 @@ mod tests {
             ["perf", "--clients", "2"],
             ["perf", "--workers", "0"],
             ["perf", "--activations", "0"],
+            ["perf", "--train-steps", "0"],
         ] {
             let args = ParsedArgs::parse(flags).unwrap();
             let err = perf_command(&args).unwrap_err().to_string();

@@ -99,10 +99,12 @@ pub use dagfl_core::{
     PeerReport, PoisoningConfig, PoisoningScenario, PublishGate, Replica, Simulation,
     StaleTipPolicy, TangleView, TcpTransport, TipSelector, Tracker, Transport, TxMessage,
 };
+pub use dagfl_nn::TrainScratch;
 pub use dagfl_scenario::{
     AnalysisSpec, AttackSpec, DatasetSpec, ExecutionSpec, FaultSpec, ModelSpec, RunReport,
     Scenario, ScenarioRunner, SweepReport, SweepRunner, SweepSpec, TransportSpec,
 };
+pub use dagfl_tensor::{MatmulBackend, MatmulBackendKind, NaiveBackend, TiledBackend};
 
 #[cfg(test)]
 mod tests {
@@ -116,5 +118,6 @@ mod tests {
         let _ = crate::AnalysisSpec::default();
         assert_eq!(crate::AnalysisSource::Both.as_str(), "both");
         assert_eq!(crate::TransportSpec::default().mode(), "loopback");
+        assert_eq!(crate::MatmulBackendKind::default().name(), "tiled");
     }
 }

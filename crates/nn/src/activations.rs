@@ -36,6 +36,14 @@ impl Layer for Relu {
         Ok(())
     }
 
+    fn forward_train_into(&mut self, input: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        self.cached_input
+            .get_or_insert_with(Matrix::default)
+            .copy_from(input);
+        input.map_into(out, |v| v.max(0.0));
+        Ok(())
+    }
+
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
         let input = self
             .cached_input
@@ -43,6 +51,24 @@ impl Layer for Relu {
             .expect("backward called before forward");
         let mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
         Ok(grad_output.hadamard(&mask)?)
+    }
+
+    fn backward_into(
+        &mut self,
+        grad_output: &Matrix,
+        grad_input: &mut Matrix,
+    ) -> Result<(), NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // Multiplying by the 0/1 mask (rather than selecting a literal
+        // 0.0) keeps the -0.0 signs the allocating path produces, so
+        // both paths stay bit-identical.
+        grad_output.zip_into(input, grad_input, |g, v| {
+            g * (if v > 0.0 { 1.0 } else { 0.0 })
+        })?;
+        Ok(())
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -83,6 +109,14 @@ impl Layer for Tanh {
         Ok(())
     }
 
+    fn forward_train_into(&mut self, input: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        input.map_into(out, f32::tanh);
+        self.cached_output
+            .get_or_insert_with(Matrix::default)
+            .copy_from(out);
+        Ok(())
+    }
+
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
         let out = self
             .cached_output
@@ -90,6 +124,19 @@ impl Layer for Tanh {
             .expect("backward called before forward");
         let deriv = out.map(|y| 1.0 - y * y);
         Ok(grad_output.hadamard(&deriv)?)
+    }
+
+    fn backward_into(
+        &mut self,
+        grad_output: &Matrix,
+        grad_input: &mut Matrix,
+    ) -> Result<(), NnError> {
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("backward called before forward");
+        grad_output.zip_into(out, grad_input, |g, y| g * (1.0 - y * y))?;
+        Ok(())
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -140,6 +187,14 @@ impl Layer for Sigmoid {
         Ok(())
     }
 
+    fn forward_train_into(&mut self, input: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        input.map_into(out, sigmoid_scalar);
+        self.cached_output
+            .get_or_insert_with(Matrix::default)
+            .copy_from(out);
+        Ok(())
+    }
+
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
         let out = self
             .cached_output
@@ -147,6 +202,19 @@ impl Layer for Sigmoid {
             .expect("backward called before forward");
         let deriv = out.map(|y| y * (1.0 - y));
         Ok(grad_output.hadamard(&deriv)?)
+    }
+
+    fn backward_into(
+        &mut self,
+        grad_output: &Matrix,
+        grad_input: &mut Matrix,
+    ) -> Result<(), NnError> {
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("backward called before forward");
+        grad_output.zip_into(out, grad_input, |g, y| g * (y * (1.0 - y)))?;
+        Ok(())
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {

@@ -6,7 +6,7 @@
 //! explicit flatten layers. Convolution is implemented via im2col so the
 //! inner loop is a single matrix product.
 
-use dagfl_tensor::{he_uniform, Matrix};
+use dagfl_tensor::{he_uniform, MatmulBackendKind, Matrix};
 use rand::Rng;
 
 use crate::{Layer, NnError};
@@ -67,6 +67,7 @@ pub struct Conv2d {
     grad_bias: Matrix,
     cached_cols: Option<Matrix>,
     cached_batch: usize,
+    backend: MatmulBackendKind,
 }
 
 impl Conv2d {
@@ -105,6 +106,7 @@ impl Conv2d {
             grad_bias: Matrix::zeros(1, out_channels),
             cached_cols: None,
             cached_batch: 0,
+            backend: MatmulBackendKind::default(),
         }
     }
 
@@ -223,7 +225,7 @@ impl Conv2d {
     /// Computes the forward pass given the already lowered column matrix.
     fn forward_from_cols(&self, cols: &Matrix, batch: usize) -> Result<Matrix, NnError> {
         let out = self.out_shape();
-        let mut big = cols.matmul(&self.weight)?;
+        let mut big = self.backend.as_dyn().matmul(cols, &self.weight)?;
         big.add_row_broadcast(self.bias.as_slice())?;
         // Rearrange (batch*oh*ow, out_c) -> (batch, out_c*oh*ow).
         let hw = out.height * out.width;
@@ -280,11 +282,15 @@ impl Layer for Conv2d {
                 }
             }
         }
-        self.grad_weight = cols.transpose_matmul(&grad_big)?;
-        self.grad_bias = Matrix::from_vec(1, self.out_channels, grad_big.column_sums())
-            .expect("column sums sized");
-        let grad_cols = grad_big.matmul_transpose(&self.weight)?;
+        let backend = self.backend.as_dyn();
+        backend.transpose_matmul_into(cols, &grad_big, &mut self.grad_weight)?;
+        grad_big.column_sums_into(&mut self.grad_bias);
+        let grad_cols = backend.matmul_transpose(&grad_big, &self.weight)?;
         Ok(self.col2im(&grad_cols, batch))
+    }
+
+    fn set_backend(&mut self, backend: MatmulBackendKind) {
+        self.backend = backend;
     }
 
     fn visit_parameters(&self, visitor: &mut dyn FnMut(&Matrix)) {

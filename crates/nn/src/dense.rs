@@ -1,6 +1,6 @@
 //! Fully connected layer.
 
-use dagfl_tensor::{he_uniform, Matrix};
+use dagfl_tensor::{he_uniform, MatmulBackendKind, Matrix};
 use rand::Rng;
 
 use crate::{Layer, NnError};
@@ -9,7 +9,9 @@ use crate::{Layer, NnError};
 ///
 /// Weights are stored as `in_features x out_features` so the forward pass is
 /// a single row-major matrix product; initialisation is He-uniform, matching
-/// the ReLU stacks used by the paper's CNN/MLP models.
+/// the ReLU stacks used by the paper's CNN/MLP models. The three training
+/// matmuls (forward, grad-weight, grad-input) run on the layer's selected
+/// [`MatmulBackend`](dagfl_tensor::MatmulBackend).
 #[derive(Clone)]
 pub struct Dense {
     weight: Matrix,
@@ -17,6 +19,7 @@ pub struct Dense {
     grad_weight: Matrix,
     grad_bias: Matrix,
     cached_input: Option<Matrix>,
+    backend: MatmulBackendKind,
 }
 
 impl Dense {
@@ -28,6 +31,7 @@ impl Dense {
             grad_weight: Matrix::zeros(in_features, out_features),
             grad_bias: Matrix::zeros(1, out_features),
             cached_input: None,
+            backend: MatmulBackendKind::default(),
         }
     }
 
@@ -64,9 +68,20 @@ impl Layer for Dense {
     }
 
     fn forward(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
-        let out = self.affine(input)?;
-        self.cached_input = Some(input.clone());
+        let mut out = Matrix::default();
+        self.forward_train_into(input, &mut out)?;
         Ok(out)
+    }
+
+    fn forward_train_into(&mut self, input: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        self.backend
+            .as_dyn()
+            .matmul_into(input, &self.weight, out)?;
+        out.add_row_broadcast(self.bias.as_slice())?;
+        self.cached_input
+            .get_or_insert_with(Matrix::default)
+            .copy_from(input);
+        Ok(())
     }
 
     fn forward_inference(&self, input: &Matrix) -> Result<Matrix, NnError> {
@@ -104,16 +119,30 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
+        let mut grad_input = Matrix::default();
+        self.backward_into(grad_output, &mut grad_input)?;
+        Ok(grad_input)
+    }
+
+    fn backward_into(
+        &mut self,
+        grad_output: &Matrix,
+        grad_input: &mut Matrix,
+    ) -> Result<(), NnError> {
+        let backend = self.backend.as_dyn();
         let input = self
             .cached_input
             .as_ref()
             .expect("backward called before forward");
         // dW = x^T g ; db = column sums of g ; dx = g W^T
-        self.grad_weight = input.transpose_matmul(grad_output)?;
-        self.grad_bias = Matrix::from_vec(1, grad_output.cols(), grad_output.column_sums())
-            .expect("column_sums length matches cols");
-        let grad_input = grad_output.matmul_transpose(&self.weight)?;
-        Ok(grad_input)
+        backend.transpose_matmul_into(input, grad_output, &mut self.grad_weight)?;
+        grad_output.column_sums_into(&mut self.grad_bias);
+        backend.matmul_transpose_into(grad_output, &self.weight, grad_input)?;
+        Ok(())
+    }
+
+    fn set_backend(&mut self, backend: MatmulBackendKind) {
+        self.backend = backend;
     }
 
     fn visit_parameters(&self, visitor: &mut dyn FnMut(&Matrix)) {

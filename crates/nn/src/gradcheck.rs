@@ -83,8 +83,26 @@ pub fn assert_gradients_match(
 mod tests {
     use super::*;
     use crate::{CharRnn, Conv2d, Dense, ImageShape, MaxPool2d, Relu, Sequential, Sigmoid, Tanh};
+    use dagfl_tensor::MatmulBackendKind;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Runs the gradient check once per matmul backend: the analytic
+    /// gradients must survive finite differences on the naive loops AND
+    /// on the tiled kernels (the numeric gradient restores the original
+    /// parameters, so the second pass starts from the same point).
+    fn assert_gradients_match_on_both_backends(
+        model: &mut dyn Model,
+        x: &Matrix,
+        y: &[usize],
+        eps: f32,
+        tolerance: f32,
+    ) {
+        for kind in [MatmulBackendKind::Naive, MatmulBackendKind::Tiled] {
+            model.set_matmul_backend(kind);
+            assert_gradients_match(model, x, y, eps, tolerance);
+        }
+    }
 
     fn batch(features: usize, classes: usize) -> (Matrix, Vec<usize>) {
         let x = Matrix::from_fn(4, features, |r, c| {
@@ -99,7 +117,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut model = Sequential::new(vec![Box::new(Dense::new(&mut rng, 3, 4))]);
         let (x, y) = batch(3, 4);
-        assert_gradients_match(&mut model, &x, &y, 1e-2, 0.05);
+        assert_gradients_match_on_both_backends(&mut model, &x, &y, 1e-2, 0.05);
     }
 
     #[test]
@@ -113,7 +131,7 @@ mod tests {
         let (x, y) = batch(4, 3);
         // A small step keeps the finite differences away from the ReLU
         // kink (a pre-activation within eps of zero breaks the estimate).
-        assert_gradients_match(&mut model, &x, &y, 1e-3, 0.08);
+        assert_gradients_match_on_both_backends(&mut model, &x, &y, 1e-3, 0.08);
     }
 
     #[test]
@@ -125,7 +143,7 @@ mod tests {
             Box::new(Dense::new(&mut rng, 5, 3)),
         ]);
         let (x, y) = batch(4, 3);
-        assert_gradients_match(&mut model, &x, &y, 1e-2, 0.08);
+        assert_gradients_match_on_both_backends(&mut model, &x, &y, 1e-2, 0.08);
     }
 
     #[test]
@@ -137,7 +155,7 @@ mod tests {
             Box::new(Dense::new(&mut rng, 5, 2)),
         ]);
         let (x, y) = batch(4, 2);
-        assert_gradients_match(&mut model, &x, &y, 1e-2, 0.08);
+        assert_gradients_match_on_both_backends(&mut model, &x, &y, 1e-2, 0.08);
     }
 
     #[test]
@@ -151,7 +169,7 @@ mod tests {
             Box::new(Dense::new(&mut rng, flat, 2)),
         ]);
         let (x, y) = batch(16, 2);
-        assert_gradients_match(&mut model, &x, &y, 1e-2, 0.08);
+        assert_gradients_match_on_both_backends(&mut model, &x, &y, 1e-2, 0.08);
     }
 
     #[test]
@@ -176,7 +194,7 @@ mod tests {
         });
         let y = vec![0, 1, 0, 1];
         // Max-pool argmax switches make numeric gradients noisier.
-        assert_gradients_match(&mut model, &x, &y, 1e-3, 0.15);
+        assert_gradients_match_on_both_backends(&mut model, &x, &y, 1e-3, 0.15);
     }
 
     #[test]
@@ -185,7 +203,7 @@ mod tests {
         let mut model = CharRnn::new(&mut rng, 5, 3, 4);
         let x = Matrix::from_fn(3, 4, |r, t| ((r + 2 * t) % 5) as f32);
         let y = vec![0, 2, 4];
-        assert_gradients_match(&mut model, &x, &y, 1e-2, 0.1);
+        assert_gradients_match_on_both_backends(&mut model, &x, &y, 1e-2, 0.1);
     }
 
     #[test]

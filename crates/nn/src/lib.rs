@@ -17,7 +17,11 @@
 //!   proximal term), and evaluation,
 //! * parameter-vector helpers ([`average_parameters`]) and a dependency-free
 //!   binary codec ([`encode_parameters`]/[`decode_parameters`]) for
-//!   snapshotting model weights.
+//!   snapshotting model weights,
+//! * a swappable compute seam: every matrix product in the training
+//!   pipeline runs on a [`MatmulBackendKind`]-selected backend (naive
+//!   oracle or register-tiled, bit-identical), and steady-state training
+//!   steps reuse [`TrainScratch`] buffers instead of allocating.
 //!
 //! All gradients are verified against numerical differentiation in the test
 //! suite (see [`gradcheck`]).
@@ -62,6 +66,7 @@ mod optimizer;
 mod params;
 mod rnn;
 mod sequential;
+mod train;
 
 pub use activations::{Relu, Sigmoid, Tanh};
 pub use conv::{Conv2d, ImageShape, MaxPool2d};
@@ -77,3 +82,6 @@ pub use params::{
 };
 pub use rnn::{CharRnn, GruCell};
 pub use sequential::{Layer, Sequential};
+pub use train::TrainScratch;
+
+pub use dagfl_tensor::MatmulBackendKind;

@@ -1,7 +1,7 @@
 //! The object-safe [`Model`] abstraction shared by every learning algorithm
 //! in the workspace.
 
-use dagfl_tensor::Matrix;
+use dagfl_tensor::{MatmulBackendKind, Matrix};
 
 use crate::{EvalScratch, NnError, SgdConfig};
 
@@ -132,6 +132,17 @@ pub trait Model: Send {
     ) -> Option<Result<Evaluation, NnError>> {
         let _ = (params, x, y, scratch);
         None
+    }
+
+    /// Selects the [`MatmulBackend`](dagfl_tensor::MatmulBackend) the
+    /// model's matrix products run on.
+    ///
+    /// Every backend is bit-identical (pinned by property tests against
+    /// the naive oracle), so switching only changes speed, never results.
+    /// The default implementation ignores the selection — correct for
+    /// models without matmuls.
+    fn set_matmul_backend(&mut self, backend: MatmulBackendKind) {
+        let _ = backend;
     }
 
     /// Predicts the class for every row of `x`.

@@ -6,7 +6,7 @@
 //! implemented directly on [`Matrix`] batches. Gradients are verified
 //! against numerical differentiation in the test suite.
 
-use dagfl_tensor::{argmax, softmax_cross_entropy, xavier_uniform, Matrix};
+use dagfl_tensor::{argmax, softmax_cross_entropy, xavier_uniform, MatmulBackendKind, Matrix};
 use rand::Rng;
 
 use crate::activations::sigmoid_scalar;
@@ -44,6 +44,7 @@ pub struct GruCell {
     gbz: Matrix,
     gbr: Matrix,
     gbh: Matrix,
+    backend: MatmulBackendKind,
 }
 
 /// Everything a single GRU timestep caches for the backward pass.
@@ -83,7 +84,13 @@ impl GruCell {
             gbz: Matrix::zeros(1, hidden_size),
             gbr: Matrix::zeros(1, hidden_size),
             gbh: Matrix::zeros(1, hidden_size),
+            backend: MatmulBackendKind::default(),
         }
+    }
+
+    /// Selects the backend the cell's matrix products run on.
+    pub fn set_matmul_backend(&mut self, backend: MatmulBackendKind) {
+        self.backend = backend;
     }
 
     /// Input feature dimension.
@@ -104,8 +111,9 @@ impl GruCell {
         u: &Matrix,
         b: &Matrix,
     ) -> Result<Matrix, NnError> {
-        let mut pre = x.matmul(w)?;
-        pre.add_assign(&h_prev.matmul(u)?)?;
+        let backend = self.backend.as_dyn();
+        let mut pre = backend.matmul(x, w)?;
+        pre.add_assign(&backend.matmul(h_prev, u)?)?;
         pre.add_row_broadcast(b.as_slice())?;
         Ok(pre)
     }
@@ -123,9 +131,10 @@ impl GruCell {
         let r = self
             .gate(x, h_prev, &self.wr, &self.ur, &self.br)?
             .map(sigmoid_scalar);
+        let backend = self.backend.as_dyn();
         let s = r.hadamard(h_prev)?;
-        let mut hc_pre = x.matmul(&self.wh)?;
-        hc_pre.add_assign(&s.matmul(&self.uh)?)?;
+        let mut hc_pre = backend.matmul(x, &self.wh)?;
+        hc_pre.add_assign(&backend.matmul(&s, &self.uh)?)?;
         hc_pre.add_row_broadcast(self.bh.as_slice())?;
         let hc = hc_pre.map(f32::tanh);
         // h = (1 - z) ⊙ h_prev + z ⊙ hc
@@ -179,26 +188,29 @@ impl GruCell {
         // dhc = dh ⊙ z; dhpre = dhc ⊙ (1 - hc^2)
         let dhc = grad_h.hadamard(z)?;
         let dhpre = dhc.hadamard(&hc.map(|v| 1.0 - v * v))?;
+        let backend = self.backend.as_dyn();
         // ds = dhpre Uh^T; dr = ds ⊙ h_prev; drpre = dr ⊙ r(1-r)
-        let ds = dhpre.matmul_transpose(&self.uh)?;
+        let ds = backend.matmul_transpose(&dhpre, &self.uh)?;
         let dr = ds.hadamard(h_prev)?;
         let drpre = dr.hadamard(&r.map(|v| v * (1.0 - v)))?;
         // dh_prev = dh ⊙ (1-z) + ds ⊙ r + dzpre Uz^T + drpre Ur^T
         let mut dh_prev = grad_h.hadamard(&z.map(|v| 1.0 - v))?;
         dh_prev.add_assign(&ds.hadamard(r)?)?;
-        dh_prev.add_assign(&dzpre.matmul_transpose(&self.uz)?)?;
-        dh_prev.add_assign(&drpre.matmul_transpose(&self.ur)?)?;
+        dh_prev.add_assign(&backend.matmul_transpose(&dzpre, &self.uz)?)?;
+        dh_prev.add_assign(&backend.matmul_transpose(&drpre, &self.ur)?)?;
         // dx = dzpre Wz^T + drpre Wr^T + dhpre Wh^T
-        let mut dx = dzpre.matmul_transpose(&self.wz)?;
-        dx.add_assign(&drpre.matmul_transpose(&self.wr)?)?;
-        dx.add_assign(&dhpre.matmul_transpose(&self.wh)?)?;
+        let mut dx = backend.matmul_transpose(&dzpre, &self.wz)?;
+        dx.add_assign(&backend.matmul_transpose(&drpre, &self.wr)?)?;
+        dx.add_assign(&backend.matmul_transpose(&dhpre, &self.wh)?)?;
         // Parameter gradients (accumulated across timesteps).
-        self.gwz.add_assign(&x.transpose_matmul(&dzpre)?)?;
-        self.gwr.add_assign(&x.transpose_matmul(&drpre)?)?;
-        self.gwh.add_assign(&x.transpose_matmul(&dhpre)?)?;
-        self.guz.add_assign(&h_prev.transpose_matmul(&dzpre)?)?;
-        self.gur.add_assign(&h_prev.transpose_matmul(&drpre)?)?;
-        self.guh.add_assign(&s.transpose_matmul(&dhpre)?)?;
+        self.gwz.add_assign(&backend.transpose_matmul(x, &dzpre)?)?;
+        self.gwr.add_assign(&backend.transpose_matmul(x, &drpre)?)?;
+        self.gwh.add_assign(&backend.transpose_matmul(x, &dhpre)?)?;
+        self.guz
+            .add_assign(&backend.transpose_matmul(h_prev, &dzpre)?)?;
+        self.gur
+            .add_assign(&backend.transpose_matmul(h_prev, &drpre)?)?;
+        self.guh.add_assign(&backend.transpose_matmul(s, &dhpre)?)?;
         let add_bias = |b: &mut Matrix, g: &Matrix| {
             for (bv, gv) in b.as_mut_slice().iter_mut().zip(g.column_sums()) {
                 *bv += gv;
@@ -398,7 +410,7 @@ impl CharRnn {
     }
 
     fn logits_from_hidden(&self, h: &Matrix) -> Result<Matrix, NnError> {
-        let mut logits = h.matmul(&self.out_w)?;
+        let mut logits = self.cell.backend.as_dyn().matmul(h, &self.out_w)?;
         logits.add_row_broadcast(self.out_b.as_slice())?;
         Ok(logits)
     }
@@ -429,11 +441,11 @@ impl CharRnn {
         }
         grad_logits.scale_assign(scale);
         // Output layer gradients.
-        self.grad_out_w = h.transpose_matmul(&grad_logits)?;
-        self.grad_out_b =
-            Matrix::from_vec(1, self.vocab, grad_logits.column_sums()).expect("column sums sized");
+        let backend = self.cell.backend.as_dyn();
+        backend.transpose_matmul_into(&h, &grad_logits, &mut self.grad_out_w)?;
+        grad_logits.column_sums_into(&mut self.grad_out_b);
         // BPTT.
-        let mut dh = grad_logits.matmul_transpose(&self.out_w)?;
+        let mut dh = backend.matmul_transpose(&grad_logits, &self.out_w)?;
         for (t, cache) in caches.iter().enumerate().rev() {
             let (dh_prev, dx) = self.cell.backward_step(&dh, cache)?;
             for (b, seq) in tokens.iter().enumerate() {
@@ -498,6 +510,10 @@ impl Model for CharRnn {
         load(&mut self.out_b);
         debug_assert_eq!(offset, expected);
         Ok(())
+    }
+
+    fn set_matmul_backend(&mut self, backend: MatmulBackendKind) {
+        self.cell.set_matmul_backend(backend);
     }
 
     fn train_batch(&mut self, x: &Matrix, y: &[usize], opt: &SgdConfig) -> Result<f32, NnError> {

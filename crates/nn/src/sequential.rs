@@ -1,10 +1,11 @@
 //! The [`Layer`] trait and [`Sequential`] feed-forward models.
 
 use dagfl_tensor::{
-    argmax, fused_softmax_cross_entropy, softmax_cross_entropy, softmax_in_place, Matrix,
+    argmax, cross_entropy_from_probs, fused_softmax_cross_entropy, softmax_cross_entropy,
+    softmax_in_place, MatmulBackendKind, Matrix,
 };
 
-use crate::{EvalScratch, Evaluation, Model, NnError, SgdConfig};
+use crate::{EvalScratch, Evaluation, Model, NnError, SgdConfig, TrainScratch};
 
 /// A differentiable layer in a [`Sequential`] model.
 ///
@@ -77,6 +78,24 @@ pub trait Layer: Send {
         }
     }
 
+    /// Training-mode forward pass into a reusable output buffer.
+    ///
+    /// `out` is reshaped (reusing its allocation) and fully overwritten;
+    /// `input` and `out` must be distinct matrices. The default
+    /// implementation falls back to the allocating [`Layer::forward`];
+    /// training-path layers override it with an allocation-free kernel
+    /// so a steady-state training step (see
+    /// [`TrainScratch`](crate::TrainScratch)) touches the heap zero
+    /// times.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` has the wrong width for this layer.
+    fn forward_train_into(&mut self, input: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        *out = self.forward(input)?;
+        Ok(())
+    }
+
     /// Backward pass: consumes the gradient w.r.t. this layer's output and
     /// returns the gradient w.r.t. its input, storing parameter gradients
     /// internally.
@@ -86,6 +105,35 @@ pub trait Layer: Send {
     /// Returns an error if `grad_output` does not match the shape produced
     /// by the preceding [`Layer::forward`] call.
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError>;
+
+    /// Backward pass into a reusable grad-input buffer (the
+    /// buffer-reusing counterpart of [`Layer::backward`], paired with
+    /// [`Layer::forward_train_into`]).
+    ///
+    /// `grad_output` and `grad_input` must be distinct matrices. The
+    /// default implementation falls back to the allocating
+    /// [`Layer::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `grad_output` does not match the shape
+    /// produced by the preceding forward call.
+    fn backward_into(
+        &mut self,
+        grad_output: &Matrix,
+        grad_input: &mut Matrix,
+    ) -> Result<(), NnError> {
+        *grad_input = self.backward(grad_output)?;
+        Ok(())
+    }
+
+    /// Selects the [`MatmulBackend`](dagfl_tensor::MatmulBackend) this
+    /// layer's matrix products run on. A no-op for layers without
+    /// matmuls (activations, pooling, dropout); all backends are
+    /// bit-identical, so switching never changes results.
+    fn set_backend(&mut self, backend: MatmulBackendKind) {
+        let _ = backend;
+    }
 
     /// Calls `visitor` once per parameter matrix, in a stable order.
     fn visit_parameters(&self, visitor: &mut dyn FnMut(&Matrix)) {
@@ -142,6 +190,7 @@ impl Clone for Box<dyn Layer> {
 /// ```
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    scratch: TrainScratch,
 }
 
 impl Sequential {
@@ -152,7 +201,10 @@ impl Sequential {
     /// Panics if `layers` is empty.
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
         assert!(!layers.is_empty(), "a Sequential model needs layers");
-        Self { layers }
+        Self {
+            layers,
+            scratch: TrainScratch::new(),
+        }
     }
 
     /// The layers of the model, in order.
@@ -187,6 +239,14 @@ impl Sequential {
 
     /// Training forward + backward, leaving gradients stored in the layers.
     /// Returns the batch loss.
+    ///
+    /// Activations ping-pong between the two [`TrainScratch`] activation
+    /// buffers and layer gradients between its two gradient buffers, so a
+    /// steady-state step allocates nothing: the loss gradient is formed in
+    /// place on the logits buffer (softmax, then subtract the one-hot and
+    /// scale by `1/batch`) instead of going through the allocating
+    /// [`softmax_cross_entropy`] — same operations, same order, bitwise
+    /// identical loss and gradients.
     fn forward_backward(&mut self, x: &Matrix, y: &[usize]) -> Result<f32, NnError> {
         if x.rows() != y.len() {
             return Err(NnError::BatchMismatch {
@@ -194,28 +254,32 @@ impl Sequential {
                 labels: y.len(),
             });
         }
-        let mut activ = None;
-        for layer in &mut self.layers {
-            let input = activ.as_ref().unwrap_or(x);
-            activ = Some(layer.forward(input)?);
+        let Self { layers, scratch } = self;
+        let (mut cur, mut next, mut gcur, mut gnext) = scratch.parts();
+        layers[0].forward_train_into(x, cur)?;
+        for layer in &mut layers[1..] {
+            layer.forward_train_into(cur, next)?;
+            std::mem::swap(&mut cur, &mut next);
         }
-        let logits = activ.expect("at least one layer");
-        let classes = logits.cols();
+        let classes = cur.cols();
         if let Some(&bad) = y.iter().find(|&&label| label >= classes) {
             return Err(NnError::LabelOutOfRange {
                 label: bad,
                 classes,
             });
         }
-        let (mut grad, loss) = softmax_cross_entropy(&logits, y);
         // d(mean CE)/d(logits) = (p - onehot) / batch
+        gcur.copy_from(cur);
+        softmax_in_place(gcur);
+        let loss = cross_entropy_from_probs(gcur, y);
         let scale = 1.0 / y.len().max(1) as f32;
         for (r, &label) in y.iter().enumerate() {
-            grad[(r, label)] -= 1.0;
+            gcur[(r, label)] -= 1.0;
         }
-        grad.scale_assign(scale);
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad)?;
+        gcur.scale_assign(scale);
+        for layer in layers.iter_mut().rev() {
+            layer.backward_into(gcur, gnext)?;
+            std::mem::swap(&mut gcur, &mut gnext);
         }
         Ok(loss)
     }
@@ -275,6 +339,7 @@ impl Clone for Sequential {
     fn clone(&self) -> Self {
         Self {
             layers: self.layers.clone(),
+            scratch: self.scratch.clone(),
         }
     }
 }
@@ -321,6 +386,12 @@ impl Model for Sequential {
         }
         debug_assert_eq!(offset, expected);
         Ok(())
+    }
+
+    fn set_matmul_backend(&mut self, backend: MatmulBackendKind) {
+        for layer in &mut self.layers {
+            layer.set_backend(backend);
+        }
     }
 
     fn train_batch(&mut self, x: &Matrix, y: &[usize], opt: &SgdConfig) -> Result<f32, NnError> {
@@ -741,5 +812,53 @@ mod tests {
         let dbg = format!("{model:?}");
         assert!(dbg.contains("Dense"));
         assert!(dbg.contains("Relu"));
+    }
+
+    #[test]
+    fn steady_state_training_reuses_every_buffer() {
+        let mut model = tiny_model(13);
+        let (x, y) = toy_batch();
+        let opt = SgdConfig::new(0.1);
+        // One warm-up step grows the scratch and per-layer gradient
+        // buffers to their steady-state sizes...
+        model.train_batch(&x, &y, &opt).unwrap();
+        let scratch_before = model.scratch.buffer_ptrs();
+        let mut grads_before = Vec::new();
+        for layer in &mut model.layers {
+            layer.apply_update(&mut |_, grad| grads_before.push(grad.as_slice().as_ptr()));
+        }
+        // ...after which further steps must not reallocate any of them.
+        for _ in 0..5 {
+            model.train_batch(&x, &y, &opt).unwrap();
+        }
+        assert_eq!(model.scratch.buffer_ptrs(), scratch_before);
+        let mut grads_after = Vec::new();
+        for layer in &mut model.layers {
+            layer.apply_update(&mut |_, grad| grads_after.push(grad.as_slice().as_ptr()));
+        }
+        assert_eq!(grads_after, grads_before);
+    }
+
+    #[test]
+    fn naive_and_tiled_training_is_bit_identical() {
+        let (x, y) = toy_batch();
+        let opt = SgdConfig::new(0.5);
+        let mut naive = tiny_model(17);
+        let mut tiled = tiny_model(17);
+        naive.set_matmul_backend(MatmulBackendKind::Naive);
+        tiled.set_matmul_backend(MatmulBackendKind::Tiled);
+        for step in 0..30 {
+            let ln = naive.train_batch(&x, &y, &opt).unwrap();
+            let lt = tiled.train_batch(&x, &y, &opt).unwrap();
+            assert_eq!(ln.to_bits(), lt.to_bits(), "loss diverged at step {step}");
+            let (pn, pt) = (naive.parameters(), tiled.parameters());
+            for (i, (a, b)) in pn.iter().zip(&pt).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "parameter {i} diverged at step {step}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,58 @@
+//! Reusable scratch buffers for the training forward/backward pass.
+
+use dagfl_tensor::Matrix;
+
+/// Ping-pong activation and gradient buffers threaded through
+/// [`Sequential`](crate::Sequential)'s training step.
+///
+/// The training counterpart of [`EvalScratch`](crate::EvalScratch): the
+/// forward pass alternates layer activations between the two activation
+/// buffers and the backward pass alternates layer gradients between the
+/// two gradient buffers, while parameter gradients accumulate into the
+/// persistent per-layer buffers each layer owns. Once every buffer has
+/// grown to the model's widest layer, a steady-state training step
+/// performs **zero** heap allocations — the property the scale runs
+/// (10k+ streamed clients, training dominating wall clock) rely on.
+///
+/// Buffers are reshaped on every use and never carry state between
+/// steps; one `TrainScratch` per model is enough and [`Sequential`]
+/// embeds one.
+///
+/// [`Sequential`]: crate::Sequential
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    act_a: Matrix,
+    act_b: Matrix,
+    grad_a: Matrix,
+    grad_b: Matrix,
+}
+
+impl TrainScratch {
+    /// Creates empty scratch buffers (they grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All four buffers as disjoint mutable borrows:
+    /// `(activation_a, activation_b, gradient_a, gradient_b)`.
+    pub fn parts(&mut self) -> (&mut Matrix, &mut Matrix, &mut Matrix, &mut Matrix) {
+        (
+            &mut self.act_a,
+            &mut self.act_b,
+            &mut self.grad_a,
+            &mut self.grad_b,
+        )
+    }
+
+    /// The data pointers of the four buffers, in [`TrainScratch::parts`]
+    /// order — lets tests assert that steady-state training keeps
+    /// reusing the same allocations.
+    pub fn buffer_ptrs(&self) -> [*const f32; 4] {
+        [
+            self.act_a.as_slice().as_ptr(),
+            self.act_b.as_slice().as_ptr(),
+            self.grad_a.as_slice().as_ptr(),
+            self.grad_b.as_slice().as_ptr(),
+        ]
+    }
+}

@@ -6,15 +6,15 @@
 //! cache-friendly matrix multiplication, broadcasting helpers, common
 //! activation/normalisation kernels and reproducible random initialisation.
 //!
-//! The design goal is *predictable* rather than *maximal* performance: the
-//! training-path operations are straightforward loops over contiguous
-//! slices so that the experiment harness built on top has stable timing
-//! behaviour (important for the scalability experiment, Figure 15 of the
-//! paper). The evaluation hot path additionally gets blocked, buffer-reusing
-//! kernels ([`Matrix::matmul_into`], [`Matrix::matmul_transpose_into`],
-//! [`fused_softmax_cross_entropy`]) whose per-cell accumulation order
-//! matches the naive versions exactly — the naive kernels double as the
-//! reference oracles in the property tests.
+//! The hot paths — evaluation *and*, since the [`MatmulBackend`] port,
+//! training — run on blocked, buffer-reusing kernels
+//! ([`Matrix::matmul_into`], [`Matrix::matmul_transpose_into`],
+//! [`Matrix::transpose_matmul_into`], [`fused_softmax_cross_entropy`])
+//! whose per-cell accumulation order matches the naive versions
+//! exactly, so swapping kernels never changes a result: the naive
+//! loops stay in-tree as [`NaiveBackend`], the reference oracle pinned
+//! by the property tests, while [`TiledBackend`] (the default) runs the
+//! register-tiled cascades.
 //!
 //! # Example
 //!
@@ -35,6 +35,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod backend;
 mod distance;
 mod error;
 mod init;
@@ -42,6 +43,7 @@ mod matrix;
 mod ops;
 mod stats;
 
+pub use backend::{MatmulBackend, MatmulBackendKind, NaiveBackend, TiledBackend};
 pub use distance::{cosine_similarity, l2_distance, l2_norm};
 pub use error::ShapeError;
 pub use init::{he_normal, he_uniform, normal_init, uniform_init, xavier_normal, xavier_uniform};

@@ -230,8 +230,7 @@ impl Matrix {
 
     /// Matrix multiplication with the transpose of `other`: `self * other^T`.
     ///
-    /// This is the common backward-pass shape and avoids materialising
-    /// the transpose. Delegates to the blocked
+    /// This is the common backward-pass shape. Delegates to the
     /// [`Matrix::matmul_transpose_into`] kernel, whose per-cell dot
     /// order matches the straightforward loop exactly (the naive form is
     /// pinned as the oracle in the property tests).
@@ -290,18 +289,28 @@ impl Matrix {
     ///
     /// Returns [`ShapeError`] if `rhs_cols` is zero, `rhs.len()` is not
     /// a multiple of `rhs_cols`, or the row count does not match
-    /// `self.cols()`.
+    /// `self.cols()`. When the slice has no `rows x rhs_cols`
+    /// interpretation at all (zero width or a length that is not a
+    /// multiple of the width), the error reports the flat input as a
+    /// `1 x len` slice instead of inventing a rounded-down shape.
     pub fn matmul_slice_into(
         &self,
         rhs: &[f32],
         rhs_cols: usize,
         out: &mut Matrix,
     ) -> Result<(), ShapeError> {
-        if rhs_cols == 0 || rhs.len() % rhs_cols != 0 || rhs.len() / rhs_cols != self.cols {
+        if rhs_cols == 0 || rhs.len() % rhs_cols != 0 {
             return Err(ShapeError::new(
                 "matmul_slice_into",
                 self.shape(),
-                (rhs.len() / rhs_cols.max(1), rhs_cols),
+                (1, rhs.len()),
+            ));
+        }
+        if rhs.len() / rhs_cols != self.cols {
+            return Err(ShapeError::new(
+                "matmul_slice_into",
+                self.shape(),
+                (rhs.len() / rhs_cols, rhs_cols),
             ));
         }
         matmul_slice_kernel(&self.data, self.rows, self.cols, rhs, rhs_cols, out);
@@ -313,10 +322,17 @@ impl Matrix {
     ///
     /// The counterpart of [`Matrix::matmul_into`] for a right-hand side
     /// stored row-major in transposed layout (each RHS *row* is a column
-    /// of the product): both operands are walked along contiguous rows,
-    /// tiled so the RHS rows of a tile stay cached across the LHS rows.
-    /// Accumulation order per cell matches [`Matrix::matmul_transpose`],
-    /// the naive reference oracle.
+    /// of the product). The per-cell dot product is a serial `f32`
+    /// dependency chain that no amount of unrolling can vectorise, so
+    /// this kernel first materialises the RHS transpose into a
+    /// thread-local scratch buffer (reused across calls — steady-state
+    /// training performs no allocation here) and then runs the
+    /// cache-friendly axpy loop over contiguous transposed rows. Per
+    /// output cell the terms are still added through a single
+    /// accumulator in ascending index order — only the loop nesting
+    /// changes, not the operand values or their order — so every output
+    /// bit matches [`Matrix::matmul_transpose`], the naive reference
+    /// oracle (which, like this kernel, applies no zero-entry skip).
     ///
     /// # Errors
     ///
@@ -333,25 +349,32 @@ impl Matrix {
                 other.shape(),
             ));
         }
-        out.reset(self.rows, other.rows);
-        const COL_TILE: usize = 8;
+        thread_local! {
+            static TRANSPOSED: std::cell::RefCell<Matrix> =
+                std::cell::RefCell::new(Matrix::default());
+        }
         let n = other.rows;
-        let mut j0 = 0;
-        while j0 < n {
-            let j1 = (j0 + COL_TILE).min(n);
-            for i in 0..self.rows {
-                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                for j in j0..j1 {
-                    let b_row = &other.data[j * self.cols..(j + 1) * self.cols];
-                    let mut acc = 0.0;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    out.data[i * n + j] = acc;
+        let d = self.cols;
+        out.reset(self.rows, n);
+        TRANSPOSED.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.reset(d, n);
+            for (j, row) in other.rows_iter().enumerate() {
+                for (t, &v) in row.iter().enumerate() {
+                    scratch.data[t * n + j] = v;
                 }
             }
-            j0 = j1;
-        }
+            for i in 0..self.rows {
+                let a_row = &self.data[i * d..(i + 1) * d];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (t, &a) in a_row.iter().enumerate() {
+                    let b_row = &scratch.data[t * n..(t + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
         Ok(())
     }
 
@@ -393,6 +416,219 @@ impl Matrix {
             }
         }
         Ok(out)
+    }
+
+    /// Tiled matrix multiplication of the transpose of `self` with
+    /// `other` — `self^T * other` — into a reusable output buffer.
+    ///
+    /// This is the grad-weight shape of the training backward pass
+    /// (`input^T * grad_output`, with the small batch dimension as the
+    /// contraction). The naive kernel walks `k` in the outer loop and
+    /// streams the *entire* output matrix through the cache once per
+    /// `k`; this kernel blocks the output rows so a 32-row band of the
+    /// output (plus the whole RHS) stays L1-resident across the full
+    /// `k` loop, turning the dominant traffic into L1 hits while the
+    /// wide row accumulate vectorises exactly as in the naive form.
+    /// Per cell the terms are accumulated in the same ascending-`k`
+    /// order with the same per-entry zero-LHS skip as
+    /// [`Matrix::transpose_matmul`], which stays in-tree as the
+    /// bit-exactness oracle of the property tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.rows() != other.rows()`.
+    pub fn transpose_matmul_into(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), ShapeError> {
+        if self.rows != other.rows {
+            return Err(ShapeError::new(
+                "transpose_matmul_into",
+                self.shape(),
+                other.shape(),
+            ));
+        }
+        const ROW_BLOCK: usize = 32;
+        let (k_len, m, n) = (self.rows, self.cols, other.cols);
+        out.reset(m, n);
+        let mut i0 = 0;
+        while i0 < m {
+            let ib = (m - i0).min(ROW_BLOCK);
+            let band = &mut out.data[i0 * n..(i0 + ib) * n];
+            for k in 0..k_len {
+                let a_seg = &self.data[k * m + i0..k * m + i0 + ib];
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (out_row, &av) in band.chunks_exact_mut(n.max(1)).zip(a_seg) {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            i0 += ib;
+        }
+        Ok(())
+    }
+
+    /// The naive i-k-j matmul of [`Matrix::matmul`] writing into a
+    /// reusable output buffer. This is the [`NaiveBackend`] kernel: the
+    /// reference semantics (including the zero-LHS skip) without the
+    /// register tiling, so backend comparisons isolate the tiling from
+    /// the allocation strategy.
+    ///
+    /// [`NaiveBackend`]: crate::NaiveBackend
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != other.rows()`.
+    pub fn matmul_naive_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new(
+                "matmul_naive_into",
+                self.shape(),
+                other.shape(),
+            ));
+        }
+        out.reset(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The naive per-cell dot product of `self * other^T` writing into
+    /// a reusable output buffer (the [`NaiveBackend`] counterpart of
+    /// [`Matrix::matmul_transpose_into`]).
+    ///
+    /// [`NaiveBackend`]: crate::NaiveBackend
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != other.cols()`.
+    pub fn matmul_transpose_naive_into(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), ShapeError> {
+        if self.cols != other.cols {
+            return Err(ShapeError::new(
+                "matmul_transpose_naive_into",
+                self.shape(),
+                other.shape(),
+            ));
+        }
+        out.reset(self.rows, other.rows);
+        let n = other.rows;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..n {
+                let b_row = &other.data[j * self.cols..(j + 1) * self.cols];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        Ok(())
+    }
+
+    /// The naive k-outer `self^T * other` of
+    /// [`Matrix::transpose_matmul`] writing into a reusable output
+    /// buffer (the [`NaiveBackend`] counterpart of
+    /// [`Matrix::transpose_matmul_into`]).
+    ///
+    /// [`NaiveBackend`]: crate::NaiveBackend
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.rows() != other.rows()`.
+    pub fn transpose_matmul_naive_into(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), ShapeError> {
+        if self.rows != other.rows {
+            return Err(ShapeError::new(
+                "transpose_matmul_naive_into",
+                self.shape(),
+                other.shape(),
+            ));
+        }
+        out.reset(self.cols, other.cols);
+        let n = other.cols;
+        for k in 0..self.rows {
+            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let b_row = &other.data[k * n..(k + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies `src` into `self` (shape and contents), reusing the
+    /// existing allocation where possible.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// [`Matrix::column_sums`] into a reusable `1 x cols` output
+    /// buffer, accumulating rows in the same top-to-bottom order.
+    pub fn column_sums_into(&self, out: &mut Matrix) {
+        out.reset(1, self.cols);
+        for row in self.rows_iter() {
+            for (s, &v) in out.data.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+    }
+
+    /// Applies `f` element-wise over `self` and `other`, writing the
+    /// result into a reusable output buffer (the buffer-reusing form of
+    /// the `zip`-style operations such as [`Matrix::hadamard`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn zip_into<F: Fn(f32, f32) -> f32>(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        f: F,
+    ) -> Result<(), ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new("zip_into", self.shape(), other.shape()));
+        }
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data
+            .extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
+        Ok(())
     }
 
     /// Returns the transpose of this matrix.
@@ -940,6 +1176,103 @@ mod tests {
         assert!(a.matmul_slice_into(&[0.0; 7], 2, &mut out).is_err());
         assert!(a.matmul_slice_into(&[0.0; 8], 2, &mut out).is_err());
         assert!(a.matmul_slice_into(&[0.0; 6], 2, &mut out).is_ok());
+    }
+
+    #[test]
+    fn matmul_slice_into_reports_the_actual_invalid_input() {
+        // Regression: a zero-width RHS used to be reported as
+        // `(rhs.len(), 0)` via a `max(1)` division fallback — a shape
+        // with zero elements that nobody passed. Undescribable slices
+        // (zero width or a length that is no multiple of the width)
+        // are now reported as the flat `1 x len` input itself.
+        let a = Matrix::zeros(2, 3);
+        let mut out = Matrix::default();
+        let err = a.matmul_slice_into(&[0.0; 6], 0, &mut out).unwrap_err();
+        assert_eq!(err.op(), "matmul_slice_into");
+        assert_eq!(err.lhs(), (2, 3));
+        assert_eq!(err.rhs(), (1, 6));
+        let err = a.matmul_slice_into(&[0.0; 7], 2, &mut out).unwrap_err();
+        assert_eq!(err.rhs(), (1, 7));
+        // A clean division that merely disagrees on the row count still
+        // reports the implied rows x cols shape.
+        let err = a.matmul_slice_into(&[0.0; 8], 2, &mut out).unwrap_err();
+        assert_eq!(err.rhs(), (4, 2));
+    }
+
+    #[test]
+    fn transpose_matmul_into_matches_naive_bitwise() {
+        // Sparse LHS so the per-(k, i) zero skip is exercised; the
+        // tiled kernel must reproduce the naive accumulation exactly.
+        let a = Matrix::from_fn(9, 21, |r, c| {
+            if (r + c) % 4 == 0 {
+                0.0
+            } else {
+                ((r * 21 + c) as f32).sin()
+            }
+        });
+        let b = Matrix::from_fn(9, 35, |r, c| ((r + 2 * c) as f32).cos());
+        let naive = a.transpose_matmul(&b).unwrap();
+        let mut tiled = Matrix::filled(2, 2, 9.0); // dirty buffer on purpose
+        a.transpose_matmul_into(&b, &mut tiled).unwrap();
+        assert_eq!(tiled.shape(), naive.shape());
+        for (x, y) in naive.as_slice().iter().zip(tiled.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let bad = Matrix::zeros(4, 5);
+        assert!(a.transpose_matmul_into(&bad, &mut tiled).is_err());
+    }
+
+    #[test]
+    fn naive_into_variants_match_their_allocating_forms() {
+        let a = Matrix::from_fn(6, 11, |r, c| if c % 3 == 0 { 0.0 } else { (r + c) as f32 });
+        let b = Matrix::from_fn(11, 9, |r, c| (r * 9 + c) as f32 * 0.1 - 4.0);
+        let bt = Matrix::from_fn(9, 11, |r, c| ((r * 11 + c) as f32).sin());
+        let ta = Matrix::from_fn(6, 9, |r, c| if r % 2 == 0 { 0.0 } else { (r * c) as f32 });
+        let mut out = Matrix::filled(1, 1, 5.0);
+        a.matmul_naive_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        a.matmul_transpose_naive_into(&bt, &mut out).unwrap();
+        assert_eq!(out, a.matmul_transpose(&bt).unwrap());
+        a.transpose_matmul_naive_into(&ta, &mut out).unwrap();
+        assert_eq!(out, a.transpose_matmul(&ta).unwrap());
+        let bad = Matrix::zeros(3, 2);
+        assert!(a.matmul_naive_into(&bad, &mut out).is_err());
+        assert!(a.matmul_transpose_naive_into(&bad, &mut out).is_err());
+        assert!(a.transpose_matmul_naive_into(&bad, &mut out).is_err());
+    }
+
+    #[test]
+    fn copy_from_reuses_the_allocation() {
+        let src = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let mut dst = Matrix::filled(9, 9, 1.0);
+        let ptr = dst.as_slice().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(
+            dst.as_slice().as_ptr(),
+            ptr,
+            "copy_from must not reallocate"
+        );
+    }
+
+    #[test]
+    fn column_sums_into_matches_column_sums() {
+        let m = Matrix::from_fn(5, 7, |r, c| (r * 7 + c) as f32 * 0.5 - 8.0);
+        let mut out = Matrix::filled(2, 2, 3.0);
+        m.column_sums_into(&mut out);
+        assert_eq!(out.shape(), (1, 7));
+        assert_eq!(out.as_slice(), m.column_sums().as_slice());
+    }
+
+    #[test]
+    fn zip_into_matches_hadamard() {
+        let a = Matrix::from_fn(4, 6, |r, c| (r + c) as f32 - 3.0);
+        let b = Matrix::from_fn(4, 6, |r, c| (r * 6 + c) as f32 * 0.25);
+        let mut out = Matrix::default();
+        a.zip_into(&b, &mut out, |x, y| x * y).unwrap();
+        assert_eq!(out, a.hadamard(&b).unwrap());
+        let bad = Matrix::zeros(2, 2);
+        assert!(a.zip_into(&bad, &mut out, |x, y| x + y).is_err());
     }
 
     #[test]

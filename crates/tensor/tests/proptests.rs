@@ -2,7 +2,7 @@
 
 use dagfl_tensor::{
     argmax, cross_entropy_from_probs, fused_softmax_cross_entropy, log_sum_exp, one_hot, softmax,
-    softmax_cross_entropy, Matrix, Summary,
+    softmax_cross_entropy, MatmulBackendKind, Matrix, Summary,
 };
 use proptest::prelude::*;
 
@@ -28,7 +28,87 @@ fn matrix_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
     })
 }
 
+/// A `rows x cols` matrix roughly one third of whose entries are exact
+/// zeros, so the kernels' zero-LHS skips fire on realistic (post-ReLU)
+/// sparsity patterns.
+fn sparse_sized(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(
+        (-150.0f32..150.0).prop_map(|v| if v.abs() < 50.0 { 0.0 } else { v }),
+        rows * cols,
+    )
+    .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized by construction"))
+}
+
+/// Asserts that two matrices are identical down to the bit pattern of
+/// every entry — the contract between `TiledBackend` and the
+/// `NaiveBackend` oracle.
+fn assert_bit_identical(tiled: &Matrix, naive: &Matrix) {
+    assert_eq!(tiled.shape(), naive.shape());
+    for (t, n) in tiled.as_slice().iter().zip(naive.as_slice()) {
+        assert_eq!(t.to_bits(), n.to_bits(), "{t} vs {n}");
+    }
+}
+
 proptest! {
+    // The TiledBackend kernels are pinned to the NaiveBackend oracle
+    // bit-for-bit over all three training product shapes. Dimensions
+    // start at 0 (empty operands) and straddle every tile width (4-row
+    // blocks, 8/16/32/64-wide column tiles), and a third of the LHS
+    // entries are exact zeros so the zero-LHS skip parity is exercised.
+
+    #[test]
+    fn tiled_backend_matmul_matches_naive_oracle_bitwise(
+        (a, b) in (0usize..=20, 0usize..=20, 0usize..=70).prop_flat_map(|(m, k, n)| {
+            (sparse_sized(m, k), sparse_sized(k, n))
+        })
+    ) {
+        let (naive, tiled) = (
+            MatmulBackendKind::Naive.as_dyn(),
+            MatmulBackendKind::Tiled.as_dyn(),
+        );
+        let mut want = Matrix::filled(1, 2, -3.0); // dirty buffers on purpose
+        let mut got = Matrix::filled(3, 1, 7.0);
+        naive.matmul_into(&a, &b, &mut want).unwrap();
+        tiled.matmul_into(&a, &b, &mut got).unwrap();
+        assert_bit_identical(&got, &want);
+        assert_bit_identical(&got, &a.matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn tiled_backend_matmul_transpose_matches_naive_oracle_bitwise(
+        (a, b) in (0usize..=20, 0usize..=20, 0usize..=20).prop_flat_map(|(m, k, n)| {
+            (sparse_sized(m, k), sparse_sized(n, k))
+        })
+    ) {
+        let (naive, tiled) = (
+            MatmulBackendKind::Naive.as_dyn(),
+            MatmulBackendKind::Tiled.as_dyn(),
+        );
+        let mut want = Matrix::filled(2, 2, 1.0);
+        let mut got = Matrix::default();
+        naive.matmul_transpose_into(&a, &b, &mut want).unwrap();
+        tiled.matmul_transpose_into(&a, &b, &mut got).unwrap();
+        assert_bit_identical(&got, &want);
+    }
+
+    #[test]
+    fn tiled_backend_transpose_matmul_matches_naive_oracle_bitwise(
+        (a, b) in (0usize..=20, 0usize..=40, 0usize..=40).prop_flat_map(|(k, m, n)| {
+            (sparse_sized(k, m), sparse_sized(k, n))
+        })
+    ) {
+        let (naive, tiled) = (
+            MatmulBackendKind::Naive.as_dyn(),
+            MatmulBackendKind::Tiled.as_dyn(),
+        );
+        let mut want = Matrix::filled(1, 3, 4.0);
+        let mut got = Matrix::filled(2, 1, -9.0);
+        naive.transpose_matmul_into(&a, &b, &mut want).unwrap();
+        tiled.transpose_matmul_into(&a, &b, &mut got).unwrap();
+        assert_bit_identical(&got, &want);
+        assert_bit_identical(&got, &a.transpose_matmul(&b).unwrap());
+    }
+
     #[test]
     fn transpose_is_involution(m in matrix_strategy(8)) {
         prop_assert_eq!(m.transpose().transpose(), m);
